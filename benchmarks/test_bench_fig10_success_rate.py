@@ -1,0 +1,46 @@
+"""E5 — Fig. 10: application success rates under the FM gate model.
+
+Regenerates the success-rate comparison (higher is better) and asserts
+the headline direction: S-SYNC's success rate beats the Murali et al.
+baseline on (nearly) every workload and by a sizeable factor on average.
+"""
+
+from __future__ import annotations
+
+from bench_common import comparison_records, full_scale, records_as_rows, save_table
+
+from repro.analysis.reporting import format_table, geometric_mean
+from repro.circuit.library import build_benchmark
+from repro.core.compiler import SSyncCompiler
+from repro.hardware.presets import paper_device
+from repro.noise.evaluator import evaluate_schedule
+
+
+def test_fig10_success_rates(benchmark) -> None:
+    """Regenerate the Fig. 10 series and benchmark schedule evaluation."""
+    records = comparison_records(full_scale())
+    rows = records_as_rows(records, "success_rate")
+    text = format_table(
+        rows,
+        columns=["circuit", "device", "murali", "dai", "s-sync"],
+        title="Fig. 10 — success rate under FM gates (higher is better)",
+        float_format="{:.3e}",
+    )
+    save_table("fig10_success_rates", text)
+    print("\n" + text)
+
+    gains = []
+    wins = 0
+    for row in rows:
+        if row["murali"] > 0:
+            gains.append(max(row["s-sync"], 1e-300) / row["murali"])
+        if row["s-sync"] >= row["murali"]:
+            wins += 1
+    assert wins >= 0.9 * len(rows)
+    if gains:
+        mean_gain = geometric_mean(gains)
+        print(f"geomean success-rate gain vs Murali et al.: {mean_gain:.2f}x")
+        assert mean_gain > 1.5
+
+    result = SSyncCompiler(paper_device("G-2x3")).compile(build_benchmark("qft_24"))
+    benchmark(lambda: evaluate_schedule(result.schedule))

@@ -1,0 +1,69 @@
+"""E6 — Fig. 11: effect of communication topology and trap capacity.
+
+Regenerates the success-rate and execution-time curves versus total trap
+capacity for the seven topologies of Fig. 11, for a long-range (QFT), a
+sparse (BV), a short-distance (adder) and a deep (Heisenberg) workload.
+"""
+
+from __future__ import annotations
+
+from bench_common import full_scale, save_table
+
+from repro.analysis.reporting import format_grouped_series
+from repro.analysis.sweeps import topology_capacity_sweep
+from repro.circuit.library import build_family
+
+TOPOLOGIES = ("L-6", "G-2x3", "S-6", "L-4", "G-2x2", "S-4", "G-3x3")
+
+
+def _sweep(full: bool):
+    if full:
+        applications = {"qft": 64, "bv": 64, "adder": 32, "heisenberg": 48}
+        capacities = (12, 14, 17, 20, 22, 25)
+    else:
+        applications = {"qft": 24, "bv": 32, "adder": 12, "heisenberg": 16}
+        capacities = (8, 12, 17, 22)
+    records = {}
+    for family, size in applications.items():
+        records[family] = topology_capacity_sweep(
+            lambda n, fam=family: build_family(fam, n),
+            size,
+            topology_names=TOPOLOGIES,
+            capacities=capacities,
+        )
+    return records
+
+
+def test_fig11_topology_and_capacity(benchmark) -> None:
+    """Regenerate the Fig. 11 curves and benchmark one sweep point."""
+    per_application = _sweep(full_scale())
+    sections = []
+    for family, records in per_application.items():
+        rows = [r.as_dict() for r in records]
+        assert rows, f"no feasible sweep points for {family}"
+        success = format_grouped_series(rows, "label", "value", "success_rate", float_format="{:.3e}")
+        timing = format_grouped_series(rows, "label", "value", "execution_time_us", float_format="{:.4g}")
+        sections.append(
+            f"[{family}] success rate vs total capacity\n{success}\n"
+            f"[{family}] execution time (us) vs total capacity\n{timing}"
+        )
+        # Every record must be a feasible compile with a sensible outcome.
+        assert all(0.0 <= r.success_rate <= 1.0 for r in records)
+        assert all(r.execution_time_us > 0 for r in records)
+    text = "Fig. 11 — topology and trap-capacity sweep\n\n" + "\n\n".join(sections)
+    save_table("fig11_topology_capacity", text)
+    print("\n" + text)
+
+    # Grid topologies should be competitive: the best grid point is at least
+    # as good as the best linear point for the long-range QFT workload.
+    qft_records = per_application["qft"]
+    best = lambda prefix: max(
+        (r.success_rate for r in qft_records if r.label.startswith(prefix)), default=0.0
+    )
+    assert best("G-") >= 0.5 * best("L-")
+
+    benchmark(
+        lambda: topology_capacity_sweep(
+            lambda n: build_family("bv", n), 16, topology_names=("G-2x2",), capacities=(8,)
+        )
+    )

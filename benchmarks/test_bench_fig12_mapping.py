@@ -1,0 +1,80 @@
+"""E7 — Fig. 12: effect of the initial mapping strategy.
+
+Regenerates the shuttle / SWAP / execution-time / success-rate curves
+versus application size for the gathering, even-divided and STA mappings
+on the G-2x3 topology, and asserts the paper's observed trade-off:
+gathering needs the fewest shuttles but pays for it in execution time
+under FM gates.
+"""
+
+from __future__ import annotations
+
+from bench_common import full_scale, save_table
+
+from repro.analysis.reporting import format_grouped_series
+from repro.analysis.sweeps import initial_mapping_sweep
+from repro.circuit.library import build_family
+
+MAPPINGS = ("gathering", "even-divided", "sta")
+
+
+def test_fig12_initial_mapping(benchmark) -> None:
+    """Regenerate the Fig. 12 curves and benchmark one mapping sweep point."""
+    if full_scale():
+        sizes = (50, 60, 70, 80, 90)
+        families = ("adder", "qft")
+    else:
+        sizes = (24, 32, 40)
+        families = ("adder", "qft")
+
+    sections = []
+    gathering_vs_even = []
+    for family in families:
+        records = initial_mapping_sweep(
+            lambda n, fam=family: build_family(fam, n if fam != "adder" else max(n // 2 - 1, 2)),
+            circuit_sizes=sizes,
+            device_name="G-2x3",
+            mappings=MAPPINGS,
+        )
+        assert records, f"no feasible sweep points for {family}"
+        rows = [r.as_dict() for r in records]
+        for metric, fmt in (
+            ("shuttles", "{:.0f}"),
+            ("swaps", "{:.0f}"),
+            ("execution_time_us", "{:.4g}"),
+            ("success_rate", "{:.3e}"),
+        ):
+            series = format_grouped_series(rows, "label", "value", metric, float_format=fmt)
+            sections.append(f"[{family}] {metric} vs application size\n{series}")
+        by_mapping = {}
+        for record in records:
+            by_mapping.setdefault(record.label, []).append(record)
+        gathering_vs_even.append(
+            (
+                sum(r.shuttles for r in by_mapping["gathering"]),
+                sum(r.shuttles for r in by_mapping["even-divided"]),
+                sum(r.execution_time_us for r in by_mapping["gathering"]),
+                sum(r.execution_time_us for r in by_mapping["even-divided"]),
+            )
+        )
+
+    text = "Fig. 12 — initial mapping comparison on G-2x3\n\n" + "\n\n".join(sections)
+    save_table("fig12_initial_mapping", text)
+    print("\n" + text)
+
+    total_shuttles_gathering = sum(row[0] for row in gathering_vs_even)
+    total_shuttles_even = sum(row[1] for row in gathering_vs_even)
+    total_time_gathering = sum(row[2] for row in gathering_vs_even)
+    total_time_even = sum(row[3] for row in gathering_vs_even)
+    # The paper's trade-off: gathering shuttles less but runs longer (FM gates).
+    assert total_shuttles_gathering <= total_shuttles_even
+    assert total_time_gathering >= 0.9 * total_time_even
+
+    benchmark(
+        lambda: initial_mapping_sweep(
+            lambda n: build_family("qft", n),
+            circuit_sizes=(16,),
+            device_name="G-2x2",
+            mappings=("gathering",),
+        )
+    )

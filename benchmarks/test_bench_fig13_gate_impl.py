@@ -1,0 +1,58 @@
+"""E8 — Fig. 13: success rate under different gate implementations.
+
+Regenerates the FM / AM1 / AM2 / PM comparison on the G-2x3 topology for
+the benchmark applications and asserts the paper's qualitative findings
+about distance-sensitive (AM) versus distance-insensitive (FM/PM) gates.
+"""
+
+from __future__ import annotations
+
+from bench_common import full_scale, save_table
+
+from repro.analysis.reporting import format_table
+from repro.analysis.sweeps import gate_implementation_sweep
+from repro.circuit.library import build_benchmark
+from repro.hardware.presets import paper_device
+from repro.noise.evaluator import evaluate_schedule
+
+
+def test_fig13_gate_implementations(benchmark) -> None:
+    """Regenerate the Fig. 13 bars and benchmark one evaluation."""
+    if full_scale():
+        bench_names = ("adder_32", "qft_64", "bv_64", "qaoa_64", "alt_64")
+        device = paper_device("G-2x3", capacity=16)
+    else:
+        bench_names = ("adder_16", "qft_24", "bv_32", "qaoa_32", "alt_32")
+        device = paper_device("G-2x3", capacity=16)
+    circuits = [build_benchmark(name) for name in bench_names]
+    records = gate_implementation_sweep(circuits, device)
+
+    rows: dict[str, dict[str, object]] = {}
+    for record in records:
+        rows.setdefault(record.circuit, {"application": record.circuit})[record.label] = (
+            record.success_rate
+        )
+    table_rows = [rows[name] for name in sorted(rows)]
+    text = format_table(
+        table_rows,
+        columns=["application", "fm", "am1", "am2", "pm"],
+        title="Fig. 13 — success rate per gate implementation (G-2x3)",
+        float_format="{:.3e}",
+    )
+    save_table("fig13_gate_implementations", text)
+    print("\n" + text)
+
+    # AM1's strong distance dependence makes it the weakest choice for the
+    # long-range QFT workload; FM/PM hold up better there.
+    qft_row = next(row for name, row in rows.items() if name.startswith("qft"))
+    assert qft_row["am1"] <= qft_row["fm"]
+    assert qft_row["am1"] <= qft_row["pm"]
+    # For the short-distance adder, the fast AM2 gate beats AM1.
+    adder_row = next(row for name, row in rows.items() if name.startswith("adder"))
+    assert adder_row["am2"] >= adder_row["am1"]
+
+    result_schedule = None
+    from repro.core.compiler import SSyncCompiler
+
+    result_schedule = SSyncCompiler(device).compile(circuits[0]).schedule
+    benchmark(lambda: evaluate_schedule(result_schedule, gate_implementation="am2"))

@@ -1,0 +1,49 @@
+"""E11 — Fig. 16: optimality analysis against idealised bounds.
+
+Regenerates the comparison of S-SYNC against the "perfect shuttle",
+"perfect SWAP" and "ideal" scenarios on the G-2x2 topology (capacity 20)
+and asserts the bound ordering plus the paper's observation that S-SYNC
+closely tracks the perfect-SWAP bound.
+"""
+
+from __future__ import annotations
+
+from bench_common import full_scale, save_table
+
+from repro.analysis.optimality import optimality_report
+from repro.analysis.reporting import format_table
+from repro.circuit.library import build_benchmark
+from repro.hardware.presets import paper_device
+
+
+def test_fig16_optimality(benchmark) -> None:
+    """Regenerate the Fig. 16 bars and benchmark one optimality report."""
+    device = paper_device("G-2x2", capacity=20)
+    if full_scale():
+        bench_names = ("bv_64", "adder_32", "qaoa_64", "alt_64", "qft_64")
+    else:
+        bench_names = ("bv_32", "adder_16", "qaoa_32", "alt_32", "qft_24")
+
+    reports = [optimality_report(build_benchmark(name), device) for name in bench_names]
+    rows = [r.as_dict() for r in reports]
+    text = format_table(
+        rows,
+        columns=["circuit", "s_sync", "perfect_swap", "perfect_shuttle", "ideal"],
+        title="Fig. 16 — optimality analysis (G-2x2, capacity 20)",
+        float_format="{:.3e}",
+    )
+    save_table("fig16_optimality", text)
+    print("\n" + text)
+
+    for report in reports:
+        assert report.s_sync <= report.perfect_shuttle
+        assert report.s_sync <= report.perfect_swap
+        assert report.perfect_shuttle <= report.ideal
+        assert report.perfect_swap <= report.ideal
+    # The paper observes S-SYNC closely matches the perfect-SWAP bound on
+    # applications with simple communication patterns.
+    simple = [r for r in reports if r.circuit.startswith(("bv", "adder"))]
+    assert simple
+    assert all(r.swap_gap < 2.0 for r in simple)
+
+    benchmark(lambda: optimality_report(build_benchmark("bv_24"), device))

@@ -1,0 +1,51 @@
+"""E1 — Table 1: QCCD transport operation times.
+
+Regenerates the paper's Table 1 (move / split / merge / junction-crossing
+durations) from the library's timing model and benchmarks the cost of
+evaluating shuttle durations.
+"""
+
+from __future__ import annotations
+
+from bench_common import save_table
+
+from repro.analysis.reporting import format_table
+from repro.noise.operation_times import PAPER_OPERATION_TIMES
+
+
+def table1_rows() -> list[dict[str, object]]:
+    """The rows of Table 1 as reported by the timing model."""
+    rows = [
+        {"operation": name, "time_us": value}
+        for name, value in PAPER_OPERATION_TIMES.as_table().items()
+    ]
+    rows.append(
+        {
+            "operation": "full shuttle (1 segment, 0 junctions)",
+            "time_us": PAPER_OPERATION_TIMES.shuttle_us(1, 0),
+        }
+    )
+    rows.append(
+        {
+            "operation": "full shuttle (2 segments, 1 junction)",
+            "time_us": PAPER_OPERATION_TIMES.shuttle_us(2, 1),
+        }
+    )
+    return rows
+
+
+def test_table1_operation_times(benchmark) -> None:
+    """Regenerate Table 1 and benchmark shuttle-duration evaluation."""
+    rows = table1_rows()
+    text = format_table(rows, title="Table 1 — QCCD operation times (µs)")
+    save_table("table1_operation_times", text)
+    print("\n" + text)
+
+    # Paper values must be reproduced exactly.
+    by_name = {row["operation"]: row["time_us"] for row in rows}
+    assert by_name["move"] == 5.0
+    assert by_name["split"] == 80.0
+    assert by_name["merge"] == 80.0
+    assert by_name["cross 3-path junction"] == 100.0
+
+    benchmark(lambda: [PAPER_OPERATION_TIMES.shuttle_us(s, j) for s in range(1, 20) for j in range(4)])

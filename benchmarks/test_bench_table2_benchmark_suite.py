@@ -1,0 +1,53 @@
+"""E2 — Table 2: the benchmark application suite.
+
+Regenerates the paper's Table 2 (application, qubit count, two-qubit gate
+count, communication pattern) from the circuit generators, checking the
+generated structure against the paper's reported metadata, and benchmarks
+circuit construction.
+"""
+
+from __future__ import annotations
+
+from bench_common import full_scale, save_table
+
+from repro.analysis.reporting import format_table
+from repro.circuit.library import PAPER_BENCHMARKS, build_benchmark, qft_circuit
+
+
+def table2_rows(full: bool) -> list[dict[str, object]]:
+    """Rows of Table 2: paper metadata next to the generated circuits."""
+    rows: list[dict[str, object]] = []
+    for spec in PAPER_BENCHMARKS:
+        if not full and spec.paper_two_qubit_gates > 5000:
+            # The 13.5k-gate Heisenberg circuit is generated only in full mode.
+            circuit = None
+        else:
+            circuit = build_benchmark(spec.name)
+        rows.append(
+            {
+                "application": spec.name,
+                "qubits": spec.num_qubits,
+                "communication": spec.communication,
+                "paper_2q_gates": spec.paper_two_qubit_gates,
+                "generated_2q_gates": circuit.num_two_qubit_gates if circuit else "(skipped)",
+                "generated_qubits": circuit.num_qubits if circuit else "(skipped)",
+            }
+        )
+    return rows
+
+
+def test_table2_benchmark_suite(benchmark) -> None:
+    """Regenerate Table 2 and benchmark QFT circuit construction."""
+    rows = table2_rows(full_scale())
+    text = format_table(rows, title="Table 2 — benchmark applications")
+    save_table("table2_benchmarks", text)
+    print("\n" + text)
+
+    for row in rows:
+        if isinstance(row["generated_2q_gates"], int):
+            assert row["generated_qubits"] == row["qubits"]
+            paper = int(row["paper_2q_gates"])
+            generated = int(row["generated_2q_gates"])
+            assert abs(generated - paper) <= 0.1 * paper
+
+    benchmark(lambda: qft_circuit(24))

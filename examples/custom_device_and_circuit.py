@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Bring your own hardware and your own circuit.
+
+The paper evaluates preset topologies, but the library accepts arbitrary
+QCCD layouts and arbitrary circuits.  This example builds:
+
+* a custom asymmetric device — a "comb": a 4-trap spine of large traps
+  with two small memory traps hanging off it through junctions;
+* a custom circuit loaded from an OpenQASM 2.0 string (a GHZ-style state
+  preparation followed by a parity check);
+
+then compiles it with two different scheduler configurations (the
+paper-faithful frontier-only heuristic versus the default shallow
+lookahead) and reports the difference — a miniature ablation of the one
+engineering extension this reproduction adds on top of the paper.
+
+Run with ``python examples/custom_device_and_circuit.py``.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    QCCDDevice,
+    SSyncCompiler,
+    SSyncConfig,
+    SchedulerConfig,
+    Trap,
+    evaluate_schedule,
+    verify_schedule,
+)
+from repro.circuit.qasm import qasm_to_circuit
+from repro.hardware.trap import Connection
+
+QASM_PROGRAM = """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[12];
+// GHZ ladder across the register
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+cx q[2],q[3];
+cx q[3],q[4];
+cx q[4],q[5];
+cx q[5],q[6];
+cx q[6],q[7];
+cx q[7],q[8];
+cx q[8],q[9];
+cx q[9],q[10];
+cx q[10],q[11];
+// parity checks back onto the first qubit (long-range)
+cx q[11],q[0];
+cx q[6],q[0];
+cx q[3],q[0];
+"""
+
+
+def build_comb_device() -> QCCDDevice:
+    """A 4-trap spine (capacity 6) with two capacity-3 memory traps attached."""
+    traps = [
+        Trap(0, 6, name="spine0"),
+        Trap(1, 6, name="spine1"),
+        Trap(2, 6, name="spine2"),
+        Trap(3, 6, name="spine3"),
+        Trap(4, 3, name="memoryA"),
+        Trap(5, 3, name="memoryB"),
+    ]
+    connections = [
+        Connection(0, 1, junctions=0, segments=1),
+        Connection(1, 2, junctions=0, segments=1),
+        Connection(2, 3, junctions=0, segments=1),
+        Connection(1, 4, junctions=1, segments=2),
+        Connection(2, 5, junctions=1, segments=2),
+    ]
+    return QCCDDevice(traps, connections, name="comb-4+2")
+
+
+def main() -> None:
+    device = build_comb_device()
+    circuit = qasm_to_circuit(QASM_PROGRAM, name="ghz-parity")
+    print(f"device: {device.name} ({device.num_traps} traps, {device.total_capacity} slots)")
+    print(f"circuit: {circuit.name} with {circuit.num_two_qubit_gates} two-qubit gates\n")
+
+    configurations = {
+        "paper-faithful (frontier only)": SSyncConfig(
+            scheduler=SchedulerConfig(lookahead_depth=0)
+        ),
+        "default (lookahead depth 4)": SSyncConfig(),
+    }
+    for label, config in configurations.items():
+        result = SSyncCompiler(device, config).compile(circuit, initial_mapping="sta")
+        verify_schedule(result.schedule, result.initial_state, circuit=circuit)
+        evaluation = evaluate_schedule(result.schedule)
+        print(
+            f"{label:32s} shuttles={result.shuttle_count:3d} swaps={result.swap_count:3d} "
+            f"success={evaluation.success_rate:.4f} "
+            f"exec={evaluation.execution_time_us / 1e3:.1f} ms"
+        )
+    print("\nBoth schedules are verified legal; the lookahead variant usually")
+    print("avoids a few round-trip shuttles on serial, ladder-like circuits.")
+
+
+if __name__ == "__main__":
+    main()

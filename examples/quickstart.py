@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: compile one circuit for a QCCD device and inspect the result.
+
+This example walks through the whole S-SYNC pipeline on a 24-qubit QFT:
+
+1. build a QCCD device from one of the paper's presets (G-2x3),
+2. compile the circuit with the S-SYNC compiler (gathering initial
+   mapping + generic-swap scheduling),
+3. verify the produced schedule is physically legal,
+4. evaluate its execution time and success rate under the FM gate model,
+5. compare against the Murali et al. and Dai et al. baseline compilers.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DaiCompiler,
+    MuraliCompiler,
+    SSyncCompiler,
+    evaluate_schedule,
+    paper_device,
+    qft_circuit,
+    verify_schedule,
+)
+
+
+def main() -> None:
+    # 1. Hardware: the paper's G-2x3 preset (6 traps of 17 ions, X-junctions).
+    device = paper_device("G-2x3")
+    print(f"device: {device.name} with {device.num_traps} traps, "
+          f"{device.total_capacity} ion slots")
+
+    # 2. Application: a 24-qubit QFT (long-distance communication pattern).
+    circuit = qft_circuit(24)
+    print(f"circuit: {circuit.name} with {circuit.num_qubits} qubits and "
+          f"{circuit.num_two_qubit_gates} two-qubit gates")
+
+    # 3. Compile with S-SYNC.
+    compiler = SSyncCompiler(device)
+    result = compiler.compile(circuit, initial_mapping="gathering")
+    print(f"\nS-SYNC compiled in {result.compile_time_s * 1e3:.1f} ms:")
+    print(f"  shuttles inserted : {result.shuttle_count}")
+    print(f"  SWAP gates inserted: {result.swap_count}")
+
+    # 4. Check the schedule is physically legal and evaluate it.
+    verify_schedule(result.schedule, result.initial_state, circuit=circuit)
+    evaluation = evaluate_schedule(result.schedule, gate_implementation="fm")
+    print(f"  estimated execution time: {evaluation.execution_time_us / 1e3:.1f} ms")
+    print(f"  estimated success rate  : {evaluation.success_rate:.4f}")
+
+    # 5. Compare against the two baselines the paper evaluates.
+    print("\ncomparison against the baseline compilers:")
+    print(f"  {'compiler':10s} {'shuttles':>8s} {'swaps':>6s} {'success':>9s}")
+    for baseline in (MuraliCompiler(device), DaiCompiler(device), None):
+        if baseline is None:
+            name, compiled = "s-sync", result
+        else:
+            name, compiled = baseline.name, baseline.compile(circuit)
+        score = evaluate_schedule(compiled.schedule)
+        print(
+            f"  {name:10s} {compiled.shuttle_count:8d} {compiled.swap_count:6d} "
+            f"{score.success_rate:9.4f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without network access.
+
+The canonical metadata lives in ``pyproject.toml``; this file only exists
+so that ``pip install -e .`` works offline (legacy editable installs do
+not need the ``wheel`` package or an isolated build environment).
+"""
+
+from setuptools import setup
+
+setup()

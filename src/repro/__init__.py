@@ -1,0 +1,125 @@
+"""repro — reproduction of S-SYNC: shuttle and swap co-optimization for QCCD devices.
+
+The package mirrors the paper's structure:
+
+* :mod:`repro.circuit` — circuit IR, dependency DAG and the Table-2
+  benchmark generators;
+* :mod:`repro.hardware` — the QCCD device model (traps, junctions,
+  L/G/S topologies, the static weighted slot graph);
+* :mod:`repro.core` — the S-SYNC compiler itself (generic swaps,
+  heuristic scheduler, initial mappings);
+* :mod:`repro.baselines` — reimplementations of the Murali et al. and
+  Dai et al. compilers the paper compares against;
+* :mod:`repro.noise` — gate-time, heating and fidelity models plus the
+  schedule evaluator;
+* :mod:`repro.analysis` — comparisons, parameter sweeps, optimality
+  bounds and text reporting for every figure in the evaluation.
+
+Quickstart::
+
+    from repro import SSyncCompiler, paper_device, qft_circuit, evaluate_schedule
+
+    device = paper_device("G-2x3")
+    result = SSyncCompiler(device).compile(qft_circuit(16))
+    report = evaluate_schedule(result.schedule)
+    print(result.shuttle_count, result.swap_count, report.success_rate)
+"""
+
+from repro.baselines import DaiCompiler, MuraliCompiler
+from repro.circuit import DependencyDAG, Gate, QuantumCircuit
+from repro.circuit.library import (
+    alternating_layered_ansatz,
+    bernstein_vazirani_circuit,
+    build_benchmark,
+    cuccaro_adder_circuit,
+    ghz_circuit,
+    heisenberg_circuit,
+    paper_benchmark_suite,
+    qaoa_circuit,
+    qft_circuit,
+    random_circuit,
+)
+from repro.core import (
+    CompilationResult,
+    DeviceState,
+    SSyncCompiler,
+    SSyncConfig,
+    SchedulerConfig,
+    compile_circuit,
+)
+from repro.exceptions import (
+    CircuitError,
+    DeviceError,
+    MappingError,
+    NoiseModelError,
+    ReproError,
+    SchedulingError,
+    StateError,
+)
+from repro.hardware import (
+    GraphWeights,
+    QCCDDevice,
+    SlotGraph,
+    Trap,
+    grid_device,
+    linear_device,
+    paper_device,
+    star_device,
+)
+from repro.noise import (
+    EvaluationResult,
+    GateImplementation,
+    HeatingParameters,
+    OperationTimes,
+    evaluate_schedule,
+)
+from repro.schedule import Schedule, verify_schedule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CircuitError",
+    "CompilationResult",
+    "DaiCompiler",
+    "DependencyDAG",
+    "DeviceError",
+    "DeviceState",
+    "EvaluationResult",
+    "Gate",
+    "GateImplementation",
+    "GraphWeights",
+    "HeatingParameters",
+    "MappingError",
+    "MuraliCompiler",
+    "NoiseModelError",
+    "OperationTimes",
+    "QCCDDevice",
+    "QuantumCircuit",
+    "ReproError",
+    "SSyncCompiler",
+    "SSyncConfig",
+    "Schedule",
+    "SchedulerConfig",
+    "SchedulingError",
+    "SlotGraph",
+    "StateError",
+    "Trap",
+    "__version__",
+    "alternating_layered_ansatz",
+    "bernstein_vazirani_circuit",
+    "build_benchmark",
+    "compile_circuit",
+    "cuccaro_adder_circuit",
+    "evaluate_schedule",
+    "ghz_circuit",
+    "grid_device",
+    "heisenberg_circuit",
+    "linear_device",
+    "paper_benchmark_suite",
+    "paper_device",
+    "qaoa_circuit",
+    "qft_circuit",
+    "random_circuit",
+    "star_device",
+    "verify_schedule",
+]

@@ -1,0 +1,73 @@
+"""Analysis tooling: comparisons, optimality bounds, parameter sweeps, reporting."""
+
+from repro.analysis.ablation import (
+    AblationRecord,
+    ablation_summary,
+    default_variants,
+    run_ablation,
+)
+from repro.analysis.metrics import (
+    DEFAULT_COMPILER_NAMES,
+    ComparisonRecord,
+    compare_compilers,
+    compile_with,
+    improvement_factors,
+    record_from_result,
+)
+from repro.analysis.optimality import OptimalityReport, evaluate_scenarios, optimality_report
+from repro.analysis.reporting import (
+    format_grouped_series,
+    format_table,
+    format_value,
+    geometric_mean,
+    ratio_summary,
+)
+from repro.analysis.visualize import (
+    render_occupancy,
+    render_shuttle_traffic,
+    schedule_timeline,
+    shuttle_traffic,
+)
+from repro.analysis.sweeps import (
+    CompileTimeRecord,
+    SweepRecord,
+    compile_time_sweep,
+    decay_rate_sweep,
+    gate_implementation_sweep,
+    initial_mapping_sweep,
+    topology_capacity_sweep,
+    weight_ratio_sweep,
+)
+
+__all__ = [
+    "AblationRecord",
+    "ComparisonRecord",
+    "CompileTimeRecord",
+    "DEFAULT_COMPILER_NAMES",
+    "OptimalityReport",
+    "SweepRecord",
+    "ablation_summary",
+    "compare_compilers",
+    "compile_time_sweep",
+    "compile_with",
+    "decay_rate_sweep",
+    "default_variants",
+    "evaluate_scenarios",
+    "format_grouped_series",
+    "format_table",
+    "format_value",
+    "gate_implementation_sweep",
+    "geometric_mean",
+    "improvement_factors",
+    "initial_mapping_sweep",
+    "optimality_report",
+    "ratio_summary",
+    "record_from_result",
+    "render_occupancy",
+    "render_shuttle_traffic",
+    "run_ablation",
+    "schedule_timeline",
+    "shuttle_traffic",
+    "topology_capacity_sweep",
+    "weight_ratio_sweep",
+]

@@ -1,0 +1,105 @@
+"""Optimality analysis (Fig. 16): ideal, perfect-shuttle and perfect-SWAP bounds.
+
+The paper bounds how far S-SYNC sits from an unobtainable optimum by
+re-scoring its schedules under three idealised assumptions:
+
+* **perfect shuttle** — every ion move is free: shuttles cost no time and
+  add no heating (but inserted SWAP gates still count);
+* **perfect SWAP** — every ion that needs to shuttle is already at a trap
+  edge: inserted SWAP gates are free (but shuttles still count);
+* **ideal** — both of the above: only the program's own gates contribute.
+
+These are upper bounds on the achievable success rate because no real
+schedule can beat a schedule whose overheads have been deleted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.compiler import SSyncCompiler, SSyncConfig
+from repro.core.result import CompilationResult
+from repro.hardware.device import QCCDDevice
+from repro.noise.evaluator import EvaluationResult, evaluate_schedule
+from repro.noise.gate_times import GateImplementation
+from repro.noise.heating import HeatingParameters
+
+
+@dataclass(frozen=True)
+class OptimalityReport:
+    """Success rates of one schedule under the four Fig.-16 scenarios."""
+
+    circuit: str
+    device: str
+    s_sync: float
+    perfect_shuttle: float
+    perfect_swap: float
+    ideal: float
+
+    def as_dict(self) -> dict[str, float | str]:
+        """Flat dictionary for reporting."""
+        return {
+            "circuit": self.circuit,
+            "device": self.device,
+            "s_sync": self.s_sync,
+            "perfect_shuttle": self.perfect_shuttle,
+            "perfect_swap": self.perfect_swap,
+            "ideal": self.ideal,
+        }
+
+    @property
+    def shuttle_gap(self) -> float:
+        """Ratio perfect-shuttle / S-SYNC (≥ 1; how much shuttles cost us)."""
+        return self.perfect_shuttle / self.s_sync if self.s_sync > 0 else float("inf")
+
+    @property
+    def swap_gap(self) -> float:
+        """Ratio perfect-SWAP / S-SYNC (≥ 1; how much inserted SWAPs cost us)."""
+        return self.perfect_swap / self.s_sync if self.s_sync > 0 else float("inf")
+
+
+def evaluate_scenarios(
+    result: CompilationResult,
+    gate_implementation: GateImplementation | str = GateImplementation.FM,
+    heating: HeatingParameters | None = None,
+) -> dict[str, EvaluationResult]:
+    """Evaluate one compiled schedule under the four Fig.-16 scenarios."""
+    schedule = result.schedule
+    return {
+        "s_sync": evaluate_schedule(schedule, gate_implementation, heating),
+        "perfect_shuttle": evaluate_schedule(
+            schedule, gate_implementation, heating, ignore_shuttle_cost=True
+        ),
+        "perfect_swap": evaluate_schedule(
+            schedule, gate_implementation, heating, ignore_swap_cost=True
+        ),
+        "ideal": evaluate_schedule(
+            schedule,
+            gate_implementation,
+            heating,
+            ignore_shuttle_cost=True,
+            ignore_swap_cost=True,
+        ),
+    }
+
+
+def optimality_report(
+    circuit: QuantumCircuit,
+    device: QCCDDevice,
+    gate_implementation: GateImplementation | str = GateImplementation.FM,
+    heating: HeatingParameters | None = None,
+    ssync_config: SSyncConfig | None = None,
+    initial_mapping: str | None = None,
+) -> OptimalityReport:
+    """Compile ``circuit`` with S-SYNC and report the Fig.-16 scenario bounds."""
+    result = SSyncCompiler(device, ssync_config).compile(circuit, initial_mapping=initial_mapping)
+    scenarios = evaluate_scenarios(result, gate_implementation, heating)
+    return OptimalityReport(
+        circuit=circuit.name,
+        device=device.name,
+        s_sync=scenarios["s_sync"].success_rate,
+        perfect_shuttle=scenarios["perfect_shuttle"].success_rate,
+        perfect_swap=scenarios["perfect_swap"].success_rate,
+        ideal=scenarios["ideal"].success_rate,
+    )

@@ -1,0 +1,97 @@
+"""Plain-text reporting helpers used by the benchmark harnesses.
+
+The paper's artefacts are figures; this reproduction regenerates their
+underlying data as text tables so they can be diffed, asserted on and
+pasted into EXPERIMENTS.md.  Only the standard library is used — no
+plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.exceptions import ReproError
+
+
+def format_value(value: object, float_format: str = "{:.4g}") -> str:
+    """Render one cell: floats compactly, everything else via ``str``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return float_format.format(value)
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    float_format: str = "{:.4g}",
+    title: str | None = None,
+) -> str:
+    """Format a list of dictionaries as an aligned text table."""
+    if not rows:
+        raise ReproError("cannot format an empty table")
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [[format_value(row.get(c, ""), float_format) for c in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) for i in range(len(columns))
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(columns))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_grouped_series(
+    rows: Sequence[Mapping[str, object]],
+    group_key: str,
+    x_key: str,
+    y_key: str,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Format sweep records as one line per group: ``group: x=y, x=y, ...``.
+
+    Mirrors how the paper's figures show one curve per configuration.
+    """
+    if not rows:
+        raise ReproError("cannot format an empty series")
+    groups: dict[str, list[tuple[object, object]]] = {}
+    for row in rows:
+        group = str(row[group_key])
+        groups.setdefault(group, []).append((row[x_key], row[y_key]))
+    lines = []
+    for group in sorted(groups):
+        points = ", ".join(
+            f"{format_value(x, float_format)}={format_value(y, float_format)}"
+            for x, y in groups[group]
+        )
+        lines.append(f"{group}: {points}")
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (used for headline ratios)."""
+    values = list(values)
+    if not values:
+        raise ReproError("geometric mean of an empty sequence is undefined")
+    if any(v <= 0 for v in values):
+        raise ReproError("geometric mean requires strictly positive values")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def ratio_summary(ratios: Mapping[str, float], label: str) -> str:
+    """One-line summary like ``shuttle reduction: QFT=3.1x, Adder=9.8x (mean 5.5x)``."""
+    if not ratios:
+        raise ReproError("ratio_summary needs at least one entry")
+    parts = ", ".join(f"{name}={value:.2f}x" for name, value in ratios.items())
+    mean = geometric_mean([v for v in ratios.values() if v > 0])
+    return f"{label}: {parts} (geomean {mean:.2f}x)"

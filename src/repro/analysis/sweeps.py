@@ -1,0 +1,314 @@
+"""Parameter sweeps behind Figs. 11–15.
+
+Each function runs a family of compilations while varying one knob —
+topology & capacity (Fig. 11), initial mapping & application size
+(Fig. 12), gate implementation (Fig. 13), heuristic hyper-parameters
+(Fig. 14) or application size for compilation-time scaling (Fig. 15) —
+and returns flat records that the benchmark harnesses print and the
+tests assert on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.analysis.metrics import compile_with
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.compiler import SSyncCompiler, SSyncConfig
+from repro.exceptions import ReproError
+from repro.hardware.device import QCCDDevice
+from repro.hardware.presets import paper_device, paper_preset
+from repro.noise.evaluator import evaluate_schedule
+from repro.noise.gate_times import GateImplementation
+from repro.noise.heating import HeatingParameters
+
+CircuitFactory = Callable[[int], QuantumCircuit]
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One sweep point: the swept settings plus the paper's metrics."""
+
+    label: str
+    circuit: str
+    device: str
+    parameter: str
+    value: float | str
+    shuttles: int
+    swaps: int
+    success_rate: float
+    execution_time_us: float
+    compile_time_s: float
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat dictionary for reporting."""
+        return {
+            "label": self.label,
+            "circuit": self.circuit,
+            "device": self.device,
+            "parameter": self.parameter,
+            "value": self.value,
+            "shuttles": self.shuttles,
+            "swaps": self.swaps,
+            "success_rate": self.success_rate,
+            "execution_time_us": self.execution_time_us,
+            "compile_time_s": self.compile_time_s,
+        }
+
+
+def _compile_and_evaluate(
+    label: str,
+    parameter: str,
+    value: float | str,
+    circuit: QuantumCircuit,
+    device: QCCDDevice,
+    gate_implementation: GateImplementation | str = GateImplementation.FM,
+    heating: HeatingParameters | None = None,
+    ssync_config: SSyncConfig | None = None,
+    initial_mapping: str | None = None,
+) -> SweepRecord:
+    result = SSyncCompiler(device, ssync_config).compile(circuit, initial_mapping=initial_mapping)
+    evaluation = evaluate_schedule(result.schedule, gate_implementation, heating)
+    return SweepRecord(
+        label=label,
+        circuit=circuit.name,
+        device=device.name,
+        parameter=parameter,
+        value=value,
+        shuttles=result.shuttle_count,
+        swaps=result.swap_count,
+        success_rate=evaluation.success_rate,
+        execution_time_us=evaluation.execution_time_us,
+        compile_time_s=result.compile_time_s,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 11 — topology and capacity sweep
+# ----------------------------------------------------------------------
+def topology_capacity_sweep(
+    circuit_factory: CircuitFactory,
+    circuit_size: int,
+    topology_names: Sequence[str],
+    capacities: Sequence[int],
+    gate_implementation: GateImplementation | str = GateImplementation.FM,
+    ssync_config: SSyncConfig | None = None,
+) -> list[SweepRecord]:
+    """Success rate and execution time versus total trap capacity per topology.
+
+    Sweep points where the circuit does not fit the device (too few total
+    slots) are skipped, mirroring the gaps in the paper's Fig. 11 curves.
+    """
+    records: list[SweepRecord] = []
+    circuit = circuit_factory(circuit_size)
+    for name in topology_names:
+        preset = paper_preset(name)
+        for capacity in capacities:
+            device = paper_device(name, capacity)
+            if device.total_capacity <= circuit.num_qubits:
+                continue
+            records.append(
+                _compile_and_evaluate(
+                    label=name,
+                    parameter="total_capacity",
+                    value=capacity * preset.num_traps,
+                    circuit=circuit,
+                    device=device,
+                    gate_implementation=gate_implementation,
+                    ssync_config=ssync_config,
+                )
+            )
+    return records
+
+
+# ----------------------------------------------------------------------
+# Fig. 12 — initial mapping sweep
+# ----------------------------------------------------------------------
+def initial_mapping_sweep(
+    circuit_factory: CircuitFactory,
+    circuit_sizes: Sequence[int],
+    device_name: str,
+    mappings: Sequence[str] = ("gathering", "even-divided", "sta"),
+    capacity: int | None = None,
+    gate_implementation: GateImplementation | str = GateImplementation.FM,
+    ssync_config: SSyncConfig | None = None,
+) -> list[SweepRecord]:
+    """Shuttle/SWAP/time/success-rate versus application size per mapping."""
+    records: list[SweepRecord] = []
+    for size in circuit_sizes:
+        circuit = circuit_factory(size)
+        device = paper_device(device_name, capacity)
+        if device.total_capacity <= circuit.num_qubits:
+            continue
+        for mapping in mappings:
+            records.append(
+                _compile_and_evaluate(
+                    label=mapping,
+                    parameter="application_size",
+                    value=size,
+                    circuit=circuit,
+                    device=device,
+                    gate_implementation=gate_implementation,
+                    ssync_config=ssync_config,
+                    initial_mapping=mapping,
+                )
+            )
+    return records
+
+
+# ----------------------------------------------------------------------
+# Fig. 13 — gate implementation sweep
+# ----------------------------------------------------------------------
+def gate_implementation_sweep(
+    circuits: Sequence[QuantumCircuit],
+    device: QCCDDevice,
+    implementations: Sequence[GateImplementation | str] = (
+        GateImplementation.FM,
+        GateImplementation.AM1,
+        GateImplementation.AM2,
+        GateImplementation.PM,
+    ),
+    ssync_config: SSyncConfig | None = None,
+) -> list[SweepRecord]:
+    """Success rate of each application under each gate implementation.
+
+    Each circuit is compiled once and the schedule re-evaluated under
+    every implementation (the compiler itself is implementation
+    agnostic).
+    """
+    records: list[SweepRecord] = []
+    for circuit in circuits:
+        result = SSyncCompiler(device, ssync_config).compile(circuit)
+        for implementation in implementations:
+            impl = GateImplementation.from_name(implementation)
+            evaluation = evaluate_schedule(result.schedule, impl)
+            records.append(
+                SweepRecord(
+                    label=impl.value,
+                    circuit=circuit.name,
+                    device=device.name,
+                    parameter="gate_implementation",
+                    value=impl.value,
+                    shuttles=result.shuttle_count,
+                    swaps=result.swap_count,
+                    success_rate=evaluation.success_rate,
+                    execution_time_us=evaluation.execution_time_us,
+                    compile_time_s=result.compile_time_s,
+                )
+            )
+    return records
+
+
+# ----------------------------------------------------------------------
+# Fig. 14 — hyper-parameter sensitivity
+# ----------------------------------------------------------------------
+def weight_ratio_sweep(
+    circuit_factory: CircuitFactory,
+    circuit_sizes: Sequence[int],
+    device: QCCDDevice,
+    ratios: Sequence[float] = (100.0, 1000.0, 10000.0, 100000.0),
+    base_config: SSyncConfig | None = None,
+) -> list[SweepRecord]:
+    """Success rate versus the shuttle/inner weight ratio ``r`` (Fig. 14 left)."""
+    records: list[SweepRecord] = []
+    base = base_config or SSyncConfig()
+    for ratio in ratios:
+        config = base.with_weight_ratio(ratio)
+        for size in circuit_sizes:
+            circuit = circuit_factory(size)
+            if device.total_capacity <= circuit.num_qubits:
+                continue
+            records.append(
+                _compile_and_evaluate(
+                    label=f"r{int(ratio)}",
+                    parameter="weight_ratio",
+                    value=ratio,
+                    circuit=circuit,
+                    device=device,
+                    ssync_config=config,
+                )
+            )
+    return records
+
+
+def decay_rate_sweep(
+    circuit_factory: CircuitFactory,
+    circuit_sizes: Sequence[int],
+    device: QCCDDevice,
+    deltas: Sequence[float] = (0.0, 0.01, 0.001, 0.0001),
+    base_config: SSyncConfig | None = None,
+) -> list[SweepRecord]:
+    """Success rate versus the decay rate δ (Fig. 14 right)."""
+    records: list[SweepRecord] = []
+    base = base_config or SSyncConfig()
+    for delta in deltas:
+        config = base.with_decay(delta)
+        for size in circuit_sizes:
+            circuit = circuit_factory(size)
+            if device.total_capacity <= circuit.num_qubits:
+                continue
+            records.append(
+                _compile_and_evaluate(
+                    label=f"d{delta}",
+                    parameter="decay_delta",
+                    value=delta,
+                    circuit=circuit,
+                    device=device,
+                    ssync_config=config,
+                )
+            )
+    return records
+
+
+# ----------------------------------------------------------------------
+# Fig. 15 — compilation time scaling
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CompileTimeRecord:
+    """One compile-time measurement point."""
+
+    compiler: str
+    circuit: str
+    application_size: int
+    compile_time_s: float
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat dictionary for reporting."""
+        return {
+            "compiler": self.compiler,
+            "circuit": self.circuit,
+            "application_size": self.application_size,
+            "compile_time_s": self.compile_time_s,
+        }
+
+
+def compile_time_sweep(
+    circuit_factory: CircuitFactory,
+    circuit_sizes: Sequence[int],
+    device: QCCDDevice,
+    compilers: Sequence[str] = ("murali", "s-sync"),
+    ssync_config: SSyncConfig | None = None,
+) -> list[CompileTimeRecord]:
+    """Wall-clock compilation time versus application size per compiler."""
+    if not compilers:
+        raise ReproError("compile_time_sweep needs at least one compiler")
+    records: list[CompileTimeRecord] = []
+    for size in circuit_sizes:
+        circuit = circuit_factory(size)
+        if device.total_capacity <= circuit.num_qubits:
+            continue
+        for name in compilers:
+            start = time.perf_counter()
+            compile_with(name, circuit, device, ssync_config=ssync_config)
+            elapsed = time.perf_counter() - start
+            records.append(
+                CompileTimeRecord(
+                    compiler=name,
+                    circuit=circuit.name,
+                    application_size=size,
+                    compile_time_s=elapsed,
+                )
+            )
+    return records

@@ -1,0 +1,107 @@
+"""Plain-text visualisation helpers for device states and schedules.
+
+Nothing here requires plotting libraries: the goal is quick, greppable
+insight when debugging a mapping or a schedule —
+
+* :func:`render_occupancy` draws each trap's ion chain and free slots,
+* :func:`schedule_timeline` lists the first operations of a schedule in a
+  compact one-line-per-operation form,
+* :func:`shuttle_traffic` aggregates how many shuttles crossed each
+  trap-to-trap connection (the congestion picture behind Fig. 11's
+  topology discussion).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.state import DeviceState
+from repro.exceptions import ReproError
+from repro.schedule.operations import (
+    GateOperation,
+    ShuttleOperation,
+    SpaceShiftOperation,
+    SwapOperation,
+)
+from repro.schedule.schedule import Schedule
+
+
+def render_occupancy(state: DeviceState, qubit_width: int = 3) -> str:
+    """Render every trap's chain as ``[q00 q01 .  .  ]`` style rows.
+
+    Occupied slots show the program qubit number, free slots show a dot.
+    """
+    if qubit_width < 1:
+        raise ReproError("qubit_width must be at least 1")
+    lines = []
+    for trap in state.device.traps:
+        chain = state.chain(trap.trap_id)
+        cells = [f"q{qubit:0{qubit_width - 1}d}" for qubit in chain]
+        cells.extend(["." * qubit_width] * state.free_slots(trap.trap_id))
+        lines.append(
+            f"{trap.name:>8s} ({len(chain):2d}/{trap.capacity:2d}): " + " ".join(cells)
+        )
+    return "\n".join(lines)
+
+
+def _describe(operation) -> str:
+    if isinstance(operation, GateOperation):
+        operands = ",".join(str(q) for q in operation.gate.qubits)
+        return f"gate  {operation.gate.name:<5s} q[{operands}] @trap{operation.trap}"
+    if isinstance(operation, SwapOperation):
+        return (
+            f"swap  q{operation.qubit_a}<->q{operation.qubit_b} @trap{operation.trap} "
+            f"(separation {operation.ion_separation})"
+        )
+    if isinstance(operation, ShuttleOperation):
+        return (
+            f"shutl q{operation.qubit} trap{operation.source_trap}->trap{operation.target_trap} "
+            f"({operation.segments} seg, {operation.junctions} junc)"
+        )
+    if isinstance(operation, SpaceShiftOperation):
+        return (
+            f"shift q{operation.qubit} pos{operation.from_position}->pos{operation.to_position} "
+            f"@trap{operation.trap}"
+        )
+    return f"op    {operation.kind}"  # pragma: no cover - defensive
+
+
+def schedule_timeline(schedule: Schedule, max_operations: int = 40) -> str:
+    """A compact, indexed listing of the first ``max_operations`` operations."""
+    if max_operations < 1:
+        raise ReproError("max_operations must be at least 1")
+    lines = [
+        f"schedule {schedule.circuit_name!r} on {schedule.device.name}: "
+        f"{len(schedule)} operations "
+        f"({schedule.two_qubit_gate_count} 2q gates, {schedule.swap_count} swaps, "
+        f"{schedule.shuttle_count} shuttles)"
+    ]
+    for index, operation in enumerate(schedule):
+        if index >= max_operations:
+            lines.append(f"... ({len(schedule) - max_operations} more operations)")
+            break
+        lines.append(f"{index:5d}  {_describe(operation)}")
+    return "\n".join(lines)
+
+
+def shuttle_traffic(schedule: Schedule) -> dict[tuple[int, int], int]:
+    """Shuttle counts per undirected trap pair, most used first."""
+    counter: Counter[tuple[int, int]] = Counter()
+    for operation in schedule:
+        if isinstance(operation, ShuttleOperation):
+            pair = tuple(sorted((operation.source_trap, operation.target_trap)))
+            counter[pair] += 1
+    return dict(sorted(counter.items(), key=lambda item: (-item[1], item[0])))
+
+
+def render_shuttle_traffic(schedule: Schedule, width: int = 40) -> str:
+    """Text bar chart of shuttle traffic per connection."""
+    traffic = shuttle_traffic(schedule)
+    if not traffic:
+        return "no shuttles in this schedule"
+    peak = max(traffic.values())
+    lines = []
+    for (trap_a, trap_b), count in traffic.items():
+        bar = "#" * max(1, round(width * count / peak))
+        lines.append(f"trap{trap_a:<3d}<->trap{trap_b:<3d} {count:4d} {bar}")
+    return "\n".join(lines)

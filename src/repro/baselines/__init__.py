@@ -1,0 +1,13 @@
+"""Baseline QCCD compilers the paper compares against (reimplementations)."""
+
+from repro.baselines.base import BaselineRouter
+from repro.baselines.dai import DaiCompiler
+from repro.baselines.murali import MuraliCompiler
+
+#: Registry of baseline compilers by name.
+BASELINE_REGISTRY: dict[str, type[BaselineRouter]] = {
+    MuraliCompiler.name: MuraliCompiler,
+    DaiCompiler.name: DaiCompiler,
+}
+
+__all__ = ["BASELINE_REGISTRY", "BaselineRouter", "DaiCompiler", "MuraliCompiler"]

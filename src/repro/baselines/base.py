@@ -1,0 +1,295 @@
+"""Shared machinery for the baseline QCCD compilers.
+
+The two baselines (Murali et al. ISCA'20 and Dai et al. TQE'24) are
+greedy routers that process two-qubit gates in dependency order and move
+one operand to the other's trap whenever they are separated.  They share
+the routing primitives in :class:`BaselineRouter`:
+
+* ``bring_to_end`` — SWAP an ion to the chain end facing the next trap;
+  the *step-wise* variant swaps with adjacent ions one position at a
+  time (Murali-style, ignores intra-trap full connectivity), the
+  *direct* variant uses a single long-range SWAP (Dai-style);
+* ``ensure_space`` — evict an ion from a full destination trap to a
+  neighbouring trap with room;
+* ``shuttle`` — emit the split/move/merge record and update the state.
+
+Neither baseline reasons about the joint cost of SWAPs and shuttles —
+that co-optimization is exactly what S-SYNC adds — so both insert more
+of at least one of the two on most workloads.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+from repro.core.result import CompilationResult
+from repro.core.state import DeviceState
+from repro.exceptions import SchedulingError
+from repro.hardware.device import QCCDDevice
+from repro.schedule.operations import GateOperation, ShuttleOperation, SwapOperation
+from repro.schedule.schedule import Schedule
+
+
+class BaselineRouter:
+    """Greedy routing primitives shared by the baseline compilers."""
+
+    name = "baseline"
+
+    def __init__(self, device: QCCDDevice) -> None:
+        self.device = device
+
+    # ------------------------------------------------------------------
+    # template: subclasses provide mapping + per-gate routing policy
+    # ------------------------------------------------------------------
+    def build_initial_state(self, circuit: QuantumCircuit) -> DeviceState:
+        """Construct this baseline's initial mapping."""
+        raise NotImplementedError
+
+    def route_gate(
+        self, schedule: Schedule, state: DeviceState, gate: Gate, upcoming: dict[int, list[int]]
+    ) -> None:
+        """Bring the two operands of ``gate`` into one trap."""
+        raise NotImplementedError
+
+    def compile(self, circuit: QuantumCircuit) -> CompilationResult:
+        """Compile ``circuit`` with this baseline's policy."""
+        start = time.perf_counter()
+        state = self.build_initial_state(circuit)
+        initial_state = state.copy()
+        schedule = Schedule(self.device, circuit.name)
+        upcoming = self._upcoming_partners(circuit)
+        pending_1q, trailing_1q = self._partition_single_qubit_gates(circuit)
+
+        for index, gate in enumerate(circuit.gates):
+            if gate.is_single_qubit:
+                continue
+            if not gate.is_two_qubit:
+                continue
+            for single in pending_1q.pop(index, []):
+                self._emit_single_qubit_gate(schedule, state, single)
+            if not state.same_trap(*gate.qubits):
+                self.route_gate(schedule, state, gate, upcoming)
+            self._emit_two_qubit_gate(schedule, state, gate)
+            self._consume_upcoming(upcoming, gate)
+        for single in trailing_1q:
+            self._emit_single_qubit_gate(schedule, state, single)
+
+        elapsed = time.perf_counter() - start
+        schedule.validate_against(circuit.num_two_qubit_gates)
+        return CompilationResult(
+            schedule=schedule,
+            initial_state=initial_state,
+            final_state=state,
+            compiler_name=self.name,
+            mapping_name=f"{self.name}-default",
+            compile_time_s=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    # bookkeeping helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _upcoming_partners(circuit: QuantumCircuit) -> dict[int, list[int]]:
+        """For every qubit, the ordered list of its future two-qubit partners."""
+        partners: dict[int, list[int]] = defaultdict(list)
+        for gate in circuit.gates:
+            if not gate.is_two_qubit:
+                continue
+            a, b = gate.qubits
+            partners[a].append(b)
+            partners[b].append(a)
+        return dict(partners)
+
+    @staticmethod
+    def _consume_upcoming(upcoming: dict[int, list[int]], gate: Gate) -> None:
+        a, b = gate.qubits
+        if upcoming.get(a):
+            upcoming[a].pop(0)
+        if upcoming.get(b):
+            upcoming[b].pop(0)
+
+    @staticmethod
+    def _partition_single_qubit_gates(
+        circuit: QuantumCircuit,
+    ) -> tuple[dict[int, list[Gate]], list[Gate]]:
+        pending: dict[int, list[Gate]] = defaultdict(list)
+        waiting: dict[int, list[Gate]] = defaultdict(list)
+        for index, gate in enumerate(circuit.gates):
+            if gate.is_two_qubit:
+                for q in gate.qubits:
+                    if waiting[q]:
+                        pending[index].extend(waiting[q])
+                        waiting[q] = []
+            elif gate.is_single_qubit:
+                waiting[gate.qubits[0]].append(gate)
+        trailing = [gate for q in sorted(waiting) for gate in waiting[q]]
+        return dict(pending), trailing
+
+    # ------------------------------------------------------------------
+    # emission helpers
+    # ------------------------------------------------------------------
+    def _emit_single_qubit_gate(self, schedule: Schedule, state: DeviceState, gate: Gate) -> None:
+        trap = state.trap_of(gate.qubits[0])
+        schedule.append(
+            GateOperation(gate=gate, trap=trap, chain_length=max(state.chain_length(trap), 1))
+        )
+
+    def _emit_two_qubit_gate(self, schedule: Schedule, state: DeviceState, gate: Gate) -> None:
+        qubit_a, qubit_b = gate.qubits
+        trap = state.trap_of(qubit_a)
+        schedule.append(
+            GateOperation(
+                gate=gate,
+                trap=trap,
+                chain_length=state.chain_length(trap),
+                ion_separation=state.ion_separation(qubit_a, qubit_b),
+            )
+        )
+
+    def emit_swap(self, schedule: Schedule, state: DeviceState, qubit_a: int, qubit_b: int) -> None:
+        """Record and apply one SWAP gate."""
+        trap = state.trap_of(qubit_a)
+        schedule.append(
+            SwapOperation(
+                trap=trap,
+                qubit_a=qubit_a,
+                qubit_b=qubit_b,
+                chain_length=state.chain_length(trap),
+                ion_separation=state.ion_separation(qubit_a, qubit_b),
+            )
+        )
+        state.swap_qubits(qubit_a, qubit_b)
+
+    def emit_shuttle(
+        self, schedule: Schedule, state: DeviceState, qubit: int, target_trap: int
+    ) -> None:
+        """Record and apply one shuttle of ``qubit`` to an adjacent trap."""
+        source_trap = state.trap_of(qubit)
+        connection = self.device.connection_between(source_trap, target_trap)
+        source_before = state.chain_length(source_trap)
+        state.shuttle(qubit, target_trap)
+        schedule.append(
+            ShuttleOperation(
+                qubit=qubit,
+                source_trap=source_trap,
+                target_trap=target_trap,
+                segments=connection.segments,
+                junctions=connection.junctions,
+                source_chain_length=source_before,
+                target_chain_length=state.chain_length(target_trap),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # routing primitives
+    # ------------------------------------------------------------------
+    def bring_to_end(
+        self,
+        schedule: Schedule,
+        state: DeviceState,
+        qubit: int,
+        end: str,
+        stepwise: bool,
+    ) -> None:
+        """SWAP ``qubit`` to one chain end, one hop at a time or directly."""
+        if state.is_at_end(qubit, end):
+            return
+        if stepwise:
+            guard = state.chain_length(state.trap_of(qubit)) + 1
+            while not state.is_at_end(qubit, end) and guard > 0:
+                guard -= 1
+                trap = state.trap_of(qubit)
+                chain = state.chain(trap)
+                index = chain.index(qubit)
+                neighbour_index = index - 1 if end == "left" else index + 1
+                self.emit_swap(schedule, state, qubit, chain[neighbour_index])
+            if not state.is_at_end(qubit, end):  # pragma: no cover - defensive
+                raise SchedulingError(f"failed to bring qubit {qubit} to the {end} end")
+        else:
+            trap = state.trap_of(qubit)
+            end_qubit = state.end_qubit(trap, end)
+            assert end_qubit is not None and end_qubit != qubit
+            self.emit_swap(schedule, state, qubit, end_qubit)
+
+    def ensure_space(
+        self,
+        schedule: Schedule,
+        state: DeviceState,
+        trap_id: int,
+        protected: tuple[int, ...] = (),
+        min_free: int = 1,
+    ) -> None:
+        """Evict ions from ``trap_id`` until it has ``min_free`` free slots."""
+        guard = self.device.num_traps * max(t.capacity for t in self.device.traps) + 8
+        while state.free_slots(trap_id) < min_free:
+            guard -= 1
+            if guard < 0:
+                raise SchedulingError(f"could not free a slot in trap {trap_id}")
+            moved = False
+            for neighbour in self.device.neighbors(trap_id):
+                if not state.has_space(neighbour):
+                    continue
+                end = state.facing_end(trap_id, neighbour)
+                victim = state.end_qubit(trap_id, end)
+                if victim is None:
+                    continue
+                if victim in protected:
+                    # A protected ion blocks the departing end; SWAP it away
+                    # before evicting, if any other ion is available.
+                    replacement = next(
+                        (q for q in state.chain(trap_id) if q not in protected), None
+                    )
+                    if replacement is None:
+                        continue
+                    self.emit_swap(schedule, state, victim, replacement)
+                    victim = state.end_qubit(trap_id, end)
+                    assert victim is not None
+                self.emit_shuttle(schedule, state, victim, neighbour)
+                moved = True
+                break
+            if not moved:
+                # All neighbours are full (or only hold protected ions):
+                # recursively free the least-loaded neighbour that still has
+                # an evictable ion.
+                candidates = [
+                    t for t in self.device.neighbors(trap_id) if not state.has_space(t)
+                ]
+                if not candidates:
+                    raise SchedulingError(
+                        f"could not free a slot in trap {trap_id}: every neighbour is blocked"
+                    )
+                neighbour = min(candidates, key=lambda t: state.chain_length(t))
+                self.ensure_space(schedule, state, neighbour, protected=protected, min_free=1)
+
+    def shuttle_along_path(
+        self,
+        schedule: Schedule,
+        state: DeviceState,
+        qubit: int,
+        target_trap: int,
+        stepwise_swaps: bool,
+        protected: tuple[int, ...] = (),
+        reserve_at_target: int = 1,
+    ) -> None:
+        """Move ``qubit`` hop by hop to ``target_trap`` along the cheapest route."""
+        guard = 4 * self.device.num_traps + 8
+        while state.trap_of(qubit) != target_trap:
+            guard -= 1
+            if guard < 0:
+                raise SchedulingError(f"routing qubit {qubit} to trap {target_trap} did not converge")
+            source = state.trap_of(qubit)
+            path = self.device.trap_path(source, target_trap)
+            next_trap = path[1]
+            departing_end = state.facing_end(source, next_trap)
+            min_free = reserve_at_target if next_trap == target_trap else 1
+            # Free the destination first: an eviction may merge an ion into
+            # the source trap's departing end, which would displace ``qubit``
+            # if it had already been brought there.
+            self.ensure_space(
+                schedule, state, next_trap, protected=protected + (qubit,), min_free=min_free
+            )
+            self.bring_to_end(schedule, state, qubit, departing_end, stepwise_swaps)
+            self.emit_shuttle(schedule, state, qubit, next_trap)

@@ -1,0 +1,23 @@
+"""Circuit intermediate representation: gates, circuits, DAGs, QASM I/O."""
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.dag import DAGNode, DependencyDAG
+from repro.circuit.gate import (
+    SINGLE_QUBIT_GATES,
+    SYMMETRIC_TWO_QUBIT_GATES,
+    TWO_QUBIT_GATES,
+    Gate,
+)
+from repro.circuit.qasm import circuit_to_qasm, qasm_to_circuit
+
+__all__ = [
+    "DAGNode",
+    "DependencyDAG",
+    "Gate",
+    "QuantumCircuit",
+    "SINGLE_QUBIT_GATES",
+    "SYMMETRIC_TWO_QUBIT_GATES",
+    "TWO_QUBIT_GATES",
+    "circuit_to_qasm",
+    "qasm_to_circuit",
+]

@@ -1,0 +1,176 @@
+"""Dependency DAG over the two-qubit gates of a circuit.
+
+Section 3.1 of the paper maps the quantum program onto a directed acyclic
+graph whose vertices are gates and whose edges encode data dependence.
+The S-SYNC scheduler (Algorithm 1) only routes *two-qubit* gates — a
+single-qubit gate is always executable wherever its ion sits — so the DAG
+here is built over two-qubit gates only, which keeps the frontier small.
+
+The class supports exactly the operations Algorithm 1 needs:
+
+* ``frontier`` — the set of gates whose predecessors have all executed,
+* ``execute(node)`` — retire a frontier gate and promote its successors,
+* ``lookahead(k)`` — the first ``k`` dependency layers, used by the
+  extended heuristic and the intra-trap mapping score (Eq. 3).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+from repro.exceptions import SchedulingError
+
+
+@dataclass(frozen=True)
+class DAGNode:
+    """A two-qubit gate plus its position in the original program order."""
+
+    index: int
+    gate: Gate
+
+    @property
+    def qubits(self) -> tuple[int, ...]:
+        return self.gate.qubits
+
+
+class DependencyDAG:
+    """Mutable dependency graph consumed front-to-back by the scheduler."""
+
+    def __init__(self, circuit: QuantumCircuit) -> None:
+        self._nodes: dict[int, DAGNode] = {}
+        self._succ: dict[int, list[int]] = defaultdict(list)
+        self._pred_count: dict[int, int] = {}
+        self._frontier: list[int] = []
+        self._executed: set[int] = set()
+        self._remaining = 0
+        self._build(circuit)
+
+    def _build(self, circuit: QuantumCircuit) -> None:
+        last_node_on_qubit: dict[int, int] = {}
+        for index, gate in enumerate(circuit.gates):
+            if not gate.is_two_qubit:
+                continue
+            node = DAGNode(index, gate)
+            self._nodes[index] = node
+            preds: set[int] = set()
+            for q in gate.qubits:
+                if q in last_node_on_qubit:
+                    preds.add(last_node_on_qubit[q])
+                last_node_on_qubit[q] = index
+            self._pred_count[index] = len(preds)
+            for p in preds:
+                self._succ[p].append(index)
+            if not preds:
+                self._frontier.append(index)
+        self._remaining = len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Total number of two-qubit gates in the DAG."""
+        return len(self._nodes)
+
+    @property
+    def num_remaining(self) -> int:
+        """Number of gates not yet executed."""
+        return self._remaining
+
+    @property
+    def is_done(self) -> bool:
+        """True when every two-qubit gate has been executed."""
+        return self._remaining == 0
+
+    def frontier(self) -> list[DAGNode]:
+        """Gates whose dependencies are all satisfied, in program order."""
+        return [self._nodes[i] for i in sorted(self._frontier)]
+
+    def node(self, index: int) -> DAGNode:
+        """Return the node with the given program index."""
+        return self._nodes[index]
+
+    def successors(self, index: int) -> list[DAGNode]:
+        """Immediate successors of a node."""
+        return [self._nodes[i] for i in self._succ.get(index, [])]
+
+    def lookahead(self, depth: int, skip_frontier: bool = False) -> list[DAGNode]:
+        """Breadth-first slice of up to ``depth`` dependency layers.
+
+        Returns the not-yet-executed nodes reachable within ``depth``
+        layers starting from the frontier, in breadth-first order.  With
+        ``skip_frontier`` the frontier layer itself is excluded, which is
+        what the extended SABRE-style heuristic wants.
+        """
+        if depth <= 0:
+            return []
+        result: list[DAGNode] = []
+        seen: set[int] = set(self._frontier)
+        layer = list(sorted(self._frontier))
+        if not skip_frontier:
+            result.extend(self._nodes[i] for i in layer)
+        for _ in range(depth - 1 if not skip_frontier else depth):
+            next_layer: list[int] = []
+            for index in layer:
+                for succ in self._succ.get(index, []):
+                    if succ in seen or succ in self._executed:
+                        continue
+                    seen.add(succ)
+                    next_layer.append(succ)
+            next_layer.sort()
+            result.extend(self._nodes[i] for i in next_layer)
+            layer = next_layer
+            if not layer:
+                break
+        return result
+
+    def gates_in_first_layers(self, num_layers: int) -> list[Gate]:
+        """Gates in the first ``num_layers`` dependency layers (Eq. 3 input)."""
+        return [node.gate for node in self.lookahead(num_layers)]
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def execute(self, index: int) -> list[DAGNode]:
+        """Retire a frontier gate; return the successors that became ready."""
+        if index not in self._nodes:
+            raise SchedulingError(f"gate index {index} is not part of the DAG")
+        if index in self._executed:
+            raise SchedulingError(f"gate index {index} was already executed")
+        if index not in self._frontier:
+            raise SchedulingError(f"gate index {index} is not in the frontier")
+        self._frontier.remove(index)
+        self._executed.add(index)
+        self._remaining -= 1
+        newly_ready: list[DAGNode] = []
+        for succ in self._succ.get(index, []):
+            self._pred_count[succ] -= 1
+            if self._pred_count[succ] == 0:
+                self._frontier.append(succ)
+                newly_ready.append(self._nodes[succ])
+        return newly_ready
+
+    def topological_order(self) -> list[DAGNode]:
+        """Return all nodes in a valid topological (program) order."""
+        pred = dict(self._pred_count)
+        # Rebuild pristine in-degrees (independent of execution state).
+        counts: dict[int, int] = {i: 0 for i in self._nodes}
+        for src, succs in self._succ.items():
+            for dst in succs:
+                counts[dst] += 1
+        queue = deque(sorted(i for i, c in counts.items() if c == 0))
+        order: list[DAGNode] = []
+        while queue:
+            index = queue.popleft()
+            order.append(self._nodes[index])
+            for succ in self._succ.get(index, []):
+                counts[succ] -= 1
+                if counts[succ] == 0:
+                    queue.append(succ)
+        del pred
+        if len(order) != len(self._nodes):  # pragma: no cover - defensive
+            raise SchedulingError("dependency graph contains a cycle")
+        return order

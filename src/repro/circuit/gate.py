@@ -1,0 +1,158 @@
+"""Gate primitives for the lightweight circuit intermediate representation.
+
+The S-SYNC compiler only needs to know which qubits each operation touches
+and whether the operation is a one- or two-qubit gate; it never simulates
+state vectors.  The :class:`Gate` type therefore stores a name, the qubit
+indices it acts on and optional real parameters, and exposes the handful
+of predicates the scheduler and the noise model rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.exceptions import CircuitError
+
+#: Gate names treated as single-qubit operations.
+SINGLE_QUBIT_GATES = frozenset(
+    {
+        "id",
+        "x",
+        "y",
+        "z",
+        "h",
+        "s",
+        "sdg",
+        "t",
+        "tdg",
+        "rx",
+        "ry",
+        "rz",
+        "u",
+        "p",
+        "sx",
+        "measure",
+        "reset",
+        "barrier1",
+    }
+)
+
+#: Gate names treated as two-qubit operations.
+TWO_QUBIT_GATES = frozenset(
+    {
+        "cx",
+        "cz",
+        "cp",
+        "swap",
+        "iswap",
+        "ms",
+        "rxx",
+        "ryy",
+        "rzz",
+        "xx",
+        "yy",
+        "zz",
+        "cy",
+        "ch",
+        "crz",
+        "crx",
+        "cry",
+    }
+)
+
+#: Two-qubit gate names that are symmetric in their operands.
+SYMMETRIC_TWO_QUBIT_GATES = frozenset(
+    {"cz", "cp", "swap", "iswap", "ms", "rxx", "ryy", "rzz", "xx", "yy", "zz"}
+)
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single quantum instruction.
+
+    Parameters
+    ----------
+    name:
+        Lower-case gate name (``"cx"``, ``"rz"``...).
+    qubits:
+        Program qubit indices the gate acts on, in operand order.
+    params:
+        Optional real parameters (rotation angles, phases).
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", self.name.lower())
+        object.__setattr__(self, "qubits", tuple(int(q) for q in self.qubits))
+        object.__setattr__(self, "params", tuple(float(p) for p in self.params))
+        if not self.qubits:
+            raise CircuitError(f"gate {self.name!r} must act on at least one qubit")
+        if any(q < 0 for q in self.qubits):
+            raise CircuitError(f"gate {self.name!r} has a negative qubit index: {self.qubits}")
+        if len(set(self.qubits)) != len(self.qubits):
+            raise CircuitError(f"gate {self.name!r} has duplicate qubit operands: {self.qubits}")
+        expected = self.expected_arity(self.name)
+        if expected is not None and expected != len(self.qubits):
+            raise CircuitError(
+                f"gate {self.name!r} expects {expected} qubit(s), got {len(self.qubits)}"
+            )
+
+    @staticmethod
+    def expected_arity(name: str) -> int | None:
+        """Return the operand count implied by ``name`` (``None`` if unknown)."""
+        name = name.lower()
+        if name in SINGLE_QUBIT_GATES:
+            return 1
+        if name in TWO_QUBIT_GATES:
+            return 2
+        return None
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubit operands."""
+        return len(self.qubits)
+
+    @property
+    def is_single_qubit(self) -> bool:
+        """True when the gate acts on exactly one qubit."""
+        return len(self.qubits) == 1
+
+    @property
+    def is_two_qubit(self) -> bool:
+        """True when the gate acts on exactly two qubits."""
+        return len(self.qubits) == 2
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True when swapping the operands yields the same operation."""
+        return self.name in SYMMETRIC_TWO_QUBIT_GATES
+
+    @property
+    def is_swap(self) -> bool:
+        """True for explicit SWAP gates."""
+        return self.name == "swap"
+
+    def on(self, *qubits: int) -> "Gate":
+        """Return a copy of this gate acting on different qubits."""
+        return Gate(self.name, tuple(qubits), self.params)
+
+    def remap(self, mapping: dict[int, int]) -> "Gate":
+        """Return a copy with qubit indices translated through ``mapping``."""
+        try:
+            new_qubits = tuple(mapping[q] for q in self.qubits)
+        except KeyError as exc:  # pragma: no cover - defensive
+            raise CircuitError(f"qubit {exc.args[0]} missing from remap table") from exc
+        return Gate(self.name, new_qubits, self.params)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.qubits)
+
+    def __str__(self) -> str:
+        params = ""
+        if self.params:
+            params = "(" + ", ".join(f"{p:g}" for p in self.params) + ")"
+        return f"{self.name}{params} {', '.join(str(q) for q in self.qubits)}"

@@ -1,0 +1,50 @@
+"""Benchmark circuit generators (the paper's Table 2 plus test helpers)."""
+
+from repro.circuit.library.adder import adder_two_qubit_gate_count, cuccaro_adder_circuit
+from repro.circuit.library.alt import alt_two_qubit_gate_count, alternating_layered_ansatz
+from repro.circuit.library.bv import bernstein_vazirani_circuit
+from repro.circuit.library.heisenberg import heisenberg_circuit, heisenberg_two_qubit_gate_count
+from repro.circuit.library.misc import ghz_circuit, random_circuit
+from repro.circuit.library.qaoa import (
+    line_edges,
+    maxcut_angles,
+    qaoa_circuit,
+    qaoa_two_qubit_gate_count,
+    ring_edges,
+)
+from repro.circuit.library.qft import qft_circuit, qft_two_qubit_gate_count
+from repro.circuit.library.suite import (
+    PAPER_BENCHMARKS,
+    BenchmarkSpec,
+    benchmark_families,
+    benchmark_spec,
+    build_benchmark,
+    build_family,
+    paper_benchmark_suite,
+)
+
+__all__ = [
+    "PAPER_BENCHMARKS",
+    "BenchmarkSpec",
+    "adder_two_qubit_gate_count",
+    "alt_two_qubit_gate_count",
+    "alternating_layered_ansatz",
+    "benchmark_families",
+    "benchmark_spec",
+    "bernstein_vazirani_circuit",
+    "build_benchmark",
+    "build_family",
+    "cuccaro_adder_circuit",
+    "ghz_circuit",
+    "heisenberg_circuit",
+    "heisenberg_two_qubit_gate_count",
+    "line_edges",
+    "maxcut_angles",
+    "paper_benchmark_suite",
+    "qaoa_circuit",
+    "qaoa_two_qubit_gate_count",
+    "qft_circuit",
+    "qft_two_qubit_gate_count",
+    "random_circuit",
+    "ring_edges",
+]

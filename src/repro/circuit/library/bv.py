@@ -1,0 +1,58 @@
+"""Bernstein–Vazirani benchmark circuit.
+
+``BV_64`` in the paper uses 65 qubits (64 data qubits plus one oracle
+ancilla) and 64 two-qubit gates: one CX from every data qubit to the
+ancilla, i.e. the all-ones hidden string.  Communication is
+long-distance because every qubit interacts with the single ancilla.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.exceptions import CircuitError
+
+
+def bernstein_vazirani_circuit(
+    num_data_qubits: int, secret: Sequence[int] | None = None
+) -> QuantumCircuit:
+    """Build a Bernstein–Vazirani circuit over ``num_data_qubits`` data qubits.
+
+    Parameters
+    ----------
+    num_data_qubits:
+        Width of the hidden bit string.
+    secret:
+        Optional hidden string as a sequence of 0/1.  Defaults to the
+        all-ones string, which matches the paper's two-qubit gate count
+        (one CX per data qubit).
+    """
+    if num_data_qubits < 1:
+        raise CircuitError("Bernstein-Vazirani needs at least one data qubit")
+    if secret is None:
+        secret = [1] * num_data_qubits
+    secret = list(secret)
+    if len(secret) != num_data_qubits:
+        raise CircuitError(
+            f"secret length {len(secret)} does not match {num_data_qubits} data qubits"
+        )
+    if any(bit not in (0, 1) for bit in secret):
+        raise CircuitError("secret must be a 0/1 string")
+
+    ancilla = num_data_qubits
+    circuit = QuantumCircuit(num_data_qubits + 1, name=f"bv_{num_data_qubits}")
+    # Prepare |-> on the ancilla and |+> on the data register.
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for q in range(num_data_qubits):
+        circuit.h(q)
+    # Oracle: CX from every secret-1 data qubit onto the ancilla.
+    for q, bit in enumerate(secret):
+        if bit:
+            circuit.cx(q, ancilla)
+    # Un-compute the Hadamards and measure.
+    for q in range(num_data_qubits):
+        circuit.h(q)
+        circuit.measure(q)
+    return circuit

@@ -1,0 +1,84 @@
+"""Additional circuit generators: GHZ states and seeded random circuits.
+
+These are not part of the paper's Table 2 but are useful for unit tests,
+property-based tests and the examples: GHZ gives a minimal long-range
+entangling workload, and the random generator produces reproducible
+circuits with a controlled two-qubit gate density.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.exceptions import CircuitError
+
+
+def ghz_circuit(num_qubits: int, ladder: bool = True) -> QuantumCircuit:
+    """Build a GHZ-state preparation circuit.
+
+    With ``ladder=True`` (default) the entanglement spreads through a CX
+    chain ``0->1->2->...`` (nearest-neighbour communication); otherwise
+    every CX is controlled by qubit 0 (star / long-distance
+    communication), which stresses shuttling much harder.
+    """
+    if num_qubits < 2:
+        raise CircuitError("GHZ needs at least two qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for q in range(1, num_qubits):
+        control = q - 1 if ladder else 0
+        circuit.cx(control, q)
+    return circuit
+
+
+def random_circuit(
+    num_qubits: int,
+    num_two_qubit_gates: int,
+    seed: int = 7,
+    single_qubit_fraction: float = 0.5,
+    locality: int | None = None,
+) -> QuantumCircuit:
+    """Build a seeded random circuit with a fixed two-qubit gate budget.
+
+    Parameters
+    ----------
+    num_qubits:
+        Circuit width.
+    num_two_qubit_gates:
+        Exact number of two-qubit gates to emit.
+    seed:
+        Seed of the private RNG, making the circuit reproducible.
+    single_qubit_fraction:
+        Expected ratio of interleaved single-qubit gates to two-qubit
+        gates.
+    locality:
+        When given, the two endpoints of every two-qubit gate differ by
+        at most ``locality`` (nearest-neighbour-ish workloads); when
+        ``None`` pairs are drawn uniformly (long-distance workloads).
+    """
+    if num_qubits < 2:
+        raise CircuitError("a random circuit needs at least two qubits")
+    if num_two_qubit_gates < 0:
+        raise CircuitError("the two-qubit gate budget cannot be negative")
+    if locality is not None and locality < 1:
+        raise CircuitError("locality must be at least 1")
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"random_{num_qubits}_{num_two_qubit_gates}")
+    single_gates = ("h", "x", "t", "s")
+    for _ in range(num_two_qubit_gates):
+        if rng.random() < single_qubit_fraction:
+            circuit.add_gate(rng.choice(single_gates), rng.randrange(num_qubits))
+        a = rng.randrange(num_qubits)
+        if locality is None:
+            b = rng.randrange(num_qubits)
+            while b == a:
+                b = rng.randrange(num_qubits)
+        else:
+            low = max(0, a - locality)
+            high = min(num_qubits - 1, a + locality)
+            b = rng.randint(low, high)
+            while b == a:
+                b = rng.randint(low, high)
+        circuit.cx(a, b)
+    return circuit

@@ -1,0 +1,117 @@
+"""Minimal OpenQASM 2.0 import/export for the circuit IR.
+
+Only the subset of OpenQASM the benchmark circuits use is supported: a
+single quantum register, the gate names known to :mod:`repro.circuit.gate`
+and numeric parameters (including simple ``pi`` expressions).  This is
+enough to round-trip every circuit produced by
+:mod:`repro.circuit.library` and to import externally generated
+benchmarks of the same flavour.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+from repro.exceptions import CircuitError
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+_QREG_RE = re.compile(r"qreg\s+(?P<name>[A-Za-z_][\w]*)\s*\[\s*(?P<size>\d+)\s*\]")
+_CREG_RE = re.compile(r"creg\s+[A-Za-z_][\w]*\s*\[\s*\d+\s*\]")
+_GATE_RE = re.compile(
+    r"(?P<name>[A-Za-z_][\w]*)\s*(?:\((?P<params>[^)]*)\))?\s*(?P<operands>[^;]+)"
+)
+_OPERAND_RE = re.compile(r"[A-Za-z_][\w]*\s*\[\s*(?P<index>\d+)\s*\]")
+
+
+def circuit_to_qasm(circuit: QuantumCircuit, register: str = "q") -> str:
+    """Serialise ``circuit`` to an OpenQASM 2.0 string."""
+    lines = [_HEADER.rstrip("\n")]
+    lines.append(f"qreg {register}[{circuit.num_qubits}];")
+    for gate in circuit.gates:
+        if gate.name == "measure":
+            # Measurements need a classical register; emit one lazily.
+            continue
+        params = ""
+        if gate.params:
+            params = "(" + ",".join(repr(p) for p in gate.params) + ")"
+        operands = ",".join(f"{register}[{q}]" for q in gate.qubits)
+        lines.append(f"{gate.name}{params} {operands};")
+    return "\n".join(lines) + "\n"
+
+
+def _eval_param(expression: str) -> float:
+    """Evaluate a numeric OpenQASM parameter expression.
+
+    Supports literals and the ``pi`` constant with ``* / + -`` operators.
+    """
+    expr = expression.strip().replace("pi", repr(math.pi))
+    if not re.fullmatch(r"[\d.eE+\-*/() ]+", expr):
+        raise CircuitError(f"unsupported parameter expression: {expression!r}")
+    try:
+        return float(eval(expr, {"__builtins__": {}}, {}))  # noqa: S307 - sanitised above
+    except Exception as exc:
+        raise CircuitError(f"could not evaluate parameter {expression!r}") from exc
+
+
+def qasm_to_circuit(text: str, name: str = "qasm") -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 string into a :class:`QuantumCircuit`."""
+    num_qubits: int | None = None
+    statements: list[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("//", 1)[0].strip()
+        if line:
+            statements.extend(part.strip() for part in line.split(";") if part.strip())
+
+    gates: list[Gate] = []
+    for statement in statements:
+        lowered = statement.lower()
+        if lowered.startswith("openqasm") or lowered.startswith("include"):
+            continue
+        if lowered.startswith("barrier"):
+            continue
+        qreg = _QREG_RE.match(statement)
+        if qreg:
+            if num_qubits is not None:
+                raise CircuitError("multiple quantum registers are not supported")
+            num_qubits = int(qreg.group("size"))
+            continue
+        if _CREG_RE.match(statement):
+            continue
+        if lowered.startswith("measure"):
+            match = _OPERAND_RE.search(statement)
+            if match:
+                gates.append(Gate("measure", (int(match.group("index")),)))
+            continue
+        gate_match = _GATE_RE.match(statement)
+        if not gate_match:
+            raise CircuitError(f"could not parse QASM statement: {statement!r}")
+        gate_name = gate_match.group("name").lower()
+        params_text = gate_match.group("params")
+        params = ()
+        if params_text:
+            params = tuple(_eval_param(p) for p in params_text.split(","))
+        operands = tuple(
+            int(m.group("index")) for m in _OPERAND_RE.finditer(gate_match.group("operands"))
+        )
+        if not operands:
+            raise CircuitError(f"gate statement has no qubit operands: {statement!r}")
+        # Normalise a few qelib aliases onto our gate set.
+        if gate_name in {"u1"}:
+            gate_name = "rz"
+        elif gate_name in {"u2", "u3"}:
+            gate_name = "u"
+        gates.append(Gate(gate_name, operands, params))
+
+    if num_qubits is None:
+        max_index = max((max(g.qubits) for g in gates), default=-1)
+        num_qubits = max_index + 1
+    if num_qubits <= 0:
+        raise CircuitError("QASM text declares no qubits")
+
+    circuit = QuantumCircuit(num_qubits, name=name)
+    circuit.extend(gates)
+    return circuit

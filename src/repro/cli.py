@@ -1,0 +1,207 @@
+"""Command-line interface for the S-SYNC reproduction.
+
+Three subcommands cover the common workflows without writing Python:
+
+``compile``
+    Compile a circuit (a named Table-2 benchmark or an OpenQASM 2.0 file)
+    onto a device preset, print the shuttle/SWAP/success-rate summary and
+    optionally write the compiled schedule as JSON.
+
+``compare``
+    Run S-SYNC and the baseline compilers on the same workload and print
+    a comparison table (the Fig. 8–10 view for one workload).
+
+``evaluate``
+    Re-evaluate a previously saved schedule JSON under a chosen gate
+    implementation.
+
+Examples::
+
+    python -m repro compile qft_24 --device G-2x3 --mapping gathering
+    python -m repro compile my_circuit.qasm --device L-6 --output schedule.json
+    python -m repro compare bv_64 --device G-2x3
+    python -m repro evaluate schedule.json --gate-implementation am2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.metrics import compare_compilers
+from repro.analysis.reporting import format_table
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.library import build_benchmark
+from repro.circuit.qasm import qasm_to_circuit
+from repro.core.compiler import SSyncCompiler, SSyncConfig
+from repro.core.scheduler import SchedulerConfig
+from repro.exceptions import ReproError
+from repro.hardware.presets import paper_device, preset_names
+from repro.noise.evaluator import evaluate_schedule
+from repro.schedule.serialize import schedule_from_json, schedule_to_json
+from repro.schedule.verify import verify_schedule
+
+
+def _load_circuit(spec: str) -> QuantumCircuit:
+    """Resolve a circuit argument: a QASM file path or a benchmark name."""
+    path = Path(spec)
+    if path.suffix.lower() == ".qasm" or path.exists():
+        return qasm_to_circuit(path.read_text(), name=path.stem)
+    return build_benchmark(spec)
+
+
+def _load_device(name: str, capacity: int | None):
+    return paper_device(name, capacity)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="S-SYNC: shuttle and swap co-optimization for QCCD devices",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "circuit",
+            help="benchmark name (e.g. qft_24, adder_32, bv_64) or path to an OpenQASM 2.0 file",
+        )
+        p.add_argument(
+            "--device",
+            default="G-2x3",
+            help=f"device preset ({', '.join(preset_names())}) or structural name like G-4x4",
+        )
+        p.add_argument("--capacity", type=int, default=None, help="override the per-trap capacity")
+        p.add_argument(
+            "--gate-implementation",
+            default="fm",
+            choices=("fm", "pm", "am1", "am2"),
+            help="two-qubit gate timing model used for evaluation",
+        )
+
+    compile_parser = sub.add_parser("compile", help="compile one circuit with S-SYNC")
+    add_common(compile_parser)
+    compile_parser.add_argument(
+        "--mapping",
+        default="gathering",
+        choices=("gathering", "even-divided", "sta"),
+        help="first-level initial mapping strategy",
+    )
+    compile_parser.add_argument(
+        "--lookahead", type=int, default=4, help="heuristic lookahead depth (0 = paper-faithful)"
+    )
+    compile_parser.add_argument(
+        "--output", type=Path, default=None, help="write the compiled schedule to this JSON file"
+    )
+    compile_parser.add_argument(
+        "--skip-verify", action="store_true", help="skip the schedule legality check"
+    )
+
+    compare_parser = sub.add_parser("compare", help="compare S-SYNC against the baseline compilers")
+    add_common(compare_parser)
+
+    evaluate_parser = sub.add_parser("evaluate", help="re-evaluate a saved schedule JSON")
+    evaluate_parser.add_argument("schedule", type=Path, help="path to a schedule JSON file")
+    evaluate_parser.add_argument(
+        "--gate-implementation",
+        default="fm",
+        choices=("fm", "pm", "am1", "am2"),
+        help="two-qubit gate timing model used for evaluation",
+    )
+    return parser
+
+
+def _command_compile(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    device = _load_device(args.device, args.capacity)
+    config = SSyncConfig(scheduler=SchedulerConfig(lookahead_depth=args.lookahead))
+    result = SSyncCompiler(device, config).compile(circuit, initial_mapping=args.mapping)
+    if not args.skip_verify:
+        verify_schedule(result.schedule, result.initial_state, circuit=circuit)
+    evaluation = evaluate_schedule(result.schedule, gate_implementation=args.gate_implementation)
+    rows = [
+        {
+            "circuit": circuit.name,
+            "device": device.name,
+            "mapping": args.mapping,
+            "2q_gates": result.two_qubit_gate_count,
+            "shuttles": result.shuttle_count,
+            "swaps": result.swap_count,
+            "success_rate": evaluation.success_rate,
+            "exec_time_ms": evaluation.execution_time_us / 1e3,
+            "compile_time_s": result.compile_time_s,
+        }
+    ]
+    print(format_table(rows, title="S-SYNC compilation summary"))
+    if args.output is not None:
+        args.output.write_text(schedule_to_json(result.schedule, indent=2))
+        print(f"schedule written to {args.output}")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    device = _load_device(args.device, args.capacity)
+    records = compare_compilers(
+        circuit, device, gate_implementation=args.gate_implementation
+    )
+    rows = [r.as_dict() for r in records]
+    print(
+        format_table(
+            rows,
+            columns=[
+                "compiler",
+                "shuttles",
+                "swaps",
+                "success_rate",
+                "execution_time_us",
+                "compile_time_s",
+            ],
+            title=f"{circuit.name} on {device.name} ({args.gate_implementation.upper()} gates)",
+        )
+    )
+    return 0
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    schedule = schedule_from_json(args.schedule.read_text())
+    evaluation = evaluate_schedule(schedule, gate_implementation=args.gate_implementation)
+    rows = [
+        {
+            "circuit": schedule.circuit_name,
+            "device": schedule.device.name,
+            "gate_implementation": args.gate_implementation,
+            "2q_gates": schedule.two_qubit_gate_count,
+            "shuttles": schedule.shuttle_count,
+            "swaps": schedule.swap_count,
+            "success_rate": evaluation.success_rate,
+            "exec_time_ms": evaluation.execution_time_us / 1e3,
+        }
+    ]
+    print(format_table(rows, title="schedule evaluation"))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "compile": _command_compile,
+        "compare": _command_compare,
+        "evaluate": _command_evaluate,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

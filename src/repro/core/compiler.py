@@ -1,0 +1,141 @@
+"""The S-SYNC compiler facade — the library's primary public entry point.
+
+Typical use::
+
+    from repro import SSyncCompiler, paper_device, qft_circuit
+
+    device = paper_device("G-2x3")
+    compiler = SSyncCompiler(device)
+    result = compiler.compile(qft_circuit(16), initial_mapping="gathering")
+    print(result.shuttle_count, result.swap_count)
+
+The compiler wires together the initial mapping (§3.4), the generic-swap
+scheduler (§3.2–3.3) and the result container, and measures compile
+time.  Evaluation (success rate, execution time) is a separate step via
+:func:`repro.noise.evaluate_schedule`, so one compiled schedule can be
+scored under several gate implementations or heating assumptions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.mapping import InitialMapper, get_mapper
+from repro.core.result import CompilationResult
+from repro.core.scheduler import GenericSwapScheduler, SchedulerConfig
+from repro.core.state import DeviceState
+from repro.exceptions import SchedulingError
+from repro.hardware.device import QCCDDevice
+from repro.hardware.graph import GraphWeights
+
+
+@dataclass(frozen=True)
+class SSyncConfig:
+    """Complete S-SYNC configuration: scheduler knobs plus mapping defaults."""
+
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    default_mapping: str = "gathering"
+    mapping_reserve_per_trap: int = 1
+    mapping_lookahead_layers: int = 8
+
+    def with_weight_ratio(self, ratio: float) -> "SSyncConfig":
+        """Return a config whose shuttle/inner weight ratio is ``ratio`` (Fig. 14)."""
+        new_weights = self.scheduler.weights.with_ratio(ratio)
+        return replace(self, scheduler=replace(self.scheduler, weights=new_weights))
+
+    def with_decay(self, delta: float) -> "SSyncConfig":
+        """Return a config with a different decay δ (Fig. 14)."""
+        return replace(self, scheduler=replace(self.scheduler, decay_delta=delta))
+
+    def with_weights(self, weights: GraphWeights) -> "SSyncConfig":
+        """Return a config with explicit graph weights."""
+        return replace(self, scheduler=replace(self.scheduler, weights=weights))
+
+
+class SSyncCompiler:
+    """Shuttle/SWAP co-optimizing compiler for QCCD devices."""
+
+    name = "s-sync"
+
+    def __init__(self, device: QCCDDevice, config: SSyncConfig | None = None) -> None:
+        self.device = device
+        self.config = config or SSyncConfig()
+        self._scheduler = GenericSwapScheduler(device, self.config.scheduler)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def build_initial_state(
+        self, circuit: QuantumCircuit, initial_mapping: "str | InitialMapper | None" = None
+    ) -> DeviceState:
+        """Run only the initial-mapping stage and return the starting occupancy."""
+        mapper = self._resolve_mapper(initial_mapping)
+        return mapper.map(circuit, self.device)
+
+    def compile(
+        self,
+        circuit: QuantumCircuit,
+        initial_mapping: "str | InitialMapper | None" = None,
+        initial_state: DeviceState | None = None,
+    ) -> CompilationResult:
+        """Compile ``circuit`` onto this compiler's device.
+
+        Parameters
+        ----------
+        circuit:
+            The program to schedule.
+        initial_mapping:
+            First-level mapping strategy name (``"gathering"``,
+            ``"even-divided"``, ``"sta"``) or an :class:`InitialMapper`
+            instance.  Ignored when ``initial_state`` is given.
+        initial_state:
+            A pre-built starting occupancy (e.g. to chain circuits or to
+            study hand-crafted placements).
+        """
+        start = time.perf_counter()
+        if initial_state is not None:
+            state = initial_state.copy()
+            mapping_name = "custom"
+        else:
+            mapper = self._resolve_mapper(initial_mapping)
+            state = mapper.map(circuit, self.device)
+            mapping_name = mapper.name
+        schedule, final_state, statistics = self._scheduler.run(circuit, state)
+        elapsed = time.perf_counter() - start
+        return CompilationResult(
+            schedule=schedule,
+            initial_state=state,
+            final_state=final_state,
+            compiler_name=self.name,
+            mapping_name=mapping_name,
+            compile_time_s=elapsed,
+            statistics=statistics,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _resolve_mapper(self, initial_mapping: "str | InitialMapper | None") -> InitialMapper:
+        if isinstance(initial_mapping, InitialMapper):
+            return initial_mapping
+        name = initial_mapping or self.config.default_mapping
+        try:
+            return get_mapper(
+                name,
+                reserve_per_trap=self.config.mapping_reserve_per_trap,
+                intra_trap_lookahead=self.config.mapping_lookahead_layers,
+            )
+        except TypeError as exc:  # pragma: no cover - defensive
+            raise SchedulingError(f"could not instantiate mapper {name!r}") from exc
+
+
+def compile_circuit(
+    circuit: QuantumCircuit,
+    device: QCCDDevice,
+    initial_mapping: str = "gathering",
+    config: SSyncConfig | None = None,
+) -> CompilationResult:
+    """One-call convenience wrapper: build the compiler and compile."""
+    return SSyncCompiler(device, config).compile(circuit, initial_mapping=initial_mapping)

@@ -1,0 +1,239 @@
+"""Generic swap operations — the paper's unified node-interchange primitive.
+
+Section 3.2 folds every QCCD-specific operation (SWAP gate, intra-trap
+reordering, split/move/merge shuttling) into a single *generic swap*: an
+interchange of two nodes of the static topology graph.  In the chain
+occupancy model used by this implementation, a generic swap is one of:
+
+* ``SWAP_GATE`` — exchange two ions inside one trap (one SWAP gate =
+  three two-qubit gates).  Graph weight: ``inner_weight * distance``.
+* ``SHUTTLE`` — move an ion sitting at the chain end facing a connected
+  trap into that trap (split + move + merge).  Graph weight:
+  ``shuttle_weight * (junctions + 1)``.
+
+The candidate generator also proposes *eviction* shuttles (moving an
+unrelated ion out of a full destination trap) because a blocked trap
+would otherwise deadlock the router — this corresponds to the paper's
+Pen term discouraging fully occupied traps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.state import DeviceState
+from repro.exceptions import SchedulingError
+from repro.hardware.graph import GraphWeights
+
+
+class GenericSwapKind(str, Enum):
+    """The two concrete interchange families of the chain model."""
+
+    SWAP_GATE = "swap_gate"
+    SHUTTLE = "shuttle"
+
+
+@dataclass(frozen=True)
+class GenericSwap:
+    """One candidate node interchange.
+
+    ``qubit_a`` is always a program qubit.  For ``SWAP_GATE`` candidates
+    ``qubit_b`` is the other ion; for ``SHUTTLE`` candidates ``qubit_b``
+    is ``None`` and ``target_trap`` names the receiving trap.
+    """
+
+    kind: GenericSwapKind
+    qubit_a: int
+    qubit_b: int | None
+    trap: int
+    target_trap: int | None
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.kind is GenericSwapKind.SWAP_GATE:
+            if self.qubit_b is None or self.target_trap is not None:
+                raise SchedulingError("a SWAP_GATE candidate needs two qubits and no target trap")
+            if self.qubit_a == self.qubit_b:
+                raise SchedulingError("a SWAP_GATE candidate needs two distinct qubits")
+        else:
+            if self.qubit_b is not None or self.target_trap is None:
+                raise SchedulingError("a SHUTTLE candidate needs one qubit and a target trap")
+            if self.trap == self.target_trap:
+                raise SchedulingError("a SHUTTLE candidate must change traps")
+        if self.weight <= 0:
+            raise SchedulingError("generic swap weights must be positive")
+
+    @property
+    def moved_qubits(self) -> tuple[int, ...]:
+        """The program qubits whose position changes if this swap is applied."""
+        if self.qubit_b is None:
+            return (self.qubit_a,)
+        return (self.qubit_a, self.qubit_b)
+
+    def reverses(self, other: "GenericSwap | None") -> bool:
+        """True when applying this swap right after ``other`` undoes it."""
+        if other is None or self.kind != other.kind:
+            return False
+        if self.kind is GenericSwapKind.SWAP_GATE:
+            return {self.qubit_a, self.qubit_b} == {other.qubit_a, other.qubit_b}
+        return (
+            self.qubit_a == other.qubit_a
+            and self.trap == other.target_trap
+            and self.target_trap == other.trap
+        )
+
+
+class GenericSwapRules:
+    """Candidate generation and weights for generic swaps (§3.1 rules 1–4)."""
+
+    def __init__(self, weights: GraphWeights | None = None) -> None:
+        self.weights = weights or GraphWeights()
+
+    # ------------------------------------------------------------------
+    # weights
+    # ------------------------------------------------------------------
+    def swap_gate_weight(self, chain_distance: int) -> float:
+        """Weight of an intra-trap SWAP across ``chain_distance`` positions."""
+        if chain_distance < 1:
+            raise SchedulingError("a SWAP candidate needs a positive chain distance")
+        return self.weights.inner_weight * chain_distance
+
+    def shuttle_weight(self, junctions: int) -> float:
+        """Weight of a shuttle crossing ``junctions`` junctions (paper: j+1)."""
+        if junctions < 0:
+            raise SchedulingError("junction counts cannot be negative")
+        return self.weights.shuttle_weight * (1 + junctions)
+
+    # ------------------------------------------------------------------
+    # candidate generation
+    # ------------------------------------------------------------------
+    def candidates_for_qubit(
+        self, state: DeviceState, qubit: int, goal_trap: int
+    ) -> list[GenericSwap]:
+        """Generic swaps that move ``qubit`` towards ``goal_trap``.
+
+        The set contains:
+
+        * a SWAP with the ion at the departing chain end (brings the
+          qubit to the edge in one long-range SWAP),
+        * SWAPs with the ions adjacent to the qubit (finer-grained moves
+          the heuristic can prefer when the long-range SWAP is costly),
+        * a SHUTTLE to the next trap on the cheapest route when the
+          qubit already sits at the departing end and the next trap has
+          room,
+        * eviction SHUTTLEs that free up the next trap when it is full.
+        """
+        device = state.device
+        source_trap = state.trap_of(qubit)
+        if source_trap == goal_trap:
+            return []
+        path = device.trap_path(source_trap, goal_trap)
+        next_trap = path[1]
+        departing_end = state.facing_end(source_trap, next_trap)
+        candidates: list[GenericSwap] = []
+
+        chain = state.chain(source_trap)
+        index = chain.index(qubit)
+        # SWAP with the ion at the departing end.
+        end_qubit = state.end_qubit(source_trap, departing_end)
+        if end_qubit is not None and end_qubit != qubit:
+            distance = abs(chain.index(end_qubit) - index)
+            candidates.append(
+                GenericSwap(
+                    GenericSwapKind.SWAP_GATE,
+                    qubit_a=qubit,
+                    qubit_b=end_qubit,
+                    trap=source_trap,
+                    target_trap=None,
+                    weight=self.swap_gate_weight(distance),
+                )
+            )
+        # SWAP with the immediate neighbour towards the departing end.  Moves
+        # away from that end never shorten the route for this qubit, so they
+        # are not proposed here (another waiting gate proposes them if they
+        # help it instead), which keeps the search from shuffling ions back
+        # and forth without progress.
+        neighbour_index = index - 1 if departing_end == "left" else index + 1
+        if 0 <= neighbour_index < len(chain):
+            other = chain[neighbour_index]
+            if other != qubit and (end_qubit is None or other != end_qubit):
+                candidates.append(
+                    GenericSwap(
+                        GenericSwapKind.SWAP_GATE,
+                        qubit_a=qubit,
+                        qubit_b=other,
+                        trap=source_trap,
+                        target_trap=None,
+                        weight=self.swap_gate_weight(1),
+                    )
+                )
+        # SHUTTLE toward the next trap on the route.
+        if state.is_at_end(qubit, departing_end):
+            connection = device.connection_between(source_trap, next_trap)
+            if state.has_space(next_trap):
+                candidates.append(
+                    GenericSwap(
+                        GenericSwapKind.SHUTTLE,
+                        qubit_a=qubit,
+                        qubit_b=None,
+                        trap=source_trap,
+                        target_trap=next_trap,
+                        weight=self.shuttle_weight(connection.junctions),
+                    )
+                )
+            else:
+                candidates.extend(self.eviction_candidates(state, next_trap, exclude=(qubit,)))
+        return candidates
+
+    def eviction_candidates(
+        self, state: DeviceState, full_trap: int, exclude: tuple[int, ...] = ()
+    ) -> list[GenericSwap]:
+        """Shuttles that move an end ion of ``full_trap`` to a neighbour with room."""
+        device = state.device
+        candidates: list[GenericSwap] = []
+        for neighbour in device.neighbors(full_trap):
+            if not state.has_space(neighbour):
+                continue
+            end = state.facing_end(full_trap, neighbour)
+            victim = state.end_qubit(full_trap, end)
+            if victim is None or victim in exclude:
+                continue
+            connection = device.connection_between(full_trap, neighbour)
+            candidates.append(
+                GenericSwap(
+                    GenericSwapKind.SHUTTLE,
+                    qubit_a=victim,
+                    qubit_b=None,
+                    trap=full_trap,
+                    target_trap=neighbour,
+                    weight=self.shuttle_weight(connection.junctions),
+                )
+            )
+        return candidates
+
+    def candidates_for_gates(
+        self, state: DeviceState, gate_qubit_pairs: list[tuple[int, int]]
+    ) -> list[GenericSwap]:
+        """The candidate set ``S`` of Algorithm 1 for the waiting gates."""
+        seen: set[tuple] = set()
+        candidates: list[GenericSwap] = []
+        for qubit_a, qubit_b in gate_qubit_pairs:
+            trap_a = state.trap_of(qubit_a)
+            trap_b = state.trap_of(qubit_b)
+            if trap_a == trap_b:
+                continue
+            for qubit, goal in ((qubit_a, trap_b), (qubit_b, trap_a)):
+                for candidate in self.candidates_for_qubit(state, qubit, goal):
+                    key = (
+                        candidate.kind,
+                        candidate.qubit_a,
+                        candidate.qubit_b,
+                        candidate.trap,
+                        candidate.target_trap,
+                    )
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    candidates.append(candidate)
+        return candidates

@@ -1,0 +1,45 @@
+"""Initial mapping strategies (paper §3.4)."""
+
+from repro.core.mapping.base import InitialMapper
+from repro.core.mapping.even_divided import EvenDividedMapper
+from repro.core.mapping.gathering import GatheringMapper
+from repro.core.mapping.intra_trap import (
+    is_mountain_shaped,
+    location_scores,
+    mountain_arrange,
+    mountain_order,
+)
+from repro.core.mapping.sta import STAMapper
+from repro.exceptions import MappingError
+
+#: Registry of first-level mapping strategies by name.
+MAPPER_REGISTRY: dict[str, type[InitialMapper]] = {
+    EvenDividedMapper.name: EvenDividedMapper,
+    GatheringMapper.name: GatheringMapper,
+    STAMapper.name: STAMapper,
+}
+
+
+def get_mapper(name: "str | InitialMapper", **kwargs: int) -> InitialMapper:
+    """Resolve a mapping strategy by name (or pass an instance through)."""
+    if isinstance(name, InitialMapper):
+        return name
+    key = name.lower().replace("_", "-")
+    if key not in MAPPER_REGISTRY:
+        valid = ", ".join(sorted(MAPPER_REGISTRY))
+        raise MappingError(f"unknown initial mapping {name!r}; expected one of {valid}")
+    return MAPPER_REGISTRY[key](**kwargs)
+
+
+__all__ = [
+    "EvenDividedMapper",
+    "GatheringMapper",
+    "InitialMapper",
+    "MAPPER_REGISTRY",
+    "STAMapper",
+    "get_mapper",
+    "is_mountain_shaped",
+    "location_scores",
+    "mountain_arrange",
+    "mountain_order",
+]

@@ -1,0 +1,67 @@
+"""Even-divided first-level mapping (paper §3.4, strategy 1).
+
+Program qubits are distributed as uniformly as possible across all traps
+(inspired by compilers for distributed NISQ machines): each trap gets
+``floor(n / num_traps)`` or ``ceil(n / num_traps)`` consecutive program
+qubits, subject to the per-trap usable capacity.  Keeping consecutive
+program indices together preserves the nearest-neighbour structure most
+benchmark circuits have.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.mapping.base import InitialMapper
+from repro.exceptions import MappingError
+from repro.hardware.device import QCCDDevice
+
+
+class EvenDividedMapper(InitialMapper):
+    """Spread program qubits evenly over the traps."""
+
+    name = "even-divided"
+
+    def assign_traps(self, circuit: QuantumCircuit, device: QCCDDevice) -> dict[int, list[int]]:
+        num_qubits = circuit.num_qubits
+        traps = list(device.traps)
+        num_traps = len(traps)
+        base = num_qubits // num_traps
+        remainder = num_qubits % num_traps
+
+        quotas: dict[int, int] = {}
+        for position, trap in enumerate(traps):
+            target = base + (1 if position < remainder else 0)
+            quotas[trap.trap_id] = min(target, self.usable_capacity(device, trap.trap_id))
+
+        # Redistribute any overflow caused by the usable-capacity clamp.
+        assigned_total = sum(quotas.values())
+        overflow = num_qubits - assigned_total
+        if overflow > 0:
+            for trap in traps:
+                room = self.usable_capacity(device, trap.trap_id) - quotas[trap.trap_id]
+                take = min(room, overflow)
+                quotas[trap.trap_id] += take
+                overflow -= take
+                if overflow == 0:
+                    break
+        if overflow > 0:
+            # Fall back to eating into the reserved slots rather than failing.
+            for trap in traps:
+                room = device.capacity(trap.trap_id) - quotas[trap.trap_id]
+                take = min(room, overflow)
+                quotas[trap.trap_id] += take
+                overflow -= take
+                if overflow == 0:
+                    break
+        if overflow > 0:
+            raise MappingError(
+                f"even-divided mapping cannot place {overflow} qubits: device too small"
+            )
+
+        assignment: dict[int, list[int]] = {}
+        next_qubit = 0
+        for trap in traps:
+            count = quotas[trap.trap_id]
+            assignment[trap.trap_id] = list(range(next_qubit, next_qubit + count))
+            next_qubit += count
+        return assignment

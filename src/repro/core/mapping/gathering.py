@@ -1,0 +1,65 @@
+"""Gathering first-level mapping (paper §3.4, strategy 2).
+
+Qubits are packed into as few traps as possible, leaving one reserved
+slot per trap for incoming ions, so that most two-qubit gates can run
+without any shuttling at all.  The traps are filled in order of
+centrality in the trap graph (most-central first) so that the occupied
+region stays compact and unavoidable shuttles stay short.
+
+The trade-off the paper studies in Fig. 12: gathering minimises shuttles
+but produces long ion chains, which makes FM two-qubit gates slower and
+can *reduce* the overall success rate.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.mapping.base import InitialMapper
+from repro.exceptions import MappingError
+from repro.hardware.device import QCCDDevice
+
+
+class GatheringMapper(InitialMapper):
+    """Cluster program qubits into as few traps as possible."""
+
+    name = "gathering"
+
+    def _trap_fill_order(self, device: QCCDDevice) -> list[int]:
+        """Traps ordered by closeness centrality (most central first)."""
+        graph = device.trap_graph
+        if device.num_traps == 1:
+            return [device.traps[0].trap_id]
+        centrality = nx.closeness_centrality(graph, distance="weight")
+        return sorted(centrality, key=lambda trap_id: (-centrality[trap_id], trap_id))
+
+    def assign_traps(self, circuit: QuantumCircuit, device: QCCDDevice) -> dict[int, list[int]]:
+        order = self._trap_fill_order(device)
+        assignment: dict[int, list[int]] = {trap.trap_id: [] for trap in device.traps}
+        next_qubit = 0
+        remaining = circuit.num_qubits
+        for trap_id in order:
+            if remaining == 0:
+                break
+            room = self.usable_capacity(device, trap_id)
+            take = min(room, remaining)
+            assignment[trap_id] = list(range(next_qubit, next_qubit + take))
+            next_qubit += take
+            remaining -= take
+        if remaining > 0:
+            # Eat into reserved slots (but never completely fill a trap if
+            # it would leave the whole device without any free slot).
+            for trap_id in order:
+                room = device.capacity(trap_id) - len(assignment[trap_id])
+                take = min(room, remaining)
+                assignment[trap_id].extend(range(next_qubit, next_qubit + take))
+                next_qubit += take
+                remaining -= take
+                if remaining == 0:
+                    break
+        if remaining > 0:
+            raise MappingError(
+                f"gathering mapping cannot place {remaining} remaining qubits: device too small"
+            )
+        return assignment

@@ -1,0 +1,110 @@
+"""Second-level (intra-trap) mapping: the "mountain" ordering of Eq. 3.
+
+Within a trap, qubits that will soon interact with qubits in *other*
+traps should sit near the chain ends (cheap to split off), while qubits
+that mostly interact *within* the trap should sit in the middle.  The
+paper scores each qubit with
+
+    l(q) = −α·E(q) + β·I(q)
+
+where, over the first ``k`` dependency layers of the circuit, ``E(q)``
+counts two-qubit gates pairing ``q`` with a qubit in another trap and
+``I(q)`` counts gates pairing it with a qubit in the same trap.  Sorting
+by ``l`` and filling the chain from the ends inwards yields the
+"mountain" profile: low scores (shuttle-bound qubits) at the edges, high
+scores in the centre.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.dag import DependencyDAG
+from repro.exceptions import MappingError
+
+
+def location_scores(
+    circuit: QuantumCircuit,
+    trap_qubits: Sequence[int],
+    same_trap_qubits: set[int],
+    lookahead_layers: int = 8,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+) -> dict[int, float]:
+    """Compute l(q) = −α·E(q) + β·I(q) for every qubit of one trap."""
+    if lookahead_layers < 1:
+        raise MappingError("lookahead_layers must be at least 1")
+    dag = DependencyDAG(circuit)
+    gates = dag.gates_in_first_layers(lookahead_layers)
+    internal = {q: 0 for q in trap_qubits}
+    external = {q: 0 for q in trap_qubits}
+    members = set(trap_qubits)
+    for gate in gates:
+        a, b = gate.qubits
+        for qubit, partner in ((a, b), (b, a)):
+            if qubit not in members:
+                continue
+            if partner in same_trap_qubits:
+                internal[qubit] += 1
+            else:
+                external[qubit] += 1
+    return {
+        q: -alpha * external[q] + beta * internal[q] for q in trap_qubits
+    }
+
+
+def mountain_arrange(scores: dict[int, float]) -> list[int]:
+    """Arrange qubits so scores rise towards the middle of the chain.
+
+    Qubits are sorted by ascending score and dealt alternately to the
+    left and right ends of the chain, so the two lowest-scoring qubits
+    end up at the two edges and the highest-scoring qubit near the
+    centre — the paper's "mountain-like" profile.
+    """
+    ordered = sorted(scores, key=lambda q: (scores[q], q))
+    left: list[int] = []
+    right: list[int] = []
+    for turn, qubit in enumerate(ordered):
+        if turn % 2 == 0:
+            left.append(qubit)
+        else:
+            right.append(qubit)
+    return left + list(reversed(right))
+
+
+def mountain_order(
+    circuit: QuantumCircuit,
+    trap_qubits: Iterable[int],
+    same_trap_qubits: set[int],
+    lookahead_layers: int = 8,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+) -> list[int]:
+    """Order the qubits of one trap with the Eq.-3 mountain arrangement."""
+    trap_qubit_list = list(trap_qubits)
+    if not trap_qubit_list:
+        return []
+    if len(trap_qubit_list) == 1:
+        return trap_qubit_list
+    scores = location_scores(
+        circuit, trap_qubit_list, same_trap_qubits, lookahead_layers, alpha, beta
+    )
+    return mountain_arrange(scores)
+
+
+def is_mountain_shaped(values: Sequence[float]) -> bool:
+    """True when ``values`` never rises again after it starts falling.
+
+    Used by tests to verify the arranged score profile is unimodal
+    (non-decreasing, then non-increasing).
+    """
+    if len(values) <= 2:
+        return True
+    falling = False
+    for previous, current in zip(values, values[1:]):
+        if current < previous:
+            falling = True
+        elif current > previous and falling:
+            return False
+    return True

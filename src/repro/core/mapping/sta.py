@@ -1,0 +1,129 @@
+"""STA (spatio-temporal aware) first-level mapping (paper §3.4, strategy 3).
+
+Following Ovide et al. and the paper's description, STA places qubits
+with stronger *spatio-temporal* correlation close together: pairs that
+interact often — and early — in the circuit should share a trap, and
+strongly coupled traps should be adjacent in the trap graph.
+
+Implementation outline:
+
+1. Build an interaction graph whose edge weights favour early gates
+   (each two-qubit gate in dependency layer ``l`` contributes
+   ``1 / (1 + l)``).
+2. Greedily grow one cluster per trap: seed with the heaviest unassigned
+   qubit, then repeatedly absorb the unassigned qubit with the largest
+   total weight into the cluster, up to the trap's usable capacity.
+3. Assign clusters to traps in a breadth-first order of the trap graph
+   starting from the most central trap, so consecutive (strongly
+   coupled) clusters land on adjacent traps.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import networkx as nx
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.mapping.base import InitialMapper
+from repro.exceptions import MappingError
+from repro.hardware.device import QCCDDevice
+
+
+class STAMapper(InitialMapper):
+    """Spatio-temporal-aware clustering of program qubits onto traps."""
+
+    name = "sta"
+
+    def _weighted_interaction_graph(self, circuit: QuantumCircuit) -> nx.Graph:
+        """Interaction graph with earlier gates weighted more heavily."""
+        graph: nx.Graph = nx.Graph()
+        graph.add_nodes_from(range(circuit.num_qubits))
+        level: dict[int, int] = defaultdict(int)
+        for gate in circuit.gates:
+            if not gate.is_two_qubit:
+                continue
+            a, b = gate.qubits
+            layer = max(level[a], level[b])
+            level[a] = layer + 1
+            level[b] = layer + 1
+            weight = 1.0 / (1.0 + layer)
+            if graph.has_edge(a, b):
+                graph[a][b]["weight"] += weight
+            else:
+                graph.add_edge(a, b, weight=weight)
+        return graph
+
+    def _trap_visit_order(self, device: QCCDDevice) -> list[int]:
+        """Breadth-first trap order from the most central trap."""
+        graph = device.trap_graph
+        if device.num_traps == 1:
+            return [device.traps[0].trap_id]
+        centrality = nx.closeness_centrality(graph, distance="weight")
+        start = max(centrality, key=lambda trap_id: (centrality[trap_id], -trap_id))
+        order = [start]
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            next_frontier: list[int] = []
+            for trap_id in frontier:
+                for neighbour in sorted(graph.neighbors(trap_id)):
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        order.append(neighbour)
+                        next_frontier.append(neighbour)
+            frontier = next_frontier
+        # Disconnected graphs cannot occur (QCCDDevice enforces connectivity).
+        return order
+
+    def assign_traps(self, circuit: QuantumCircuit, device: QCCDDevice) -> dict[int, list[int]]:
+        interaction = self._weighted_interaction_graph(circuit)
+        strength = {q: sum(d["weight"] for _, _, d in interaction.edges(q, data=True)) for q in interaction}
+        unassigned = set(range(circuit.num_qubits))
+        trap_order = self._trap_visit_order(device)
+        assignment: dict[int, list[int]] = {trap.trap_id: [] for trap in device.traps}
+
+        for trap_id in trap_order:
+            if not unassigned:
+                break
+            quota = self.usable_capacity(device, trap_id)
+            if quota == 0:
+                continue
+            cluster: list[int] = []
+            seed = max(unassigned, key=lambda q: (strength.get(q, 0.0), -q))
+            cluster.append(seed)
+            unassigned.discard(seed)
+            while len(cluster) < quota and unassigned:
+                best_qubit = None
+                best_weight = -1.0
+                for q in unassigned:
+                    weight = sum(
+                        interaction[q][member]["weight"]
+                        for member in cluster
+                        if interaction.has_edge(q, member)
+                    )
+                    if weight > best_weight or (weight == best_weight and (best_qubit is None or q < best_qubit)):
+                        best_weight = weight
+                        best_qubit = q
+                if best_qubit is None:
+                    break
+                cluster.append(best_qubit)
+                unassigned.discard(best_qubit)
+            assignment[trap_id] = cluster
+
+        if unassigned:
+            # Place leftovers in reserved slots, most central traps first.
+            for trap_id in trap_order:
+                room = device.capacity(trap_id) - len(assignment[trap_id])
+                while room > 0 and unassigned:
+                    qubit = min(unassigned)
+                    assignment[trap_id].append(qubit)
+                    unassigned.discard(qubit)
+                    room -= 1
+                if not unassigned:
+                    break
+        if unassigned:
+            raise MappingError(
+                f"STA mapping cannot place {len(unassigned)} remaining qubits: device too small"
+            )
+        return assignment

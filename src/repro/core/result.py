@@ -1,0 +1,71 @@
+"""Compilation result container returned by every compiler in this library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.scheduler import SchedulerStatistics
+from repro.core.state import DeviceState
+from repro.schedule.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class CompilationResult:
+    """Everything produced by compiling one circuit onto one device.
+
+    Attributes
+    ----------
+    schedule:
+        The ordered operation log (gates, SWAPs, shuttles).
+    initial_state:
+        Qubit placement before the first operation.
+    final_state:
+        Qubit placement after the last operation.
+    compiler_name:
+        Which compiler produced this result (``"s-sync"``, ``"murali"``,
+        ``"dai"``).
+    mapping_name:
+        Which first-level initial mapping was used.
+    compile_time_s:
+        Wall-clock compilation time in seconds.
+    statistics:
+        Scheduler-internal counters (S-SYNC only; baselines leave the
+        defaults).
+    """
+
+    schedule: Schedule
+    initial_state: DeviceState
+    final_state: DeviceState
+    compiler_name: str
+    mapping_name: str
+    compile_time_s: float
+    statistics: SchedulerStatistics = field(default_factory=SchedulerStatistics)
+
+    # Convenience pass-throughs for the paper's headline metrics.
+    @property
+    def shuttle_count(self) -> int:
+        """Number of shuttles in the compiled schedule (Fig. 8 metric)."""
+        return self.schedule.shuttle_count
+
+    @property
+    def swap_count(self) -> int:
+        """Number of inserted SWAP gates (Fig. 9 metric)."""
+        return self.schedule.swap_count
+
+    @property
+    def two_qubit_gate_count(self) -> int:
+        """Number of program two-qubit gates executed."""
+        return self.schedule.two_qubit_gate_count
+
+    def summary(self) -> dict[str, object]:
+        """A flat dictionary for tabular reporting."""
+        return {
+            "circuit": self.schedule.circuit_name,
+            "device": self.schedule.device.name,
+            "compiler": self.compiler_name,
+            "mapping": self.mapping_name,
+            "shuttles": self.shuttle_count,
+            "swaps": self.swap_count,
+            "two_qubit_gates": self.two_qubit_gate_count,
+            "compile_time_s": self.compile_time_s,
+        }

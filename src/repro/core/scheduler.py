@@ -1,0 +1,412 @@
+"""The S-SYNC generic-swap scheduling loop (Algorithm 1 of the paper).
+
+The scheduler walks the dependency DAG of two-qubit gates.  Whenever a
+frontier gate's operands share a trap, the gate executes immediately;
+otherwise the scheduler enumerates candidate *generic swaps* (intra-trap
+SWAP gates and inter-trap shuttles, §3.2), scores each with the heuristic
+``H`` of Eq. 1 on a hypothetical placement, applies the cheapest one, and
+repeats.
+
+Two engineering safeguards complement the paper's description:
+
+* a candidate that exactly reverses the previously applied generic swap
+  is discarded (unless it is the only option), and
+* if no frontier gate has executed for ``stall_limit`` consecutive
+  generic swaps, the oldest frontier gate is *force-routed* along the
+  shortest trap path, which guarantees termination on adversarial
+  inputs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.dag import DAGNode, DependencyDAG
+from repro.circuit.gate import Gate
+from repro.core.generic_swap import GenericSwap, GenericSwapKind, GenericSwapRules
+from repro.core.heuristic import DecayTracker, HeuristicCost, apply_generic_swap
+from repro.core.state import DeviceState
+from repro.exceptions import SchedulingError
+from repro.hardware.device import QCCDDevice
+from repro.hardware.graph import GraphWeights
+from repro.schedule.operations import GateOperation, ShuttleOperation, SwapOperation
+from repro.schedule.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Tunable parameters of the generic-swap scheduler.
+
+    The defaults follow §4.4 of the paper: inner weight 0.001, shuttle
+    weight 1, decay δ = 0.001 reset after 5 iterations.  ``lookahead``
+    parameters extend the heuristic beyond the frontier (0 = paper
+    faithful).
+    """
+
+    weights: GraphWeights = field(default_factory=GraphWeights)
+    decay_delta: float = 0.001
+    decay_reset_interval: int = 5
+    #: Number of dependency layers beyond the frontier considered by the
+    #: heuristic.  The paper's Eq. 1 only looks at the frontier
+    #: (``lookahead_depth = 0``); a shallow lookahead is an extension that
+    #: markedly reduces shuttle counts on serial circuits such as the
+    #: Cuccaro adder and is therefore the default here.
+    lookahead_depth: int = 4
+    lookahead_weight: float = 0.5
+    stall_limit: int = 64
+    max_generic_swaps: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        if self.stall_limit < 1:
+            raise SchedulingError("stall_limit must be at least 1")
+        if self.max_generic_swaps < 1:
+            raise SchedulingError("max_generic_swaps must be at least 1")
+        if self.lookahead_depth < 0 or self.lookahead_weight < 0:
+            raise SchedulingError("lookahead parameters cannot be negative")
+
+
+@dataclass
+class SchedulerStatistics:
+    """Counters describing one scheduling run (for analysis and tests)."""
+
+    generic_swap_iterations: int = 0
+    forced_routes: int = 0
+    executed_two_qubit_gates: int = 0
+    candidate_evaluations: int = 0
+
+
+class GenericSwapScheduler:
+    """Algorithm 1: generic-swap based shuttling schedule."""
+
+    def __init__(self, device: QCCDDevice, config: SchedulerConfig | None = None) -> None:
+        self.device = device
+        self.config = config or SchedulerConfig()
+        self.rules = GenericSwapRules(self.config.weights)
+        self.cost = HeuristicCost(self.config.weights)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(
+        self, circuit: QuantumCircuit, initial_state: DeviceState
+    ) -> tuple[Schedule, DeviceState, SchedulerStatistics]:
+        """Schedule ``circuit`` starting from ``initial_state``.
+
+        Returns the operation log, the final occupancy and run statistics.
+        The initial state is not mutated.
+        """
+        self._check_initial_state(circuit, initial_state)
+        state = initial_state.copy()
+        schedule = Schedule(self.device, circuit.name)
+        stats = SchedulerStatistics()
+        dag = DependencyDAG(circuit)
+        pending_1q, trailing_1q = self._partition_single_qubit_gates(circuit)
+        decay = DecayTracker(self.config.decay_delta, self.config.decay_reset_interval)
+
+        last_swap: GenericSwap | None = None
+        swaps_since_progress = 0
+
+        self._execute_ready_gates(dag, state, schedule, pending_1q, stats)
+        while not dag.is_done:
+            frontier = dag.frontier()
+            frontier_pairs = [(node.gate.qubits[0], node.gate.qubits[1]) for node in frontier]
+            candidates = self.rules.candidates_for_gates(state, frontier_pairs)
+            non_reversing = [c for c in candidates if not c.reverses(last_swap)]
+            if non_reversing:
+                candidates = non_reversing
+
+            if not candidates or swaps_since_progress >= self.config.stall_limit:
+                self._force_route(schedule, state, frontier[0], stats)
+                stats.forced_routes += 1
+                swaps_since_progress = 0
+                last_swap = None
+            else:
+                best = self._select_candidate(state, candidates, frontier_pairs, dag, decay, stats)
+                self._apply_candidate(schedule, state, best)
+                decay.advance()
+                decay.record(best.moved_qubits)
+                last_swap = best
+                swaps_since_progress += 1
+                stats.generic_swap_iterations += 1
+                if stats.generic_swap_iterations > self.config.max_generic_swaps:
+                    raise SchedulingError(
+                        "scheduler exceeded the generic-swap budget "
+                        f"({self.config.max_generic_swaps}); the circuit/device combination "
+                        "appears unroutable"
+                    )
+
+            if self._execute_ready_gates(dag, state, schedule, pending_1q, stats):
+                swaps_since_progress = 0
+
+        for gate in trailing_1q:
+            self._emit_single_qubit_gate(schedule, state, gate)
+        schedule.validate_against(sum(1 for g in circuit.gates if g.is_two_qubit))
+        return schedule, state, stats
+
+    # ------------------------------------------------------------------
+    # gate execution
+    # ------------------------------------------------------------------
+    def _check_initial_state(self, circuit: QuantumCircuit, state: DeviceState) -> None:
+        missing = [q for q in range(circuit.num_qubits) if not state.is_placed(q)]
+        if missing:
+            raise SchedulingError(
+                f"initial mapping does not place qubits {missing[:10]} (and possibly more)"
+            )
+        if state.device is not self.device and state.device.name != self.device.name:
+            raise SchedulingError("the initial state was built for a different device")
+
+    def _partition_single_qubit_gates(
+        self, circuit: QuantumCircuit
+    ) -> tuple[dict[int, list[Gate]], list[Gate]]:
+        """Attach every single-qubit gate to the next two-qubit gate on its qubit."""
+        pending: dict[int, list[Gate]] = defaultdict(list)
+        waiting: dict[int, list[Gate]] = defaultdict(list)
+        for index, gate in enumerate(circuit.gates):
+            if gate.is_two_qubit:
+                for q in gate.qubits:
+                    if waiting[q]:
+                        pending[index].extend(waiting[q])
+                        waiting[q] = []
+            elif gate.is_single_qubit:
+                waiting[gate.qubits[0]].append(gate)
+        trailing = [gate for q in sorted(waiting) for gate in waiting[q]]
+        return dict(pending), trailing
+
+    def _execute_ready_gates(
+        self,
+        dag: DependencyDAG,
+        state: DeviceState,
+        schedule: Schedule,
+        pending_1q: dict[int, list[Gate]],
+        stats: SchedulerStatistics,
+    ) -> bool:
+        """Execute every frontier gate whose operands share a trap."""
+        executed_any = False
+        progress = True
+        while progress:
+            progress = False
+            for node in dag.frontier():
+                qubit_a, qubit_b = node.gate.qubits
+                if not state.same_trap(qubit_a, qubit_b):
+                    continue
+                for gate in pending_1q.pop(node.index, []):
+                    self._emit_single_qubit_gate(schedule, state, gate)
+                self._emit_two_qubit_gate(schedule, state, node)
+                dag.execute(node.index)
+                stats.executed_two_qubit_gates += 1
+                executed_any = True
+                progress = True
+        return executed_any
+
+    def _emit_single_qubit_gate(self, schedule: Schedule, state: DeviceState, gate: Gate) -> None:
+        trap = state.trap_of(gate.qubits[0])
+        schedule.append(
+            GateOperation(gate=gate, trap=trap, chain_length=max(state.chain_length(trap), 1))
+        )
+
+    def _emit_two_qubit_gate(self, schedule: Schedule, state: DeviceState, node: DAGNode) -> None:
+        qubit_a, qubit_b = node.gate.qubits
+        trap = state.trap_of(qubit_a)
+        schedule.append(
+            GateOperation(
+                gate=node.gate,
+                trap=trap,
+                chain_length=state.chain_length(trap),
+                ion_separation=state.ion_separation(qubit_a, qubit_b),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # candidate selection and application
+    # ------------------------------------------------------------------
+    def _select_candidate(
+        self,
+        state: DeviceState,
+        candidates: list[GenericSwap],
+        frontier_pairs: list[tuple[int, int]],
+        dag: DependencyDAG,
+        decay: DecayTracker,
+        stats: SchedulerStatistics,
+    ) -> GenericSwap:
+        lookahead_pairs: list[tuple[int, int]] | None = None
+        if self.config.lookahead_depth > 0:
+            lookahead_pairs = [
+                (node.gate.qubits[0], node.gate.qubits[1])
+                for node in dag.lookahead(self.config.lookahead_depth, skip_frontier=True)
+            ]
+        best_candidate = candidates[0]
+        best_score = float("inf")
+        for candidate in candidates:
+            score = self.cost.swap_score(
+                state,
+                candidate,
+                frontier_pairs,
+                decay,
+                lookahead_pairs=lookahead_pairs,
+                lookahead_weight=self.config.lookahead_weight,
+            )
+            stats.candidate_evaluations += 1
+            if score < best_score - 1e-12:
+                best_score = score
+                best_candidate = candidate
+        return best_candidate
+
+    def _apply_candidate(self, schedule: Schedule, state: DeviceState, candidate: GenericSwap) -> None:
+        if candidate.kind is GenericSwapKind.SWAP_GATE:
+            assert candidate.qubit_b is not None
+            trap = state.trap_of(candidate.qubit_a)
+            schedule.append(
+                SwapOperation(
+                    trap=trap,
+                    qubit_a=candidate.qubit_a,
+                    qubit_b=candidate.qubit_b,
+                    chain_length=state.chain_length(trap),
+                    ion_separation=state.ion_separation(candidate.qubit_a, candidate.qubit_b),
+                )
+            )
+            apply_generic_swap(state, candidate)
+        else:
+            assert candidate.target_trap is not None
+            source_trap = state.trap_of(candidate.qubit_a)
+            connection = self.device.connection_between(source_trap, candidate.target_trap)
+            source_before = state.chain_length(source_trap)
+            apply_generic_swap(state, candidate)
+            schedule.append(
+                ShuttleOperation(
+                    qubit=candidate.qubit_a,
+                    source_trap=source_trap,
+                    target_trap=candidate.target_trap,
+                    segments=connection.segments,
+                    junctions=connection.junctions,
+                    source_chain_length=source_before,
+                    target_chain_length=state.chain_length(candidate.target_trap),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # stall-breaking fallback
+    # ------------------------------------------------------------------
+    def _force_route(
+        self, schedule: Schedule, state: DeviceState, node: DAGNode, stats: SchedulerStatistics
+    ) -> None:
+        """Deterministically co-locate the operands of ``node``'s gate."""
+        qubit_a, qubit_b = node.gate.qubits
+        safety = 4 * self.device.num_traps * max(t.capacity for t in self.device.traps) + 16
+        steps = 0
+        while not state.same_trap(qubit_a, qubit_b):
+            steps += 1
+            if steps > safety:
+                raise SchedulingError(
+                    f"force-routing gate {node.gate} did not converge; the device appears "
+                    "too congested to route"
+                )
+            source = state.trap_of(qubit_a)
+            target = state.trap_of(qubit_b)
+            path = self.device.trap_path(source, target)
+            next_trap = path[1]
+            departing_end = state.facing_end(source, next_trap)
+            # Free the destination before positioning the qubit: an eviction
+            # may merge an ion into this trap's departing end and displace it.
+            if not state.has_space(next_trap):
+                self._make_space(schedule, state, next_trap, protected=(qubit_a,))
+            if not state.is_at_end(qubit_a, departing_end):
+                end_qubit = state.end_qubit(source, departing_end)
+                assert end_qubit is not None and end_qubit != qubit_a
+                self._apply_candidate(
+                    schedule,
+                    state,
+                    GenericSwap(
+                        GenericSwapKind.SWAP_GATE,
+                        qubit_a=qubit_a,
+                        qubit_b=end_qubit,
+                        trap=source,
+                        target_trap=None,
+                        weight=self.rules.swap_gate_weight(
+                            max(state.ion_separation(qubit_a, end_qubit) + 1, 1)
+                        ),
+                    ),
+                )
+            connection = self.device.connection_between(source, next_trap)
+            self._apply_candidate(
+                schedule,
+                state,
+                GenericSwap(
+                    GenericSwapKind.SHUTTLE,
+                    qubit_a=qubit_a,
+                    qubit_b=None,
+                    trap=source,
+                    target_trap=next_trap,
+                    weight=self.rules.shuttle_weight(connection.junctions),
+                ),
+            )
+
+    def _make_space(
+        self, schedule: Schedule, state: DeviceState, trap_id: int, protected: tuple[int, ...]
+    ) -> None:
+        """Free one slot in ``trap_id`` by pushing ions towards the nearest trap with room."""
+        path = self._path_to_free_slot(state, trap_id)
+        # Push ions backwards along the path: the last hop moves first.
+        for source, target in reversed(list(zip(path, path[1:]))):
+            end = state.facing_end(source, target)
+            victim = state.end_qubit(source, end)
+            if victim is None:
+                continue
+            if victim in protected:
+                # Move the protected qubit away from the departing end first.
+                chain = state.chain(source)
+                replacement = next((q for q in chain if q not in protected), None)
+                if replacement is None:
+                    raise SchedulingError(
+                        f"cannot free a slot in trap {source}: every ion is protected"
+                    )
+                self._apply_candidate(
+                    schedule,
+                    state,
+                    GenericSwap(
+                        GenericSwapKind.SWAP_GATE,
+                        qubit_a=victim,
+                        qubit_b=replacement,
+                        trap=source,
+                        target_trap=None,
+                        weight=self.rules.swap_gate_weight(1),
+                    ),
+                )
+                victim = state.end_qubit(source, end)
+                assert victim is not None
+            connection = self.device.connection_between(source, target)
+            self._apply_candidate(
+                schedule,
+                state,
+                GenericSwap(
+                    GenericSwapKind.SHUTTLE,
+                    qubit_a=victim,
+                    qubit_b=None,
+                    trap=source,
+                    target_trap=target,
+                    weight=self.rules.shuttle_weight(connection.junctions),
+                ),
+            )
+
+    def _path_to_free_slot(self, state: DeviceState, trap_id: int) -> list[int]:
+        """Shortest hop path from ``trap_id`` to the nearest trap with a free slot."""
+        if state.has_space(trap_id):
+            return [trap_id]
+        visited = {trap_id}
+        frontier = [[trap_id]]
+        while frontier:
+            next_frontier: list[list[int]] = []
+            for path in frontier:
+                for neighbour in self.device.neighbors(path[-1]):
+                    if neighbour in visited:
+                        continue
+                    visited.add(neighbour)
+                    new_path = path + [neighbour]
+                    if state.has_space(neighbour):
+                        return new_path
+                    next_frontier.append(new_path)
+            frontier = next_frontier
+        raise SchedulingError(
+            "every trap on the device is full; at least one free slot is required for routing"
+        )

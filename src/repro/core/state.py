@@ -1,0 +1,254 @@
+"""Mutable device occupancy state used during scheduling.
+
+Each trap holds an ordered *chain* of program qubits (at most
+``capacity`` of them).  Ions keep their chain order unless an explicit
+SWAP gate exchanges two of them; they may only leave the chain from one
+of its two ends (Observation 2 of the paper) and an incoming ion merges
+at the end facing the connection it arrived through.
+
+The chain end facing a neighbouring trap follows the same orientation
+convention as :class:`repro.hardware.graph.SlotGraph`: the *right* end
+(last chain index) faces neighbours with a larger trap id, the *left*
+end (index 0) faces neighbours with a smaller id.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.exceptions import StateError
+from repro.hardware.device import QCCDDevice
+
+#: Symbolic ends of a trap's ion chain.
+LEFT = "left"
+RIGHT = "right"
+
+
+class DeviceState:
+    """Occupancy of a QCCD device: which qubit sits where in which trap."""
+
+    def __init__(self, device: QCCDDevice) -> None:
+        self.device = device
+        self._chains: dict[int, list[int]] = {trap.trap_id: [] for trap in device.traps}
+        self._locations: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mapping(cls, device: QCCDDevice, trap_assignment: Mapping[int, Iterable[int]]) -> "DeviceState":
+        """Build a state from a trap → ordered-qubit-list assignment."""
+        state = cls(device)
+        for trap_id, qubits in trap_assignment.items():
+            for qubit in qubits:
+                state.place(qubit, trap_id)
+        return state
+
+    def place(self, qubit: int, trap_id: int, end: str = RIGHT) -> None:
+        """Append ``qubit`` to a trap's chain (used while building mappings)."""
+        self._require_trap(trap_id)
+        if qubit in self._locations:
+            raise StateError(f"qubit {qubit} is already placed")
+        chain = self._chains[trap_id]
+        if len(chain) >= self.device.capacity(trap_id):
+            raise StateError(f"trap {trap_id} is full (capacity {self.device.capacity(trap_id)})")
+        if end == RIGHT:
+            chain.append(qubit)
+        elif end == LEFT:
+            chain.insert(0, qubit)
+        else:
+            raise StateError(f"unknown chain end {end!r}")
+        self._locations[qubit] = trap_id
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _require_trap(self, trap_id: int) -> None:
+        if trap_id not in self._chains:
+            raise StateError(f"unknown trap id {trap_id}")
+
+    def trap_of(self, qubit: int) -> int:
+        """The trap currently holding ``qubit``."""
+        try:
+            return self._locations[qubit]
+        except KeyError as exc:
+            raise StateError(f"qubit {qubit} has not been placed on the device") from exc
+
+    def is_placed(self, qubit: int) -> bool:
+        """True when the qubit has a location."""
+        return qubit in self._locations
+
+    def chain(self, trap_id: int) -> tuple[int, ...]:
+        """The ordered ion chain of one trap."""
+        self._require_trap(trap_id)
+        return tuple(self._chains[trap_id])
+
+    def chain_length(self, trap_id: int) -> int:
+        """Number of ions currently in one trap."""
+        self._require_trap(trap_id)
+        return len(self._chains[trap_id])
+
+    def free_slots(self, trap_id: int) -> int:
+        """Remaining capacity of one trap."""
+        return self.device.capacity(trap_id) - self.chain_length(trap_id)
+
+    def has_space(self, trap_id: int) -> bool:
+        """True when the trap can accept another ion."""
+        return self.free_slots(trap_id) > 0
+
+    def full_trap_count(self) -> int:
+        """Number of traps with no free slot (the Pen term of Eq. 2)."""
+        return sum(1 for trap_id in self._chains if not self.has_space(trap_id))
+
+    def position(self, qubit: int) -> int:
+        """Index of ``qubit`` within its trap's chain."""
+        trap_id = self.trap_of(qubit)
+        return self._chains[trap_id].index(qubit)
+
+    def ion_separation(self, qubit_a: int, qubit_b: int) -> int:
+        """Number of ions strictly between two qubits in the same chain."""
+        trap_a = self.trap_of(qubit_a)
+        trap_b = self.trap_of(qubit_b)
+        if trap_a != trap_b:
+            raise StateError(
+                f"qubits {qubit_a} and {qubit_b} are in different traps ({trap_a} vs {trap_b})"
+            )
+        chain = self._chains[trap_a]
+        distance = abs(chain.index(qubit_a) - chain.index(qubit_b))
+        return max(distance - 1, 0)
+
+    def same_trap(self, qubit_a: int, qubit_b: int) -> bool:
+        """True when both qubits currently share a trap."""
+        return self.trap_of(qubit_a) == self.trap_of(qubit_b)
+
+    # ------------------------------------------------------------------
+    # chain-end geometry
+    # ------------------------------------------------------------------
+    def facing_end(self, trap_id: int, neighbour_trap: int) -> str:
+        """Which chain end of ``trap_id`` faces ``neighbour_trap``."""
+        self._require_trap(trap_id)
+        self._require_trap(neighbour_trap)
+        if trap_id == neighbour_trap:
+            raise StateError("a trap does not face itself")
+        return RIGHT if neighbour_trap > trap_id else LEFT
+
+    def end_qubit(self, trap_id: int, end: str) -> int | None:
+        """The qubit at one end of a trap's chain (``None`` if empty)."""
+        chain = self._chains[trap_id]
+        if not chain:
+            return None
+        if end == RIGHT:
+            return chain[-1]
+        if end == LEFT:
+            return chain[0]
+        raise StateError(f"unknown chain end {end!r}")
+
+    def is_at_end(self, qubit: int, end: str | None = None) -> bool:
+        """True when the qubit sits at a chain end (optionally a specific one)."""
+        trap_id = self.trap_of(qubit)
+        chain = self._chains[trap_id]
+        index = chain.index(qubit)
+        at_left = index == 0
+        at_right = index == len(chain) - 1
+        if end is None:
+            return at_left or at_right
+        if end == LEFT:
+            return at_left
+        if end == RIGHT:
+            return at_right
+        raise StateError(f"unknown chain end {end!r}")
+
+    def distance_to_end(self, qubit: int, end: str) -> int:
+        """Number of ions between the qubit and the given chain end."""
+        trap_id = self.trap_of(qubit)
+        chain = self._chains[trap_id]
+        index = chain.index(qubit)
+        if end == LEFT:
+            return index
+        if end == RIGHT:
+            return len(chain) - 1 - index
+        raise StateError(f"unknown chain end {end!r}")
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+    def swap_qubits(self, qubit_a: int, qubit_b: int) -> None:
+        """Exchange the chain positions of two qubits in the same trap."""
+        trap_a = self.trap_of(qubit_a)
+        trap_b = self.trap_of(qubit_b)
+        if trap_a != trap_b:
+            raise StateError("SWAP gates only act within a single trap")
+        if qubit_a == qubit_b:
+            raise StateError("cannot SWAP a qubit with itself")
+        chain = self._chains[trap_a]
+        i, j = chain.index(qubit_a), chain.index(qubit_b)
+        chain[i], chain[j] = chain[j], chain[i]
+
+    def shuttle(self, qubit: int, target_trap: int) -> None:
+        """Move ``qubit`` from the end of its chain into ``target_trap``.
+
+        The qubit must sit at the chain end facing ``target_trap`` along
+        the direct connection, and the target trap must have a free
+        slot.  The qubit merges at the target's end facing the source.
+        """
+        source_trap = self.trap_of(qubit)
+        self._require_trap(target_trap)
+        if source_trap == target_trap:
+            raise StateError("shuttle source and target traps must differ")
+        if not self.device.are_connected(source_trap, target_trap):
+            raise StateError(f"traps {source_trap} and {target_trap} are not directly connected")
+        if not self.has_space(target_trap):
+            raise StateError(f"trap {target_trap} has no free slot for an incoming ion")
+        departing_end = self.facing_end(source_trap, target_trap)
+        if not self.is_at_end(qubit, departing_end):
+            raise StateError(
+                f"qubit {qubit} is not at the {departing_end} end of trap {source_trap}; "
+                "it cannot be split from the chain"
+            )
+        chain = self._chains[source_trap]
+        chain.remove(qubit)
+        arriving_end = self.facing_end(target_trap, source_trap)
+        if arriving_end == RIGHT:
+            self._chains[target_trap].append(qubit)
+        else:
+            self._chains[target_trap].insert(0, qubit)
+        self._locations[qubit] = target_trap
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def occupancy(self) -> dict[int, tuple[int, ...]]:
+        """A snapshot of every trap's chain."""
+        return {trap_id: tuple(chain) for trap_id, chain in self._chains.items()}
+
+    def all_qubits(self) -> set[int]:
+        """All placed program qubits."""
+        return set(self._locations)
+
+    def copy(self) -> "DeviceState":
+        """An independent copy of this state."""
+        clone = DeviceState(self.device)
+        clone._chains = {trap_id: list(chain) for trap_id, chain in self._chains.items()}
+        clone._locations = dict(self._locations)
+        return clone
+
+    def validate(self) -> None:
+        """Check internal consistency (every qubit in exactly one chain)."""
+        seen: set[int] = set()
+        for trap_id, chain in self._chains.items():
+            if len(chain) > self.device.capacity(trap_id):
+                raise StateError(f"trap {trap_id} exceeds its capacity")
+            for qubit in chain:
+                if qubit in seen:
+                    raise StateError(f"qubit {qubit} appears in more than one trap")
+                seen.add(qubit)
+                if self._locations.get(qubit) != trap_id:
+                    raise StateError(f"location table disagrees with chain for qubit {qubit}")
+        if seen != set(self._locations):
+            raise StateError("location table and chains disagree on the set of placed qubits")
+
+    def __repr__(self) -> str:
+        occupancy = ", ".join(
+            f"{trap_id}:{list(chain)}" for trap_id, chain in sorted(self._chains.items())
+        )
+        return f"DeviceState({occupancy})"

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the S-SYNC reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so a
+caller embedding the compiler can catch a single exception type at its
+boundary while still being able to discriminate finer-grained failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits or gates (bad qubit index, arity...)."""
+
+
+class DeviceError(ReproError):
+    """Raised for malformed QCCD device descriptions."""
+
+
+class MappingError(ReproError):
+    """Raised when an initial mapping cannot be constructed.
+
+    Typical causes: the circuit uses more qubits than the device has
+    slots, or a mapping strategy is asked to place qubits on a trap that
+    is already full.
+    """
+
+
+class SchedulingError(ReproError):
+    """Raised when the scheduler cannot make progress on a circuit."""
+
+
+class StateError(ReproError):
+    """Raised for invalid mutations of the device occupancy state."""
+
+
+class NoiseModelError(ReproError):
+    """Raised for invalid noise / timing model configurations."""

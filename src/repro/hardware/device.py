@@ -1,0 +1,187 @@
+"""The QCCD device model: traps, connections and trap-level routing.
+
+:class:`QCCDDevice` is the static hardware description the compiler works
+against.  Besides holding the traps and shuttle paths it precomputes the
+all-pairs trap-level shortest paths under the paper's shuttle weights
+(``junctions + 1`` per hop), which both the heuristic cost function and
+the baselines use constantly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import networkx as nx
+
+from repro.exceptions import DeviceError
+from repro.hardware.trap import Connection, Trap
+
+
+class QCCDDevice:
+    """A static QCCD hardware description.
+
+    Parameters
+    ----------
+    traps:
+        The device's traps; trap ids must be the integers
+        ``0..len(traps)-1`` (in any order).
+    connections:
+        Shuttle paths between traps.  The trap-level connectivity graph
+        must be connected, otherwise some two-qubit gates could never be
+        executed.
+    name:
+        Human-readable topology name (``"G-2x3"``...).
+    junction_weight:
+        Additional graph weight per junction crossed on a connection
+        (paper §4 uses 1.0: a path through ``j`` junctions weighs
+        ``j + 1``).
+    """
+
+    def __init__(
+        self,
+        traps: Sequence[Trap],
+        connections: Iterable[Connection],
+        name: str = "qccd",
+        junction_weight: float = 1.0,
+    ) -> None:
+        if not traps:
+            raise DeviceError("a device needs at least one trap")
+        self._traps: dict[int, Trap] = {}
+        for trap in traps:
+            if trap.trap_id in self._traps:
+                raise DeviceError(f"duplicate trap id {trap.trap_id}")
+            self._traps[trap.trap_id] = trap
+        expected_ids = set(range(len(self._traps)))
+        if set(self._traps) != expected_ids:
+            raise DeviceError("trap ids must be exactly 0..num_traps-1")
+
+        self.name = name
+        self.junction_weight = float(junction_weight)
+        self._connections: list[Connection] = []
+        self._graph: nx.Graph = nx.Graph()
+        self._graph.add_nodes_from(self._traps)
+        for connection in connections:
+            if connection.trap_a not in self._traps or connection.trap_b not in self._traps:
+                raise DeviceError(f"connection {connection} references an unknown trap")
+            if self._graph.has_edge(connection.trap_a, connection.trap_b):
+                raise DeviceError(
+                    f"duplicate connection between traps {connection.trap_a} and {connection.trap_b}"
+                )
+            self._connections.append(connection)
+            self._graph.add_edge(
+                connection.trap_a,
+                connection.trap_b,
+                connection=connection,
+                weight=connection.shuttle_weight(self.junction_weight),
+            )
+        if len(self._traps) > 1 and not nx.is_connected(self._graph):
+            raise DeviceError("the trap connectivity graph must be connected")
+
+        self._distances: dict[int, dict[int, float]] = dict(
+            nx.all_pairs_dijkstra_path_length(self._graph, weight="weight")
+        )
+        self._paths: dict[int, dict[int, list[int]]] = dict(
+            nx.all_pairs_dijkstra_path(self._graph, weight="weight")
+        )
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def traps(self) -> tuple[Trap, ...]:
+        """All traps ordered by id."""
+        return tuple(self._traps[i] for i in sorted(self._traps))
+
+    @property
+    def num_traps(self) -> int:
+        """Number of traps in the device."""
+        return len(self._traps)
+
+    @property
+    def connections(self) -> tuple[Connection, ...]:
+        """All inter-trap shuttle paths."""
+        return tuple(self._connections)
+
+    @property
+    def total_capacity(self) -> int:
+        """Total number of ion slots across all traps."""
+        return sum(trap.capacity for trap in self._traps.values())
+
+    @property
+    def trap_graph(self) -> nx.Graph:
+        """The trap-level connectivity graph (a copy; mutations are safe)."""
+        return self._graph.copy()
+
+    def trap(self, trap_id: int) -> Trap:
+        """Return the trap with the given id."""
+        try:
+            return self._traps[trap_id]
+        except KeyError as exc:
+            raise DeviceError(f"unknown trap id {trap_id}") from exc
+
+    def capacity(self, trap_id: int) -> int:
+        """Capacity of one trap."""
+        return self.trap(trap_id).capacity
+
+    def neighbors(self, trap_id: int) -> list[int]:
+        """Traps directly connected to ``trap_id``."""
+        self.trap(trap_id)
+        return sorted(self._graph.neighbors(trap_id))
+
+    def connection_between(self, trap_a: int, trap_b: int) -> Connection:
+        """The direct connection between two traps (raises if absent)."""
+        if not self._graph.has_edge(trap_a, trap_b):
+            raise DeviceError(f"traps {trap_a} and {trap_b} are not directly connected")
+        return self._graph[trap_a][trap_b]["connection"]
+
+    def are_connected(self, trap_a: int, trap_b: int) -> bool:
+        """True when the two traps share a direct shuttle path."""
+        return self._graph.has_edge(trap_a, trap_b)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def trap_distance(self, trap_a: int, trap_b: int) -> float:
+        """Shortest-path shuttle weight between two traps (0 if equal)."""
+        self.trap(trap_a)
+        self.trap(trap_b)
+        return self._distances[trap_a][trap_b]
+
+    def trap_path(self, trap_a: int, trap_b: int) -> list[int]:
+        """Trap ids along the cheapest shuttle route, endpoints included."""
+        self.trap(trap_a)
+        self.trap(trap_b)
+        return list(self._paths[trap_a][trap_b])
+
+    def path_connections(self, trap_a: int, trap_b: int) -> list[Connection]:
+        """Connections traversed along the cheapest route between two traps."""
+        path = self.trap_path(trap_a, trap_b)
+        return [self.connection_between(u, v) for u, v in zip(path, path[1:])]
+
+    def path_junctions(self, trap_a: int, trap_b: int) -> int:
+        """Total junction crossings along the cheapest route."""
+        return sum(c.junctions for c in self.path_connections(trap_a, trap_b))
+
+    def path_segments(self, trap_a: int, trap_b: int) -> int:
+        """Total straight segments traversed along the cheapest route."""
+        return sum(c.segments for c in self.path_connections(trap_a, trap_b))
+
+    def max_trap_distance(self) -> float:
+        """Diameter of the trap graph under shuttle weights."""
+        return max(
+            self._distances[a][b] for a in self._traps for b in self._traps
+        )
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def with_capacity(self, capacity: int) -> "QCCDDevice":
+        """Return a copy of this device with every trap capacity replaced."""
+        traps = [Trap(t.trap_id, capacity, t.name) for t in self.traps]
+        return QCCDDevice(traps, self._connections, name=self.name, junction_weight=self.junction_weight)
+
+    def __repr__(self) -> str:
+        return (
+            f"QCCDDevice(name={self.name!r}, traps={self.num_traps}, "
+            f"capacity={self.total_capacity}, connections={len(self._connections)})"
+        )

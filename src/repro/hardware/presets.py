@@ -1,0 +1,125 @@
+"""Named device presets matching the paper's evaluation section.
+
+Section 4.2 selects configurations ``S-4``, ``G-2x2``, ``G-2x3``,
+``G-3x3`` with maximum per-trap capacities of 22, 22, 17 and 12
+respectively, plus ``L-4`` (22) and ``L-6`` (17) for certain tasks, and
+``S-6`` appears in the Fig. 11 topology sweep.  :func:`paper_device`
+resolves those names; :func:`paper_device_catalog` returns the full set.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.exceptions import DeviceError
+from repro.hardware.device import QCCDDevice
+from repro.hardware.topologies import grid_device, linear_device, star_device
+
+
+@dataclass(frozen=True)
+class DevicePreset:
+    """A named topology with the paper's default per-trap capacity."""
+
+    name: str
+    kind: str
+    num_traps: int
+    default_capacity: int
+    rows: int = 0
+    cols: int = 0
+
+
+#: Presets used throughout the paper's evaluation (Section 4.2).
+PAPER_PRESETS: tuple[DevicePreset, ...] = (
+    DevicePreset("S-4", "star", 4, 22),
+    DevicePreset("S-6", "star", 6, 17),
+    DevicePreset("L-4", "linear", 4, 22),
+    DevicePreset("L-6", "linear", 6, 17),
+    DevicePreset("G-2x2", "grid", 4, 22, rows=2, cols=2),
+    DevicePreset("G-2x3", "grid", 6, 17, rows=2, cols=3),
+    DevicePreset("G-3x3", "grid", 9, 12, rows=3, cols=3),
+)
+
+_PRESETS_BY_NAME = {preset.name.lower(): preset for preset in PAPER_PRESETS}
+
+_GRID_RE = re.compile(r"^g-(\d+)x(\d+)$")
+_LINEAR_RE = re.compile(r"^l-(\d+)$")
+_STAR_RE = re.compile(r"^s-(\d+)$")
+
+
+def preset_names() -> tuple[str, ...]:
+    """Names of all paper presets, in the paper's order."""
+    return tuple(preset.name for preset in PAPER_PRESETS)
+
+
+def paper_preset(name: str) -> DevicePreset:
+    """Return the preset metadata for a paper topology name."""
+    try:
+        return _PRESETS_BY_NAME[name.lower()]
+    except KeyError as exc:
+        raise DeviceError(f"{name!r} is not a known paper preset") from exc
+
+
+def paper_device(name: str, capacity: int | None = None) -> QCCDDevice:
+    """Build a device from a paper topology name (``"G-2x3"``, ``"L-6"``...).
+
+    Names outside the preset table are parsed structurally, so e.g.
+    ``"G-4x4"`` or ``"L-8"`` also work (a capacity must then be given).
+    """
+    key = name.lower()
+    preset = _PRESETS_BY_NAME.get(key)
+    if preset is not None:
+        cap = capacity if capacity is not None else preset.default_capacity
+        return _build_from_preset(preset, cap)
+
+    grid = _GRID_RE.match(key)
+    if grid:
+        if capacity is None:
+            raise DeviceError(f"capacity required for non-preset topology {name!r}")
+        return grid_device(int(grid.group(1)), int(grid.group(2)), capacity, name=name.upper())
+    linear = _LINEAR_RE.match(key)
+    if linear:
+        if capacity is None:
+            raise DeviceError(f"capacity required for non-preset topology {name!r}")
+        return linear_device(int(linear.group(1)), capacity, name=name.upper())
+    star = _STAR_RE.match(key)
+    if star:
+        if capacity is None:
+            raise DeviceError(f"capacity required for non-preset topology {name!r}")
+        return star_device(int(star.group(1)), capacity, name=name.upper())
+    raise DeviceError(f"cannot parse topology name {name!r}")
+
+
+def _build_from_preset(preset: DevicePreset, capacity: int) -> QCCDDevice:
+    if preset.kind == "grid":
+        return grid_device(preset.rows, preset.cols, capacity, name=preset.name)
+    if preset.kind == "linear":
+        return linear_device(preset.num_traps, capacity, name=preset.name)
+    if preset.kind == "star":
+        return star_device(preset.num_traps, capacity, name=preset.name)
+    raise DeviceError(f"unknown preset kind {preset.kind!r}")  # pragma: no cover
+
+
+def paper_device_catalog(capacity: int | None = None) -> dict[str, QCCDDevice]:
+    """Build every paper preset, keyed by name.
+
+    With ``capacity`` given, every preset uses that per-trap capacity
+    (used by the Fig. 11 capacity sweep); otherwise each uses its paper
+    default.
+    """
+    return {preset.name: paper_device(preset.name, capacity) for preset in PAPER_PRESETS}
+
+
+def device_for_circuit(name: str, num_qubits: int, slack: int = 2) -> QCCDDevice:
+    """Build a paper preset guaranteed to fit ``num_qubits`` program qubits.
+
+    If the preset's default capacity is too small, the per-trap capacity
+    is raised to the smallest value that leaves ``slack`` free slots per
+    trap on average.
+    """
+    preset = paper_preset(name)
+    device = paper_device(name)
+    if device.total_capacity >= num_qubits + slack * device.num_traps:
+        return device
+    needed = -(-(num_qubits + slack * device.num_traps) // device.num_traps)  # ceil division
+    return paper_device(name, max(needed, preset.default_capacity))

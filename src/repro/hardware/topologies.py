@@ -1,0 +1,116 @@
+"""Topology factories: linear (L-series), grid (G-series), star/fully-connected (S-series).
+
+Figure 7 of the paper evaluates three architectural families inspired by
+Quantinuum's roadmap:
+
+* **L-n** — ``n`` traps in a line ("H2"-like racetrack unrolled); adjacent
+  traps are connected by a straight shuttle segment with no junction.
+* **G-RxC** — an R-by-C grid of traps ("SOL"/"APOLLO"-like); neighbouring
+  traps are connected through one X-junction each.
+* **S-n** — ``n`` traps around a central switching hub ("HELIOS"-like
+  fully-connected variant); every pair of traps is reachable through the
+  hub, modelled as a direct connection crossing one junction.
+
+Capacities default to the paper's per-preset values (see
+:mod:`repro.hardware.presets`) but every factory takes an explicit
+``capacity`` so the Fig. 11 capacity sweeps can be reproduced.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import DeviceError
+from repro.hardware.device import QCCDDevice
+from repro.hardware.trap import Connection, Trap
+
+
+def linear_device(num_traps: int, capacity: int, name: str | None = None) -> QCCDDevice:
+    """Build an L-series device: ``num_traps`` traps in a line.
+
+    Adjacent traps share a junction-free straight shuttle path.
+    """
+    if num_traps < 1:
+        raise DeviceError("a linear device needs at least one trap")
+    if capacity < 1:
+        raise DeviceError("trap capacity must be positive")
+    traps = [Trap(i, capacity, name=f"L{i}") for i in range(num_traps)]
+    connections = [Connection(i, i + 1, junctions=0, segments=1) for i in range(num_traps - 1)]
+    return QCCDDevice(traps, connections, name=name or f"L-{num_traps}")
+
+
+def ring_device(num_traps: int, capacity: int, name: str | None = None) -> QCCDDevice:
+    """Build a ring ("racetrack") device: a linear device with wrap-around."""
+    if num_traps < 3:
+        raise DeviceError("a ring device needs at least three traps")
+    if capacity < 1:
+        raise DeviceError("trap capacity must be positive")
+    traps = [Trap(i, capacity, name=f"R{i}") for i in range(num_traps)]
+    connections = [Connection(i, (i + 1) % num_traps, junctions=0, segments=1) for i in range(num_traps)]
+    return QCCDDevice(traps, connections, name=name or f"R-{num_traps}")
+
+
+def grid_device(rows: int, cols: int, capacity: int, name: str | None = None) -> QCCDDevice:
+    """Build a G-series device: an ``rows x cols`` grid of traps.
+
+    Each nearest-neighbour pair of traps is connected through a single
+    X-junction (``junctions=1``), following the paper's weight example
+    where a one-junction path has weight 2.
+    """
+    if rows < 1 or cols < 1:
+        raise DeviceError("grid dimensions must be positive")
+    if rows * cols < 2:
+        raise DeviceError("a grid device needs at least two traps")
+    if capacity < 1:
+        raise DeviceError("trap capacity must be positive")
+
+    def trap_id(r: int, c: int) -> int:
+        return r * cols + c
+
+    traps = [
+        Trap(trap_id(r, c), capacity, name=f"G({r},{c})") for r in range(rows) for c in range(cols)
+    ]
+    connections: list[Connection] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                connections.append(
+                    Connection(trap_id(r, c), trap_id(r, c + 1), junctions=1, segments=2)
+                )
+            if r + 1 < rows:
+                connections.append(
+                    Connection(trap_id(r, c), trap_id(r + 1, c), junctions=1, segments=2)
+                )
+    return QCCDDevice(traps, connections, name=name or f"G-{rows}x{cols}")
+
+
+def star_device(num_traps: int, capacity: int, name: str | None = None) -> QCCDDevice:
+    """Build an S-series device: ``num_traps`` traps around a switching hub.
+
+    The hub itself stores no ions; it is modelled as one junction on the
+    direct path between every pair of traps, so any trap reaches any
+    other in a single shuttle that crosses one junction.
+    """
+    if num_traps < 2:
+        raise DeviceError("a star device needs at least two traps")
+    if capacity < 1:
+        raise DeviceError("trap capacity must be positive")
+    traps = [Trap(i, capacity, name=f"S{i}") for i in range(num_traps)]
+    connections = [
+        Connection(a, b, junctions=1, segments=2)
+        for a in range(num_traps)
+        for b in range(a + 1, num_traps)
+    ]
+    return QCCDDevice(traps, connections, name=name or f"S-{num_traps}")
+
+
+def build_topology(kind: str, capacity: int, **kwargs: int) -> QCCDDevice:
+    """Dispatch on a topology family name (``"linear"``, ``"grid"``, ``"star"``, ``"ring"``)."""
+    kind = kind.lower()
+    if kind in {"linear", "l"}:
+        return linear_device(kwargs.get("num_traps", 4), capacity)
+    if kind in {"grid", "g"}:
+        return grid_device(kwargs.get("rows", 2), kwargs.get("cols", 2), capacity)
+    if kind in {"star", "s", "full"}:
+        return star_device(kwargs.get("num_traps", 4), capacity)
+    if kind in {"ring", "r", "racetrack"}:
+        return ring_device(kwargs.get("num_traps", 4), capacity)
+    raise DeviceError(f"unknown topology kind {kind!r}")

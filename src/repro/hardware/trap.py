@@ -1,0 +1,107 @@
+"""Trap and inter-trap connection descriptions for QCCD devices.
+
+A QCCD device (Fig. 2 of the paper) is a set of linear *traps* — short
+ion chains confined by segmented electrodes — connected by shuttle paths
+which may pass through *junctions*.  These classes are pure, immutable
+descriptions of the hardware; the mutable occupancy lives in
+:class:`repro.core.state.DeviceState`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import DeviceError
+
+
+@dataclass(frozen=True)
+class Trap:
+    """One linear ion trap (a "zone" in QCCD terminology).
+
+    Parameters
+    ----------
+    trap_id:
+        Unique integer identifier within the device.
+    capacity:
+        Maximum number of ions the trap can hold (number of slots).
+    name:
+        Optional human-readable label (e.g. ``"T(0,1)"`` for a grid).
+    """
+
+    trap_id: int
+    capacity: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.trap_id < 0:
+            raise DeviceError("trap_id must be non-negative")
+        if self.capacity < 1:
+            raise DeviceError(f"trap {self.trap_id} must have capacity >= 1, got {self.capacity}")
+        if not self.name:
+            object.__setattr__(self, "name", f"trap{self.trap_id}")
+
+    @property
+    def edge_positions(self) -> tuple[int, int]:
+        """The two slot indices ions can shuttle out of / into."""
+        return (0, self.capacity - 1)
+
+
+@dataclass(frozen=True)
+class Connection:
+    """A shuttle path between two traps.
+
+    Parameters
+    ----------
+    trap_a, trap_b:
+        Identifiers of the connected traps.
+    junctions:
+        Number of junctions the path crosses (0 for a straight segment
+        between linearly adjacent traps, 1 for a grid X-junction, ...).
+    segments:
+        Number of straight electrode segments traversed; each segment
+        costs one "move" operation of Table 1.
+    """
+
+    trap_a: int
+    trap_b: int
+    junctions: int = 0
+    segments: int = 1
+
+    def __post_init__(self) -> None:
+        if self.trap_a == self.trap_b:
+            raise DeviceError("a connection cannot link a trap to itself")
+        if self.trap_a < 0 or self.trap_b < 0:
+            raise DeviceError("connection trap ids must be non-negative")
+        if self.junctions < 0:
+            raise DeviceError("junction count cannot be negative")
+        if self.segments < 1:
+            raise DeviceError("a connection must traverse at least one segment")
+
+    @property
+    def endpoints(self) -> tuple[int, int]:
+        """The two trap identifiers, in declaration order."""
+        return (self.trap_a, self.trap_b)
+
+    def other(self, trap_id: int) -> int:
+        """Given one endpoint, return the other."""
+        if trap_id == self.trap_a:
+            return self.trap_b
+        if trap_id == self.trap_b:
+            return self.trap_a
+        raise DeviceError(f"trap {trap_id} is not an endpoint of {self}")
+
+    def shuttle_weight(self, junction_weight: float = 1.0) -> float:
+        """Graph weight of traversing this connection (paper §4: j + 1)."""
+        return 1.0 + junction_weight * self.junctions
+
+
+@dataclass(frozen=True)
+class JunctionCrossing:
+    """Record of a junction traversal, used by the timing model."""
+
+    num_paths: int = 3
+    extra_segments: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.num_paths < 2:
+            raise DeviceError("a junction joins at least two paths")

@@ -1,0 +1,54 @@
+"""Noise, timing and fidelity models (paper §4.1) plus the schedule evaluator."""
+
+from repro.noise.evaluator import (
+    EvaluationResult,
+    EvaluatorConfig,
+    ScheduleEvaluator,
+    evaluate_schedule,
+)
+from repro.noise.fidelity import (
+    SINGLE_QUBIT_GATE_FIDELITY,
+    SWAP_TWO_QUBIT_GATE_COUNT,
+    FidelityModel,
+    SuccessRateAccumulator,
+)
+from repro.noise.gate_times import (
+    GateImplementation,
+    am1_gate_time,
+    am2_gate_time,
+    fm_gate_time,
+    pm_gate_time,
+    single_qubit_gate_time,
+    two_qubit_gate_time,
+)
+from repro.noise.heating import (
+    PAPER_HEATING,
+    HeatingParameters,
+    ThermalLedger,
+    TrapThermalState,
+)
+from repro.noise.operation_times import PAPER_OPERATION_TIMES, OperationTimes
+
+__all__ = [
+    "EvaluationResult",
+    "EvaluatorConfig",
+    "FidelityModel",
+    "GateImplementation",
+    "HeatingParameters",
+    "OperationTimes",
+    "PAPER_HEATING",
+    "PAPER_OPERATION_TIMES",
+    "SINGLE_QUBIT_GATE_FIDELITY",
+    "SWAP_TWO_QUBIT_GATE_COUNT",
+    "ScheduleEvaluator",
+    "SuccessRateAccumulator",
+    "ThermalLedger",
+    "TrapThermalState",
+    "am1_gate_time",
+    "am2_gate_time",
+    "evaluate_schedule",
+    "fm_gate_time",
+    "pm_gate_time",
+    "single_qubit_gate_time",
+    "two_qubit_gate_time",
+]

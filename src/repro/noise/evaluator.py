@@ -1,0 +1,233 @@
+"""Schedule evaluator: execution time and application success rate.
+
+This is the "Real Noise Simulator" box of Fig. 1.  It walks a compiled
+:class:`~repro.schedule.Schedule` in order, maintains per-trap clocks and
+per-trap thermal state, and produces:
+
+* the estimated **execution time** (the makespan over trap clocks — traps
+  operate in parallel, an operation advances only the clocks of the traps
+  it touches);
+* the **success rate** — the product of all gate fidelities under the
+  Eq.-(4) model, with SWAPs counted as three two-qubit gates and
+  single-qubit gates at 99.9999 %.
+
+The evaluator can also selectively ignore shuttle or SWAP costs, which is
+how the Fig. 16 optimality bounds ("perfect shuttle", "perfect SWAP",
+"ideal") are computed without a brute-force search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import NoiseModelError
+from repro.noise.fidelity import FidelityModel, SuccessRateAccumulator
+from repro.noise.gate_times import (
+    GateImplementation,
+    single_qubit_gate_time,
+    two_qubit_gate_time,
+)
+from repro.noise.heating import HeatingParameters, ThermalLedger
+from repro.noise.operation_times import OperationTimes
+from repro.schedule.operations import (
+    GateOperation,
+    ShuttleOperation,
+    SpaceShiftOperation,
+    SwapOperation,
+)
+from repro.schedule.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Outcome of evaluating one schedule under one noise configuration."""
+
+    success_rate: float
+    log_success_rate: float
+    execution_time_us: float
+    total_gate_time_us: float
+    total_shuttle_time_us: float
+    gate_count_2q: int
+    gate_count_1q: int
+    swap_count: int
+    shuttle_count: int
+    gate_implementation: GateImplementation
+    details: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def execution_time_s(self) -> float:
+        """Execution time in seconds."""
+        return self.execution_time_us / 1.0e6
+
+
+@dataclass(frozen=True)
+class EvaluatorConfig:
+    """Knobs of the evaluator.
+
+    ``ignore_shuttle_cost`` and ``ignore_swap_cost`` implement the
+    Fig. 16 idealised scenarios; both default to off.
+    """
+
+    gate_implementation: GateImplementation | str = GateImplementation.FM
+    heating: HeatingParameters = HeatingParameters()
+    operation_times: OperationTimes = OperationTimes()
+    ignore_shuttle_cost: bool = False
+    ignore_swap_cost: bool = False
+    include_single_qubit_gates: bool = True
+
+
+class ScheduleEvaluator:
+    """Evaluates schedules for execution time and success rate."""
+
+    def __init__(self, config: EvaluatorConfig | None = None) -> None:
+        self.config = config or EvaluatorConfig()
+        self._implementation = GateImplementation.from_name(self.config.gate_implementation)
+        self._fidelity = FidelityModel(heating=self.config.heating)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def evaluate(self, schedule: Schedule) -> EvaluationResult:
+        """Walk ``schedule`` and return timing and success-rate estimates."""
+        clocks: dict[int, float] = {trap.trap_id: 0.0 for trap in schedule.device.traps}
+        thermal = ThermalLedger(params=self.config.heating)
+        accumulator = SuccessRateAccumulator()
+        total_gate_time = 0.0
+        total_shuttle_time = 0.0
+
+        for operation in schedule:
+            if isinstance(operation, GateOperation):
+                duration = self._apply_gate(operation, clocks, thermal, accumulator)
+                total_gate_time += duration
+            elif isinstance(operation, SwapOperation):
+                duration = self._apply_swap(operation, clocks, thermal, accumulator)
+                total_gate_time += duration
+            elif isinstance(operation, ShuttleOperation):
+                duration = self._apply_shuttle(operation, clocks, thermal)
+                total_shuttle_time += duration
+            elif isinstance(operation, SpaceShiftOperation):
+                duration = self._apply_space_shift(operation, clocks, thermal)
+                total_shuttle_time += duration
+            else:  # pragma: no cover - defensive
+                raise NoiseModelError(f"unknown operation type {type(operation).__name__}")
+
+        execution_time = max(clocks.values(), default=0.0)
+        return EvaluationResult(
+            success_rate=accumulator.success_rate,
+            log_success_rate=accumulator.log_success_rate,
+            execution_time_us=execution_time,
+            total_gate_time_us=total_gate_time,
+            total_shuttle_time_us=total_shuttle_time,
+            gate_count_2q=schedule.two_qubit_gate_count,
+            gate_count_1q=schedule.single_qubit_gate_count,
+            swap_count=schedule.swap_count,
+            shuttle_count=schedule.shuttle_count,
+            gate_implementation=self._implementation,
+            details={
+                "mean_phonon_total": thermal.total_phonon(),
+                "evaluated_gate_fidelities": float(accumulator.gate_count),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # per-operation handlers
+    # ------------------------------------------------------------------
+    def _two_qubit_time(self, chain_length: int, ion_separation: int) -> float:
+        return two_qubit_gate_time(self._implementation, max(chain_length, 2), ion_separation)
+
+    def _apply_gate(
+        self,
+        operation: GateOperation,
+        clocks: dict[int, float],
+        thermal: ThermalLedger,
+        accumulator: SuccessRateAccumulator,
+    ) -> float:
+        trap_state = thermal.trap(operation.trap)
+        if operation.gate.is_two_qubit:
+            duration = self._two_qubit_time(operation.chain_length, operation.ion_separation)
+            pending = trap_state.consume_accumulated_time()
+            fidelity = self._fidelity.two_qubit_gate_fidelity(
+                duration, operation.chain_length, trap_state.mean_phonon, pending
+            )
+            accumulator.multiply(fidelity)
+        else:
+            duration = single_qubit_gate_time()
+            if self.config.include_single_qubit_gates:
+                accumulator.multiply(self._fidelity.single_qubit_gate_fidelity_value())
+        clocks[operation.trap] = clocks.get(operation.trap, 0.0) + duration
+        return duration
+
+    def _apply_swap(
+        self,
+        operation: SwapOperation,
+        clocks: dict[int, float],
+        thermal: ThermalLedger,
+        accumulator: SuccessRateAccumulator,
+    ) -> float:
+        base_time = self._two_qubit_time(operation.chain_length, operation.ion_separation)
+        duration = 3.0 * base_time
+        if self.config.ignore_swap_cost:
+            return 0.0
+        trap_state = thermal.trap(operation.trap)
+        pending = trap_state.consume_accumulated_time()
+        fidelity = self._fidelity.swap_gate_fidelity(
+            base_time, operation.chain_length, trap_state.mean_phonon, pending
+        )
+        accumulator.multiply(fidelity)
+        clocks[operation.trap] = clocks.get(operation.trap, 0.0) + duration
+        return duration
+
+    def _apply_shuttle(
+        self,
+        operation: ShuttleOperation,
+        clocks: dict[int, float],
+        thermal: ThermalLedger,
+    ) -> float:
+        if self.config.ignore_shuttle_cost:
+            return 0.0
+        duration = self.config.operation_times.shuttle_us(
+            segments=operation.segments, junctions=operation.junctions
+        )
+        thermal.record_shuttle(
+            operation.source_trap, operation.target_trap, operation.segments, operation.junctions
+        )
+        thermal.trap(operation.source_trap).record_idle(duration)
+        thermal.trap(operation.target_trap).record_idle(duration)
+        # Both traps are busy for the whole split/move/merge sequence, and a
+        # shuttle cannot start before either endpoint is free.
+        start = max(clocks.get(operation.source_trap, 0.0), clocks.get(operation.target_trap, 0.0))
+        clocks[operation.source_trap] = start + duration
+        clocks[operation.target_trap] = start + duration
+        return duration
+
+    def _apply_space_shift(
+        self,
+        operation: SpaceShiftOperation,
+        clocks: dict[int, float],
+        thermal: ThermalLedger,
+    ) -> float:
+        if self.config.ignore_shuttle_cost:
+            return 0.0
+        duration = self.config.operation_times.move_us * operation.distance
+        thermal.trap(operation.trap).record_idle(duration)
+        clocks[operation.trap] = clocks.get(operation.trap, 0.0) + duration
+        return duration
+
+
+def evaluate_schedule(
+    schedule: Schedule,
+    gate_implementation: GateImplementation | str = GateImplementation.FM,
+    heating: HeatingParameters | None = None,
+    operation_times: OperationTimes | None = None,
+    ignore_shuttle_cost: bool = False,
+    ignore_swap_cost: bool = False,
+) -> EvaluationResult:
+    """One-call convenience wrapper around :class:`ScheduleEvaluator`."""
+    config = EvaluatorConfig(
+        gate_implementation=gate_implementation,
+        heating=heating or HeatingParameters(),
+        operation_times=operation_times or OperationTimes(),
+        ignore_shuttle_cost=ignore_shuttle_cost,
+        ignore_swap_cost=ignore_swap_cost,
+    )
+    return ScheduleEvaluator(config).evaluate(schedule)

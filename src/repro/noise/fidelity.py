@@ -1,0 +1,137 @@
+"""Gate fidelity model — Eq. (4) of the paper.
+
+The fidelity of a two-qubit gate executed in a trap with mean phonon
+occupation ``n̄`` and chain length ``N``, taking time ``τ``, is
+
+    F = 1 − Γ·τ − A·(2·n̄ + 1)
+
+with ``A = A₀ · N / ln N`` capturing thermal laser-beam instability and
+``Γ`` the constant background heating rate.  ``τ`` includes the
+transport time accumulated on that trap since its previous gate, so long
+shuttling detours show up as fidelity loss even when they do not add
+SWAP gates.  Single-qubit gates use a fixed fidelity of 99.9999 %
+(paper §4.2); SWAP gates are three two-qubit gates.
+
+The success rate of a whole application is the product of its gate
+fidelities.  Because products of thousands of factors underflow quickly,
+:class:`SuccessRateAccumulator` tracks the log-fidelity sum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import NoiseModelError
+from repro.noise.heating import HeatingParameters
+
+#: Fidelity of a single-qubit gate (paper §4.2).
+SINGLE_QUBIT_GATE_FIDELITY = 0.999999
+
+#: Number of two-qubit gates a SWAP decomposes into.
+SWAP_TWO_QUBIT_GATE_COUNT = 3
+
+#: Microseconds per second, for converting Γ·τ.
+_US_PER_S = 1.0e6
+
+
+@dataclass(frozen=True)
+class FidelityModel:
+    """Eq.-(4) fidelity evaluation with configurable heating parameters."""
+
+    heating: HeatingParameters = HeatingParameters()
+    single_qubit_fidelity: float = SINGLE_QUBIT_GATE_FIDELITY
+    #: Fidelity floor: Eq. (4) can go negative for pathological inputs;
+    #: the success-rate product treats anything below this as failure.
+    minimum_fidelity: float = 1.0e-12
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.single_qubit_fidelity <= 1.0):
+            raise NoiseModelError("single-qubit fidelity must lie in (0, 1]")
+        if self.minimum_fidelity <= 0:
+            raise NoiseModelError("the fidelity floor must be positive")
+
+    def two_qubit_gate_fidelity(
+        self,
+        gate_time_us: float,
+        chain_length: int,
+        mean_phonon: float,
+        accumulated_transport_us: float = 0.0,
+    ) -> float:
+        """Fidelity of one two-qubit gate (Eq. 4).
+
+        Parameters
+        ----------
+        gate_time_us:
+            Laser interaction time of the gate itself.
+        chain_length:
+            Number of ions in the trap when the gate fires.
+        mean_phonon:
+            Current n̄ of the trap.
+        accumulated_transport_us:
+            Transport/idle time charged to this trap since its previous
+            gate; contributes to the Γ·τ term.
+        """
+        if gate_time_us < 0 or accumulated_transport_us < 0:
+            raise NoiseModelError("durations cannot be negative")
+        if mean_phonon < 0:
+            raise NoiseModelError("the mean phonon number cannot be negative")
+        tau_s = (gate_time_us + accumulated_transport_us) / _US_PER_S
+        heating_term = self.heating.background_rate_per_s * tau_s
+        amplitude = self.heating.amplitude_factor(max(chain_length, 2))
+        transport_term = amplitude * (2.0 * mean_phonon + 1.0)
+        fidelity = 1.0 - heating_term - transport_term
+        return max(fidelity, self.minimum_fidelity)
+
+    def swap_gate_fidelity(
+        self,
+        gate_time_us: float,
+        chain_length: int,
+        mean_phonon: float,
+        accumulated_transport_us: float = 0.0,
+    ) -> float:
+        """Fidelity of a SWAP gate = product of three two-qubit gates."""
+        single = self.two_qubit_gate_fidelity(
+            gate_time_us, chain_length, mean_phonon, accumulated_transport_us
+        )
+        return single**SWAP_TWO_QUBIT_GATE_COUNT
+
+    def single_qubit_gate_fidelity_value(self) -> float:
+        """Fidelity of one single-qubit gate."""
+        return self.single_qubit_fidelity
+
+
+class SuccessRateAccumulator:
+    """Accumulates a product of gate fidelities in log space."""
+
+    def __init__(self) -> None:
+        self._log_sum = 0.0
+        self._gate_count = 0
+        self._failed = False
+
+    def multiply(self, fidelity: float) -> None:
+        """Fold one gate fidelity into the running product."""
+        if fidelity <= 0.0:
+            self._failed = True
+            return
+        if fidelity > 1.0:
+            raise NoiseModelError(f"fidelity {fidelity} exceeds 1")
+        self._log_sum += math.log(fidelity)
+        self._gate_count += 1
+
+    @property
+    def gate_count(self) -> int:
+        """Number of fidelities folded in so far."""
+        return self._gate_count
+
+    @property
+    def log_success_rate(self) -> float:
+        """Natural log of the running success rate (``-inf`` once failed)."""
+        return float("-inf") if self._failed else self._log_sum
+
+    @property
+    def success_rate(self) -> float:
+        """The running success-rate product."""
+        if self._failed:
+            return 0.0
+        return math.exp(self._log_sum)

@@ -1,0 +1,107 @@
+"""Two-qubit gate duration models (paper §4.1, "Execution Time").
+
+Four laser-modulation schemes are modelled, with durations in
+microseconds:
+
+* **FM** (frequency modulation): ``τ = max(13.33·N − 54, 100)`` where
+  ``N`` is the total number of ions in the chain;
+* **PM** (phase modulation): ``τ = 5·d + 160`` where ``d`` is the number
+  of ions *between* the two entangled ions;
+* **AM1** (amplitude modulation, Wu et al.): ``τ = 100·d − 22``;
+* **AM2** (amplitude modulation, Trout et al.): ``τ = 38·d + 10``.
+
+Single-qubit gates take a fixed short duration (they are not the paper's
+focus; the constant below keeps them negligible, as in the paper).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.exceptions import NoiseModelError
+
+#: Duration of a single-qubit gate in microseconds.
+SINGLE_QUBIT_GATE_TIME_US = 5.0
+
+#: Duration floor for the FM gate in microseconds.
+_FM_FLOOR_US = 100.0
+
+
+class GateImplementation(str, Enum):
+    """The two-qubit gate implementation families compared in Fig. 13."""
+
+    FM = "fm"
+    PM = "pm"
+    AM1 = "am1"
+    AM2 = "am2"
+
+    @classmethod
+    def from_name(cls, name: "str | GateImplementation") -> "GateImplementation":
+        """Accept an enum member or its (case-insensitive) string name."""
+        if isinstance(name, cls):
+            return name
+        try:
+            return cls(name.lower())
+        except ValueError as exc:
+            valid = ", ".join(member.value for member in cls)
+            raise NoiseModelError(f"unknown gate implementation {name!r}; expected one of {valid}") from exc
+
+
+def fm_gate_time(chain_length: int) -> float:
+    """FM gate duration in µs for a chain of ``chain_length`` ions."""
+    if chain_length < 2:
+        raise NoiseModelError("an entangling gate needs at least two ions in the chain")
+    return max(13.33 * chain_length - 54.0, _FM_FLOOR_US)
+
+
+def pm_gate_time(ion_separation: int) -> float:
+    """PM gate duration in µs; ``ion_separation`` = ions between the pair."""
+    if ion_separation < 0:
+        raise NoiseModelError("ion separation cannot be negative")
+    return 5.0 * ion_separation + 160.0
+
+
+def am1_gate_time(ion_separation: int) -> float:
+    """AM1 gate duration in µs (Wu et al. 2018 amplitude modulation)."""
+    if ion_separation < 0:
+        raise NoiseModelError("ion separation cannot be negative")
+    return max(100.0 * ion_separation - 22.0, 10.0)
+
+
+def am2_gate_time(ion_separation: int) -> float:
+    """AM2 gate duration in µs (Trout et al. 2018 amplitude modulation)."""
+    if ion_separation < 0:
+        raise NoiseModelError("ion separation cannot be negative")
+    return 38.0 * ion_separation + 10.0
+
+
+def two_qubit_gate_time(
+    implementation: GateImplementation | str,
+    chain_length: int,
+    ion_separation: int,
+) -> float:
+    """Dispatch to the right duration model.
+
+    Parameters
+    ----------
+    implementation:
+        Which modulation scheme implements the gate.
+    chain_length:
+        Total number of ions in the trap at execution time (FM input).
+    ion_separation:
+        Number of ions sitting between the two entangled ions (PM/AM
+        input).  Adjacent ions have separation 0.
+    """
+    impl = GateImplementation.from_name(implementation)
+    if impl is GateImplementation.FM:
+        return fm_gate_time(chain_length)
+    if impl is GateImplementation.PM:
+        return pm_gate_time(ion_separation)
+    if impl is GateImplementation.AM1:
+        return am1_gate_time(ion_separation)
+    return am2_gate_time(ion_separation)
+
+
+def single_qubit_gate_time() -> float:
+    """Duration of a single-qubit gate in µs."""
+    return SINGLE_QUBIT_GATE_TIME_US

@@ -1,0 +1,77 @@
+"""QCCD transport operation times — Table 1 of the paper.
+
+| Operation              | Time            |
+|------------------------|-----------------|
+| Move (one segment)     | 5 µs            |
+| Split                  | 80 µs           |
+| Merge                  | 80 µs           |
+| Cross n-path junction  | 40 + 20·n µs    |
+
+The SWAP gate is not a transport operation: it is three two-qubit gates
+and its duration comes from :mod:`repro.noise.gate_times`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import NoiseModelError
+
+
+@dataclass(frozen=True)
+class OperationTimes:
+    """Transport timing constants (µs), defaulting to the paper's Table 1."""
+
+    move_us: float = 5.0
+    split_us: float = 80.0
+    merge_us: float = 80.0
+    junction_base_us: float = 40.0
+    junction_per_path_us: float = 20.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("move_us", "split_us", "merge_us", "junction_base_us", "junction_per_path_us"):
+            if getattr(self, field_name) < 0:
+                raise NoiseModelError(f"{field_name} cannot be negative")
+
+    def junction_crossing_us(self, num_paths: int = 3) -> float:
+        """Duration of crossing a junction with ``num_paths`` channels."""
+        if num_paths < 2:
+            raise NoiseModelError("a junction joins at least two paths")
+        return self.junction_base_us + self.junction_per_path_us * num_paths
+
+    def shuttle_us(self, segments: int, junctions: int, junction_paths: int = 3) -> float:
+        """Total duration of one shuttle: split + moves + junction crossings + merge.
+
+        Parameters
+        ----------
+        segments:
+            Number of straight electrode segments traversed (one "move"
+            each).
+        junctions:
+            Number of junctions crossed along the path.
+        junction_paths:
+            Channel count of each junction (3 for an X/T junction).
+        """
+        if segments < 1:
+            raise NoiseModelError("a shuttle traverses at least one segment")
+        if junctions < 0:
+            raise NoiseModelError("junction count cannot be negative")
+        return (
+            self.split_us
+            + self.move_us * segments
+            + self.junction_crossing_us(junction_paths) * junctions
+            + self.merge_us
+        )
+
+    def as_table(self) -> dict[str, float]:
+        """Table-1 rows as a name → µs mapping (for reporting)."""
+        return {
+            "move": self.move_us,
+            "split": self.split_us,
+            "merge": self.merge_us,
+            "cross 3-path junction": self.junction_crossing_us(3),
+        }
+
+
+#: Module-level default instance using the paper's published values.
+PAPER_OPERATION_TIMES = OperationTimes()

@@ -1,0 +1,43 @@
+"""Schedule representation shared by all compilers and the noise evaluator."""
+
+from repro.schedule.operations import (
+    GateOperation,
+    OperationKind,
+    ScheduledOperation,
+    ShuttleOperation,
+    SpaceShiftOperation,
+    SwapOperation,
+)
+from repro.schedule.schedule import Schedule
+from repro.schedule.serialize import (
+    device_from_dict,
+    device_to_dict,
+    schedule_from_dict,
+    schedule_from_json,
+    schedule_to_dict,
+    schedule_to_json,
+)
+from repro.schedule.verify import (
+    ScheduleVerificationError,
+    VerificationReport,
+    verify_schedule,
+)
+
+__all__ = [
+    "GateOperation",
+    "OperationKind",
+    "Schedule",
+    "ScheduleVerificationError",
+    "ScheduledOperation",
+    "ShuttleOperation",
+    "SpaceShiftOperation",
+    "SwapOperation",
+    "VerificationReport",
+    "device_from_dict",
+    "device_to_dict",
+    "schedule_from_dict",
+    "schedule_from_json",
+    "schedule_to_dict",
+    "schedule_to_json",
+    "verify_schedule",
+]

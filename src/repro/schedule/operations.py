@@ -1,0 +1,152 @@
+"""Scheduled operation records — the compiler's output vocabulary.
+
+A compiled program is a time-ordered list of these records.  Each record
+captures the *context* the noise model needs (trap occupancy, ion
+separation, path length) at the moment the operation fires, so the
+schedule can be re-evaluated under different gate implementations or
+heating parameters without recompiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.circuit.gate import Gate
+from repro.exceptions import SchedulingError
+
+
+class OperationKind(str, Enum):
+    """Discriminator for the scheduled operation records."""
+
+    GATE_1Q = "gate_1q"
+    GATE_2Q = "gate_2q"
+    SWAP = "swap"
+    SHUTTLE = "shuttle"
+    SPACE_SHIFT = "space_shift"
+
+
+@dataclass(frozen=True)
+class ScheduledOperation:
+    """Base record; concrete kinds are the subclasses below."""
+
+    kind: OperationKind = field(init=False)
+
+
+@dataclass(frozen=True)
+class GateOperation(ScheduledOperation):
+    """A program gate executed inside one trap.
+
+    Attributes
+    ----------
+    gate:
+        The original program gate.
+    trap:
+        Trap the gate executes in.
+    chain_length:
+        Number of ions in that trap at execution time (FM-gate input).
+    ion_separation:
+        Number of ions between the two operands (0 for adjacent ions,
+        irrelevant for single-qubit gates).
+    """
+
+    gate: Gate
+    trap: int
+    chain_length: int
+    ion_separation: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "kind", OperationKind.GATE_2Q if self.gate.is_two_qubit else OperationKind.GATE_1Q
+        )
+        if self.chain_length < 1:
+            raise SchedulingError("a gate needs at least one ion in the trap")
+        if self.ion_separation < 0:
+            raise SchedulingError("ion separation cannot be negative")
+
+
+@dataclass(frozen=True)
+class SwapOperation(ScheduledOperation):
+    """An inserted SWAP gate between two ions in the same trap."""
+
+    trap: int
+    qubit_a: int
+    qubit_b: int
+    chain_length: int
+    ion_separation: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", OperationKind.SWAP)
+        if self.qubit_a == self.qubit_b:
+            raise SchedulingError("a SWAP needs two distinct qubits")
+        if self.chain_length < 2:
+            raise SchedulingError("a SWAP needs at least two ions in the trap")
+        if self.ion_separation < 0:
+            raise SchedulingError("ion separation cannot be negative")
+
+
+@dataclass(frozen=True)
+class ShuttleOperation(ScheduledOperation):
+    """A split / move / merge transfer of one ion between two traps.
+
+    Attributes
+    ----------
+    qubit:
+        The program qubit being moved.
+    source_trap, target_trap:
+        Endpoints of the transfer.
+    segments:
+        Straight electrode segments traversed (Table-1 "move" count).
+    junctions:
+        Junctions crossed along the way.
+    source_chain_length:
+        Ions in the source trap *before* the split.
+    target_chain_length:
+        Ions in the target trap *after* the merge.
+    """
+
+    qubit: int
+    source_trap: int
+    target_trap: int
+    segments: int
+    junctions: int
+    source_chain_length: int
+    target_chain_length: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", OperationKind.SHUTTLE)
+        if self.source_trap == self.target_trap:
+            raise SchedulingError("a shuttle must change traps")
+        if self.segments < 1:
+            raise SchedulingError("a shuttle traverses at least one segment")
+        if self.junctions < 0:
+            raise SchedulingError("junction count cannot be negative")
+        if self.source_chain_length < 1 or self.target_chain_length < 1:
+            raise SchedulingError("chain lengths must be at least 1")
+
+
+@dataclass(frozen=True)
+class SpaceShiftOperation(ScheduledOperation):
+    """Intra-trap reordering of one ion into an adjacent empty slot.
+
+    This is a physical move of the ion within its own trap (no SWAP gate
+    and no split/merge), used to bring an ion to the trap edge or to
+    clear the receiving slot for an incoming ion.
+    """
+
+    trap: int
+    qubit: int
+    from_position: int
+    to_position: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", OperationKind.SPACE_SHIFT)
+        if self.from_position == self.to_position:
+            raise SchedulingError("a space shift must change the ion's position")
+        if self.from_position < 0 or self.to_position < 0:
+            raise SchedulingError("positions cannot be negative")
+
+    @property
+    def distance(self) -> int:
+        """Number of slots the ion moves by."""
+        return abs(self.to_position - self.from_position)

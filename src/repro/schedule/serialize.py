@@ -1,0 +1,205 @@
+"""JSON serialisation for compiled schedules.
+
+Compilation can be the expensive step of a workflow, so downstream users
+often want to persist a schedule and re-evaluate it later (e.g. under a
+different gate implementation, or on another machine).  These helpers
+round-trip a :class:`~repro.schedule.Schedule` — together with enough
+device metadata to rebuild an identical :class:`QCCDDevice` — through a
+plain JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.circuit.gate import Gate
+from repro.exceptions import ReproError
+from repro.hardware.device import QCCDDevice
+from repro.hardware.trap import Connection, Trap
+from repro.schedule.operations import (
+    GateOperation,
+    OperationKind,
+    ScheduledOperation,
+    ShuttleOperation,
+    SpaceShiftOperation,
+    SwapOperation,
+)
+from repro.schedule.schedule import Schedule
+
+#: Format marker stored in every document (bump on incompatible changes).
+SCHEDULE_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# device
+# ----------------------------------------------------------------------
+def device_to_dict(device: QCCDDevice) -> dict[str, Any]:
+    """Serialise a device description to plain data."""
+    return {
+        "name": device.name,
+        "junction_weight": device.junction_weight,
+        "traps": [
+            {"trap_id": trap.trap_id, "capacity": trap.capacity, "name": trap.name}
+            for trap in device.traps
+        ],
+        "connections": [
+            {
+                "trap_a": connection.trap_a,
+                "trap_b": connection.trap_b,
+                "junctions": connection.junctions,
+                "segments": connection.segments,
+            }
+            for connection in device.connections
+        ],
+    }
+
+
+def device_from_dict(data: dict[str, Any]) -> QCCDDevice:
+    """Rebuild a device from :func:`device_to_dict` output."""
+    try:
+        traps = [Trap(t["trap_id"], t["capacity"], t.get("name", "")) for t in data["traps"]]
+        connections = [
+            Connection(c["trap_a"], c["trap_b"], c.get("junctions", 0), c.get("segments", 1))
+            for c in data["connections"]
+        ]
+        return QCCDDevice(
+            traps,
+            connections,
+            name=data.get("name", "qccd"),
+            junction_weight=data.get("junction_weight", 1.0),
+        )
+    except KeyError as exc:
+        raise ReproError(f"device document is missing the {exc.args[0]!r} field") from exc
+
+
+# ----------------------------------------------------------------------
+# operations
+# ----------------------------------------------------------------------
+def _operation_to_dict(operation: ScheduledOperation) -> dict[str, Any]:
+    if isinstance(operation, GateOperation):
+        return {
+            "kind": operation.kind.value,
+            "gate": {
+                "name": operation.gate.name,
+                "qubits": list(operation.gate.qubits),
+                "params": list(operation.gate.params),
+            },
+            "trap": operation.trap,
+            "chain_length": operation.chain_length,
+            "ion_separation": operation.ion_separation,
+        }
+    if isinstance(operation, SwapOperation):
+        return {
+            "kind": operation.kind.value,
+            "trap": operation.trap,
+            "qubit_a": operation.qubit_a,
+            "qubit_b": operation.qubit_b,
+            "chain_length": operation.chain_length,
+            "ion_separation": operation.ion_separation,
+        }
+    if isinstance(operation, ShuttleOperation):
+        return {
+            "kind": operation.kind.value,
+            "qubit": operation.qubit,
+            "source_trap": operation.source_trap,
+            "target_trap": operation.target_trap,
+            "segments": operation.segments,
+            "junctions": operation.junctions,
+            "source_chain_length": operation.source_chain_length,
+            "target_chain_length": operation.target_chain_length,
+        }
+    if isinstance(operation, SpaceShiftOperation):
+        return {
+            "kind": operation.kind.value,
+            "trap": operation.trap,
+            "qubit": operation.qubit,
+            "from_position": operation.from_position,
+            "to_position": operation.to_position,
+        }
+    raise ReproError(f"cannot serialise operation type {type(operation).__name__}")
+
+
+def _operation_from_dict(data: dict[str, Any]) -> ScheduledOperation:
+    try:
+        kind = OperationKind(data["kind"])
+    except (KeyError, ValueError) as exc:
+        raise ReproError(f"operation document has an invalid kind: {data.get('kind')!r}") from exc
+    if kind in (OperationKind.GATE_1Q, OperationKind.GATE_2Q):
+        gate_data = data["gate"]
+        gate = Gate(gate_data["name"], tuple(gate_data["qubits"]), tuple(gate_data.get("params", ())))
+        return GateOperation(
+            gate=gate,
+            trap=data["trap"],
+            chain_length=data["chain_length"],
+            ion_separation=data.get("ion_separation", 0),
+        )
+    if kind is OperationKind.SWAP:
+        return SwapOperation(
+            trap=data["trap"],
+            qubit_a=data["qubit_a"],
+            qubit_b=data["qubit_b"],
+            chain_length=data["chain_length"],
+            ion_separation=data.get("ion_separation", 0),
+        )
+    if kind is OperationKind.SHUTTLE:
+        return ShuttleOperation(
+            qubit=data["qubit"],
+            source_trap=data["source_trap"],
+            target_trap=data["target_trap"],
+            segments=data["segments"],
+            junctions=data["junctions"],
+            source_chain_length=data["source_chain_length"],
+            target_chain_length=data["target_chain_length"],
+        )
+    return SpaceShiftOperation(
+        trap=data["trap"],
+        qubit=data["qubit"],
+        from_position=data["from_position"],
+        to_position=data["to_position"],
+    )
+
+
+# ----------------------------------------------------------------------
+# schedule
+# ----------------------------------------------------------------------
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    """Serialise a schedule (device + operation log) to plain data."""
+    return {
+        "format_version": SCHEDULE_FORMAT_VERSION,
+        "circuit_name": schedule.circuit_name,
+        "device": device_to_dict(schedule.device),
+        "operations": [_operation_to_dict(op) for op in schedule],
+        "summary": schedule.count_summary(),
+    }
+
+
+def schedule_from_dict(data: dict[str, Any]) -> Schedule:
+    """Rebuild a schedule from :func:`schedule_to_dict` output."""
+    version = data.get("format_version")
+    if version != SCHEDULE_FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported schedule format version {version!r} "
+            f"(this library writes version {SCHEDULE_FORMAT_VERSION})"
+        )
+    device = device_from_dict(data["device"])
+    schedule = Schedule(device, data.get("circuit_name", "circuit"))
+    for op_data in data.get("operations", []):
+        schedule.append(_operation_from_dict(op_data))
+    return schedule
+
+
+def schedule_to_json(schedule: Schedule, indent: int | None = None) -> str:
+    """Serialise a schedule to a JSON string."""
+    return json.dumps(schedule_to_dict(schedule), indent=indent)
+
+
+def schedule_from_json(text: str) -> Schedule:
+    """Parse a schedule from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"invalid schedule JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ReproError("a schedule document must be a JSON object")
+    return schedule_from_dict(data)

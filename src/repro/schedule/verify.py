@@ -1,0 +1,208 @@
+"""Schedule verification: replay an operation log and check physical legality.
+
+A compiled schedule is only trustworthy if every operation it contains
+could actually be performed on the device: SWAPs act on two ions in the
+same trap, shuttles depart from a chain end towards a connected trap with
+room, and every program two-qubit gate fires with its operands
+co-located.  :func:`verify_schedule` replays the log against a fresh copy
+of the initial occupancy and raises :class:`ScheduleVerificationError`
+on the first violation; it also cross-checks the chain-length and
+ion-separation context recorded in each operation (which the noise model
+trusts) against the replayed state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.state import DeviceState
+from repro.exceptions import ReproError, StateError
+from repro.schedule.operations import (
+    GateOperation,
+    OperationKind,
+    ShuttleOperation,
+    SpaceShiftOperation,
+    SwapOperation,
+)
+from repro.schedule.schedule import Schedule
+
+
+class ScheduleVerificationError(ReproError):
+    """Raised when a schedule contains a physically impossible operation."""
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Summary of a successful verification."""
+
+    operations_checked: int
+    two_qubit_gates: int
+    swaps: int
+    shuttles: int
+    final_state: DeviceState
+
+
+def verify_schedule(
+    schedule: Schedule,
+    initial_state: DeviceState,
+    circuit: QuantumCircuit | None = None,
+    check_context: bool = True,
+) -> VerificationReport:
+    """Replay ``schedule`` from ``initial_state`` and check every operation.
+
+    Parameters
+    ----------
+    schedule:
+        The compiled operation log.
+    initial_state:
+        The occupancy the schedule starts from (not mutated).
+    circuit:
+        When given, additionally checks that the schedule executes exactly
+        the circuit's two-qubit gates, in a dependency-respecting order
+        per qubit pair.
+    check_context:
+        Also verify the chain-length / ion-separation metadata stored in
+        each operation against the replayed state.
+    """
+    state = initial_state.copy()
+    executed_2q = 0
+    swaps = 0
+    shuttles = 0
+
+    for index, operation in enumerate(schedule):
+        try:
+            if isinstance(operation, GateOperation):
+                _verify_gate(state, operation, check_context)
+                if operation.kind == OperationKind.GATE_2Q:
+                    executed_2q += 1
+            elif isinstance(operation, SwapOperation):
+                _verify_swap(state, operation, check_context)
+                swaps += 1
+            elif isinstance(operation, ShuttleOperation):
+                _verify_shuttle(state, operation, check_context)
+                shuttles += 1
+            elif isinstance(operation, SpaceShiftOperation):
+                # Space shifts are always legal intra-trap moves in the
+                # chain model; nothing to replay.
+                pass
+            else:  # pragma: no cover - defensive
+                raise ScheduleVerificationError(f"unknown operation type {type(operation).__name__}")
+        except StateError as exc:
+            raise ScheduleVerificationError(f"operation {index} ({operation.kind}): {exc}") from exc
+
+    if circuit is not None:
+        _verify_against_circuit(schedule, circuit)
+
+    return VerificationReport(
+        operations_checked=len(schedule),
+        two_qubit_gates=executed_2q,
+        swaps=swaps,
+        shuttles=shuttles,
+        final_state=state,
+    )
+
+
+def _verify_gate(state: DeviceState, operation: GateOperation, check_context: bool) -> None:
+    gate = operation.gate
+    traps = {state.trap_of(q) for q in gate.qubits}
+    if len(traps) != 1:
+        raise ScheduleVerificationError(
+            f"gate {gate} executed with operands spread over traps {sorted(traps)}"
+        )
+    trap = traps.pop()
+    if trap != operation.trap:
+        raise ScheduleVerificationError(
+            f"gate {gate} recorded in trap {operation.trap} but its operands are in trap {trap}"
+        )
+    if check_context:
+        actual_chain = state.chain_length(trap)
+        if actual_chain != operation.chain_length:
+            raise ScheduleVerificationError(
+                f"gate {gate}: recorded chain length {operation.chain_length} "
+                f"but trap {trap} holds {actual_chain} ions"
+            )
+        if gate.is_two_qubit:
+            separation = state.ion_separation(*gate.qubits)
+            if separation != operation.ion_separation:
+                raise ScheduleVerificationError(
+                    f"gate {gate}: recorded ion separation {operation.ion_separation} "
+                    f"but the ions are {separation} apart"
+                )
+
+
+def _verify_swap(state: DeviceState, operation: SwapOperation, check_context: bool) -> None:
+    trap_a = state.trap_of(operation.qubit_a)
+    trap_b = state.trap_of(operation.qubit_b)
+    if trap_a != trap_b:
+        raise ScheduleVerificationError(
+            f"SWAP({operation.qubit_a}, {operation.qubit_b}) spans traps {trap_a} and {trap_b}"
+        )
+    if trap_a != operation.trap:
+        raise ScheduleVerificationError(
+            f"SWAP recorded in trap {operation.trap} but the ions are in trap {trap_a}"
+        )
+    if check_context:
+        actual_chain = state.chain_length(trap_a)
+        if actual_chain != operation.chain_length:
+            raise ScheduleVerificationError(
+                f"SWAP({operation.qubit_a}, {operation.qubit_b}): recorded chain length "
+                f"{operation.chain_length} but trap {trap_a} holds {actual_chain} ions"
+            )
+        separation = state.ion_separation(operation.qubit_a, operation.qubit_b)
+        if separation != operation.ion_separation:
+            raise ScheduleVerificationError(
+                f"SWAP({operation.qubit_a}, {operation.qubit_b}): recorded separation "
+                f"{operation.ion_separation} but the ions are {separation} apart"
+            )
+    state.swap_qubits(operation.qubit_a, operation.qubit_b)
+
+
+def _verify_shuttle(state: DeviceState, operation: ShuttleOperation, check_context: bool) -> None:
+    source = state.trap_of(operation.qubit)
+    if source != operation.source_trap:
+        raise ScheduleVerificationError(
+            f"shuttle of qubit {operation.qubit} recorded from trap {operation.source_trap} "
+            f"but the ion is in trap {source}"
+        )
+    if check_context:
+        before = state.chain_length(source)
+        if before != operation.source_chain_length:
+            raise ScheduleVerificationError(
+                f"shuttle of qubit {operation.qubit}: recorded source chain length "
+                f"{operation.source_chain_length} but trap {source} holds {before} ions"
+            )
+    state.shuttle(operation.qubit, operation.target_trap)
+    if check_context:
+        after = state.chain_length(operation.target_trap)
+        if after != operation.target_chain_length:
+            raise ScheduleVerificationError(
+                f"shuttle of qubit {operation.qubit}: recorded target chain length "
+                f"{operation.target_chain_length} but trap {operation.target_trap} now holds {after} ions"
+            )
+    connection = state.device.connection_between(operation.source_trap, operation.target_trap)
+    if connection.junctions != operation.junctions or connection.segments != operation.segments:
+        raise ScheduleVerificationError(
+            f"shuttle of qubit {operation.qubit}: recorded path (segments={operation.segments}, "
+            f"junctions={operation.junctions}) does not match the device connection "
+            f"(segments={connection.segments}, junctions={connection.junctions})"
+        )
+
+
+def _verify_against_circuit(schedule: Schedule, circuit: QuantumCircuit) -> None:
+    """Check the executed two-qubit gates are exactly the circuit's, per-pair in order."""
+    expected = [g for g in circuit.gates if g.is_two_qubit]
+    executed = [op.gate for op in schedule.executed_two_qubit_gates()]
+    if len(expected) != len(executed):
+        raise ScheduleVerificationError(
+            f"schedule executes {len(executed)} two-qubit gates, circuit has {len(expected)}"
+        )
+    # Per-qubit subsequences must match: a valid reordering only commutes
+    # gates acting on disjoint qubits.
+    for qubit in circuit.used_qubits():
+        expected_on_q = [g for g in expected if qubit in g.qubits]
+        executed_on_q = [g for g in executed if qubit in g.qubits]
+        if expected_on_q != executed_on_q:
+            raise ScheduleVerificationError(
+                f"the gate order on qubit {qubit} differs between the circuit and the schedule"
+            )

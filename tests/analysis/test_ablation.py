@@ -1,0 +1,112 @@
+"""Unit tests for the ablation study machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ablation import (
+    AblationRecord,
+    ablation_summary,
+    default_variants,
+    run_ablation,
+)
+from repro.circuit.library import cuccaro_adder_circuit, qft_circuit
+from repro.core.compiler import SSyncConfig
+from repro.exceptions import ReproError
+from repro.hardware.topologies import grid_device
+from repro.schedule.verify import verify_schedule
+
+
+class TestVariants:
+    def test_default_variant_names(self):
+        variants = default_variants()
+        assert set(variants) == {
+            "full",
+            "no-lookahead",
+            "no-decay",
+            "no-mountain-order",
+            "greedy-weights",
+        }
+
+    def test_no_lookahead_variant_disables_lookahead(self):
+        variants = default_variants()
+        assert variants["no-lookahead"].scheduler.lookahead_depth == 0
+        assert variants["full"].scheduler.lookahead_depth > 0
+
+    def test_no_decay_variant_zeroes_delta(self):
+        assert default_variants()["no-decay"].scheduler.decay_delta == 0.0
+
+    def test_custom_base_config_propagates(self):
+        base = SSyncConfig().with_decay(0.123)
+        variants = default_variants(base)
+        assert variants["full"].scheduler.decay_delta == pytest.approx(0.123)
+        assert variants["no-lookahead"].scheduler.decay_delta == pytest.approx(0.123)
+
+
+class TestRunAblation:
+    def test_records_cover_all_variants(self):
+        device = grid_device(2, 2, 8)
+        circuit = qft_circuit(12)
+        records = run_ablation(circuit, device)
+        assert {r.variant for r in records} == set(default_variants())
+        for record in records:
+            assert record.circuit == circuit.name
+            assert 0.0 <= record.success_rate <= 1.0
+
+    def test_custom_variant_subset(self):
+        device = grid_device(2, 2, 8)
+        circuit = qft_circuit(10)
+        records = run_ablation(circuit, device, variants={"full": SSyncConfig()})
+        assert len(records) == 1
+
+    def test_empty_variants_rejected(self):
+        device = grid_device(2, 2, 8)
+        with pytest.raises(ReproError):
+            run_ablation(qft_circuit(8), device, variants={})
+
+    def test_no_mountain_order_variant_produces_valid_schedule(self):
+        from repro.analysis.ablation import _FirstFitMapper
+        from repro.core.compiler import SSyncCompiler
+
+        device = grid_device(2, 2, 8)
+        circuit = cuccaro_adder_circuit(6)
+        result = SSyncCompiler(device).compile(circuit, initial_mapping=_FirstFitMapper())
+        verify_schedule(result.schedule, result.initial_state, circuit=circuit)
+
+    def test_lookahead_never_hurts_serial_circuits(self):
+        device = grid_device(2, 2, 8)
+        circuit = cuccaro_adder_circuit(6)
+        records = run_ablation(
+            circuit,
+            device,
+            variants={
+                "full": SSyncConfig(),
+                "no-lookahead": default_variants()["no-lookahead"],
+            },
+        )
+        by_variant = {r.variant: r for r in records}
+        assert by_variant["no-lookahead"].shuttles >= by_variant["full"].shuttles
+
+
+class TestSummary:
+    def test_summary_is_relative_to_full(self):
+        records = [
+            AblationRecord("full", "c", "d", 10, 5, 0.5, 1.0, 0.1),
+            AblationRecord("no-decay", "c", "d", 20, 5, 0.4, 1.0, 0.1),
+        ]
+        summary = ablation_summary(records)
+        assert summary["full"] == pytest.approx(1.0)
+        assert summary["no-decay"] == pytest.approx(2.0)
+
+    def test_summary_requires_full_variant(self):
+        records = [AblationRecord("no-decay", "c", "d", 20, 5, 0.4, 1.0, 0.1)]
+        with pytest.raises(ReproError):
+            ablation_summary(records)
+
+    def test_zero_shuttle_baseline_handled(self):
+        records = [
+            AblationRecord("full", "c", "d", 0, 0, 0.9, 1.0, 0.1),
+            AblationRecord("no-decay", "c", "d", 3, 0, 0.8, 1.0, 0.1),
+        ]
+        summary = ablation_summary(records)
+        assert summary["no-decay"] == pytest.approx(3.0)

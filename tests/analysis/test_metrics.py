@@ -1,0 +1,92 @@
+"""Unit tests for compiler comparison metrics (Figs. 8-10 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import (
+    DEFAULT_COMPILER_NAMES,
+    compare_compilers,
+    compile_with,
+    improvement_factors,
+    record_from_result,
+)
+from repro.circuit.library import qft_circuit
+from repro.core.compiler import SSyncConfig
+from repro.exceptions import ReproError
+from repro.hardware.topologies import grid_device, linear_device
+from repro.noise.evaluator import evaluate_schedule
+
+
+class TestCompileWith:
+    def test_known_names(self):
+        device = linear_device(2, 8)
+        circuit = qft_circuit(10)
+        for name, expected in (("s-sync", "s-sync"), ("murali", "murali"), ("dai", "dai")):
+            result = compile_with(name, circuit, device)
+            assert result.compiler_name == expected
+
+    def test_ssync_aliases(self):
+        device = linear_device(2, 8)
+        circuit = qft_circuit(8)
+        assert compile_with("This Work", circuit, device).compiler_name == "s-sync"
+
+    def test_unknown_name_rejected(self):
+        device = linear_device(2, 8)
+        with pytest.raises(ReproError):
+            compile_with("qiskit", qft_circuit(6), device)
+
+    def test_ssync_config_and_mapping_forwarded(self):
+        device = linear_device(2, 8)
+        circuit = qft_circuit(10)
+        result = compile_with(
+            "s-sync", circuit, device, ssync_config=SSyncConfig(), initial_mapping="even-divided"
+        )
+        assert result.mapping_name == "even-divided"
+
+
+class TestComparison:
+    def test_records_cover_all_compilers(self):
+        device = grid_device(2, 2, 6)
+        circuit = qft_circuit(12)
+        records = compare_compilers(circuit, device)
+        assert [r.compiler for r in records] == list(DEFAULT_COMPILER_NAMES)
+        for record in records:
+            assert record.circuit == circuit.name
+            assert record.device == device.name
+            assert record.two_qubit_gates == circuit.num_two_qubit_gates
+            assert 0.0 <= record.success_rate <= 1.0
+            assert record.execution_time_us > 0
+
+    def test_record_from_result_consistency(self):
+        device = linear_device(2, 8)
+        circuit = qft_circuit(10)
+        result = compile_with("s-sync", circuit, device)
+        evaluation = evaluate_schedule(result.schedule)
+        record = record_from_result(result, evaluation)
+        assert record.shuttles == result.shuttle_count
+        assert record.success_rate == evaluation.success_rate
+        assert record.as_dict()["compiler"] == "s-sync"
+
+    def test_subset_of_compilers(self):
+        device = linear_device(2, 8)
+        circuit = qft_circuit(8)
+        records = compare_compilers(circuit, device, compilers=("murali",))
+        assert len(records) == 1
+
+
+class TestImprovementFactors:
+    def test_factors_computed_against_baselines(self):
+        device = grid_device(2, 2, 6)
+        circuit = qft_circuit(14)
+        records = compare_compilers(circuit, device)
+        factors = improvement_factors(records)
+        assert factors["shuttle_reduction"] > 1.0
+        assert factors["success_rate_gain"] > 1.0
+
+    def test_requires_both_sides(self):
+        device = linear_device(2, 8)
+        circuit = qft_circuit(8)
+        only_ssync = compare_compilers(circuit, device, compilers=("s-sync",))
+        with pytest.raises(ReproError):
+            improvement_factors(only_ssync)

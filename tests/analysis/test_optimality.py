@@ -1,0 +1,55 @@
+"""Unit tests for the Fig.-16 optimality bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.optimality import evaluate_scenarios, optimality_report
+from repro.circuit.library import qft_circuit
+from repro.core.compiler import SSyncCompiler
+from repro.hardware.topologies import grid_device
+
+
+@pytest.fixture(scope="module")
+def compiled_result():
+    device = grid_device(2, 2, 6)
+    return device, SSyncCompiler(device).compile(qft_circuit(14))
+
+
+class TestScenarios:
+    def test_all_four_scenarios_present(self, compiled_result):
+        _, result = compiled_result
+        scenarios = evaluate_scenarios(result)
+        assert set(scenarios) == {"s_sync", "perfect_shuttle", "perfect_swap", "ideal"}
+
+    def test_bounds_ordering(self, compiled_result):
+        _, result = compiled_result
+        scenarios = evaluate_scenarios(result)
+        base = scenarios["s_sync"].success_rate
+        assert scenarios["perfect_shuttle"].success_rate >= base
+        assert scenarios["perfect_swap"].success_rate >= base
+        assert scenarios["ideal"].success_rate >= scenarios["perfect_shuttle"].success_rate
+        assert scenarios["ideal"].success_rate >= scenarios["perfect_swap"].success_rate
+
+    def test_ideal_removes_all_overheads(self, compiled_result):
+        _, result = compiled_result
+        scenarios = evaluate_scenarios(result)
+        assert scenarios["ideal"].total_shuttle_time_us == 0.0
+
+
+class TestReport:
+    def test_report_fields(self):
+        device = grid_device(2, 2, 6)
+        report = optimality_report(qft_circuit(12), device)
+        assert report.device == device.name
+        assert 0 < report.s_sync <= report.ideal <= 1.0
+        assert report.shuttle_gap >= 1.0
+        assert report.swap_gap >= 1.0
+        data = report.as_dict()
+        assert data["ideal"] == report.ideal
+
+    def test_report_respects_gate_implementation(self):
+        device = grid_device(2, 2, 6)
+        fm = optimality_report(qft_circuit(12), device, gate_implementation="fm")
+        am2 = optimality_report(qft_circuit(12), device, gate_implementation="am2")
+        assert fm.s_sync != pytest.approx(am2.s_sync)

@@ -1,0 +1,93 @@
+"""Unit tests for the plain-text reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import (
+    format_grouped_series,
+    format_table,
+    format_value,
+    geometric_mean,
+    ratio_summary,
+)
+from repro.exceptions import ReproError
+
+
+class TestFormatValue:
+    def test_floats_are_compact(self):
+        assert format_value(0.123456789) == "0.1235"
+        assert format_value(1e-7) == "1e-07"
+
+    def test_non_floats_passthrough(self):
+        assert format_value(12) == "12"
+        assert format_value("qft") == "qft"
+        assert format_value(True) == "True"
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        rows = [
+            {"circuit": "qft_24", "shuttles": 18, "success": 0.4369},
+            {"circuit": "bv_64", "shuttles": 9, "success": 0.909},
+        ]
+        text = format_table(rows, title="Fig. 8")
+        lines = text.splitlines()
+        assert lines[0] == "Fig. 8"
+        assert "circuit" in lines[1] and "shuttles" in lines[1]
+        assert len(lines) == 5
+        # All rows are padded to the same width.
+        assert len(set(len(line) for line in lines[2:])) <= 2
+
+    def test_explicit_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_missing_cells_left_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = format_table(rows, columns=["a", "b"])
+        assert text  # does not raise
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ReproError):
+            format_table([])
+
+
+class TestGroupedSeries:
+    def test_one_line_per_group(self):
+        rows = [
+            {"label": "L-6", "x": 100, "y": 0.5},
+            {"label": "L-6", "x": 120, "y": 0.6},
+            {"label": "G-2x3", "x": 100, "y": 0.7},
+        ]
+        text = format_grouped_series(rows, "label", "x", "y")
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert any(line.startswith("L-6:") and "100=0.5" in line for line in lines)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            format_grouped_series([], "a", "b", "c")
+
+
+class TestAggregates:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_geometric_mean_validation(self):
+        with pytest.raises(ReproError):
+            geometric_mean([])
+        with pytest.raises(ReproError):
+            geometric_mean([1.0, 0.0])
+
+    def test_ratio_summary(self):
+        text = ratio_summary({"qft": 3.0, "adder": 12.0}, "shuttle reduction")
+        assert text.startswith("shuttle reduction:")
+        assert "qft=3.00x" in text
+        assert "geomean 6.00x" in text
+
+    def test_ratio_summary_empty_rejected(self):
+        with pytest.raises(ReproError):
+            ratio_summary({}, "x")

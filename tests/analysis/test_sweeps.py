@@ -1,0 +1,95 @@
+"""Unit tests for the parameter sweeps behind Figs. 11-15."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweeps import (
+    compile_time_sweep,
+    decay_rate_sweep,
+    gate_implementation_sweep,
+    initial_mapping_sweep,
+    topology_capacity_sweep,
+    weight_ratio_sweep,
+)
+from repro.circuit.library import qft_circuit
+from repro.exceptions import ReproError
+from repro.hardware.presets import paper_device
+from repro.hardware.topologies import grid_device
+
+
+class TestTopologySweep:
+    def test_records_cover_feasible_points(self):
+        records = topology_capacity_sweep(
+            qft_circuit, 12, topology_names=("L-4", "G-2x2"), capacities=(5, 8)
+        )
+        labels = {r.label for r in records}
+        assert labels == {"L-4", "G-2x2"}
+        for record in records:
+            assert record.parameter == "total_capacity"
+            assert record.success_rate >= 0
+
+    def test_infeasible_capacities_skipped(self):
+        records = topology_capacity_sweep(
+            qft_circuit, 30, topology_names=("L-4",), capacities=(5,)
+        )
+        assert records == []
+
+
+class TestMappingSweep:
+    def test_all_mappings_and_sizes(self):
+        records = initial_mapping_sweep(
+            qft_circuit, circuit_sizes=(8, 12), device_name="G-2x2", capacity=6
+        )
+        assert {r.label for r in records} == {"gathering", "even-divided", "sta"}
+        assert {int(r.value) for r in records} == {8, 12}
+
+    def test_oversized_applications_skipped(self):
+        records = initial_mapping_sweep(
+            qft_circuit, circuit_sizes=(200,), device_name="G-2x2", capacity=6
+        )
+        assert records == []
+
+
+class TestGateImplementationSweep:
+    def test_every_implementation_evaluated(self):
+        device = grid_device(2, 2, 6)
+        records = gate_implementation_sweep([qft_circuit(10)], device)
+        assert {r.label for r in records} == {"fm", "am1", "am2", "pm"}
+        # The schedule is shared, so structural counters must be identical.
+        assert len({(r.shuttles, r.swaps) for r in records}) == 1
+
+    def test_implementation_changes_success_rate(self):
+        device = grid_device(2, 2, 6)
+        records = gate_implementation_sweep([qft_circuit(12)], device, implementations=("fm", "am1"))
+        by_impl = {r.label: r.success_rate for r in records}
+        assert by_impl["fm"] != pytest.approx(by_impl["am1"])
+
+
+class TestHyperparameterSweeps:
+    def test_weight_ratio_sweep_labels(self):
+        device = paper_device("G-2x2", capacity=8)
+        records = weight_ratio_sweep(qft_circuit, (10,), device, ratios=(100.0, 1000.0))
+        assert {r.label for r in records} == {"r100", "r1000"}
+        assert all(r.parameter == "weight_ratio" for r in records)
+
+    def test_decay_sweep_labels(self):
+        device = paper_device("G-2x2", capacity=8)
+        records = decay_rate_sweep(qft_circuit, (10,), device, deltas=(0.0, 0.001))
+        assert {r.label for r in records} == {"d0.0", "d0.001"}
+        assert all(0.0 <= r.success_rate <= 1.0 for r in records)
+
+
+class TestCompileTimeSweep:
+    def test_records_per_compiler_and_size(self):
+        device = paper_device("G-2x2", capacity=10)
+        records = compile_time_sweep(qft_circuit, (8, 12), device, compilers=("murali", "s-sync"))
+        assert len(records) == 4
+        assert all(r.compile_time_s >= 0 for r in records)
+        assert {r.compiler for r in records} == {"murali", "s-sync"}
+        assert records[0].as_dict()["application_size"] in (8, 12)
+
+    def test_requires_a_compiler(self):
+        device = paper_device("G-2x2", capacity=10)
+        with pytest.raises(ReproError):
+            compile_time_sweep(qft_circuit, (8,), device, compilers=())

@@ -1,0 +1,87 @@
+"""Unit tests for the plain-text visualisation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.visualize import (
+    render_occupancy,
+    render_shuttle_traffic,
+    schedule_timeline,
+    shuttle_traffic,
+)
+from repro.circuit.library import qft_circuit
+from repro.core.compiler import SSyncCompiler
+from repro.core.state import DeviceState
+from repro.exceptions import ReproError
+from repro.hardware.topologies import grid_device, linear_device
+from repro.schedule.schedule import Schedule
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    device = grid_device(2, 2, 6)
+    circuit = qft_circuit(14)
+    return SSyncCompiler(device).compile(circuit)
+
+
+class TestRenderOccupancy:
+    def test_shows_every_trap(self):
+        device = linear_device(3, 4)
+        state = DeviceState.from_mapping(device, {0: [0, 1], 1: [2], 2: []})
+        text = render_occupancy(state)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "( 2/ 4)" in lines[0]
+        assert "q00 q01" in lines[0]
+        assert lines[2].count(".") == 4 * 3  # empty trap rendered as dots
+
+    def test_width_validation(self):
+        device = linear_device(1, 2)
+        state = DeviceState(device)
+        with pytest.raises(ReproError):
+            render_occupancy(state, qubit_width=0)
+
+
+class TestScheduleTimeline:
+    def test_header_and_truncation(self, compiled):
+        text = schedule_timeline(compiled.schedule, max_operations=10)
+        lines = text.splitlines()
+        assert "operations" in lines[0]
+        assert len(lines) == 12  # header + 10 operations + "more" marker
+        assert lines[-1].startswith("...")
+
+    def test_lists_gate_swap_and_shuttle_entries(self, compiled):
+        text = schedule_timeline(compiled.schedule, max_operations=len(compiled.schedule))
+        assert "gate" in text
+        assert "shutl" in text or compiled.shuttle_count == 0
+
+    def test_validation(self, compiled):
+        with pytest.raises(ReproError):
+            schedule_timeline(compiled.schedule, max_operations=0)
+
+
+class TestShuttleTraffic:
+    def test_counts_match_schedule(self, compiled):
+        traffic = shuttle_traffic(compiled.schedule)
+        assert sum(traffic.values()) == compiled.shuttle_count
+        for (trap_a, trap_b), count in traffic.items():
+            assert trap_a < trap_b
+            assert count > 0
+
+    def test_traffic_only_on_connected_pairs(self, compiled):
+        device = compiled.schedule.device
+        for trap_a, trap_b in shuttle_traffic(compiled.schedule):
+            assert device.are_connected(trap_a, trap_b)
+
+    def test_render_bar_chart(self, compiled):
+        text = render_shuttle_traffic(compiled.schedule)
+        if compiled.shuttle_count:
+            assert "#" in text
+            assert "<->" in text
+
+    def test_empty_schedule_message(self):
+        device = linear_device(2, 4)
+        empty = Schedule(device, "empty")
+        assert render_shuttle_traffic(empty) == "no shuttles in this schedule"
+        assert shuttle_traffic(empty) == {}

@@ -1,0 +1,124 @@
+"""Unit tests for the QuantumCircuit container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+from repro.exceptions import CircuitError
+
+
+class TestConstruction:
+    def test_rejects_zero_qubits(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(0)
+
+    def test_append_validates_range(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            circuit.cx(0, 2)
+
+    def test_builder_methods_chain(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).rz(0.5, 2).swap(1, 2)
+        assert len(circuit) == 4
+        assert circuit[0].name == "h"
+        assert circuit[-1].name == "swap"
+
+    def test_extend_and_iter(self):
+        circuit = QuantumCircuit(2)
+        circuit.extend([Gate("h", (0,)), Gate("cx", (0, 1))])
+        names = [g.name for g in circuit]
+        assert names == ["h", "cx"]
+
+    def test_equality(self):
+        a = QuantumCircuit(2)
+        a.cx(0, 1)
+        b = QuantumCircuit(2)
+        b.cx(0, 1)
+        assert a == b
+        b.h(0)
+        assert a != b
+
+
+class TestQueries:
+    def test_gate_counts(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).cx(1, 2).rz(0.1, 2)
+        assert circuit.num_two_qubit_gates == 2
+        assert circuit.num_single_qubit_gates == 2
+        assert len(circuit.two_qubit_gates()) == 2
+
+    def test_count_ops(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).h(1).cx(0, 1)
+        assert circuit.count_ops() == {"h": 2, "cx": 1}
+
+    def test_used_qubits(self):
+        circuit = QuantumCircuit(5)
+        circuit.cx(0, 3)
+        assert circuit.used_qubits() == {0, 3}
+
+    def test_depth_counts_longest_chain(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).cx(1, 2).cx(0, 1)
+        assert circuit.depth() == 3
+
+    def test_depth_parallel_gates_share_level(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1).cx(2, 3)
+        assert circuit.depth() == 1
+
+    def test_depth_two_qubit_only_ignores_singles(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).h(0).cx(0, 1)
+        assert circuit.depth(two_qubit_only=True) == 1
+        assert circuit.depth() == 3
+
+    def test_interaction_graph_weights(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).cx(0, 1).cx(1, 2)
+        graph = circuit.interaction_graph()
+        assert graph[0][1]["weight"] == 2
+        assert graph[1][2]["weight"] == 1
+        assert not graph.has_edge(0, 2)
+
+    def test_two_qubit_layers(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1).cx(2, 3).cx(1, 2)
+        layers = circuit.two_qubit_layers()
+        assert len(layers) == 2
+        assert len(layers[0]) == 2
+        assert len(layers[1]) == 1
+
+
+class TestTransforms:
+    def test_copy_is_independent(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        clone = circuit.copy()
+        clone.h(0)
+        assert len(circuit) == 1
+        assert len(clone) == 2
+
+    def test_remap_qubits(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        wider = circuit.remap_qubits({0: 3, 1: 0}, num_qubits=4)
+        assert wider.gates[0].qubits == (3, 0)
+        assert wider.num_qubits == 4
+
+    def test_compose(self):
+        first = QuantumCircuit(3)
+        first.h(0)
+        second = QuantumCircuit(2)
+        second.cx(0, 1)
+        combined = first.compose(second)
+        assert [g.name for g in combined] == ["h", "cx"]
+
+    def test_compose_rejects_wider_circuit(self):
+        narrow = QuantumCircuit(2)
+        wide = QuantumCircuit(3)
+        with pytest.raises(CircuitError):
+            narrow.compose(wide)

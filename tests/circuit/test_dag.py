@@ -1,0 +1,122 @@
+"""Unit tests for the two-qubit dependency DAG."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.dag import DependencyDAG
+from repro.exceptions import SchedulingError
+
+
+def serial_chain() -> QuantumCircuit:
+    """cx(0,1); cx(1,2); cx(2,3) — a strictly serial dependency chain."""
+    circuit = QuantumCircuit(4)
+    circuit.cx(0, 1).cx(1, 2).cx(2, 3)
+    return circuit
+
+
+def parallel_pairs() -> QuantumCircuit:
+    """cx(0,1); cx(2,3) — two independent gates."""
+    circuit = QuantumCircuit(4)
+    circuit.cx(0, 1).cx(2, 3)
+    return circuit
+
+
+class TestConstruction:
+    def test_only_two_qubit_gates_become_nodes(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1).rz(0.3, 1)
+        dag = DependencyDAG(circuit)
+        assert dag.num_nodes == 1
+
+    def test_serial_frontier_has_one_gate(self):
+        dag = DependencyDAG(serial_chain())
+        assert [node.index for node in dag.frontier()] == [0]
+
+    def test_parallel_frontier_has_all_independent_gates(self):
+        dag = DependencyDAG(parallel_pairs())
+        assert len(dag.frontier()) == 2
+
+    def test_empty_circuit_is_done(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        dag = DependencyDAG(circuit)
+        assert dag.is_done
+        assert dag.frontier() == []
+
+
+class TestExecution:
+    def test_execute_promotes_successors(self):
+        dag = DependencyDAG(serial_chain())
+        ready = dag.execute(0)
+        assert [node.index for node in ready] == [1]
+        assert [node.index for node in dag.frontier()] == [1]
+
+    def test_execute_counts_down(self):
+        dag = DependencyDAG(serial_chain())
+        assert dag.num_remaining == 3
+        dag.execute(0)
+        dag.execute(1)
+        dag.execute(2)
+        assert dag.is_done
+
+    def test_execute_non_frontier_raises(self):
+        dag = DependencyDAG(serial_chain())
+        with pytest.raises(SchedulingError):
+            dag.execute(2)
+
+    def test_execute_twice_raises(self):
+        dag = DependencyDAG(serial_chain())
+        dag.execute(0)
+        with pytest.raises(SchedulingError):
+            dag.execute(0)
+
+    def test_execute_unknown_index_raises(self):
+        dag = DependencyDAG(serial_chain())
+        with pytest.raises(SchedulingError):
+            dag.execute(99)
+
+
+class TestLookahead:
+    def test_lookahead_depth_one_is_frontier(self):
+        dag = DependencyDAG(serial_chain())
+        nodes = dag.lookahead(1)
+        assert [n.index for n in nodes] == [0]
+
+    def test_lookahead_depth_two(self):
+        dag = DependencyDAG(serial_chain())
+        nodes = dag.lookahead(2)
+        assert [n.index for n in nodes] == [0, 1]
+
+    def test_lookahead_skip_frontier(self):
+        dag = DependencyDAG(serial_chain())
+        nodes = dag.lookahead(2, skip_frontier=True)
+        assert [n.index for n in nodes] == [1, 2]
+
+    def test_lookahead_zero_depth_is_empty(self):
+        dag = DependencyDAG(serial_chain())
+        assert dag.lookahead(0) == []
+
+    def test_gates_in_first_layers(self):
+        dag = DependencyDAG(serial_chain())
+        gates = dag.gates_in_first_layers(2)
+        assert len(gates) == 2
+        assert gates[0].qubits == (0, 1)
+
+
+class TestTopologicalOrder:
+    def test_order_respects_dependencies(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1).cx(2, 3).cx(1, 2).cx(0, 3)
+        dag = DependencyDAG(circuit)
+        order = [node.index for node in dag.topological_order()]
+        assert order.index(0) < order.index(2)
+        assert order.index(1) < order.index(2)
+        assert order.index(2) < order.index(3)
+        assert sorted(order) == [0, 1, 2, 3]
+
+    def test_order_covers_all_nodes_after_partial_execution(self):
+        dag = DependencyDAG(serial_chain())
+        dag.execute(0)
+        assert len(dag.topological_order()) == 3

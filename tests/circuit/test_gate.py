@@ -1,0 +1,99 @@
+"""Unit tests for the Gate primitive."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.gate import Gate
+from repro.exceptions import CircuitError
+
+
+class TestGateConstruction:
+    def test_name_is_lowercased(self):
+        assert Gate("CX", (0, 1)).name == "cx"
+
+    def test_qubits_are_ints(self):
+        gate = Gate("cx", (0.0, 1.0))  # type: ignore[arg-type]
+        assert gate.qubits == (0, 1)
+        assert all(isinstance(q, int) for q in gate.qubits)
+
+    def test_params_are_floats(self):
+        gate = Gate("rz", (0,), (1,))
+        assert gate.params == (1.0,)
+
+    def test_rejects_empty_qubits(self):
+        with pytest.raises(CircuitError):
+            Gate("h", ())
+
+    def test_rejects_negative_qubits(self):
+        with pytest.raises(CircuitError):
+            Gate("cx", (0, -1))
+
+    def test_rejects_duplicate_qubits(self):
+        with pytest.raises(CircuitError):
+            Gate("cx", (3, 3))
+
+    def test_rejects_wrong_arity_single(self):
+        with pytest.raises(CircuitError):
+            Gate("h", (0, 1))
+
+    def test_rejects_wrong_arity_two_qubit(self):
+        with pytest.raises(CircuitError):
+            Gate("cx", (0,))
+
+    def test_unknown_gate_name_any_arity(self):
+        gate = Gate("ccx", (0, 1, 2))
+        assert gate.num_qubits == 3
+
+
+class TestGatePredicates:
+    def test_single_qubit_flag(self):
+        assert Gate("h", (0,)).is_single_qubit
+        assert not Gate("h", (0,)).is_two_qubit
+
+    def test_two_qubit_flag(self):
+        gate = Gate("cx", (0, 1))
+        assert gate.is_two_qubit
+        assert not gate.is_single_qubit
+
+    def test_swap_flag(self):
+        assert Gate("swap", (0, 1)).is_swap
+        assert not Gate("cx", (0, 1)).is_swap
+
+    def test_symmetric_flag(self):
+        assert Gate("cz", (0, 1)).is_symmetric
+        assert Gate("rzz", (0, 1), (0.5,)).is_symmetric
+        assert not Gate("cx", (0, 1)).is_symmetric
+
+    def test_expected_arity_lookup(self):
+        assert Gate.expected_arity("h") == 1
+        assert Gate.expected_arity("CX") == 2
+        assert Gate.expected_arity("ccx") is None
+
+
+class TestGateTransforms:
+    def test_on_returns_new_gate(self):
+        gate = Gate("cx", (0, 1))
+        moved = gate.on(4, 5)
+        assert moved.qubits == (4, 5)
+        assert gate.qubits == (0, 1)
+
+    def test_remap(self):
+        gate = Gate("cx", (0, 1))
+        remapped = gate.remap({0: 7, 1: 2})
+        assert remapped.qubits == (7, 2)
+
+    def test_remap_missing_key_raises(self):
+        with pytest.raises(CircuitError):
+            Gate("cx", (0, 1)).remap({0: 7})
+
+    def test_iteration_and_str(self):
+        gate = Gate("rz", (3,), (0.25,))
+        assert list(gate) == [3]
+        assert "rz" in str(gate)
+        assert "3" in str(gate)
+
+    def test_equality_and_hash(self):
+        assert Gate("cx", (0, 1)) == Gate("cx", (0, 1))
+        assert Gate("cx", (0, 1)) != Gate("cx", (1, 0))
+        assert hash(Gate("cx", (0, 1))) == hash(Gate("CX", (0, 1)))

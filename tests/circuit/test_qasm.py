@@ -1,0 +1,86 @@
+"""Unit tests for the OpenQASM 2.0 import/export helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.library import qft_circuit
+from repro.circuit.qasm import circuit_to_qasm, qasm_to_circuit
+from repro.exceptions import CircuitError
+
+
+class TestExport:
+    def test_header_and_register(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        text = circuit_to_qasm(circuit)
+        assert "OPENQASM 2.0;" in text
+        assert "qreg q[3];" in text
+        assert "h q[0];" in text
+
+    def test_two_qubit_gate_and_params(self):
+        circuit = QuantumCircuit(2)
+        circuit.cp(0.5, 0, 1)
+        text = circuit_to_qasm(circuit)
+        assert "cp(0.5) q[0],q[1];" in text
+
+    def test_measure_gates_are_skipped(self):
+        circuit = QuantumCircuit(1)
+        circuit.measure(0)
+        text = circuit_to_qasm(circuit)
+        assert "measure" not in text
+
+
+class TestImport:
+    def test_round_trip_preserves_structure(self):
+        original = qft_circuit(5)
+        text = circuit_to_qasm(original)
+        parsed = qasm_to_circuit(text)
+        assert parsed.num_qubits == original.num_qubits
+        assert parsed.num_two_qubit_gates == original.num_two_qubit_gates
+        assert [g.name for g in parsed] == [
+            g.name for g in original if g.name != "measure"
+        ]
+
+    def test_pi_expressions(self):
+        text = 'OPENQASM 2.0;\nqreg q[1];\nrz(pi/2) q[0];\n'
+        circuit = qasm_to_circuit(text)
+        assert circuit[0].params[0] == pytest.approx(math.pi / 2)
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "// a comment\nOPENQASM 2.0;\n\nqreg q[2];\ncx q[0], q[1]; // inline\n"
+        circuit = qasm_to_circuit(text)
+        assert circuit.num_two_qubit_gates == 1
+
+    def test_measure_parsed(self):
+        text = "qreg q[2];\ncreg c[2];\nmeasure q[1] -> c[1];\n"
+        circuit = qasm_to_circuit(text)
+        assert circuit[0].name == "measure"
+        assert circuit[0].qubits == (1,)
+
+    def test_u1_alias_maps_to_rz(self):
+        text = "qreg q[1];\nu1(0.3) q[0];\n"
+        circuit = qasm_to_circuit(text)
+        assert circuit[0].name == "rz"
+
+    def test_missing_register_inferred_from_gates(self):
+        text = "h q[4];\n"
+        circuit = qasm_to_circuit(text)
+        assert circuit.num_qubits == 5
+
+    def test_duplicate_register_rejected(self):
+        text = "qreg q[2];\nqreg r[2];\n"
+        with pytest.raises(CircuitError):
+            qasm_to_circuit(text)
+
+    def test_bad_parameter_expression_rejected(self):
+        text = "qreg q[1];\nrz(__import__) q[0];\n"
+        with pytest.raises(CircuitError):
+            qasm_to_circuit(text)
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(CircuitError):
+            qasm_to_circuit("OPENQASM 2.0;\n")

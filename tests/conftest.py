@@ -1,0 +1,68 @@
+"""Shared pytest fixtures for the S-SYNC reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.library import ghz_circuit, qft_circuit, random_circuit
+from repro.core.compiler import SSyncCompiler
+from repro.hardware.device import QCCDDevice
+from repro.hardware.topologies import grid_device, linear_device, star_device
+
+
+@pytest.fixture
+def linear_2x6() -> QCCDDevice:
+    """Two traps of capacity 6 in a line — the smallest interesting device."""
+    return linear_device(2, 6, name="L-2")
+
+
+@pytest.fixture
+def linear_3x5() -> QCCDDevice:
+    """Three traps of capacity 5 in a line."""
+    return linear_device(3, 5, name="L-3")
+
+
+@pytest.fixture
+def grid_2x2() -> QCCDDevice:
+    """A 2x2 grid with capacity 6 per trap."""
+    return grid_device(2, 2, 6)
+
+
+@pytest.fixture
+def star_4() -> QCCDDevice:
+    """A 4-trap star device with capacity 6 per trap."""
+    return star_device(4, 6)
+
+
+@pytest.fixture
+def bell_circuit() -> QuantumCircuit:
+    """A 2-qubit Bell-pair circuit."""
+    circuit = QuantumCircuit(2, name="bell")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    return circuit
+
+
+@pytest.fixture
+def ghz_8() -> QuantumCircuit:
+    """An 8-qubit GHZ ladder circuit."""
+    return ghz_circuit(8)
+
+
+@pytest.fixture
+def qft_8() -> QuantumCircuit:
+    """An 8-qubit QFT circuit."""
+    return qft_circuit(8)
+
+
+@pytest.fixture
+def random_10() -> QuantumCircuit:
+    """A seeded random 10-qubit circuit with 40 two-qubit gates."""
+    return random_circuit(10, 40, seed=11)
+
+
+@pytest.fixture
+def compiler_linear(linear_2x6: QCCDDevice) -> SSyncCompiler:
+    """An S-SYNC compiler bound to the small linear device."""
+    return SSyncCompiler(linear_2x6)

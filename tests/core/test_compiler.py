@@ -1,0 +1,106 @@
+"""Unit tests for the SSyncCompiler facade and its configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.library import ghz_circuit, qft_circuit
+from repro.core.compiler import SSyncCompiler, SSyncConfig, compile_circuit
+from repro.core.mapping import GatheringMapper
+from repro.core.scheduler import SchedulerConfig
+from repro.exceptions import MappingError
+from repro.hardware.graph import GraphWeights
+from repro.hardware.topologies import grid_device, linear_device
+from repro.schedule.verify import verify_schedule
+
+
+class TestCompile:
+    def test_result_fields(self, linear_3x5):
+        circuit = qft_circuit(9)
+        result = SSyncCompiler(linear_3x5).compile(circuit)
+        assert result.compiler_name == "s-sync"
+        assert result.mapping_name == "gathering"
+        assert result.two_qubit_gate_count == circuit.num_two_qubit_gates
+        assert result.compile_time_s > 0
+        assert result.schedule.device is linear_3x5
+        summary = result.summary()
+        assert summary["circuit"] == circuit.name
+        assert summary["swaps"] == result.swap_count
+
+    def test_schedule_is_verifiable(self, grid_2x2):
+        circuit = qft_circuit(12)
+        result = SSyncCompiler(grid_2x2).compile(circuit)
+        verify_schedule(result.schedule, result.initial_state, circuit=circuit)
+
+    def test_initial_state_not_mutated(self, linear_3x5):
+        circuit = ghz_circuit(9, ladder=False)
+        compiler = SSyncCompiler(linear_3x5)
+        state = compiler.build_initial_state(circuit)
+        snapshot = state.occupancy()
+        compiler.compile(circuit, initial_state=state)
+        assert state.occupancy() == snapshot
+
+    def test_explicit_mapping_by_name(self, linear_3x5):
+        circuit = qft_circuit(9)
+        result = SSyncCompiler(linear_3x5).compile(circuit, initial_mapping="even-divided")
+        assert result.mapping_name == "even-divided"
+
+    def test_explicit_mapper_instance(self, linear_3x5):
+        circuit = qft_circuit(9)
+        mapper = GatheringMapper(reserve_per_trap=2)
+        result = SSyncCompiler(linear_3x5).compile(circuit, initial_mapping=mapper)
+        assert result.mapping_name == "gathering"
+
+    def test_custom_initial_state(self, linear_3x5):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        compiler = SSyncCompiler(linear_3x5)
+        state = compiler.build_initial_state(circuit, initial_mapping="even-divided")
+        result = compiler.compile(circuit, initial_state=state)
+        assert result.mapping_name == "custom"
+
+    def test_unknown_mapping_rejected(self, linear_3x5):
+        with pytest.raises(MappingError):
+            SSyncCompiler(linear_3x5).compile(qft_circuit(6), initial_mapping="magic")
+
+    def test_circuit_too_large_rejected(self):
+        device = linear_device(2, 3)
+        with pytest.raises(MappingError):
+            SSyncCompiler(device).compile(qft_circuit(7))
+
+    def test_compile_circuit_helper(self, grid_2x2):
+        result = compile_circuit(qft_circuit(10), grid_2x2, initial_mapping="gathering")
+        assert result.two_qubit_gate_count == qft_circuit(10).num_two_qubit_gates
+
+
+class TestConfig:
+    def test_with_weight_ratio(self):
+        config = SSyncConfig().with_weight_ratio(100.0)
+        assert config.scheduler.weights.ratio == pytest.approx(100.0)
+
+    def test_with_decay(self):
+        config = SSyncConfig().with_decay(0.01)
+        assert config.scheduler.decay_delta == pytest.approx(0.01)
+
+    def test_with_weights(self):
+        weights = GraphWeights(inner_weight=0.01, shuttle_weight=5.0, threshold=0.5)
+        config = SSyncConfig().with_weights(weights)
+        assert config.scheduler.weights is weights
+
+    def test_config_is_immutable_value_object(self):
+        base = SSyncConfig()
+        derived = base.with_decay(0.5)
+        assert base.scheduler.decay_delta != derived.scheduler.decay_delta
+
+    def test_custom_scheduler_config_used(self, linear_3x5):
+        config = SSyncConfig(scheduler=SchedulerConfig(lookahead_depth=0))
+        result = SSyncCompiler(linear_3x5, config).compile(qft_circuit(9))
+        assert result.two_qubit_gate_count == qft_circuit(9).num_two_qubit_gates
+
+    def test_mapping_reserve_forwarded(self):
+        device = grid_device(2, 2, 6)
+        config = SSyncConfig(mapping_reserve_per_trap=2)
+        compiler = SSyncCompiler(device, config)
+        state = compiler.build_initial_state(qft_circuit(12))
+        assert max(state.chain_length(t.trap_id) for t in device.traps) <= 4

@@ -1,0 +1,151 @@
+"""Unit tests for the heuristic cost functions (Eqs. 1-2) and decay tracking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generic_swap import GenericSwap, GenericSwapKind
+from repro.core.heuristic import DecayTracker, HeuristicCost, apply_generic_swap
+from repro.core.state import DeviceState
+from repro.exceptions import SchedulingError
+from repro.hardware.graph import GraphWeights
+from repro.hardware.topologies import grid_device, linear_device
+
+
+def _state_two_traps():
+    device = linear_device(2, 4)
+    return DeviceState.from_mapping(device, {0: [0, 1, 2], 1: [3, 4]})
+
+
+class TestDecayTracker:
+    def test_factor_defaults_to_one(self):
+        decay = DecayTracker()
+        assert decay.factor((0, 1)) == pytest.approx(1.0)
+
+    def test_recently_touched_qubits_penalised(self):
+        decay = DecayTracker(delta=0.5, reset_interval=3)
+        decay.record((2,))
+        assert decay.factor((2, 5)) == pytest.approx(1.5)
+        assert decay.factor((0, 1)) == pytest.approx(1.0)
+
+    def test_reset_after_interval(self):
+        decay = DecayTracker(delta=0.5, reset_interval=2)
+        decay.record((7,))
+        decay.advance()
+        assert decay.factor((7,)) == pytest.approx(1.5)
+        decay.advance()
+        assert decay.factor((7,)) == pytest.approx(1.0)
+
+    def test_reset_clears_history(self):
+        decay = DecayTracker(delta=0.5)
+        decay.record((1,))
+        decay.reset()
+        assert decay.factor((1,)) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            DecayTracker(delta=-0.1)
+        with pytest.raises(SchedulingError):
+            DecayTracker(reset_interval=0)
+
+
+class TestPairDistance:
+    def test_same_trap_distance_uses_inner_weight(self):
+        state = _state_two_traps()
+        cost = HeuristicCost(GraphWeights())
+        assert cost.pair_distance(state, 0, 1) == pytest.approx(0.001)
+        assert cost.pair_distance(state, 0, 2) == pytest.approx(0.002)
+
+    def test_cross_trap_distance_includes_shuttle_and_edge_terms(self):
+        state = _state_two_traps()
+        cost = HeuristicCost(GraphWeights())
+        # qubit 0 is 2 hops from trap 0's right end; qubit 3 is at trap 1's left end.
+        assert cost.pair_distance(state, 0, 3) == pytest.approx(1.0 + 0.002)
+        assert cost.pair_distance(state, 2, 3) == pytest.approx(1.0)
+
+    def test_distance_symmetry(self):
+        state = _state_two_traps()
+        cost = HeuristicCost()
+        assert cost.pair_distance(state, 0, 4) == pytest.approx(cost.pair_distance(state, 4, 0))
+
+    def test_junction_raises_distance(self):
+        grid = grid_device(1, 2, 4)
+        state = DeviceState.from_mapping(grid, {0: [0], 1: [1]})
+        line = linear_device(2, 4)
+        state_line = DeviceState.from_mapping(line, {0: [0], 1: [1]})
+        cost = HeuristicCost()
+        assert cost.pair_distance(state, 0, 1) > cost.pair_distance(state_line, 0, 1)
+
+    def test_penalty_counts_full_traps(self):
+        device = linear_device(2, 2)
+        state = DeviceState.from_mapping(device, {0: [0, 1], 1: [2]})
+        cost = HeuristicCost()
+        assert cost.blocked_trap_penalty(state) == pytest.approx(1.0)
+        assert cost.gate_score(state, 0, 2) == pytest.approx(
+            cost.pair_distance(state, 0, 2) + 1.0
+        )
+
+
+class TestSwapScore:
+    def test_shuttle_that_joins_operands_scores_best(self):
+        state = _state_two_traps()
+        cost = HeuristicCost()
+        decay = DecayTracker()
+        frontier = [(2, 3)]
+        shuttle = GenericSwap(GenericSwapKind.SHUTTLE, 2, None, 0, 1, 1.0)
+        useless_swap = GenericSwap(GenericSwapKind.SWAP_GATE, 2, 0, 0, None, 0.002)
+        assert cost.swap_score(state, shuttle, frontier, decay) < cost.swap_score(
+            state, useless_swap, frontier, decay
+        )
+
+    def test_score_does_not_mutate_state(self):
+        state = _state_two_traps()
+        cost = HeuristicCost()
+        decay = DecayTracker()
+        shuttle = GenericSwap(GenericSwapKind.SHUTTLE, 2, None, 0, 1, 1.0)
+        cost.swap_score(state, shuttle, [(2, 3)], decay)
+        assert state.trap_of(2) == 0
+
+    def test_decay_inflates_scores(self):
+        state = _state_two_traps()
+        cost = HeuristicCost()
+        frontier = [(0, 3)]
+        candidate = GenericSwap(GenericSwapKind.SWAP_GATE, 0, 2, 0, None, 0.002)
+        calm = DecayTracker(delta=0.0)
+        eager = DecayTracker(delta=2.0)
+        eager.record((0,))
+        assert cost.swap_score(state, candidate, frontier, eager) > cost.swap_score(
+            state, candidate, frontier, calm
+        )
+
+    def test_lookahead_term_breaks_ties(self):
+        state = _state_two_traps()
+        cost = HeuristicCost()
+        decay = DecayTracker()
+        frontier = [(2, 3)]
+        lookahead = [(2, 4)]
+        shuttle = GenericSwap(GenericSwapKind.SHUTTLE, 2, None, 0, 1, 1.0)
+        without = cost.swap_score(state, shuttle, frontier, decay)
+        with_lookahead = cost.swap_score(
+            state, shuttle, frontier, decay, lookahead_pairs=lookahead, lookahead_weight=1.0
+        )
+        assert with_lookahead > without  # the future pair still costs something
+
+    def test_empty_frontier_rejected(self):
+        state = _state_two_traps()
+        cost = HeuristicCost()
+        candidate = GenericSwap(GenericSwapKind.SWAP_GATE, 0, 1, 0, None, 0.001)
+        with pytest.raises(SchedulingError):
+            cost.swap_score(state, candidate, [], DecayTracker())
+
+
+class TestApplyGenericSwap:
+    def test_apply_swap_gate(self):
+        state = _state_two_traps()
+        apply_generic_swap(state, GenericSwap(GenericSwapKind.SWAP_GATE, 0, 2, 0, None, 0.002))
+        assert state.chain(0) == (2, 1, 0)
+
+    def test_apply_shuttle(self):
+        state = _state_two_traps()
+        apply_generic_swap(state, GenericSwap(GenericSwapKind.SHUTTLE, 2, None, 0, 1, 1.0))
+        assert state.trap_of(2) == 1

@@ -1,0 +1,179 @@
+"""Unit tests for the initial mapping strategies (paper §3.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.library import cuccaro_adder_circuit, qft_circuit, random_circuit
+from repro.core.mapping import (
+    EvenDividedMapper,
+    GatheringMapper,
+    MAPPER_REGISTRY,
+    STAMapper,
+    get_mapper,
+)
+from repro.core.mapping.intra_trap import (
+    is_mountain_shaped,
+    location_scores,
+    mountain_arrange,
+    mountain_order,
+)
+from repro.exceptions import MappingError
+from repro.hardware.topologies import grid_device, linear_device
+
+
+def all_mappers():
+    return [EvenDividedMapper(), GatheringMapper(), STAMapper()]
+
+
+class TestRegistry:
+    def test_all_paper_strategies_registered(self):
+        assert set(MAPPER_REGISTRY) == {"even-divided", "gathering", "sta"}
+
+    def test_get_mapper_by_name(self):
+        assert isinstance(get_mapper("gathering"), GatheringMapper)
+        assert isinstance(get_mapper("EVEN_DIVIDED"), EvenDividedMapper)
+
+    def test_get_mapper_passthrough(self):
+        mapper = STAMapper()
+        assert get_mapper(mapper) is mapper
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(MappingError):
+            get_mapper("random")
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("mapper", all_mappers(), ids=lambda m: m.name)
+    def test_every_qubit_placed_exactly_once(self, mapper):
+        device = grid_device(2, 2, 6)
+        circuit = qft_circuit(14)
+        state = mapper.map(circuit, device)
+        state.validate()
+        assert state.all_qubits() == set(range(14))
+
+    @pytest.mark.parametrize("mapper", all_mappers(), ids=lambda m: m.name)
+    def test_capacity_respected(self, mapper):
+        device = linear_device(3, 5)
+        circuit = random_circuit(12, 30, seed=9)
+        state = mapper.map(circuit, device)
+        for trap in device.traps:
+            assert state.chain_length(trap.trap_id) <= trap.capacity
+
+    @pytest.mark.parametrize("mapper", all_mappers(), ids=lambda m: m.name)
+    def test_too_many_qubits_rejected(self, mapper):
+        device = linear_device(2, 4)
+        circuit = QuantumCircuit(9)
+        circuit.cx(0, 8)
+        with pytest.raises(MappingError):
+            mapper.map(circuit, device)
+
+    @pytest.mark.parametrize("mapper", all_mappers(), ids=lambda m: m.name)
+    def test_completely_full_device_rejected(self, mapper):
+        device = linear_device(2, 4)
+        circuit = QuantumCircuit(8)
+        circuit.cx(0, 7)
+        with pytest.raises(MappingError):
+            mapper.map(circuit, device)
+
+    def test_reserve_validation(self):
+        with pytest.raises(MappingError):
+            EvenDividedMapper(reserve_per_trap=-1)
+        with pytest.raises(MappingError):
+            GatheringMapper(intra_trap_lookahead=0)
+
+
+class TestEvenDivided:
+    def test_distribution_is_balanced(self):
+        device = linear_device(4, 10)
+        circuit = qft_circuit(14)
+        state = EvenDividedMapper().map(circuit, device)
+        sizes = sorted(state.chain_length(t.trap_id) for t in device.traps)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_overflow_spills_to_other_traps(self):
+        device = linear_device(3, 5)
+        circuit = qft_circuit(13)
+        state = EvenDividedMapper().map(circuit, device)
+        assert state.all_qubits() == set(range(13))
+
+
+class TestGathering:
+    def test_packs_few_traps(self):
+        device = linear_device(4, 10)
+        circuit = qft_circuit(14)
+        state = GatheringMapper().map(circuit, device)
+        occupied = [t.trap_id for t in device.traps if state.chain_length(t.trap_id) > 0]
+        assert len(occupied) == 2  # 9 + 5 with one reserved slot per trap
+
+    def test_leaves_one_reserved_slot(self):
+        device = linear_device(4, 10)
+        circuit = qft_circuit(14)
+        state = GatheringMapper().map(circuit, device)
+        fullest = max(state.chain_length(t.trap_id) for t in device.traps)
+        assert fullest == 9
+
+    def test_uses_fewer_traps_than_even_divided(self):
+        device = grid_device(2, 3, 8)
+        circuit = qft_circuit(20)
+        gathering = GatheringMapper().map(circuit, device)
+        even = EvenDividedMapper().map(circuit, device)
+        used = lambda state: sum(1 for t in device.traps if state.chain_length(t.trap_id) > 0)
+        assert used(gathering) < used(even)
+
+
+class TestSTA:
+    def test_interacting_qubits_share_traps(self):
+        device = linear_device(4, 6)
+        # Two independent cliques of 5 qubits each.
+        circuit = QuantumCircuit(10)
+        for a in range(5):
+            for b in range(a + 1, 5):
+                circuit.cx(a, b)
+                circuit.cx(a + 5, b + 5)
+        state = STAMapper().map(circuit, device)
+        first_clique_traps = {state.trap_of(q) for q in range(5)}
+        second_clique_traps = {state.trap_of(q) for q in range(5, 10)}
+        assert len(first_clique_traps) == 1
+        assert len(second_clique_traps) == 1
+        assert first_clique_traps != second_clique_traps
+
+    def test_handles_circuits_with_idle_qubits(self):
+        device = linear_device(3, 5)
+        circuit = QuantumCircuit(9)
+        circuit.cx(0, 1)
+        state = STAMapper().map(circuit, device)
+        assert state.all_qubits() == set(range(9))
+
+
+class TestIntraTrapMountain:
+    def test_location_scores_count_internal_and_external(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1).cx(0, 2).cx(0, 3)
+        scores = location_scores(circuit, [0, 1], {0, 1}, lookahead_layers=8)
+        # Qubit 0: one internal partner (1), two external (2, 3) -> -2 + 1 = -1.
+        assert scores[0] == pytest.approx(-1.0)
+        assert scores[1] == pytest.approx(1.0)
+
+    def test_mountain_arrange_puts_low_scores_at_edges(self):
+        scores = {0: 5.0, 1: 1.0, 2: 3.0, 3: 0.0, 4: 4.0}
+        order = mountain_arrange(scores)
+        values = [scores[q] for q in order]
+        assert is_mountain_shaped(values)
+        assert values[0] <= values[1] and values[-1] <= values[-2]
+
+    def test_mountain_order_small_traps(self):
+        circuit = cuccaro_adder_circuit(3)
+        assert mountain_order(circuit, [], set()) == []
+        assert mountain_order(circuit, [2], {2}) == [2]
+
+    def test_is_mountain_shaped(self):
+        assert is_mountain_shaped([1, 2, 3, 2, 1])
+        assert is_mountain_shaped([1, 1, 1])
+        assert not is_mountain_shaped([1, 3, 1, 3])
+
+    def test_lookahead_validation(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(MappingError):
+            location_scores(circuit, [0], {0}, lookahead_layers=0)

@@ -1,0 +1,164 @@
+"""Unit tests for the generic-swap scheduler (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.library import ghz_circuit, qft_circuit, random_circuit
+from repro.core.scheduler import GenericSwapScheduler, SchedulerConfig
+from repro.core.state import DeviceState
+from repro.exceptions import SchedulingError
+from repro.hardware.graph import GraphWeights
+from repro.hardware.topologies import grid_device, linear_device, star_device
+from repro.schedule.operations import OperationKind
+from repro.schedule.verify import verify_schedule
+
+
+def run(circuit, device, assignment, config=None):
+    state = DeviceState.from_mapping(device, assignment)
+    scheduler = GenericSwapScheduler(device, config)
+    return scheduler.run(circuit, state), state
+
+
+class TestLocalExecution:
+    def test_colocated_gates_need_no_routing(self):
+        device = linear_device(2, 4)
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).cx(1, 2)
+        (schedule, final_state, stats), initial = run(circuit, device, {0: [0, 1, 2]})
+        assert schedule.shuttle_count == 0
+        assert schedule.swap_count == 0
+        assert schedule.two_qubit_gate_count == 2
+        assert schedule.single_qubit_gate_count == 1
+        assert stats.generic_swap_iterations == 0
+        assert final_state.occupancy() == initial.occupancy()
+
+    def test_single_qubit_gates_attached_before_their_two_qubit_gate(self):
+        device = linear_device(1, 4)
+        circuit = QuantumCircuit(2)
+        circuit.h(0).h(1).cx(0, 1).h(1)
+        (schedule, _, _), _ = run(circuit, device, {0: [0, 1]})
+        kinds = [op.kind for op in schedule]
+        assert kinds[:3] == [OperationKind.GATE_1Q, OperationKind.GATE_1Q, OperationKind.GATE_2Q]
+        assert kinds[3] == OperationKind.GATE_1Q  # trailing single-qubit gate
+
+    def test_gate_context_recorded(self):
+        device = linear_device(1, 6)
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 3)
+        (schedule, _, _), _ = run(circuit, device, {0: [0, 1, 2, 3]})
+        gate_op = schedule.executed_two_qubit_gates()[0]
+        assert gate_op.chain_length == 4
+        assert gate_op.ion_separation == 2
+
+
+class TestRouting:
+    def test_cross_trap_gate_triggers_shuttle(self):
+        device = linear_device(2, 4)
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        (schedule, final_state, _), initial = run(circuit, device, {0: [0], 1: [1]})
+        assert schedule.shuttle_count >= 1
+        assert schedule.two_qubit_gate_count == 1
+        verify_schedule(schedule, initial, circuit=circuit)
+        assert final_state.same_trap(0, 1)
+
+    def test_interior_qubit_needs_swap_before_shuttle(self):
+        device = linear_device(2, 4)
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 3)
+        # Qubit 0 starts buried at the far end of trap 0's chain.
+        (schedule, _, _), initial = run(circuit, device, {0: [0, 1, 2], 1: [3]})
+        assert schedule.shuttle_count >= 1
+        verify_schedule(schedule, initial, circuit=circuit)
+
+    def test_star_topology_long_range(self):
+        device = star_device(4, 4)
+        circuit = ghz_circuit(8, ladder=False)
+        (schedule, _, _), initial = run(
+            circuit, device, {0: [0, 1], 1: [2, 3], 2: [4, 5], 3: [6, 7]}
+        )
+        verify_schedule(schedule, initial, circuit=circuit)
+        assert schedule.two_qubit_gate_count == 7
+
+    def test_grid_topology_routes_through_junctions(self):
+        device = grid_device(2, 2, 3)
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 3)
+        (schedule, _, _), initial = run(circuit, device, {0: [0], 1: [1], 2: [2], 3: [3]})
+        verify_schedule(schedule, initial, circuit=circuit)
+        assert schedule.junction_crossings >= 1
+
+    def test_full_destination_forces_eviction(self):
+        device = linear_device(3, 3)
+        circuit = QuantumCircuit(6)
+        circuit.cx(0, 5)
+        # Trap 1 (the only route between 0 and 2) is completely full.
+        (schedule, _, _), initial = run(
+            circuit, device, {0: [0, 1], 1: [2, 3, 4], 2: [5]}
+        )
+        verify_schedule(schedule, initial, circuit=circuit)
+        assert schedule.two_qubit_gate_count == 1
+
+    def test_every_gate_of_qft_is_executed(self):
+        device = linear_device(3, 5)
+        circuit = qft_circuit(9)
+        (schedule, _, _), initial = run(circuit, device, {0: [0, 1, 2], 1: [3, 4, 5], 2: [6, 7, 8]})
+        report = verify_schedule(schedule, initial, circuit=circuit)
+        assert report.two_qubit_gates == circuit.num_two_qubit_gates
+
+
+class TestConfiguration:
+    def test_unplaced_qubit_rejected(self):
+        device = linear_device(2, 4)
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 2)
+        state = DeviceState.from_mapping(device, {0: [0, 1]})
+        with pytest.raises(SchedulingError):
+            GenericSwapScheduler(device).run(circuit, state)
+
+    def test_generic_swap_budget_enforced(self):
+        device = linear_device(2, 4)
+        circuit = qft_circuit(6)
+        config = SchedulerConfig(max_generic_swaps=1, stall_limit=100)
+        state = DeviceState.from_mapping(device, {0: [0, 1, 2], 1: [3, 4, 5]})
+        with pytest.raises(SchedulingError):
+            GenericSwapScheduler(device, config).run(circuit, state)
+
+    def test_config_validation(self):
+        with pytest.raises(SchedulingError):
+            SchedulerConfig(stall_limit=0)
+        with pytest.raises(SchedulingError):
+            SchedulerConfig(max_generic_swaps=0)
+        with pytest.raises(SchedulingError):
+            SchedulerConfig(lookahead_depth=-1)
+
+    def test_paper_faithful_configuration_still_works(self):
+        device = linear_device(3, 4)
+        circuit = random_circuit(9, 30, seed=5)
+        config = SchedulerConfig(lookahead_depth=0)
+        (schedule, _, _), initial = run(
+            circuit, device, {0: [0, 1, 2], 1: [3, 4, 5], 2: [6, 7, 8]}, config
+        )
+        verify_schedule(schedule, initial, circuit=circuit)
+
+    def test_custom_weights_change_behaviour(self):
+        device = linear_device(3, 4)
+        circuit = random_circuit(9, 30, seed=5)
+        heavy = SchedulerConfig(
+            weights=GraphWeights(inner_weight=0.001, shuttle_weight=100.0, threshold=0.5)
+        )
+        assignment = {0: [0, 1, 2], 1: [3, 4, 5], 2: [6, 7, 8]}
+        (schedule_heavy, _, _), _ = run(circuit, device, assignment, heavy)
+        (schedule_default, _, _), _ = run(circuit, device, assignment)
+        # Making shuttles 100x more expensive should never increase their number.
+        assert schedule_heavy.shuttle_count <= schedule_default.shuttle_count + 2
+
+    def test_statistics_are_populated(self):
+        device = linear_device(2, 4)
+        circuit = qft_circuit(6)
+        (schedule, _, stats), _ = run(circuit, device, {0: [0, 1, 2], 1: [3, 4, 5]})
+        assert stats.executed_two_qubit_gates == circuit.num_two_qubit_gates
+        assert stats.candidate_evaluations > 0
+        assert stats.generic_swap_iterations >= schedule.shuttle_count

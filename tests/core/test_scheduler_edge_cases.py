@@ -1,0 +1,131 @@
+"""Edge-case and regression tests for the scheduler and baselines.
+
+The regression tests pin down two bugs found during development: an
+eviction merging an ion into the departing end of the source trap could
+displace the ion that had just been staged for shuttling (both in the
+baseline router and in the S-SYNC force-route fallback).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import DaiCompiler, MuraliCompiler
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.library import build_benchmark, qft_circuit, random_circuit
+from repro.core.compiler import SSyncCompiler, SSyncConfig
+from repro.core.scheduler import SchedulerConfig
+from repro.core.state import DeviceState
+from repro.hardware.presets import paper_device
+from repro.hardware.topologies import grid_device, linear_device
+from repro.schedule.verify import verify_schedule
+
+
+class TestDegenerateCircuits:
+    def test_single_qubit_only_circuit(self, linear_2x6):
+        circuit = QuantumCircuit(4)
+        circuit.h(0).x(1).rz(0.3, 2).measure(3)
+        result = SSyncCompiler(linear_2x6).compile(circuit)
+        assert result.two_qubit_gate_count == 0
+        assert result.schedule.single_qubit_gate_count == 4
+        assert result.shuttle_count == 0
+
+    def test_empty_two_qubit_workload_on_every_compiler(self, linear_2x6):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        for compiler in (SSyncCompiler(linear_2x6), MuraliCompiler(linear_2x6), DaiCompiler(linear_2x6)):
+            result = compiler.compile(circuit)
+            assert result.two_qubit_gate_count == 0
+
+    def test_repeated_identical_gates(self, linear_2x6):
+        circuit = QuantumCircuit(6)
+        for _ in range(25):
+            circuit.cx(0, 5)
+        result = SSyncCompiler(linear_2x6).compile(circuit)
+        verify_schedule(result.schedule, result.initial_state, circuit=circuit)
+        # After the first co-location no further routing should be needed.
+        assert result.shuttle_count <= 2
+        assert result.two_qubit_gate_count == 25
+
+    def test_two_qubit_device_wide_circuit(self):
+        device = linear_device(2, 2)
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).cx(1, 0)
+        result = SSyncCompiler(device).compile(circuit)
+        verify_schedule(result.schedule, result.initial_state, circuit=circuit)
+
+    def test_single_trap_device_never_shuttles(self):
+        device = linear_device(1, 12)
+        circuit = qft_circuit(10)
+        result = SSyncCompiler(device).compile(circuit)
+        assert result.shuttle_count == 0
+        assert result.swap_count == 0
+
+
+class TestCongestedDevices:
+    def test_only_one_free_slot_total(self):
+        # 11 qubits on a 12-slot device: routing must funnel through the
+        # single free slot without deadlocking.
+        device = linear_device(3, 4)
+        circuit = random_circuit(11, 40, seed=13)
+        result = SSyncCompiler(device).compile(circuit)
+        verify_schedule(result.schedule, result.initial_state, circuit=circuit)
+
+    def test_only_one_free_slot_total_on_grid(self):
+        device = grid_device(2, 2, 3)
+        circuit = random_circuit(11, 30, seed=17)
+        result = SSyncCompiler(device).compile(circuit)
+        verify_schedule(result.schedule, result.initial_state, circuit=circuit)
+
+    def test_baselines_survive_single_free_slot(self):
+        device = linear_device(3, 4)
+        circuit = random_circuit(11, 30, seed=19)
+        for compiler in (MuraliCompiler(device), DaiCompiler(device)):
+            result = compiler.compile(circuit)
+            verify_schedule(result.schedule, result.initial_state, circuit=circuit)
+
+    def test_tiny_stall_limit_still_terminates(self):
+        device = grid_device(2, 2, 4)
+        circuit = qft_circuit(12)
+        config = SSyncConfig(scheduler=SchedulerConfig(stall_limit=1))
+        result = SSyncCompiler(device, config).compile(circuit)
+        verify_schedule(result.schedule, result.initial_state, circuit=circuit)
+        assert result.statistics.forced_routes > 0
+
+
+class TestEvictionRegression:
+    """Regression: evictions into the source trap must not displace the mover."""
+
+    def test_murali_eviction_into_source_trap(self):
+        # Reproduces the original failure: heavy congestion forces evictions
+        # back into the trap the moving ion departs from.
+        device = paper_device("G-2x3")
+        circuit = build_benchmark("qft_24")
+        result = MuraliCompiler(device).compile(circuit)
+        verify_schedule(result.schedule, result.initial_state, circuit=circuit)
+
+    def test_force_route_with_expensive_shuttles(self):
+        # Reproduces the original failure in the force-route fallback: with a
+        # huge shuttle weight the heuristic stalls and force-routing kicks in
+        # on a congested device.
+        from repro.hardware.graph import GraphWeights
+
+        device = linear_device(3, 4)
+        circuit = random_circuit(9, 30, seed=5)
+        config = SSyncConfig(
+            scheduler=SchedulerConfig(
+                weights=GraphWeights(inner_weight=0.001, shuttle_weight=100.0, threshold=0.5),
+                stall_limit=4,
+            )
+        )
+        state = DeviceState.from_mapping(device, {0: [0, 1, 2], 1: [3, 4, 5], 2: [6, 7, 8]})
+        result = SSyncCompiler(device, config).compile(circuit, initial_state=state)
+        verify_schedule(result.schedule, state, circuit=circuit)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomised_congestion_fuzz(self, seed):
+        device = grid_device(2, 3, 3)
+        circuit = random_circuit(14, 60, seed=100 + seed)
+        for compiler in (SSyncCompiler(device), MuraliCompiler(device), DaiCompiler(device)):
+            result = compiler.compile(circuit)
+            verify_schedule(result.schedule, result.initial_state, circuit=circuit)

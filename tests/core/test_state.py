@@ -1,0 +1,219 @@
+"""Unit tests for the mutable device occupancy state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.state import LEFT, RIGHT, DeviceState
+from repro.exceptions import StateError
+from repro.hardware.topologies import grid_device, linear_device
+
+
+def make_state():
+    device = linear_device(3, 4)
+    state = DeviceState(device)
+    for q in (0, 1, 2):
+        state.place(q, 0)
+    state.place(3, 1)
+    state.place(4, 2)
+    return device, state
+
+
+class TestPlacement:
+    def test_place_appends_right_by_default(self):
+        _, state = make_state()
+        assert state.chain(0) == (0, 1, 2)
+
+    def test_place_left(self):
+        device = linear_device(1, 4)
+        state = DeviceState(device)
+        state.place(0, 0)
+        state.place(1, 0, end=LEFT)
+        assert state.chain(0) == (1, 0)
+
+    def test_place_twice_rejected(self):
+        _, state = make_state()
+        with pytest.raises(StateError):
+            state.place(0, 1)
+
+    def test_place_in_full_trap_rejected(self):
+        device = linear_device(1, 2)
+        state = DeviceState(device)
+        state.place(0, 0)
+        state.place(1, 0)
+        with pytest.raises(StateError):
+            state.place(2, 0)
+
+    def test_place_unknown_trap_rejected(self):
+        _, state = make_state()
+        with pytest.raises(StateError):
+            state.place(9, 7)
+
+    def test_from_mapping(self):
+        device = linear_device(2, 4)
+        state = DeviceState.from_mapping(device, {0: [0, 1], 1: [2]})
+        assert state.chain(0) == (0, 1)
+        assert state.trap_of(2) == 1
+
+
+class TestQueries:
+    def test_locations_and_positions(self):
+        _, state = make_state()
+        assert state.trap_of(1) == 0
+        assert state.position(1) == 1
+        assert state.is_placed(2)
+        assert not state.is_placed(9)
+
+    def test_unplaced_qubit_raises(self):
+        _, state = make_state()
+        with pytest.raises(StateError):
+            state.trap_of(10)
+
+    def test_chain_length_and_free_slots(self):
+        _, state = make_state()
+        assert state.chain_length(0) == 3
+        assert state.free_slots(0) == 1
+        assert state.has_space(0)
+
+    def test_full_trap_count(self):
+        device = linear_device(2, 2)
+        state = DeviceState(device)
+        state.place(0, 0)
+        state.place(1, 0)
+        state.place(2, 1)
+        assert state.full_trap_count() == 1
+
+    def test_ion_separation(self):
+        _, state = make_state()
+        assert state.ion_separation(0, 1) == 0
+        assert state.ion_separation(0, 2) == 1
+        with pytest.raises(StateError):
+            state.ion_separation(0, 3)
+
+    def test_same_trap(self):
+        _, state = make_state()
+        assert state.same_trap(0, 2)
+        assert not state.same_trap(0, 3)
+
+    def test_all_qubits_and_occupancy(self):
+        _, state = make_state()
+        assert state.all_qubits() == {0, 1, 2, 3, 4}
+        assert state.occupancy()[1] == (3,)
+
+
+class TestChainGeometry:
+    def test_facing_end_follows_trap_ids(self):
+        _, state = make_state()
+        assert state.facing_end(1, 2) == RIGHT
+        assert state.facing_end(1, 0) == LEFT
+        with pytest.raises(StateError):
+            state.facing_end(1, 1)
+
+    def test_end_qubit(self):
+        _, state = make_state()
+        assert state.end_qubit(0, LEFT) == 0
+        assert state.end_qubit(0, RIGHT) == 2
+        device = linear_device(1, 3)
+        empty = DeviceState(device)
+        assert empty.end_qubit(0, LEFT) is None
+
+    def test_is_at_end(self):
+        _, state = make_state()
+        assert state.is_at_end(0, LEFT)
+        assert state.is_at_end(2, RIGHT)
+        assert state.is_at_end(2)
+        assert not state.is_at_end(1)
+
+    def test_distance_to_end(self):
+        _, state = make_state()
+        assert state.distance_to_end(1, LEFT) == 1
+        assert state.distance_to_end(1, RIGHT) == 1
+        assert state.distance_to_end(0, RIGHT) == 2
+
+    def test_unknown_end_rejected(self):
+        _, state = make_state()
+        with pytest.raises(StateError):
+            state.distance_to_end(0, "middle")
+
+
+class TestMutations:
+    def test_swap_qubits(self):
+        _, state = make_state()
+        state.swap_qubits(0, 2)
+        assert state.chain(0) == (2, 1, 0)
+        assert state.position(0) == 2
+
+    def test_swap_across_traps_rejected(self):
+        _, state = make_state()
+        with pytest.raises(StateError):
+            state.swap_qubits(0, 3)
+
+    def test_swap_with_self_rejected(self):
+        _, state = make_state()
+        with pytest.raises(StateError):
+            state.swap_qubits(1, 1)
+
+    def test_shuttle_moves_end_ion(self):
+        _, state = make_state()
+        state.shuttle(2, 1)
+        assert state.trap_of(2) == 1
+        # Arriving from a lower-id trap, the ion joins the left end of trap 1.
+        assert state.chain(1) == (2, 3)
+        assert state.chain(0) == (0, 1)
+
+    def test_shuttle_requires_edge_position(self):
+        _, state = make_state()
+        with pytest.raises(StateError):
+            state.shuttle(1, 1)
+
+    def test_shuttle_requires_direct_connection(self):
+        _, state = make_state()
+        with pytest.raises(StateError):
+            state.shuttle(2, 2)
+
+    def test_shuttle_requires_space(self):
+        device = linear_device(2, 2)
+        state = DeviceState(device)
+        state.place(0, 0)
+        state.place(1, 1)
+        state.place(2, 1)
+        with pytest.raises(StateError):
+            state.shuttle(0, 1)
+
+    def test_shuttle_same_trap_rejected(self):
+        _, state = make_state()
+        with pytest.raises(StateError):
+            state.shuttle(0, 0)
+
+    def test_grid_shuttle_orientation(self):
+        device = grid_device(2, 2, 3)
+        state = DeviceState(device)
+        state.place(0, 3)
+        state.place(1, 1)
+        # Trap 3 faces trap 1 through its left end (1 < 3).
+        state.shuttle(0, 1)
+        # Arriving at trap 1 from the higher-id trap 3, ion joins the right end.
+        assert state.chain(1) == (1, 0)
+
+
+class TestCopyAndValidate:
+    def test_copy_is_independent(self):
+        _, state = make_state()
+        clone = state.copy()
+        clone.swap_qubits(0, 2)
+        assert state.chain(0) == (0, 1, 2)
+        assert clone.chain(0) == (2, 1, 0)
+
+    def test_validate_passes_on_consistent_state(self):
+        _, state = make_state()
+        state.validate()
+
+    def test_validate_detects_corruption(self):
+        _, state = make_state()
+        state._locations[0] = 2  # type: ignore[attr-defined]
+        with pytest.raises(StateError):
+            state.validate()
+
+    def test_repr_shows_chains(self):
+        _, state = make_state()
+        assert "0:[0, 1, 2]" in repr(state)

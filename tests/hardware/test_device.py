@@ -1,0 +1,129 @@
+"""Unit tests for the QCCDDevice model and its routing queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DeviceError
+from repro.hardware.device import QCCDDevice
+from repro.hardware.topologies import grid_device, linear_device, star_device
+from repro.hardware.trap import Connection, Trap
+
+
+class TestConstruction:
+    def test_requires_at_least_one_trap(self):
+        with pytest.raises(DeviceError):
+            QCCDDevice([], [])
+
+    def test_duplicate_trap_ids_rejected(self):
+        with pytest.raises(DeviceError):
+            QCCDDevice([Trap(0, 4), Trap(0, 4)], [])
+
+    def test_non_contiguous_ids_rejected(self):
+        with pytest.raises(DeviceError):
+            QCCDDevice([Trap(0, 4), Trap(2, 4)], [Connection(0, 2)])
+
+    def test_connection_to_unknown_trap_rejected(self):
+        with pytest.raises(DeviceError):
+            QCCDDevice([Trap(0, 4), Trap(1, 4)], [Connection(0, 5)])
+
+    def test_duplicate_connection_rejected(self):
+        with pytest.raises(DeviceError):
+            QCCDDevice(
+                [Trap(0, 4), Trap(1, 4)],
+                [Connection(0, 1), Connection(1, 0)],
+            )
+
+    def test_disconnected_graph_rejected(self):
+        with pytest.raises(DeviceError):
+            QCCDDevice([Trap(0, 4), Trap(1, 4), Trap(2, 4)], [Connection(0, 1)])
+
+    def test_single_trap_device_is_fine(self):
+        device = QCCDDevice([Trap(0, 8)], [])
+        assert device.num_traps == 1
+        assert device.total_capacity == 8
+
+
+class TestAccessors:
+    def test_traps_sorted_by_id(self):
+        device = linear_device(4, 5)
+        assert [t.trap_id for t in device.traps] == [0, 1, 2, 3]
+
+    def test_total_capacity(self):
+        assert linear_device(3, 7).total_capacity == 21
+
+    def test_capacity_and_trap_lookup(self):
+        device = linear_device(2, 9)
+        assert device.capacity(1) == 9
+        with pytest.raises(DeviceError):
+            device.trap(5)
+
+    def test_neighbors(self):
+        device = linear_device(4, 5)
+        assert device.neighbors(0) == [1]
+        assert device.neighbors(1) == [0, 2]
+
+    def test_connection_between(self):
+        device = linear_device(3, 5)
+        assert device.connection_between(0, 1).endpoints in {(0, 1), (1, 0)}
+        with pytest.raises(DeviceError):
+            device.connection_between(0, 2)
+
+    def test_are_connected(self):
+        device = grid_device(2, 2, 4)
+        assert device.are_connected(0, 1)
+        assert not device.are_connected(0, 3)
+
+    def test_trap_graph_is_a_copy(self):
+        device = linear_device(3, 5)
+        graph = device.trap_graph
+        graph.remove_node(0)
+        assert device.num_traps == 3
+
+
+class TestRouting:
+    def test_linear_distances_are_hop_counts(self):
+        device = linear_device(4, 5)
+        assert device.trap_distance(0, 3) == pytest.approx(3.0)
+        assert device.trap_distance(2, 2) == pytest.approx(0.0)
+
+    def test_grid_distances_include_junction_weight(self):
+        device = grid_device(2, 2, 4)
+        # Adjacent grid traps connect through one junction: weight 2.
+        assert device.trap_distance(0, 1) == pytest.approx(2.0)
+        assert device.trap_distance(0, 3) == pytest.approx(4.0)
+
+    def test_star_distance_is_single_hop(self):
+        device = star_device(5, 4)
+        assert device.trap_distance(0, 4) == pytest.approx(2.0)
+
+    def test_trap_path_endpoints(self):
+        device = linear_device(5, 4)
+        path = device.trap_path(0, 4)
+        assert path[0] == 0 and path[-1] == 4
+        assert len(path) == 5
+
+    def test_path_connections_and_junctions(self):
+        device = grid_device(2, 3, 4)
+        connections = device.path_connections(0, 5)
+        assert len(connections) == 3
+        assert device.path_junctions(0, 5) == 3
+        assert device.path_segments(0, 5) == 6
+
+    def test_max_trap_distance(self):
+        device = linear_device(4, 4)
+        assert device.max_trap_distance() == pytest.approx(3.0)
+
+    def test_unknown_trap_in_routing_raises(self):
+        device = linear_device(2, 4)
+        with pytest.raises(DeviceError):
+            device.trap_distance(0, 9)
+
+
+class TestWithCapacity:
+    def test_with_capacity_replaces_all_traps(self):
+        device = grid_device(2, 2, 4)
+        bigger = device.with_capacity(10)
+        assert bigger.total_capacity == 40
+        assert bigger.name == device.name
+        assert device.total_capacity == 16

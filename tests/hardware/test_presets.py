@@ -1,0 +1,88 @@
+"""Unit tests for the paper's named device presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DeviceError
+from repro.hardware.presets import (
+    PAPER_PRESETS,
+    device_for_circuit,
+    paper_device,
+    paper_device_catalog,
+    paper_preset,
+    preset_names,
+)
+
+
+class TestPresetTable:
+    def test_all_paper_names_present(self):
+        names = preset_names()
+        for expected in ("S-4", "L-4", "L-6", "G-2x2", "G-2x3", "G-3x3"):
+            assert expected in names
+
+    def test_paper_capacities(self):
+        assert paper_preset("S-4").default_capacity == 22
+        assert paper_preset("G-2x2").default_capacity == 22
+        assert paper_preset("G-2x3").default_capacity == 17
+        assert paper_preset("G-3x3").default_capacity == 12
+        assert paper_preset("L-4").default_capacity == 22
+        assert paper_preset("L-6").default_capacity == 17
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(DeviceError):
+            paper_preset("T-9")
+
+
+class TestPaperDevice:
+    def test_preset_shapes(self):
+        assert paper_device("S-4").num_traps == 4
+        assert paper_device("G-2x3").num_traps == 6
+        assert paper_device("G-3x3").num_traps == 9
+        assert paper_device("L-6").num_traps == 6
+
+    def test_case_insensitive(self):
+        assert paper_device("g-2x2").name == "G-2x2"
+
+    def test_capacity_override(self):
+        device = paper_device("G-2x2", capacity=10)
+        assert device.total_capacity == 40
+
+    def test_total_capacity_defaults(self):
+        # Paper chose capacities so each device holds roughly 100 ions.
+        for preset in PAPER_PRESETS:
+            device = paper_device(preset.name)
+            assert 60 <= device.total_capacity <= 140
+
+    def test_non_preset_structural_names(self):
+        assert paper_device("G-4x4", capacity=6).num_traps == 16
+        assert paper_device("L-8", capacity=6).num_traps == 8
+        assert paper_device("S-5", capacity=6).num_traps == 5
+
+    def test_non_preset_requires_capacity(self):
+        with pytest.raises(DeviceError):
+            paper_device("G-4x4")
+
+    def test_unparseable_name_rejected(self):
+        with pytest.raises(DeviceError):
+            paper_device("X-3", capacity=5)
+
+
+class TestCatalogAndFitting:
+    def test_catalog_contains_all_presets(self):
+        catalog = paper_device_catalog()
+        assert set(catalog) == set(preset_names())
+
+    def test_catalog_capacity_override(self):
+        catalog = paper_device_catalog(capacity=5)
+        assert all(
+            device.total_capacity == 5 * device.num_traps for device in catalog.values()
+        )
+
+    def test_device_for_circuit_grows_when_needed(self):
+        device = device_for_circuit("G-3x3", 150, slack=2)
+        assert device.total_capacity >= 150 + 2 * 9
+
+    def test_device_for_circuit_keeps_default_when_it_fits(self):
+        device = device_for_circuit("G-2x3", 30)
+        assert device.total_capacity == paper_device("G-2x3").total_capacity

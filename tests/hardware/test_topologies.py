@@ -1,0 +1,98 @@
+"""Unit tests for the L / G / S topology factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DeviceError
+from repro.hardware.topologies import (
+    build_topology,
+    grid_device,
+    linear_device,
+    ring_device,
+    star_device,
+)
+
+
+class TestLinear:
+    def test_structure(self):
+        device = linear_device(4, 5)
+        assert device.num_traps == 4
+        assert len(device.connections) == 3
+        assert all(c.junctions == 0 for c in device.connections)
+
+    def test_name_default(self):
+        assert linear_device(6, 3).name == "L-6"
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            linear_device(0, 5)
+        with pytest.raises(DeviceError):
+            linear_device(3, 0)
+
+
+class TestRing:
+    def test_structure(self):
+        device = ring_device(5, 4)
+        assert device.num_traps == 5
+        assert len(device.connections) == 5
+        # Wrap-around makes opposite traps closer than in a line.
+        assert device.trap_distance(0, 4) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            ring_device(2, 4)
+
+
+class TestGrid:
+    def test_structure_2x3(self):
+        device = grid_device(2, 3, 4)
+        assert device.num_traps == 6
+        # 2x3 grid has 7 internal edges.
+        assert len(device.connections) == 7
+        assert all(c.junctions == 1 for c in device.connections)
+
+    def test_corner_and_center_degree(self):
+        device = grid_device(3, 3, 4)
+        assert len(device.neighbors(0)) == 2
+        assert len(device.neighbors(4)) == 4
+
+    def test_name_default(self):
+        assert grid_device(3, 3, 4).name == "G-3x3"
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            grid_device(0, 3, 4)
+        with pytest.raises(DeviceError):
+            grid_device(1, 1, 4)
+        with pytest.raises(DeviceError):
+            grid_device(2, 2, 0)
+
+
+class TestStar:
+    def test_all_pairs_connected(self):
+        device = star_device(4, 5)
+        assert len(device.connections) == 6
+        for a in range(4):
+            for b in range(a + 1, 4):
+                assert device.are_connected(a, b)
+
+    def test_single_junction_per_hop(self):
+        device = star_device(3, 5)
+        assert all(c.junctions == 1 for c in device.connections)
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            star_device(1, 5)
+
+
+class TestBuildTopology:
+    def test_dispatch(self):
+        assert build_topology("linear", 4, num_traps=3).num_traps == 3
+        assert build_topology("grid", 4, rows=2, cols=2).num_traps == 4
+        assert build_topology("star", 4, num_traps=5).num_traps == 5
+        assert build_topology("ring", 4, num_traps=4).num_traps == 4
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DeviceError):
+            build_topology("hypercube", 4)

@@ -1,0 +1,77 @@
+"""Unit tests for traps, connections and junction records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DeviceError
+from repro.hardware.trap import Connection, JunctionCrossing, Trap
+
+
+class TestTrap:
+    def test_defaults_and_name(self):
+        trap = Trap(3, 10)
+        assert trap.name == "trap3"
+        assert trap.edge_positions == (0, 9)
+
+    def test_custom_name_kept(self):
+        assert Trap(0, 4, name="T(0,0)").name == "T(0,0)"
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(DeviceError):
+            Trap(-1, 5)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(DeviceError):
+            Trap(0, 0)
+
+    def test_is_hashable_and_frozen(self):
+        trap = Trap(1, 5)
+        assert hash(trap) == hash(Trap(1, 5))
+        with pytest.raises(AttributeError):
+            trap.capacity = 7  # type: ignore[misc]
+
+
+class TestConnection:
+    def test_endpoints_and_other(self):
+        conn = Connection(0, 1)
+        assert conn.endpoints == (0, 1)
+        assert conn.other(0) == 1
+        assert conn.other(1) == 0
+
+    def test_other_unknown_trap_raises(self):
+        with pytest.raises(DeviceError):
+            Connection(0, 1).other(5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(DeviceError):
+            Connection(2, 2)
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(DeviceError):
+            Connection(-1, 0)
+
+    def test_rejects_negative_junctions(self):
+        with pytest.raises(DeviceError):
+            Connection(0, 1, junctions=-1)
+
+    def test_rejects_zero_segments(self):
+        with pytest.raises(DeviceError):
+            Connection(0, 1, segments=0)
+
+    def test_shuttle_weight_formula(self):
+        assert Connection(0, 1, junctions=0).shuttle_weight() == pytest.approx(1.0)
+        assert Connection(0, 1, junctions=1).shuttle_weight() == pytest.approx(2.0)
+        assert Connection(0, 1, junctions=2).shuttle_weight() == pytest.approx(3.0)
+
+    def test_shuttle_weight_custom_junction_weight(self):
+        assert Connection(0, 1, junctions=2).shuttle_weight(0.5) == pytest.approx(2.0)
+
+
+class TestJunctionCrossing:
+    def test_defaults(self):
+        assert JunctionCrossing().num_paths == 3
+
+    def test_rejects_single_path(self):
+        with pytest.raises(DeviceError):
+            JunctionCrossing(num_paths=1)

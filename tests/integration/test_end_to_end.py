@@ -1,0 +1,80 @@
+"""Integration tests: full compile → verify → evaluate pipelines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DaiCompiler,
+    GateImplementation,
+    MuraliCompiler,
+    SSyncCompiler,
+    evaluate_schedule,
+    paper_device,
+    verify_schedule,
+)
+from repro.circuit.library import build_benchmark, ghz_circuit, random_circuit
+from repro.hardware.presets import preset_names
+
+
+ALL_COMPILERS = (
+    ("s-sync", lambda device: SSyncCompiler(device)),
+    ("murali", lambda device: MuraliCompiler(device)),
+    ("dai", lambda device: DaiCompiler(device)),
+)
+
+
+class TestPipelines:
+    @pytest.mark.parametrize("bench", ["qft_16", "adder_8", "bv_24", "qaoa_24", "alt_24"])
+    @pytest.mark.parametrize("device_name", ["L-4", "G-2x3", "S-4"])
+    def test_ssync_pipeline_across_devices(self, bench, device_name):
+        circuit = build_benchmark(bench)
+        device = paper_device(device_name)
+        result = SSyncCompiler(device).compile(circuit)
+        report = verify_schedule(result.schedule, result.initial_state, circuit=circuit)
+        evaluation = evaluate_schedule(result.schedule)
+        assert report.two_qubit_gates == circuit.num_two_qubit_gates
+        assert 0.0 <= evaluation.success_rate <= 1.0
+        assert evaluation.execution_time_us > 0
+
+    @pytest.mark.parametrize("name,factory", ALL_COMPILERS, ids=[n for n, _ in ALL_COMPILERS])
+    def test_all_compilers_agree_on_gate_counts(self, name, factory):
+        circuit = build_benchmark("qft_20")
+        device = paper_device("G-2x2")
+        result = factory(device).compile(circuit)
+        verify_schedule(result.schedule, result.initial_state, circuit=circuit)
+        assert result.two_qubit_gate_count == circuit.num_two_qubit_gates
+
+    def test_every_paper_preset_is_usable(self):
+        circuit = ghz_circuit(24, ladder=False)
+        for name in preset_names():
+            device = paper_device(name)
+            result = SSyncCompiler(device).compile(circuit)
+            verify_schedule(result.schedule, result.initial_state, circuit=circuit)
+
+    def test_one_schedule_many_noise_models(self):
+        circuit = build_benchmark("qft_16")
+        device = paper_device("G-2x3")
+        result = SSyncCompiler(device).compile(circuit)
+        rates = {
+            impl: evaluate_schedule(result.schedule, gate_implementation=impl).success_rate
+            for impl in GateImplementation
+        }
+        assert len(rates) == 4
+        assert all(0.0 <= rate <= 1.0 for rate in rates.values())
+
+    def test_compiling_twice_is_deterministic(self):
+        circuit = random_circuit(20, 120, seed=42)
+        device = paper_device("G-2x2")
+        first = SSyncCompiler(device).compile(circuit)
+        second = SSyncCompiler(device).compile(circuit)
+        assert first.shuttle_count == second.shuttle_count
+        assert first.swap_count == second.swap_count
+        assert [op.kind for op in first.schedule] == [op.kind for op in second.schedule]
+
+    def test_mapping_strategies_all_produce_valid_schedules(self):
+        circuit = build_benchmark("adder_12")
+        device = paper_device("G-2x3")
+        for mapping in ("gathering", "even-divided", "sta"):
+            result = SSyncCompiler(device).compile(circuit, initial_mapping=mapping)
+            verify_schedule(result.schedule, result.initial_state, circuit=circuit)

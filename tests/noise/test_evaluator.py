@@ -1,0 +1,157 @@
+"""Unit tests for the schedule evaluator (execution time + success rate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.gate import Gate
+from repro.hardware.topologies import grid_device, linear_device
+from repro.noise.evaluator import EvaluatorConfig, ScheduleEvaluator, evaluate_schedule
+from repro.noise.gate_times import GateImplementation, fm_gate_time, pm_gate_time
+from repro.noise.heating import HeatingParameters
+from repro.noise.operation_times import OperationTimes
+from repro.schedule.operations import (
+    GateOperation,
+    ShuttleOperation,
+    SpaceShiftOperation,
+    SwapOperation,
+)
+from repro.schedule.schedule import Schedule
+
+
+def _gate_only_schedule(num_gates: int = 3, chain_length: int = 6) -> Schedule:
+    device = linear_device(2, 8)
+    schedule = Schedule(device, "gates")
+    for _ in range(num_gates):
+        schedule.append(
+            GateOperation(gate=Gate("cx", (0, 1)), trap=0, chain_length=chain_length, ion_separation=1)
+        )
+    return schedule
+
+
+def _schedule_with_shuttle() -> Schedule:
+    device = grid_device(1, 2, 6)
+    schedule = Schedule(device, "with-shuttle")
+    schedule.append(GateOperation(gate=Gate("cx", (0, 1)), trap=0, chain_length=4, ion_separation=0))
+    schedule.append(
+        ShuttleOperation(
+            qubit=0,
+            source_trap=0,
+            target_trap=1,
+            segments=2,
+            junctions=1,
+            source_chain_length=4,
+            target_chain_length=4,
+        )
+    )
+    schedule.append(GateOperation(gate=Gate("cx", (0, 2)), trap=1, chain_length=4, ion_separation=0))
+    return schedule
+
+
+class TestExecutionTime:
+    def test_fm_gate_time_drives_duration(self):
+        schedule = _gate_only_schedule(num_gates=2, chain_length=12)
+        result = evaluate_schedule(schedule, gate_implementation="fm")
+        assert result.execution_time_us == pytest.approx(2 * fm_gate_time(12))
+
+    def test_pm_depends_on_separation_not_chain(self):
+        schedule = _gate_only_schedule(num_gates=1, chain_length=12)
+        result = evaluate_schedule(schedule, gate_implementation="pm")
+        assert result.execution_time_us == pytest.approx(pm_gate_time(1))
+
+    def test_shuttle_adds_transport_time(self):
+        schedule = _schedule_with_shuttle()
+        result = evaluate_schedule(schedule)
+        expected_shuttle = OperationTimes().shuttle_us(segments=2, junctions=1)
+        assert result.total_shuttle_time_us == pytest.approx(expected_shuttle)
+        assert result.execution_time_us > expected_shuttle
+
+    def test_parallel_traps_use_max_clock(self):
+        device = linear_device(2, 6)
+        schedule = Schedule(device, "parallel")
+        schedule.append(GateOperation(gate=Gate("cx", (0, 1)), trap=0, chain_length=4))
+        schedule.append(GateOperation(gate=Gate("cx", (2, 3)), trap=1, chain_length=4))
+        result = evaluate_schedule(schedule)
+        assert result.execution_time_us == pytest.approx(fm_gate_time(4))
+
+    def test_swap_takes_three_gate_durations(self):
+        device = linear_device(1, 6)
+        schedule = Schedule(device, "swap")
+        schedule.append(SwapOperation(trap=0, qubit_a=0, qubit_b=1, chain_length=5, ion_separation=0))
+        result = evaluate_schedule(schedule)
+        assert result.execution_time_us == pytest.approx(3 * fm_gate_time(5))
+
+    def test_space_shift_costs_move_time(self):
+        device = linear_device(1, 6)
+        schedule = Schedule(device, "shift")
+        schedule.append(SpaceShiftOperation(trap=0, qubit=0, from_position=0, to_position=3))
+        result = evaluate_schedule(schedule)
+        assert result.execution_time_us == pytest.approx(3 * OperationTimes().move_us)
+
+
+class TestSuccessRate:
+    def test_more_gates_lower_success(self):
+        few = evaluate_schedule(_gate_only_schedule(num_gates=5))
+        many = evaluate_schedule(_gate_only_schedule(num_gates=50))
+        assert many.success_rate < few.success_rate
+
+    def test_shuttles_reduce_success_rate(self):
+        without = Schedule(_schedule_with_shuttle().device, "no-shuttle")
+        for op in _schedule_with_shuttle():
+            if not isinstance(op, ShuttleOperation):
+                without.append(op)
+        with_shuttle = evaluate_schedule(_schedule_with_shuttle())
+        clean = evaluate_schedule(without)
+        assert with_shuttle.success_rate < clean.success_rate
+
+    def test_single_qubit_gates_nearly_free(self):
+        device = linear_device(1, 4)
+        schedule = Schedule(device, "singles")
+        for _ in range(100):
+            schedule.append(GateOperation(gate=Gate("h", (0,)), trap=0, chain_length=2))
+        result = evaluate_schedule(schedule)
+        assert result.success_rate > 0.999
+
+    def test_single_qubit_gates_can_be_excluded(self):
+        device = linear_device(1, 4)
+        schedule = Schedule(device, "singles")
+        schedule.append(GateOperation(gate=Gate("h", (0,)), trap=0, chain_length=2))
+        config = EvaluatorConfig(include_single_qubit_gates=False)
+        result = ScheduleEvaluator(config).evaluate(schedule)
+        assert result.success_rate == pytest.approx(1.0)
+
+    def test_custom_heating_parameters(self):
+        gentle = evaluate_schedule(
+            _schedule_with_shuttle(), heating=HeatingParameters(amplitude_scale=1e-6)
+        )
+        harsh = evaluate_schedule(
+            _schedule_with_shuttle(), heating=HeatingParameters(amplitude_scale=1e-2)
+        )
+        assert gentle.success_rate > harsh.success_rate
+
+
+class TestIdealisedScenarios:
+    def test_ignore_shuttle_cost_removes_transport(self):
+        schedule = _schedule_with_shuttle()
+        ideal = evaluate_schedule(schedule, ignore_shuttle_cost=True)
+        real = evaluate_schedule(schedule)
+        assert ideal.total_shuttle_time_us == 0.0
+        assert ideal.success_rate >= real.success_rate
+
+    def test_ignore_swap_cost_removes_swaps(self):
+        device = linear_device(1, 6)
+        schedule = Schedule(device, "swaps")
+        schedule.append(SwapOperation(trap=0, qubit_a=0, qubit_b=1, chain_length=4))
+        schedule.append(GateOperation(gate=Gate("cx", (0, 1)), trap=0, chain_length=4))
+        no_swap = evaluate_schedule(schedule, ignore_swap_cost=True)
+        real = evaluate_schedule(schedule)
+        assert no_swap.success_rate > real.success_rate
+        assert no_swap.execution_time_us < real.execution_time_us
+
+    def test_result_metadata(self):
+        result = evaluate_schedule(_schedule_with_shuttle(), gate_implementation="am2")
+        assert result.gate_implementation is GateImplementation.AM2
+        assert result.gate_count_2q == 2
+        assert result.shuttle_count == 1
+        assert result.execution_time_s == pytest.approx(result.execution_time_us / 1e6)
+        assert result.details["evaluated_gate_fidelities"] == 2.0

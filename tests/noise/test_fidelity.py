@@ -1,0 +1,102 @@
+"""Unit tests for the Eq.-(4) fidelity model and success-rate accumulator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import NoiseModelError
+from repro.noise.fidelity import (
+    SWAP_TWO_QUBIT_GATE_COUNT,
+    FidelityModel,
+    SuccessRateAccumulator,
+)
+from repro.noise.heating import HeatingParameters
+
+
+class TestFidelityModel:
+    def test_equation_four_components(self):
+        heating = HeatingParameters(amplitude_scale=1e-4)
+        model = FidelityModel(heating=heating)
+        fidelity = model.two_qubit_gate_fidelity(
+            gate_time_us=100.0, chain_length=10, mean_phonon=0.0
+        )
+        expected = 1.0 - 1.0 * 100e-6 - heating.amplitude_factor(10) * 1.0
+        assert fidelity == pytest.approx(expected)
+
+    def test_hotter_trap_is_worse(self):
+        model = FidelityModel()
+        cold = model.two_qubit_gate_fidelity(100.0, 10, mean_phonon=0.0)
+        hot = model.two_qubit_gate_fidelity(100.0, 10, mean_phonon=1.0)
+        assert hot < cold
+
+    def test_longer_chain_is_worse(self):
+        model = FidelityModel()
+        short = model.two_qubit_gate_fidelity(100.0, 5, 0.1)
+        long = model.two_qubit_gate_fidelity(100.0, 20, 0.1)
+        assert long < short
+
+    def test_accumulated_transport_time_costs_fidelity(self):
+        model = FidelityModel()
+        idle = model.two_qubit_gate_fidelity(100.0, 10, 0.0, accumulated_transport_us=1e5)
+        fresh = model.two_qubit_gate_fidelity(100.0, 10, 0.0)
+        assert idle < fresh
+
+    def test_fidelity_never_negative(self):
+        model = FidelityModel()
+        value = model.two_qubit_gate_fidelity(1e12, 50, 1e6)
+        assert value == pytest.approx(model.minimum_fidelity)
+
+    def test_swap_is_three_gates(self):
+        model = FidelityModel()
+        single = model.two_qubit_gate_fidelity(100.0, 10, 0.2)
+        assert model.swap_gate_fidelity(100.0, 10, 0.2) == pytest.approx(
+            single**SWAP_TWO_QUBIT_GATE_COUNT
+        )
+
+    def test_single_qubit_fidelity_matches_paper(self):
+        assert FidelityModel().single_qubit_gate_fidelity_value() == pytest.approx(0.999999)
+
+    def test_validation(self):
+        model = FidelityModel()
+        with pytest.raises(NoiseModelError):
+            model.two_qubit_gate_fidelity(-1.0, 10, 0.0)
+        with pytest.raises(NoiseModelError):
+            model.two_qubit_gate_fidelity(1.0, 10, -0.5)
+        with pytest.raises(NoiseModelError):
+            FidelityModel(single_qubit_fidelity=0.0)
+        with pytest.raises(NoiseModelError):
+            FidelityModel(minimum_fidelity=0.0)
+
+
+class TestSuccessRateAccumulator:
+    def test_product_of_fidelities(self):
+        acc = SuccessRateAccumulator()
+        acc.multiply(0.9)
+        acc.multiply(0.8)
+        assert acc.success_rate == pytest.approx(0.72)
+        assert acc.gate_count == 2
+
+    def test_log_space_avoids_underflow(self):
+        acc = SuccessRateAccumulator()
+        for _ in range(100_000):
+            acc.multiply(0.999)
+        assert acc.log_success_rate == pytest.approx(100_000 * math.log(0.999))
+        assert acc.success_rate == pytest.approx(math.exp(acc.log_success_rate))
+
+    def test_zero_fidelity_collapses_to_zero(self):
+        acc = SuccessRateAccumulator()
+        acc.multiply(0.9)
+        acc.multiply(0.0)
+        acc.multiply(0.9)
+        assert acc.success_rate == 0.0
+        assert acc.log_success_rate == float("-inf")
+
+    def test_fidelity_above_one_rejected(self):
+        acc = SuccessRateAccumulator()
+        with pytest.raises(NoiseModelError):
+            acc.multiply(1.5)
+
+    def test_empty_accumulator_is_one(self):
+        assert SuccessRateAccumulator().success_rate == pytest.approx(1.0)

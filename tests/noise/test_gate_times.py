@@ -1,0 +1,81 @@
+"""Unit tests for the two-qubit gate duration models (paper §4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NoiseModelError
+from repro.noise.gate_times import (
+    GateImplementation,
+    am1_gate_time,
+    am2_gate_time,
+    fm_gate_time,
+    pm_gate_time,
+    single_qubit_gate_time,
+    two_qubit_gate_time,
+)
+
+
+class TestFM:
+    def test_formula_above_floor(self):
+        # 13.33 * 20 - 54 = 212.6
+        assert fm_gate_time(20) == pytest.approx(212.6)
+
+    def test_floor_at_small_chains(self):
+        assert fm_gate_time(2) == pytest.approx(100.0)
+        assert fm_gate_time(5) == pytest.approx(100.0)
+
+    def test_monotone_in_chain_length(self):
+        times = [fm_gate_time(n) for n in range(2, 40)]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_rejects_single_ion(self):
+        with pytest.raises(NoiseModelError):
+            fm_gate_time(1)
+
+
+class TestDistanceModels:
+    def test_pm_formula(self):
+        assert pm_gate_time(0) == pytest.approx(160.0)
+        assert pm_gate_time(10) == pytest.approx(210.0)
+
+    def test_am1_formula_and_floor(self):
+        assert am1_gate_time(1) == pytest.approx(78.0)
+        assert am1_gate_time(0) == pytest.approx(10.0)
+
+    def test_am2_formula(self):
+        assert am2_gate_time(0) == pytest.approx(10.0)
+        assert am2_gate_time(5) == pytest.approx(200.0)
+
+    def test_negative_separation_rejected(self):
+        for fn in (pm_gate_time, am1_gate_time, am2_gate_time):
+            with pytest.raises(NoiseModelError):
+                fn(-1)
+
+    def test_am_cheaper_than_pm_for_adjacent_ions(self):
+        # Fig. 13 rationale: AM gates win for short-range interactions.
+        assert am2_gate_time(0) < pm_gate_time(0)
+        assert am1_gate_time(0) < pm_gate_time(0)
+
+    def test_pm_weak_dependence_on_distance(self):
+        # PM grows by 5 µs per ion, AM1 by 100 µs per ion.
+        assert pm_gate_time(20) - pm_gate_time(0) < am1_gate_time(20) - am1_gate_time(2)
+
+
+class TestDispatch:
+    def test_enum_from_name(self):
+        assert GateImplementation.from_name("FM") is GateImplementation.FM
+        assert GateImplementation.from_name(GateImplementation.PM) is GateImplementation.PM
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(NoiseModelError):
+            GateImplementation.from_name("laser")
+
+    def test_dispatch_matches_direct_calls(self):
+        assert two_qubit_gate_time("fm", 12, 3) == pytest.approx(fm_gate_time(12))
+        assert two_qubit_gate_time("pm", 12, 3) == pytest.approx(pm_gate_time(3))
+        assert two_qubit_gate_time("am1", 12, 3) == pytest.approx(am1_gate_time(3))
+        assert two_qubit_gate_time("am2", 12, 3) == pytest.approx(am2_gate_time(3))
+
+    def test_single_qubit_gate_time_is_small(self):
+        assert 0 < single_qubit_gate_time() < fm_gate_time(2)

@@ -1,0 +1,88 @@
+"""Unit tests for the heating model (k1/k2 quanta, n̄ ledger)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import NoiseModelError
+from repro.noise.heating import (
+    PAPER_HEATING,
+    HeatingParameters,
+    ThermalLedger,
+    TrapThermalState,
+)
+
+
+class TestHeatingParameters:
+    def test_paper_defaults(self):
+        assert PAPER_HEATING.k1 == pytest.approx(0.1)
+        assert PAPER_HEATING.k2 == pytest.approx(0.01)
+        assert PAPER_HEATING.background_rate_per_s == pytest.approx(1.0)
+
+    def test_amplitude_factor_scales_as_n_over_log_n(self):
+        params = HeatingParameters(amplitude_scale=1.0)
+        assert params.amplitude_factor(10) == pytest.approx(10 / math.log(10))
+        assert params.amplitude_factor(1) == pytest.approx(1.0)
+
+    def test_amplitude_grows_with_chain_length(self):
+        values = [PAPER_HEATING.amplitude_factor(n) for n in range(3, 30)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(NoiseModelError):
+            HeatingParameters(k1=-0.1)
+        with pytest.raises(NoiseModelError):
+            HeatingParameters(background_rate_per_s=-1)
+        with pytest.raises(NoiseModelError):
+            HeatingParameters(amplitude_scale=0.0)
+        with pytest.raises(NoiseModelError):
+            PAPER_HEATING.amplitude_factor(0)
+
+
+class TestTrapThermalState:
+    def test_split_and_merge_add_k1(self):
+        state = TrapThermalState()
+        state.record_split(PAPER_HEATING)
+        state.record_merge(PAPER_HEATING)
+        assert state.mean_phonon == pytest.approx(0.2)
+        assert state.total_splits == 1 and state.total_merges == 1
+
+    def test_transport_adds_k2_per_segment_and_junction(self):
+        state = TrapThermalState()
+        state.record_transport(PAPER_HEATING, segments=3, junctions=2)
+        assert state.mean_phonon == pytest.approx(0.05)
+
+    def test_idle_time_accumulates_and_resets(self):
+        state = TrapThermalState()
+        state.record_idle(100.0)
+        state.record_idle(50.0)
+        assert state.consume_accumulated_time() == pytest.approx(150.0)
+        assert state.consume_accumulated_time() == 0.0
+
+    def test_validation(self):
+        state = TrapThermalState()
+        with pytest.raises(NoiseModelError):
+            state.record_idle(-1.0)
+        with pytest.raises(NoiseModelError):
+            state.record_transport(PAPER_HEATING, segments=-1)
+
+
+class TestThermalLedger:
+    def test_shuttle_heats_both_traps(self):
+        ledger = ThermalLedger(params=PAPER_HEATING)
+        ledger.record_shuttle(source_trap=0, target_trap=1, segments=2, junctions=1)
+        assert ledger.mean_phonon(0) == pytest.approx(0.1)
+        assert ledger.mean_phonon(1) == pytest.approx(0.1 + 0.03)
+
+    def test_total_phonon(self):
+        ledger = ThermalLedger()
+        ledger.record_shuttle(0, 1, segments=1, junctions=0)
+        assert ledger.total_phonon() == pytest.approx(
+            ledger.mean_phonon(0) + ledger.mean_phonon(1)
+        )
+
+    def test_unknown_trap_starts_cold(self):
+        ledger = ThermalLedger()
+        assert ledger.mean_phonon(7) == 0.0

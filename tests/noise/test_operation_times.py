@@ -1,0 +1,51 @@
+"""Unit tests for the Table-1 transport operation times."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NoiseModelError
+from repro.noise.operation_times import PAPER_OPERATION_TIMES, OperationTimes
+
+
+class TestTableOne:
+    def test_paper_values(self):
+        times = PAPER_OPERATION_TIMES
+        assert times.move_us == pytest.approx(5.0)
+        assert times.split_us == pytest.approx(80.0)
+        assert times.merge_us == pytest.approx(80.0)
+        # Cross n-path junction: 40 + 20n; the paper's table quotes n=3 style junctions.
+        assert times.junction_crossing_us(3) == pytest.approx(100.0)
+
+    def test_as_table_rows(self):
+        table = PAPER_OPERATION_TIMES.as_table()
+        assert set(table) == {"move", "split", "merge", "cross 3-path junction"}
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(NoiseModelError):
+            OperationTimes(move_us=-1.0)
+
+    def test_junction_needs_two_paths(self):
+        with pytest.raises(NoiseModelError):
+            PAPER_OPERATION_TIMES.junction_crossing_us(1)
+
+
+class TestShuttleDuration:
+    def test_simple_shuttle_is_split_move_merge(self):
+        assert PAPER_OPERATION_TIMES.shuttle_us(segments=1, junctions=0) == pytest.approx(165.0)
+
+    def test_junction_adds_crossing_time(self):
+        direct = PAPER_OPERATION_TIMES.shuttle_us(segments=2, junctions=0)
+        with_junction = PAPER_OPERATION_TIMES.shuttle_us(segments=2, junctions=1)
+        assert with_junction - direct == pytest.approx(100.0)
+
+    def test_segments_scale_linearly(self):
+        one = PAPER_OPERATION_TIMES.shuttle_us(segments=1, junctions=0)
+        four = PAPER_OPERATION_TIMES.shuttle_us(segments=4, junctions=0)
+        assert four - one == pytest.approx(15.0)
+
+    def test_validation(self):
+        with pytest.raises(NoiseModelError):
+            PAPER_OPERATION_TIMES.shuttle_us(segments=0, junctions=0)
+        with pytest.raises(NoiseModelError):
+            PAPER_OPERATION_TIMES.shuttle_us(segments=1, junctions=-1)

@@ -1,0 +1,113 @@
+"""Property-based tests for the circuit IR and dependency DAG."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.dag import DependencyDAG
+from repro.circuit.library import random_circuit
+from repro.circuit.qasm import circuit_to_qasm, qasm_to_circuit
+
+
+@st.composite
+def circuits(draw, max_qubits: int = 10, max_gates: int = 60) -> QuantumCircuit:
+    """Random circuits with a mix of one- and two-qubit gates."""
+    num_qubits = draw(st.integers(min_value=2, max_value=max_qubits))
+    circuit = QuantumCircuit(num_qubits, name="hypothesis")
+    num_gates = draw(st.integers(min_value=0, max_value=max_gates))
+    for _ in range(num_gates):
+        if draw(st.booleans()):
+            circuit.add_gate(draw(st.sampled_from(["h", "x", "t", "s"])), draw(st.integers(0, num_qubits - 1)))
+        else:
+            a = draw(st.integers(0, num_qubits - 1))
+            b = draw(st.integers(0, num_qubits - 2))
+            if b >= a:
+                b += 1
+            circuit.cx(a, b)
+    return circuit
+
+
+class TestCircuitProperties:
+    @given(circuits())
+    @settings(max_examples=50, deadline=None)
+    def test_gate_count_partition(self, circuit: QuantumCircuit):
+        assert circuit.num_single_qubit_gates + circuit.num_two_qubit_gates == len(circuit)
+
+    @given(circuits())
+    @settings(max_examples=50, deadline=None)
+    def test_depth_bounds(self, circuit: QuantumCircuit):
+        depth = circuit.depth()
+        assert depth <= len(circuit)
+        if len(circuit):
+            assert depth >= 1
+        assert circuit.depth(two_qubit_only=True) <= depth
+
+    @given(circuits())
+    @settings(max_examples=50, deadline=None)
+    def test_interaction_graph_weight_equals_two_qubit_count(self, circuit: QuantumCircuit):
+        graph = circuit.interaction_graph()
+        total_weight = sum(d["weight"] for _, _, d in graph.edges(data=True))
+        assert total_weight == circuit.num_two_qubit_gates
+
+    @given(circuits())
+    @settings(max_examples=30, deadline=None)
+    def test_qasm_round_trip_preserves_two_qubit_structure(self, circuit: QuantumCircuit):
+        parsed = qasm_to_circuit(circuit_to_qasm(circuit)) if len(circuit) else None
+        if parsed is None:
+            return
+        assert parsed.num_qubits == circuit.num_qubits
+        assert [g.qubits for g in parsed.two_qubit_gates()] == [
+            g.qubits for g in circuit.two_qubit_gates()
+        ]
+
+
+class TestDAGProperties:
+    @given(circuits())
+    @settings(max_examples=50, deadline=None)
+    def test_executing_frontier_gates_drains_the_dag(self, circuit: QuantumCircuit):
+        dag = DependencyDAG(circuit)
+        executed = 0
+        while not dag.is_done:
+            frontier = dag.frontier()
+            assert frontier, "a non-empty DAG must always expose a frontier"
+            dag.execute(frontier[0].index)
+            executed += 1
+        assert executed == circuit.num_two_qubit_gates
+
+    @given(circuits())
+    @settings(max_examples=50, deadline=None)
+    def test_frontier_gates_are_pairwise_independent_per_qubit(self, circuit: QuantumCircuit):
+        dag = DependencyDAG(circuit)
+        frontier = dag.frontier()
+        # No two frontier gates may share a qubit with an *earlier* unexecuted
+        # gate — in particular the earliest gate per qubit is in the frontier.
+        seen: dict[int, int] = {}
+        for node in frontier:
+            for q in node.gate.qubits:
+                if q in seen:
+                    # Two frontier gates sharing a qubit would be dependent.
+                    raise AssertionError("frontier gates share a qubit")
+                seen[q] = node.index
+
+    @given(circuits())
+    @settings(max_examples=50, deadline=None)
+    def test_topological_order_respects_program_order_per_qubit(self, circuit: QuantumCircuit):
+        dag = DependencyDAG(circuit)
+        order = [node.index for node in dag.topological_order()]
+        position = {index: i for i, index in enumerate(order)}
+        last_seen: dict[int, int] = {}
+        for index in sorted(order):
+            node = dag.node(index)
+            for q in node.gate.qubits:
+                if q in last_seen:
+                    assert position[last_seen[q]] < position[index]
+                last_seen[q] = index
+
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=80))
+    @settings(max_examples=30, deadline=None)
+    def test_random_circuit_generator_consistent_with_dag(self, qubits: int, gates: int):
+        circuit = random_circuit(qubits, gates, seed=qubits * 1000 + gates)
+        dag = DependencyDAG(circuit)
+        assert dag.num_nodes == gates

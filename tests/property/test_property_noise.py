@@ -1,0 +1,107 @@
+"""Property-based tests for the timing and fidelity models."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noise.fidelity import FidelityModel, SuccessRateAccumulator
+from repro.noise.gate_times import (
+    GateImplementation,
+    fm_gate_time,
+    two_qubit_gate_time,
+)
+from repro.noise.heating import HeatingParameters
+from repro.noise.operation_times import OperationTimes
+
+
+class TestGateTimeProperties:
+    @given(st.integers(min_value=2, max_value=200))
+    @settings(max_examples=60, deadline=None)
+    def test_fm_time_has_floor(self, chain_length):
+        assert fm_gate_time(chain_length) >= 100.0
+
+    @given(
+        st.sampled_from(list(GateImplementation)),
+        st.integers(min_value=2, max_value=60),
+        st.integers(min_value=0, max_value=58),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_all_durations_positive(self, implementation, chain, separation):
+        assert two_qubit_gate_time(implementation, chain, separation) > 0
+
+    @given(
+        st.sampled_from(list(GateImplementation)),
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_durations_monotone_in_their_driver(self, implementation, chain, separation):
+        shorter = two_qubit_gate_time(implementation, chain, separation)
+        longer = two_qubit_gate_time(implementation, chain + 5, separation + 5)
+        assert longer >= shorter
+
+
+class TestShuttleTimeProperties:
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_shuttle_time_exceeds_split_plus_merge(self, segments, junctions):
+        times = OperationTimes()
+        assert times.shuttle_us(segments, junctions) >= times.split_us + times.merge_us
+
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_shuttle_time_monotone(self, segments, junctions):
+        times = OperationTimes()
+        base = times.shuttle_us(segments, junctions)
+        assert times.shuttle_us(segments + 1, junctions) >= base
+        assert times.shuttle_us(segments, junctions + 1) >= base
+
+
+class TestFidelityProperties:
+    @given(
+        st.floats(min_value=1.0, max_value=1e6),
+        st.integers(min_value=2, max_value=60),
+        st.floats(min_value=0.0, max_value=100.0),
+        st.floats(min_value=0.0, max_value=1e6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_fidelity_in_unit_interval(self, gate_time, chain, phonon, idle):
+        model = FidelityModel()
+        value = model.two_qubit_gate_fidelity(gate_time, chain, phonon, idle)
+        assert 0.0 < value <= 1.0
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e4),
+        st.integers(min_value=2, max_value=60),
+        st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fidelity_monotone_in_heat_and_size(self, gate_time, chain, phonon):
+        model = FidelityModel()
+        base = model.two_qubit_gate_fidelity(gate_time, chain, phonon)
+        hotter = model.two_qubit_gate_fidelity(gate_time, chain, phonon + 1.0)
+        longer = model.two_qubit_gate_fidelity(gate_time, chain + 5, phonon)
+        slower = model.two_qubit_gate_fidelity(gate_time + 1000.0, chain, phonon)
+        assert hotter <= base
+        assert longer <= base
+        assert slower <= base
+
+    @given(st.lists(st.floats(min_value=1e-6, max_value=1.0), min_size=0, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_accumulator_matches_direct_product(self, fidelities):
+        accumulator = SuccessRateAccumulator()
+        product = 1.0
+        for value in fidelities:
+            accumulator.multiply(value)
+            product *= value
+        assert abs(accumulator.success_rate - product) <= 1e-9 * max(product, 1e-30) + 1e-12
+
+    @given(st.floats(min_value=1e-6, max_value=0.5), st.floats(min_value=1e-6, max_value=0.5))
+    @settings(max_examples=40, deadline=None)
+    def test_heating_parameters_scale_amplitude(self, small, large):
+        lo, hi = sorted((small, large))
+        chain = 12
+        assert HeatingParameters(amplitude_scale=lo).amplitude_factor(chain) <= HeatingParameters(
+            amplitude_scale=hi
+        ).amplitude_factor(chain)

@@ -1,0 +1,127 @@
+"""Property-based tests for the device occupancy state invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.state import DeviceState
+from repro.exceptions import StateError
+from repro.hardware.topologies import grid_device, linear_device, star_device
+
+
+@st.composite
+def devices(draw):
+    """Small devices of each topology family."""
+    kind = draw(st.sampled_from(["linear", "grid", "star"]))
+    capacity = draw(st.integers(min_value=2, max_value=6))
+    if kind == "linear":
+        return linear_device(draw(st.integers(2, 5)), capacity)
+    if kind == "grid":
+        return grid_device(draw(st.integers(1, 3)), draw(st.integers(2, 3)), capacity)
+    return star_device(draw(st.integers(2, 5)), capacity)
+
+
+@st.composite
+def populated_states(draw):
+    """A device plus a legal random placement of qubits leaving ≥1 free slot."""
+    device = draw(devices())
+    total = device.total_capacity
+    num_qubits = draw(st.integers(min_value=1, max_value=total - 1))
+    state = DeviceState(device)
+    trap_ids = [t.trap_id for t in device.traps]
+    for qubit in range(num_qubits):
+        candidates = [t for t in trap_ids if state.has_space(t)]
+        trap = draw(st.sampled_from(candidates))
+        state.place(qubit, trap)
+    return device, state, num_qubits
+
+
+@st.composite
+def state_operations(draw):
+    """A populated state plus a random sequence of legal swap/shuttle moves."""
+    device, state, num_qubits = draw(populated_states())
+    ops = draw(st.integers(min_value=0, max_value=20))
+    moves = []
+    for _ in range(ops):
+        moves.append(draw(st.tuples(st.integers(0, 1), st.integers(0, 10_000))))
+    return device, state, num_qubits, moves
+
+
+class TestPlacementInvariants:
+    @given(populated_states())
+    @settings(max_examples=60, deadline=None)
+    def test_every_qubit_in_exactly_one_trap(self, data):
+        device, state, num_qubits = data
+        state.validate()
+        assert len(state.all_qubits()) == num_qubits
+        total_ions = sum(state.chain_length(t.trap_id) for t in device.traps)
+        assert total_ions == num_qubits
+
+    @given(populated_states())
+    @settings(max_examples=60, deadline=None)
+    def test_free_slots_conserved(self, data):
+        device, state, num_qubits = data
+        free = sum(state.free_slots(t.trap_id) for t in device.traps)
+        assert free == device.total_capacity - num_qubits
+        assert free >= 1
+
+
+class TestMutationInvariants:
+    @given(state_operations())
+    @settings(max_examples=60, deadline=None)
+    def test_random_legal_moves_preserve_consistency(self, data):
+        device, state, num_qubits, moves = data
+        for kind, selector in moves:
+            qubits = sorted(state.all_qubits())
+            if kind == 0 and len(qubits) >= 2:
+                # SWAP two qubits sharing a trap, if any such pair exists.
+                qubit_a = qubits[selector % len(qubits)]
+                trap = state.trap_of(qubit_a)
+                chain = state.chain(trap)
+                if len(chain) >= 2:
+                    qubit_b = chain[(chain.index(qubit_a) + 1) % len(chain)]
+                    if qubit_b != qubit_a:
+                        state.swap_qubits(qubit_a, qubit_b)
+            else:
+                # Shuttle an end ion to a neighbour with room, if possible.
+                qubit = qubits[selector % len(qubits)]
+                trap = state.trap_of(qubit)
+                for neighbour in device.neighbors(trap):
+                    end = state.facing_end(trap, neighbour)
+                    if state.end_qubit(trap, end) == qubit and state.has_space(neighbour):
+                        state.shuttle(qubit, neighbour)
+                        break
+            state.validate()
+        # Conservation of ions after arbitrary legal move sequences.
+        assert len(state.all_qubits()) == num_qubits
+
+    @given(populated_states())
+    @settings(max_examples=40, deadline=None)
+    def test_copy_isolation(self, data):
+        _, state, _ = data
+        clone = state.copy()
+        before = state.occupancy()
+        qubits = sorted(clone.all_qubits())
+        if len(qubits) >= 2:
+            trap = clone.trap_of(qubits[0])
+            chain = clone.chain(trap)
+            if len(chain) >= 2:
+                clone.swap_qubits(chain[0], chain[1])
+        assert state.occupancy() == before
+
+    @given(populated_states())
+    @settings(max_examples=40, deadline=None)
+    def test_shuttle_rejections_are_safe(self, data):
+        device, state, _ = data
+        qubits = sorted(state.all_qubits())
+        qubit = qubits[0]
+        trap = state.trap_of(qubit)
+        before = state.occupancy()
+        for target in [t.trap_id for t in device.traps]:
+            try:
+                state.shuttle(qubit, target)
+            except StateError:
+                assert state.occupancy() == before
+            else:
+                break

@@ -1,0 +1,100 @@
+"""Unit tests for the scheduled operation records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.gate import Gate
+from repro.exceptions import SchedulingError
+from repro.schedule.operations import (
+    GateOperation,
+    OperationKind,
+    ShuttleOperation,
+    SpaceShiftOperation,
+    SwapOperation,
+)
+
+
+class TestGateOperation:
+    def test_kind_follows_gate_arity(self):
+        two = GateOperation(gate=Gate("cx", (0, 1)), trap=0, chain_length=4, ion_separation=1)
+        one = GateOperation(gate=Gate("h", (0,)), trap=0, chain_length=4)
+        assert two.kind == OperationKind.GATE_2Q
+        assert one.kind == OperationKind.GATE_1Q
+
+    def test_rejects_empty_trap(self):
+        with pytest.raises(SchedulingError):
+            GateOperation(gate=Gate("h", (0,)), trap=0, chain_length=0)
+
+    def test_rejects_negative_separation(self):
+        with pytest.raises(SchedulingError):
+            GateOperation(gate=Gate("cx", (0, 1)), trap=0, chain_length=3, ion_separation=-1)
+
+
+class TestSwapOperation:
+    def test_valid(self):
+        op = SwapOperation(trap=1, qubit_a=3, qubit_b=4, chain_length=5, ion_separation=0)
+        assert op.kind == OperationKind.SWAP
+
+    def test_rejects_identical_qubits(self):
+        with pytest.raises(SchedulingError):
+            SwapOperation(trap=0, qubit_a=2, qubit_b=2, chain_length=4)
+
+    def test_rejects_single_ion_chain(self):
+        with pytest.raises(SchedulingError):
+            SwapOperation(trap=0, qubit_a=0, qubit_b=1, chain_length=1)
+
+    def test_rejects_negative_separation(self):
+        with pytest.raises(SchedulingError):
+            SwapOperation(trap=0, qubit_a=0, qubit_b=1, chain_length=3, ion_separation=-2)
+
+
+class TestShuttleOperation:
+    def _make(self, **overrides):
+        kwargs = dict(
+            qubit=5,
+            source_trap=0,
+            target_trap=1,
+            segments=1,
+            junctions=0,
+            source_chain_length=4,
+            target_chain_length=3,
+        )
+        kwargs.update(overrides)
+        return ShuttleOperation(**kwargs)
+
+    def test_valid(self):
+        assert self._make().kind == OperationKind.SHUTTLE
+
+    def test_rejects_same_trap(self):
+        with pytest.raises(SchedulingError):
+            self._make(target_trap=0)
+
+    def test_rejects_zero_segments(self):
+        with pytest.raises(SchedulingError):
+            self._make(segments=0)
+
+    def test_rejects_negative_junctions(self):
+        with pytest.raises(SchedulingError):
+            self._make(junctions=-1)
+
+    def test_rejects_empty_chains(self):
+        with pytest.raises(SchedulingError):
+            self._make(source_chain_length=0)
+        with pytest.raises(SchedulingError):
+            self._make(target_chain_length=0)
+
+
+class TestSpaceShiftOperation:
+    def test_distance(self):
+        op = SpaceShiftOperation(trap=0, qubit=2, from_position=3, to_position=1)
+        assert op.kind == OperationKind.SPACE_SHIFT
+        assert op.distance == 2
+
+    def test_rejects_no_move(self):
+        with pytest.raises(SchedulingError):
+            SpaceShiftOperation(trap=0, qubit=1, from_position=2, to_position=2)
+
+    def test_rejects_negative_positions(self):
+        with pytest.raises(SchedulingError):
+            SpaceShiftOperation(trap=0, qubit=1, from_position=-1, to_position=0)

@@ -1,0 +1,98 @@
+"""Unit tests for the Schedule container and its counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.gate import Gate
+from repro.exceptions import SchedulingError
+from repro.hardware.topologies import linear_device
+from repro.schedule.operations import (
+    GateOperation,
+    OperationKind,
+    ShuttleOperation,
+    SpaceShiftOperation,
+    SwapOperation,
+)
+from repro.schedule.schedule import Schedule
+
+
+def _sample_schedule() -> Schedule:
+    device = linear_device(2, 4)
+    schedule = Schedule(device, "sample")
+    schedule.append(GateOperation(gate=Gate("h", (0,)), trap=0, chain_length=3))
+    schedule.append(GateOperation(gate=Gate("cx", (0, 1)), trap=0, chain_length=3, ion_separation=0))
+    schedule.append(SwapOperation(trap=0, qubit_a=0, qubit_b=2, chain_length=3, ion_separation=1))
+    schedule.append(
+        ShuttleOperation(
+            qubit=0,
+            source_trap=0,
+            target_trap=1,
+            segments=1,
+            junctions=0,
+            source_chain_length=3,
+            target_chain_length=2,
+        )
+    )
+    schedule.append(SpaceShiftOperation(trap=1, qubit=0, from_position=0, to_position=1))
+    return schedule
+
+
+class TestCounters:
+    def test_basic_counts(self):
+        schedule = _sample_schedule()
+        assert len(schedule) == 5
+        assert schedule.two_qubit_gate_count == 1
+        assert schedule.single_qubit_gate_count == 1
+        assert schedule.swap_count == 1
+        assert schedule.shuttle_count == 1
+        assert schedule.space_shift_count == 1
+
+    def test_junctions_and_segments(self):
+        schedule = _sample_schedule()
+        assert schedule.junction_crossings == 0
+        assert schedule.shuttle_segments == 1
+
+    def test_count_summary_keys(self):
+        summary = _sample_schedule().count_summary()
+        assert summary["swaps"] == 1
+        assert summary["shuttles"] == 1
+        assert summary["two_qubit_gates"] == 1
+
+    def test_operations_of_kind(self):
+        schedule = _sample_schedule()
+        assert len(schedule.operations_of_kind(OperationKind.SWAP)) == 1
+        assert len(schedule.operations_of_kind(OperationKind.GATE_2Q)) == 1
+
+
+class TestContainerBehaviour:
+    def test_iteration_and_indexing(self):
+        schedule = _sample_schedule()
+        assert schedule[0].kind == OperationKind.GATE_1Q
+        assert [op.kind for op in schedule][1] == OperationKind.GATE_2Q
+
+    def test_append_rejects_non_operation(self):
+        schedule = Schedule(linear_device(1, 3), "x")
+        with pytest.raises(SchedulingError):
+            schedule.append("not an operation")  # type: ignore[arg-type]
+
+    def test_extend(self):
+        device = linear_device(1, 3)
+        schedule = Schedule(device, "x")
+        schedule.extend([GateOperation(gate=Gate("h", (0,)), trap=0, chain_length=1)])
+        assert len(schedule) == 1
+
+    def test_executed_two_qubit_gates(self):
+        gates = _sample_schedule().executed_two_qubit_gates()
+        assert len(gates) == 1
+        assert gates[0].gate.name == "cx"
+
+    def test_validate_against(self):
+        schedule = _sample_schedule()
+        schedule.validate_against(1)
+        with pytest.raises(SchedulingError):
+            schedule.validate_against(2)
+
+    def test_repr_mentions_counts(self):
+        text = repr(_sample_schedule())
+        assert "swaps=1" in text and "shuttles=1" in text

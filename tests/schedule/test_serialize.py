@@ -1,0 +1,100 @@
+"""Unit tests for the schedule JSON serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.circuit.library import qft_circuit
+from repro.core.compiler import SSyncCompiler
+from repro.exceptions import ReproError
+from repro.hardware.topologies import grid_device, star_device
+from repro.noise.evaluator import evaluate_schedule
+from repro.schedule.serialize import (
+    SCHEDULE_FORMAT_VERSION,
+    device_from_dict,
+    device_to_dict,
+    schedule_from_dict,
+    schedule_from_json,
+    schedule_to_dict,
+    schedule_to_json,
+)
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    device = grid_device(2, 2, 6)
+    circuit = qft_circuit(12)
+    result = SSyncCompiler(device).compile(circuit)
+    return device, circuit, result
+
+
+class TestDeviceRoundTrip:
+    def test_round_trip_preserves_structure(self):
+        device = star_device(4, 7)
+        rebuilt = device_from_dict(device_to_dict(device))
+        assert rebuilt.name == device.name
+        assert rebuilt.num_traps == device.num_traps
+        assert rebuilt.total_capacity == device.total_capacity
+        assert len(rebuilt.connections) == len(device.connections)
+        assert rebuilt.trap_distance(0, 3) == pytest.approx(device.trap_distance(0, 3))
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ReproError):
+            device_from_dict({"traps": []})
+
+
+class TestScheduleRoundTrip:
+    def test_dict_round_trip(self, compiled):
+        _, _, result = compiled
+        data = schedule_to_dict(result.schedule)
+        assert data["format_version"] == SCHEDULE_FORMAT_VERSION
+        rebuilt = schedule_from_dict(data)
+        assert len(rebuilt) == len(result.schedule)
+        assert rebuilt.count_summary() == result.schedule.count_summary()
+        assert rebuilt.circuit_name == result.schedule.circuit_name
+
+    def test_json_round_trip_preserves_evaluation(self, compiled):
+        _, _, result = compiled
+        text = schedule_to_json(result.schedule)
+        rebuilt = schedule_from_json(text)
+        original = evaluate_schedule(result.schedule)
+        recovered = evaluate_schedule(rebuilt)
+        assert recovered.success_rate == pytest.approx(original.success_rate)
+        assert recovered.execution_time_us == pytest.approx(original.execution_time_us)
+
+    def test_json_is_valid_and_indentable(self, compiled):
+        _, _, result = compiled
+        text = schedule_to_json(result.schedule, indent=2)
+        parsed = json.loads(text)
+        assert parsed["summary"]["shuttles"] == result.shuttle_count
+
+    def test_operation_kinds_preserved(self, compiled):
+        _, _, result = compiled
+        rebuilt = schedule_from_json(schedule_to_json(result.schedule))
+        assert [op.kind for op in rebuilt] == [op.kind for op in result.schedule]
+
+
+class TestErrorHandling:
+    def test_bad_json_rejected(self):
+        with pytest.raises(ReproError):
+            schedule_from_json("{not json")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ReproError):
+            schedule_from_json("[1, 2, 3]")
+
+    def test_wrong_version_rejected(self, compiled):
+        _, _, result = compiled
+        data = schedule_to_dict(result.schedule)
+        data["format_version"] = 999
+        with pytest.raises(ReproError):
+            schedule_from_dict(data)
+
+    def test_unknown_operation_kind_rejected(self, compiled):
+        _, _, result = compiled
+        data = schedule_to_dict(result.schedule)
+        data["operations"][0]["kind"] = "teleport"
+        with pytest.raises(ReproError):
+            schedule_from_dict(data)

@@ -1,0 +1,138 @@
+"""Unit tests for the schedule verifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+from repro.core.compiler import SSyncCompiler
+from repro.core.state import DeviceState
+from repro.hardware.topologies import linear_device
+from repro.schedule.operations import GateOperation, ShuttleOperation, SwapOperation
+from repro.schedule.schedule import Schedule
+from repro.schedule.verify import ScheduleVerificationError, verify_schedule
+
+
+def _two_trap_state():
+    device = linear_device(2, 4)
+    state = DeviceState(device)
+    for q in (0, 1, 2):
+        state.place(q, 0)
+    state.place(3, 1)
+    return device, state
+
+
+class TestValidSchedules:
+    def test_empty_schedule(self):
+        device, state = _two_trap_state()
+        report = verify_schedule(Schedule(device, "empty"), state)
+        assert report.operations_checked == 0
+
+    def test_manual_valid_sequence(self):
+        device, state = _two_trap_state()
+        schedule = Schedule(device, "manual")
+        schedule.append(GateOperation(gate=Gate("cx", (0, 1)), trap=0, chain_length=3, ion_separation=0))
+        schedule.append(SwapOperation(trap=0, qubit_a=0, qubit_b=2, chain_length=3, ion_separation=1))
+        # After the SWAP the chain is [2, 1, 0], so qubit 0 sits at the end
+        # facing trap 1 and may shuttle.
+        schedule.append(
+            ShuttleOperation(
+                qubit=0,
+                source_trap=0,
+                target_trap=1,
+                segments=1,
+                junctions=0,
+                source_chain_length=3,
+                target_chain_length=2,
+            )
+        )
+        report = verify_schedule(schedule, state)
+        assert report.swaps == 1 and report.shuttles == 1
+        # The original state must not be mutated.
+        assert state.trap_of(0) == 0
+
+    def test_compiled_schedule_verifies_against_circuit(self, qft_8, linear_3x5):
+        result = SSyncCompiler(linear_3x5).compile(qft_8)
+        report = verify_schedule(result.schedule, result.initial_state, circuit=qft_8)
+        assert report.two_qubit_gates == qft_8.num_two_qubit_gates
+        assert report.final_state.occupancy() == result.final_state.occupancy()
+
+
+class TestInvalidSchedules:
+    def test_gate_across_traps_rejected(self):
+        device, state = _two_trap_state()
+        schedule = Schedule(device, "bad")
+        schedule.append(GateOperation(gate=Gate("cx", (0, 3)), trap=0, chain_length=3))
+        with pytest.raises(ScheduleVerificationError):
+            verify_schedule(schedule, state)
+
+    def test_wrong_chain_length_rejected(self):
+        device, state = _two_trap_state()
+        schedule = Schedule(device, "bad")
+        schedule.append(GateOperation(gate=Gate("cx", (0, 1)), trap=0, chain_length=2))
+        with pytest.raises(ScheduleVerificationError):
+            verify_schedule(schedule, state)
+        # But passes when context checks are off.
+        verify_schedule(schedule, state, check_context=False)
+
+    def test_swap_across_traps_rejected(self):
+        device, state = _two_trap_state()
+        schedule = Schedule(device, "bad")
+        schedule.append(SwapOperation(trap=0, qubit_a=0, qubit_b=3, chain_length=3))
+        with pytest.raises(ScheduleVerificationError):
+            verify_schedule(schedule, state)
+
+    def test_shuttle_from_middle_rejected(self):
+        device, state = _two_trap_state()
+        schedule = Schedule(device, "bad")
+        # Qubit 1 sits in the middle of trap 0's chain and cannot split.
+        schedule.append(
+            ShuttleOperation(
+                qubit=1,
+                source_trap=0,
+                target_trap=1,
+                segments=1,
+                junctions=0,
+                source_chain_length=3,
+                target_chain_length=2,
+            )
+        )
+        with pytest.raises(ScheduleVerificationError):
+            verify_schedule(schedule, state)
+
+    def test_shuttle_path_mismatch_rejected(self):
+        device, state = _two_trap_state()
+        schedule = Schedule(device, "bad")
+        schedule.append(
+            ShuttleOperation(
+                qubit=2,
+                source_trap=0,
+                target_trap=1,
+                segments=9,
+                junctions=3,
+                source_chain_length=3,
+                target_chain_length=2,
+            )
+        )
+        with pytest.raises(ScheduleVerificationError):
+            verify_schedule(schedule, state)
+
+    def test_missing_gate_detected_against_circuit(self):
+        device, state = _two_trap_state()
+        circuit = QuantumCircuit(4, "two-gates")
+        circuit.cx(0, 1).cx(1, 2)
+        schedule = Schedule(device, "partial")
+        schedule.append(GateOperation(gate=Gate("cx", (0, 1)), trap=0, chain_length=3))
+        with pytest.raises(ScheduleVerificationError):
+            verify_schedule(schedule, state, circuit=circuit)
+
+    def test_reordered_dependent_gates_detected(self):
+        device, state = _two_trap_state()
+        circuit = QuantumCircuit(4, "ordered")
+        circuit.cx(0, 1).cx(1, 2)
+        schedule = Schedule(device, "reordered")
+        schedule.append(GateOperation(gate=Gate("cx", (1, 2)), trap=0, chain_length=3, ion_separation=0))
+        schedule.append(GateOperation(gate=Gate("cx", (0, 1)), trap=0, chain_length=3, ion_separation=0))
+        with pytest.raises(ScheduleVerificationError):
+            verify_schedule(schedule, state, circuit=circuit, check_context=False)

@@ -1,0 +1,102 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.circuit.library import ghz_circuit
+from repro.circuit.qasm import circuit_to_qasm
+from repro.cli import main
+
+
+class TestCompileCommand:
+    def test_compile_named_benchmark(self, capsys):
+        exit_code = main(["compile", "qft_12", "--device", "G-2x2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "S-SYNC compilation summary" in captured.out
+        assert "qft_12" in captured.out
+
+    def test_compile_with_mapping_and_lookahead(self, capsys):
+        exit_code = main(
+            ["compile", "bv_16", "--device", "L-4", "--mapping", "even-divided", "--lookahead", "0"]
+        )
+        assert exit_code == 0
+        assert "even-divided" in capsys.readouterr().out
+
+    def test_compile_qasm_file(self, tmp_path, capsys):
+        qasm_path = tmp_path / "ghz.qasm"
+        qasm_path.write_text(circuit_to_qasm(ghz_circuit(10)))
+        exit_code = main(["compile", str(qasm_path), "--device", "G-2x2"])
+        assert exit_code == 0
+        assert "ghz" in capsys.readouterr().out
+
+    def test_compile_writes_schedule_json(self, tmp_path, capsys):
+        output = tmp_path / "schedule.json"
+        exit_code = main(["compile", "qft_10", "--device", "G-2x2", "--output", str(output)])
+        assert exit_code == 0
+        data = json.loads(output.read_text())
+        assert data["circuit_name"] == "qft_10"
+        assert data["summary"]["two_qubit_gates"] == 90
+
+    def test_compile_capacity_override(self, capsys):
+        exit_code = main(["compile", "qft_10", "--device", "G-3x3", "--capacity", "6"])
+        assert exit_code == 0
+
+    def test_unknown_benchmark_fails_cleanly(self, capsys):
+        exit_code = main(["compile", "grover_999", "--device", "G-2x2"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "error:" in captured.err
+
+    def test_unknown_device_fails_cleanly(self, capsys):
+        exit_code = main(["compile", "qft_10", "--device", "X-9"])
+        assert exit_code == 1
+
+
+class TestCompareCommand:
+    def test_compare_lists_all_compilers(self, capsys):
+        exit_code = main(["compare", "bv_16", "--device", "L-4"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for name in ("murali", "dai", "s-sync"):
+            assert name in captured.out
+
+    def test_compare_respects_gate_implementation(self, capsys):
+        exit_code = main(["compare", "bv_16", "--device", "L-4", "--gate-implementation", "am2"])
+        assert exit_code == 0
+        assert "AM2" in capsys.readouterr().out
+
+
+class TestEvaluateCommand:
+    def test_evaluate_round_trip(self, tmp_path, capsys):
+        output = tmp_path / "schedule.json"
+        assert main(["compile", "qft_10", "--device", "G-2x2", "--output", str(output)]) == 0
+        capsys.readouterr()
+        exit_code = main(["evaluate", str(output), "--gate-implementation", "pm"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "schedule evaluation" in captured.out
+        assert "pm" in captured.out
+
+    def test_evaluate_missing_file_fails_cleanly(self, tmp_path, capsys):
+        exit_code = main(["evaluate", str(tmp_path / "absent.json")])
+        assert exit_code == 1
+
+    def test_evaluate_corrupt_file_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{")
+        exit_code = main(["evaluate", str(path)])
+        assert exit_code == 1
+
+
+class TestParser:
+    def test_missing_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_invalid_gate_implementation_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compile", "qft_10", "--gate-implementation", "laser"])
