@@ -13,7 +13,14 @@ The package mirrors the paper's structure:
 * :mod:`repro.noise` — gate-time, heating and fidelity models plus the
   schedule evaluator;
 * :mod:`repro.analysis` — comparisons, parameter sweeps, optimality
-  bounds and text reporting for every figure in the evaluation.
+  bounds and text/JSON/CSV reporting for every figure in the evaluation;
+* :mod:`repro.schedule` — the compiled operation log, its legality
+  verifier and JSON serialisation;
+* :mod:`repro.runtime` — the parallel batch-compilation engine:
+  declarative :class:`CompileJob` specs, content-addressed schedule
+  caching (in-memory LRU + on-disk), multiprocessing fan-out and the
+  :func:`run_batch`/:func:`run_sweep` entry points behind
+  ``python -m repro batch``.
 
 Quickstart::
 
@@ -23,6 +30,16 @@ Quickstart::
     result = SSyncCompiler(device).compile(qft_circuit(16))
     report = evaluate_schedule(result.schedule)
     print(result.shuttle_count, result.swap_count, report.success_rate)
+
+Batch quickstart::
+
+    from repro import CompileJob, run_batch
+
+    jobs = [CompileJob(circuit="qft_24", device="G-2x3"),
+            CompileJob(circuit="bv_64", device="L-6", compiler="murali")]
+    batch = run_batch(jobs, workers=4, cache_dir=".repro-cache")
+    for outcome in batch:
+        print(outcome.record["circuit"], outcome.record["success_rate"])
 """
 
 from repro.baselines import DaiCompiler, MuraliCompiler
@@ -73,13 +90,24 @@ from repro.noise import (
     OperationTimes,
     evaluate_schedule,
 )
+from repro.runtime import (
+    BatchCompiler,
+    BatchResult,
+    CompileJob,
+    ScheduleCache,
+    run_batch,
+    run_sweep,
+)
 from repro.schedule import Schedule, verify_schedule
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchCompiler",
+    "BatchResult",
     "CircuitError",
     "CompilationResult",
+    "CompileJob",
     "DaiCompiler",
     "DependencyDAG",
     "DeviceError",
@@ -99,6 +127,7 @@ __all__ = [
     "SSyncCompiler",
     "SSyncConfig",
     "Schedule",
+    "ScheduleCache",
     "SchedulerConfig",
     "SchedulingError",
     "SlotGraph",
@@ -120,6 +149,8 @@ __all__ = [
     "qaoa_circuit",
     "qft_circuit",
     "random_circuit",
+    "run_batch",
+    "run_sweep",
     "star_device",
     "verify_schedule",
 ]

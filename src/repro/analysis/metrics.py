@@ -11,15 +11,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines import DaiCompiler, MuraliCompiler
 from repro.circuit.circuit import QuantumCircuit
-from repro.core.compiler import SSyncCompiler, SSyncConfig
+from repro.core.compiler import SSyncConfig
 from repro.core.result import CompilationResult
 from repro.exceptions import ReproError
 from repro.hardware.device import QCCDDevice
-from repro.noise.evaluator import EvaluationResult, evaluate_schedule
+from repro.noise.evaluator import EvaluationResult
 from repro.noise.gate_times import GateImplementation
 from repro.noise.heating import HeatingParameters
+from repro.runtime.api import run_batch
+from repro.runtime.cache import ScheduleCache
+from repro.runtime.jobs import CompileJob, compile_job
 
 
 @dataclass(frozen=True)
@@ -64,16 +66,21 @@ def compile_with(
     ssync_config: SSyncConfig | None = None,
     initial_mapping: str | None = None,
 ) -> CompilationResult:
-    """Compile ``circuit`` with one of the known compilers by name."""
-    key = name.lower()
-    if key in {"s-sync", "ssync", "this work"}:
-        compiler = SSyncCompiler(device, ssync_config)
-        return compiler.compile(circuit, initial_mapping=initial_mapping)
-    if key == "murali":
-        return MuraliCompiler(device).compile(circuit)
-    if key == "dai":
-        return DaiCompiler(device).compile(circuit)
-    raise ReproError(f"unknown compiler {name!r}")
+    """Compile ``circuit`` with one of the known compilers by name.
+
+    The name dispatch (including aliases) lives in
+    :mod:`repro.runtime.jobs` so every entry point accepts the same
+    compiler names.
+    """
+    return compile_job(
+        CompileJob(
+            circuit=circuit,
+            device=device,
+            compiler=name,
+            initial_mapping=initial_mapping,
+            config=ssync_config,
+        )
+    )
 
 
 def record_from_result(
@@ -102,18 +109,44 @@ def compare_compilers(
     heating: HeatingParameters | None = None,
     ssync_config: SSyncConfig | None = None,
     initial_mapping: str | None = None,
+    workers: int | None = 1,
+    cache: "ScheduleCache | None" = None,
 ) -> list[ComparisonRecord]:
-    """Compile and evaluate ``circuit`` on ``device`` with every compiler."""
-    records: list[ComparisonRecord] = []
-    for name in compilers:
-        result = compile_with(
-            name, circuit, device, ssync_config=ssync_config, initial_mapping=initial_mapping
+    """Compile and evaluate ``circuit`` on ``device`` with every compiler.
+
+    Runs through the batch runtime: with ``workers > 1`` the compilers
+    compile in parallel processes, and a shared ``cache`` lets repeated
+    comparisons skip compilation entirely.
+    """
+    jobs = [
+        CompileJob(
+            circuit=circuit,
+            device=device,
+            compiler=name,
+            initial_mapping=initial_mapping,
+            config=ssync_config,
+            gate_implementation=gate_implementation,
+            heating=heating,
+            label=name,
         )
-        evaluation = evaluate_schedule(
-            result.schedule, gate_implementation=gate_implementation, heating=heating
+        for name in compilers
+    ]
+    result = run_batch(jobs, workers=workers, cache=cache)
+    return [
+        ComparisonRecord(
+            circuit=str(row["circuit"]),
+            device=str(row["device"]),
+            compiler=str(row["compiler"]),
+            shuttles=int(row["shuttles"]),  # type: ignore[arg-type]
+            swaps=int(row["swaps"]),  # type: ignore[arg-type]
+            two_qubit_gates=int(row["two_qubit_gates"]),  # type: ignore[arg-type]
+            success_rate=float(row["success_rate"]),  # type: ignore[arg-type]
+            log_success_rate=float(row["log_success_rate"]),  # type: ignore[arg-type]
+            execution_time_us=float(row["execution_time_us"]),  # type: ignore[arg-type]
+            compile_time_s=float(row["compile_time_s"]),  # type: ignore[arg-type]
         )
-        records.append(record_from_result(result, evaluation))
-    return records
+        for row in result.as_dicts()
+    ]
 
 
 def improvement_factors(records: list[ComparisonRecord]) -> dict[str, float]:

@@ -8,7 +8,12 @@ plotting dependencies.
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from collections.abc import Iterable, Mapping, Sequence
+from pathlib import Path
+from typing import Any
 
 from repro.exceptions import ReproError
 
@@ -73,6 +78,78 @@ def format_grouped_series(
         )
         lines.append(f"{group}: {points}")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# structured export (JSON / CSV)
+# ----------------------------------------------------------------------
+def records_to_dicts(records: Sequence[Any]) -> list[dict[str, object]]:
+    """Normalise records to flat dictionaries.
+
+    Accepts plain mappings and any record type exposing ``as_dict()``
+    (:class:`SweepRecord`, :class:`CompileTimeRecord`,
+    :class:`ComparisonRecord`, :class:`JobOutcome`...), so every results
+    family shares one export path.
+    """
+    rows: list[dict[str, object]] = []
+    for record in records:
+        if isinstance(record, Mapping):
+            rows.append(dict(record))
+        elif hasattr(record, "as_dict"):
+            rows.append(record.as_dict())
+        else:
+            raise ReproError(
+                f"cannot export a {type(record).__name__}: expected a mapping "
+                "or an object with as_dict()"
+            )
+    return rows
+
+
+def records_to_json(records: Sequence[Any], indent: int | None = 2) -> str:
+    """Render records as a JSON array string."""
+    return json.dumps(records_to_dicts(records), indent=indent, default=str)
+
+
+def records_to_csv(records: Sequence[Any], columns: Sequence[str] | None = None) -> str:
+    """Render records as CSV text (header row included)."""
+    rows = records_to_dicts(records)
+    if not rows:
+        raise ReproError("cannot export an empty record list to CSV")
+    if columns is None:
+        columns = list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer, fieldnames=list(columns), extrasaction="ignore", lineterminator="\n"
+    )
+    writer.writeheader()
+    for row in rows:
+        # Raw values, not format_value: exports must keep full precision
+        # (the 4-significant-digit rendering is for display tables only).
+        writer.writerow({c: row.get(c, "") for c in columns})
+    return buffer.getvalue()
+
+
+def write_records(
+    records: Sequence[Any], path: "Path | str", fmt: str | None = None
+) -> Path:
+    """Write records to ``path`` as JSON or CSV.
+
+    ``fmt`` is ``"json"`` or ``"csv"``; when omitted it is inferred from
+    the file suffix (defaulting to JSON).  Returns the written path.
+    """
+    path = Path(path)
+    if fmt is None:
+        fmt = "csv" if path.suffix.lower() == ".csv" else "json"
+    fmt = fmt.lower()
+    if fmt == "json":
+        text = records_to_json(records)
+    elif fmt == "csv":
+        text = records_to_csv(records)
+    else:
+        raise ReproError(f"unknown export format {fmt!r}; expected 'json' or 'csv'")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
 
 
 def geometric_mean(values: Iterable[float]) -> float:

@@ -222,47 +222,95 @@ class BaselineRouter:
         protected: tuple[int, ...] = (),
         min_free: int = 1,
     ) -> None:
-        """Evict ions from ``trap_id`` until it has ``min_free`` free slots."""
+        """Evict ions from ``trap_id`` until it has ``min_free`` free slots.
+
+        When every neighbour is also full, a free slot is located by
+        breadth-first search and the eviction cascades hop by hop along
+        that path (each trap pushes one ion into the next, starting from
+        the trap adjacent to the free slot).  The BFS keeps the search
+        from ping-ponging between two mutually-full neighbours, which the
+        previous recursive formulation could do until the stack overflowed.
+        """
         guard = self.device.num_traps * max(t.capacity for t in self.device.traps) + 8
         while state.free_slots(trap_id) < min_free:
             guard -= 1
             if guard < 0:
                 raise SchedulingError(f"could not free a slot in trap {trap_id}")
-            moved = False
-            for neighbour in self.device.neighbors(trap_id):
-                if not state.has_space(neighbour):
-                    continue
-                end = state.facing_end(trap_id, neighbour)
-                victim = state.end_qubit(trap_id, end)
-                if victim is None:
-                    continue
-                if victim in protected:
-                    # A protected ion blocks the departing end; SWAP it away
-                    # before evicting, if any other ion is available.
-                    replacement = next(
-                        (q for q in state.chain(trap_id) if q not in protected), None
-                    )
-                    if replacement is None:
-                        continue
-                    self.emit_swap(schedule, state, victim, replacement)
-                    victim = state.end_qubit(trap_id, end)
-                    assert victim is not None
-                self.emit_shuttle(schedule, state, victim, neighbour)
-                moved = True
-                break
-            if not moved:
-                # All neighbours are full (or only hold protected ions):
-                # recursively free the least-loaded neighbour that still has
-                # an evictable ion.
-                candidates = [
-                    t for t in self.device.neighbors(trap_id) if not state.has_space(t)
-                ]
-                if not candidates:
+            # An intermediate trap may hold only protected ions and refuse to
+            # give one up; exclude it and look for a detour before giving up.
+            excluded: set[int] = set()
+            while True:
+                path = self._path_to_free_slot(state, trap_id, excluded)
+                if path is None:
                     raise SchedulingError(
-                        f"could not free a slot in trap {trap_id}: every neighbour is blocked"
+                        f"could not free a slot in trap {trap_id}: every route to a "
+                        "free slot is blocked"
                     )
-                neighbour = min(candidates, key=lambda t: state.chain_length(t))
-                self.ensure_space(schedule, state, neighbour, protected=protected, min_free=1)
+                blocked = self._cascade_evictions(schedule, state, path, protected)
+                if blocked is None:
+                    break
+                if blocked == trap_id:
+                    raise SchedulingError(
+                        f"could not free a slot in trap {trap_id}: it holds only "
+                        "protected ions"
+                    )
+                excluded.add(blocked)
+
+    def _cascade_evictions(
+        self,
+        schedule: Schedule,
+        state: DeviceState,
+        path: list[int],
+        protected: tuple[int, ...],
+    ) -> int | None:
+        """Push one ion along ``path`` toward its free-slot end.
+
+        The path is walked backwards so each hop's destination has a free
+        slot by the time its ion arrives.  Returns ``None`` on success, or
+        the id of a trap whose ions are all protected (so the caller can
+        route around it).  Hops already performed are toward free space
+        and leave the state legal, so a partial cascade is harmless.
+        """
+        for source, target in reversed(list(zip(path, path[1:]))):
+            end = state.facing_end(source, target)
+            victim = state.end_qubit(source, end)
+            if victim is None:
+                continue  # the source trap is empty — nothing to push on
+            if victim in protected:
+                # A protected ion blocks the departing end; SWAP it away
+                # before evicting, if any other ion is available.
+                replacement = next(
+                    (q for q in state.chain(source) if q not in protected), None
+                )
+                if replacement is None:
+                    return source
+                self.emit_swap(schedule, state, victim, replacement)
+                victim = state.end_qubit(source, end)
+                assert victim is not None
+            self.emit_shuttle(schedule, state, victim, target)
+        return None
+
+    def _path_to_free_slot(
+        self, state: DeviceState, trap_id: int, excluded: set[int] | None = None
+    ) -> list[int] | None:
+        """Shortest trap path from ``trap_id`` to the nearest trap with space."""
+        excluded = excluded or set()
+        parents: dict[int, int] = {trap_id: trap_id}
+        queue = [trap_id]
+        while queue:
+            current = queue.pop(0)
+            for neighbour in self.device.neighbors(current):
+                if neighbour in parents or neighbour in excluded:
+                    continue
+                parents[neighbour] = current
+                if state.has_space(neighbour):
+                    path = [neighbour]
+                    while path[-1] != trap_id:
+                        path.append(parents[path[-1]])
+                    path.reverse()
+                    return path
+                queue.append(neighbour)
+        return None
 
     def shuttle_along_path(
         self,

@@ -15,12 +15,19 @@ Three subcommands cover the common workflows without writing Python:
     Re-evaluate a previously saved schedule JSON under a chosen gate
     implementation.
 
+``batch``
+    Run a whole job manifest (JSON/YAML) through the batch-compilation
+    runtime — parallel workers, schedule caching — and write the result
+    records to a JSON or CSV file.
+
 Examples::
 
     python -m repro compile qft_24 --device G-2x3 --mapping gathering
     python -m repro compile my_circuit.qasm --device L-6 --output schedule.json
-    python -m repro compare bv_64 --device G-2x3
+    python -m repro compare bv_64 --device G-2x3 --output records.csv
     python -m repro evaluate schedule.json --gate-implementation am2
+    python -m repro batch manifest.json --workers 4 --cache-dir .repro-cache \
+        --output results.json
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.metrics import compare_compilers
-from repro.analysis.reporting import format_table
+from repro.analysis.reporting import format_table, write_records
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.library import build_benchmark
 from repro.circuit.qasm import qasm_to_circuit
@@ -40,16 +47,33 @@ from repro.core.scheduler import SchedulerConfig
 from repro.exceptions import ReproError
 from repro.hardware.presets import paper_device, preset_names
 from repro.noise.evaluator import evaluate_schedule
+from repro.runtime.api import run_batch
+from repro.runtime.cache import ScheduleCache
+from repro.runtime.manifest import load_manifest
 from repro.schedule.serialize import schedule_from_json, schedule_to_json
 from repro.schedule.verify import verify_schedule
 
 
 def _load_circuit(spec: str) -> QuantumCircuit:
-    """Resolve a circuit argument: a QASM file path or a benchmark name."""
+    """Resolve a circuit argument: a ``.qasm`` file path or a benchmark name.
+
+    Only a ``.qasm`` suffix selects QASM parsing — an arbitrary existing
+    file is never fed to the parser on the strength of its path alone.
+    """
     path = Path(spec)
-    if path.suffix.lower() == ".qasm" or path.exists():
+    if path.suffix.lower() == ".qasm":
+        if not path.exists():
+            raise ReproError(f"QASM file {spec!r} does not exist")
         return qasm_to_circuit(path.read_text(), name=path.stem)
-    return build_benchmark(spec)
+    try:
+        return build_benchmark(spec)
+    except ReproError as exc:
+        if path.exists():
+            raise ReproError(
+                f"cannot interpret {spec!r}: it is not a benchmark name ({exc}), "
+                "and only files with a .qasm suffix are parsed as OpenQASM"
+            ) from exc
+        raise
 
 
 def _load_device(name: str, capacity: int | None):
@@ -101,6 +125,43 @@ def _build_parser() -> argparse.ArgumentParser:
 
     compare_parser = sub.add_parser("compare", help="compare S-SYNC against the baseline compilers")
     add_common(compare_parser)
+    compare_parser.add_argument(
+        "--output", type=Path, default=None, help="also write the records to this JSON/CSV file"
+    )
+    compare_parser.add_argument(
+        "--format",
+        dest="output_format",
+        default=None,
+        choices=("json", "csv"),
+        help="output file format (default: inferred from the --output suffix)",
+    )
+
+    batch_parser = sub.add_parser(
+        "batch", help="run a job manifest through the batch-compilation runtime"
+    )
+    batch_parser.add_argument("manifest", type=Path, help="path to a JSON/YAML job manifest")
+    batch_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for distinct compilations (0 = one per CPU)",
+    )
+    batch_parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="directory for the on-disk schedule cache (reused across runs)",
+    )
+    batch_parser.add_argument(
+        "--output", type=Path, default=None, help="write the result records to this JSON/CSV file"
+    )
+    batch_parser.add_argument(
+        "--format",
+        dest="output_format",
+        default=None,
+        choices=("json", "csv"),
+        help="output file format (default: inferred from the --output suffix)",
+    )
 
     evaluate_parser = sub.add_parser("evaluate", help="re-evaluate a saved schedule JSON")
     evaluate_parser.add_argument("schedule", type=Path, help="path to a schedule JSON file")
@@ -162,6 +223,52 @@ def _command_compare(args: argparse.Namespace) -> int:
             title=f"{circuit.name} on {device.name} ({args.gate_implementation.upper()} gates)",
         )
     )
+    if args.output is not None:
+        written = write_records(records, args.output, fmt=args.output_format)
+        print(f"records written to {written}")
+    return 0
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    jobs = load_manifest(args.manifest)
+    cache = (
+        ScheduleCache(directory=args.cache_dir) if args.cache_dir is not None else None
+    )
+    workers = None if args.workers == 0 else args.workers
+    result = run_batch(jobs, workers=workers, cache=cache)
+    print(
+        format_table(
+            result.as_dicts(),
+            columns=[
+                "circuit",
+                "device",
+                "compiler",
+                "mapping",
+                "gate_implementation",
+                "shuttles",
+                "swaps",
+                "success_rate",
+                "execution_time_us",
+                "compile_time_s",
+                "from_cache",
+            ],
+            title=f"batch results ({args.manifest})",
+        )
+    )
+    summary = result.summary()
+    print(
+        "jobs={jobs} compilations={compilations} cache_hits={cache_hits} "
+        "workers={workers} wall_time_s={wall:.3f}".format(
+            jobs=summary["jobs"],
+            compilations=summary["compilations"],
+            cache_hits=summary["cache_hits"],
+            workers=summary["workers"],
+            wall=summary["wall_time_s"],
+        )
+    )
+    if args.output is not None:
+        written = write_records(result.as_dicts(), args.output, fmt=args.output_format)
+        print(f"records written to {written}")
     return 0
 
 
@@ -192,6 +299,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "compile": _command_compile,
         "compare": _command_compare,
         "evaluate": _command_evaluate,
+        "batch": _command_batch,
     }
     try:
         return handlers[args.command](args)

@@ -19,6 +19,7 @@ scored under several gate implementations or heating assumptions.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 
 from repro.circuit.circuit import QuantumCircuit
@@ -89,15 +90,31 @@ class SSyncCompiler:
         initial_mapping:
             First-level mapping strategy name (``"gathering"``,
             ``"even-divided"``, ``"sta"``) or an :class:`InitialMapper`
-            instance.  Ignored when ``initial_state`` is given.
+            instance.
         initial_state:
             A pre-built starting occupancy (e.g. to chain circuits or to
-            study hand-crafted placements).
+            study hand-crafted placements).  Supplying both arguments is
+            contradictory: the state wins, a :class:`UserWarning` is
+            emitted, and the result records the named mapping it was
+            asked for rather than silently reporting ``"custom"``.
         """
         start = time.perf_counter()
         if initial_state is not None:
             state = initial_state.copy()
-            mapping_name = "custom"
+            if initial_mapping is not None:
+                mapping_name = (
+                    initial_mapping.name
+                    if isinstance(initial_mapping, InitialMapper)
+                    else str(initial_mapping)
+                )
+                warnings.warn(
+                    f"both initial_mapping={mapping_name!r} and initial_state were "
+                    "supplied; the explicit initial_state takes precedence and the "
+                    "mapper is not run",
+                    stacklevel=2,
+                )
+            else:
+                mapping_name = "custom"
         else:
             mapper = self._resolve_mapper(initial_mapping)
             state = mapper.map(circuit, self.device)

@@ -1,0 +1,56 @@
+"""Batch-compilation runtime: declarative jobs, schedule caching, fan-out.
+
+The runtime turns the library's one-circuit-at-a-time compilers into a
+throughput engine:
+
+* :mod:`repro.runtime.jobs` — the declarative :class:`CompileJob` spec
+  plus deterministic fingerprinting of circuits, devices and configs;
+* :mod:`repro.runtime.cache` — an in-memory LRU (optionally backed by an
+  on-disk JSON store) of compiled schedules keyed by job fingerprint;
+* :mod:`repro.runtime.pool` — the :class:`BatchCompiler` engine that
+  deduplicates identical jobs, fans misses out over a multiprocessing
+  worker pool (with a deterministic serial fallback) and re-evaluates
+  every schedule in the parent so serial, parallel and cached paths
+  produce identical records;
+* :mod:`repro.runtime.api` — :func:`run_batch` / :func:`run_sweep`
+  convenience entry points;
+* :mod:`repro.runtime.manifest` — JSON/YAML job-manifest parsing for the
+  ``python -m repro batch`` CLI.
+"""
+
+from repro.runtime.api import run_batch, run_sweep
+from repro.runtime.cache import CacheStats, CachedCompilation, ScheduleCache
+from repro.runtime.jobs import (
+    CompileJob,
+    circuit_fingerprint,
+    compile_job,
+    config_fingerprint,
+    device_fingerprint,
+)
+from repro.runtime.manifest import (
+    job_from_dict,
+    jobs_from_manifest,
+    load_manifest,
+    ssync_config_from_dict,
+)
+from repro.runtime.pool import BatchCompiler, BatchResult, JobOutcome
+
+__all__ = [
+    "BatchCompiler",
+    "BatchResult",
+    "CacheStats",
+    "CachedCompilation",
+    "CompileJob",
+    "JobOutcome",
+    "ScheduleCache",
+    "circuit_fingerprint",
+    "compile_job",
+    "config_fingerprint",
+    "device_fingerprint",
+    "job_from_dict",
+    "jobs_from_manifest",
+    "load_manifest",
+    "run_batch",
+    "run_sweep",
+    "ssync_config_from_dict",
+]

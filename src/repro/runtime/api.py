@@ -1,0 +1,66 @@
+"""High-level entry points of the batch runtime.
+
+:func:`run_batch` executes any job list and returns the full
+:class:`~repro.runtime.pool.BatchResult`; :func:`run_sweep` is the
+sweep-shaped convenience used by :mod:`repro.analysis.sweeps`, returning
+flat row dictionaries (record + compile time) in job order.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.runtime.cache import ScheduleCache
+from repro.runtime.jobs import CompileJob
+from repro.runtime.pool import BatchCompiler, BatchResult
+
+
+def _resolve_cache(
+    cache: ScheduleCache | None,
+    cache_dir: "Path | str | None",
+    max_cache_entries: int,
+) -> ScheduleCache | None:
+    if cache is not None:
+        return cache
+    if cache_dir is not None:
+        return ScheduleCache(max_entries=max_cache_entries, directory=cache_dir)
+    return None
+
+
+def run_batch(
+    jobs: Sequence[CompileJob],
+    workers: int | None = 1,
+    cache: ScheduleCache | None = None,
+    cache_dir: "Path | str | None" = None,
+    max_cache_entries: int = 256,
+) -> BatchResult:
+    """Compile and evaluate every job, parallelising distinct compilations.
+
+    Parameters
+    ----------
+    jobs:
+        The work items, in the order results should come back.
+    workers:
+        Worker-process count (``0``/``1`` = deterministic serial path,
+        ``None`` = one per CPU).
+    cache:
+        An existing :class:`ScheduleCache` to reuse across calls.
+    cache_dir:
+        Shorthand for a disk-backed cache at this directory (ignored when
+        ``cache`` is given).
+    """
+    engine = BatchCompiler(
+        workers=workers, cache=_resolve_cache(cache, cache_dir, max_cache_entries)
+    )
+    return engine.run(jobs)
+
+
+def run_sweep(
+    jobs: Sequence[CompileJob],
+    workers: int | None = 1,
+    cache: ScheduleCache | None = None,
+    cache_dir: "Path | str | None" = None,
+) -> list[dict[str, object]]:
+    """Run sweep jobs and return flat rows (record + timing) in job order."""
+    return run_batch(jobs, workers=workers, cache=cache, cache_dir=cache_dir).as_dicts()

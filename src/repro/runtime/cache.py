@@ -1,0 +1,210 @@
+"""Content-addressed cache of compiled schedules.
+
+Compilation dominates the cost of every sweep and comparison pipeline,
+and the same (circuit, device, config) point recurs constantly — across
+the gate-implementation sweep, across repeated benchmark runs, across
+CLI invocations.  :class:`ScheduleCache` memoises compilations keyed by
+the job's compile fingerprint (:meth:`CompileJob.compile_fingerprint`):
+an in-memory LRU serves the hot set, and an optional on-disk JSON store
+(one file per fingerprint, via :mod:`repro.schedule.serialize`) makes
+hits survive process restarts.
+
+Entries store plain data (the serialised schedule), never live objects,
+so a cached result replays identically to a fresh compilation no matter
+which process produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import ReproError
+from repro.schedule.schedule import Schedule
+from repro.schedule.serialize import schedule_from_dict, schedule_to_dict
+
+#: Format marker stored in every on-disk cache entry.
+CACHE_FORMAT_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache (or a snapshot of them)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Flat dictionary for reporting."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+        }
+
+    def snapshot(self) -> "CacheStats":
+        """An independent copy of the current counters."""
+        return CacheStats(**self.as_dict())
+
+
+@dataclass(frozen=True)
+class CachedCompilation:
+    """One cached compilation: compile metadata plus the schedule as data."""
+
+    compiler_name: str
+    mapping_name: str
+    compile_time_s: float
+    schedule_data: dict[str, Any]
+
+    def schedule(self) -> Schedule:
+        """Rebuild the live schedule object from the stored data."""
+        return schedule_from_dict(self.schedule_data)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form written to disk."""
+        return {
+            "format_version": CACHE_FORMAT_VERSION,
+            "compiler_name": self.compiler_name,
+            "mapping_name": self.mapping_name,
+            "compile_time_s": self.compile_time_s,
+            "schedule": self.schedule_data,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CachedCompilation":
+        """Parse an entry written by :meth:`to_dict`."""
+        version = data.get("format_version")
+        if version != CACHE_FORMAT_VERSION:
+            raise ReproError(
+                f"unsupported cache entry format version {version!r} "
+                f"(this library writes version {CACHE_FORMAT_VERSION})"
+            )
+        try:
+            return cls(
+                compiler_name=data["compiler_name"],
+                mapping_name=data["mapping_name"],
+                compile_time_s=data["compile_time_s"],
+                schedule_data=data["schedule"],
+            )
+        except KeyError as exc:
+            raise ReproError(f"cache entry is missing the {exc.args[0]!r} field") from exc
+
+    @classmethod
+    def from_result(cls, result: "Any") -> "CachedCompilation":
+        """Build an entry from a :class:`~repro.core.result.CompilationResult`."""
+        return cls(
+            compiler_name=result.compiler_name,
+            mapping_name=result.mapping_name,
+            compile_time_s=result.compile_time_s,
+            schedule_data=schedule_to_dict(result.schedule),
+        )
+
+
+class ScheduleCache:
+    """LRU cache of :class:`CachedCompilation` entries, optionally on disk.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity of the in-memory LRU tier.  Disk entries are unbounded.
+    directory:
+        When given, every stored entry is also written to
+        ``<directory>/<fingerprint>.json`` and memory misses fall back to
+        disk (promoting hits back into memory).
+    """
+
+    def __init__(self, max_entries: int = 256, directory: "Path | str | None" = None) -> None:
+        if max_entries < 1:
+            raise ReproError("a schedule cache needs room for at least one entry")
+        self.max_entries = max_entries
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._entries: "OrderedDict[str, CachedCompilation]" = OrderedDict()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # core operations
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries or self._disk_path_if_present(fingerprint) is not None
+
+    def get(self, fingerprint: str) -> CachedCompilation | None:
+        """Look up a compilation; ``None`` on a miss (counted in stats)."""
+        entry = self._entries.get(fingerprint)
+        if entry is not None:
+            self._entries.move_to_end(fingerprint)
+            self.stats.hits += 1
+            return entry
+        path = self._disk_path_if_present(fingerprint)
+        if path is not None:
+            entry = self._read_disk_entry(path)
+            self._insert(fingerprint, entry)
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            return entry
+        self.stats.misses += 1
+        return None
+
+    def put(self, fingerprint: str, entry: CachedCompilation) -> None:
+        """Store a compilation under ``fingerprint`` (memory and disk)."""
+        self._insert(fingerprint, entry)
+        self.stats.stores += 1
+        if self.directory is not None:
+            path = self._disk_path(fingerprint)
+            # Unique temp name per writer: concurrent processes sharing a
+            # cache directory must not interleave writes before the atomic
+            # replace.
+            tmp = path.with_suffix(f".{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
+            tmp.write_text(json.dumps(entry.to_dict(), sort_keys=True))
+            tmp.replace(path)
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the in-memory tier (and the disk tier when ``disk=True``)."""
+        self._entries.clear()
+        if disk and self.directory is not None:
+            for path in self.directory.glob("*.json"):
+                path.unlink()
+            for path in self.directory.glob("*.tmp"):
+                path.unlink()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _insert(self, fingerprint: str, entry: CachedCompilation) -> None:
+        self._entries[fingerprint] = entry
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _disk_path(self, fingerprint: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{fingerprint}.json"
+
+    def _disk_path_if_present(self, fingerprint: str) -> Path | None:
+        if self.directory is None:
+            return None
+        path = self._disk_path(fingerprint)
+        return path if path.exists() else None
+
+    @staticmethod
+    def _read_disk_entry(path: Path) -> CachedCompilation:
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"corrupt cache entry {path}: {exc}") from exc
+        return CachedCompilation.from_dict(data)

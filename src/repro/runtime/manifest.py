@@ -1,0 +1,201 @@
+"""Job manifests: declarative batch descriptions for ``repro batch``.
+
+A manifest is a JSON (or YAML, when PyYAML is installed) document with a
+job list and optional shared defaults::
+
+    {
+      "defaults": {"device": "G-2x3", "gate_implementation": "fm"},
+      "jobs": [
+        {"circuit": "qft_24"},
+        {"circuit": "bv_64", "device": "L-6", "mapping": "sta"},
+        {"circuit": "qft_24", "compiler": "murali"},
+        {"circuit": "adder_32", "config": {"lookahead_depth": 0}}
+      ]
+    }
+
+A bare JSON list of job objects is also accepted.  Each job object
+supports the keys ``circuit`` (benchmark name or ``.qasm`` path),
+``device``/``capacity``, ``compiler``, ``mapping`` (or
+``initial_mapping``), ``gate_implementation``, ``heating`` (a mapping of
+:class:`HeatingParameters` fields), ``config`` (see
+:func:`ssync_config_from_dict`) and the presentation metadata ``label``,
+``parameter``, ``value``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields as dataclass_fields
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.circuit.qasm import qasm_to_circuit
+from repro.core.compiler import SSyncConfig
+from repro.core.scheduler import SchedulerConfig
+from repro.exceptions import ReproError
+from repro.noise.heating import HeatingParameters
+from repro.runtime.jobs import CompileJob
+
+#: Manifest keys understood by :func:`job_from_dict`.
+_JOB_KEYS = frozenset(
+    {
+        "circuit",
+        "device",
+        "capacity",
+        "compiler",
+        "mapping",
+        "initial_mapping",
+        "gate_implementation",
+        "heating",
+        "config",
+        "label",
+        "parameter",
+        "value",
+    }
+)
+
+_SCHEDULER_KEYS = frozenset(f.name for f in dataclass_fields(SchedulerConfig))
+_TOP_LEVEL_KEYS = frozenset(
+    {"default_mapping", "mapping_reserve_per_trap", "mapping_lookahead_layers"}
+)
+
+
+def ssync_config_from_dict(data: Mapping[str, Any]) -> SSyncConfig:
+    """Build an :class:`SSyncConfig` from flat manifest keys.
+
+    Accepts the top-level mapping fields, any :class:`SchedulerConfig`
+    field, and the convenience knob ``weight_ratio`` (the Fig. 14 ``r``).
+    """
+    config = SSyncConfig()
+    top: dict[str, Any] = {}
+    scheduler: dict[str, Any] = {}
+    ratio: float | None = None
+    for key, value in data.items():
+        if key == "weight_ratio":
+            ratio = float(value)
+        elif key in _TOP_LEVEL_KEYS:
+            top[key] = value
+        elif key in _SCHEDULER_KEYS:
+            scheduler[key] = value
+        else:
+            raise ReproError(f"unknown S-SYNC config key {key!r} in manifest")
+    if scheduler:
+        config = replace(config, scheduler=replace(config.scheduler, **scheduler))
+    if top:
+        config = replace(config, **top)
+    if ratio is not None:
+        config = config.with_weight_ratio(ratio)
+    return config
+
+
+def _resolve_circuit_spec(spec: Any) -> Any:
+    """A ``.qasm`` path is loaded eagerly; benchmark names stay symbolic."""
+    if isinstance(spec, str) and spec.lower().endswith(".qasm"):
+        path = Path(spec)
+        if not path.exists():
+            raise ReproError(f"manifest circuit file {spec!r} does not exist")
+        return qasm_to_circuit(path.read_text(), name=path.stem)
+    return spec
+
+
+def _normalize_mapping_key(spec: Mapping[str, Any]) -> dict[str, Any]:
+    """Fold the ``mapping`` alias into ``initial_mapping`` before merging.
+
+    Normalising each dict separately keeps a job's ``mapping`` from being
+    silently overridden by a defaults-level ``initial_mapping``.
+    """
+    out = dict(spec)
+    if "mapping" in out:
+        out.setdefault("initial_mapping", out.pop("mapping"))
+    return out
+
+
+def job_from_dict(
+    data: Mapping[str, Any], defaults: Mapping[str, Any] | None = None
+) -> CompileJob:
+    """Build one :class:`CompileJob` from a manifest job object."""
+    merged: dict[str, Any] = _normalize_mapping_key(defaults or {})
+    merged.update(_normalize_mapping_key(data))
+    unknown = set(merged) - _JOB_KEYS
+    if unknown:
+        raise ReproError(f"unknown manifest job keys: {', '.join(sorted(unknown))}")
+    if "circuit" not in merged:
+        raise ReproError("every manifest job needs a 'circuit'")
+    if "device" not in merged:
+        raise ReproError("every manifest job needs a 'device' (directly or via defaults)")
+
+    config = merged.get("config")
+    if isinstance(config, Mapping):
+        config = ssync_config_from_dict(config)
+    heating = merged.get("heating")
+    if isinstance(heating, Mapping):
+        try:
+            heating = HeatingParameters(**heating)
+        except TypeError as exc:
+            raise ReproError(f"invalid heating parameters in manifest: {exc}") from exc
+
+    mapping = merged.get("initial_mapping")
+    return CompileJob(
+        circuit=_resolve_circuit_spec(merged["circuit"]),
+        device=merged["device"],
+        capacity=merged.get("capacity"),
+        compiler=merged.get("compiler", "s-sync"),
+        initial_mapping=mapping,
+        config=config,
+        gate_implementation=merged.get("gate_implementation", "fm"),
+        heating=heating,
+        label=str(merged.get("label", "")),
+        parameter=str(merged.get("parameter", "")),
+        value=merged.get("value", ""),
+    )
+
+
+def jobs_from_manifest(document: Any) -> list[CompileJob]:
+    """Parse a loaded manifest document (mapping or bare job list)."""
+    if isinstance(document, Sequence) and not isinstance(document, (str, bytes)):
+        defaults: Mapping[str, Any] = {}
+        job_specs = document
+    elif isinstance(document, Mapping):
+        defaults = document.get("defaults", {})
+        job_specs = document.get("jobs")
+        if job_specs is None:
+            raise ReproError("manifest object needs a 'jobs' list")
+    else:
+        raise ReproError("a manifest must be a JSON object or a list of jobs")
+    if not isinstance(defaults, Mapping):
+        raise ReproError("manifest 'defaults' must be an object")
+    jobs = []
+    for index, spec in enumerate(job_specs):
+        if not isinstance(spec, Mapping):
+            raise ReproError(f"manifest job #{index} is not an object")
+        try:
+            jobs.append(job_from_dict(spec, defaults=defaults))
+        except ReproError as exc:
+            raise ReproError(f"manifest job #{index}: {exc}") from exc
+    if not jobs:
+        raise ReproError("the manifest contains no jobs")
+    return jobs
+
+
+def load_manifest(path: "Path | str") -> list[CompileJob]:
+    """Read a JSON or YAML manifest file into compile jobs."""
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"manifest file {path} does not exist")
+    text = path.read_text()
+    if path.suffix.lower() in {".yaml", ".yml"}:
+        try:
+            import yaml  # type: ignore[import-untyped]
+        except ImportError as exc:
+            raise ReproError(
+                "YAML manifests need the optional PyYAML dependency; "
+                "install it or use a JSON manifest"
+            ) from exc
+        document = yaml.safe_load(text)
+    else:
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"invalid JSON manifest {path}: {exc}") from exc
+    return jobs_from_manifest(document)

@@ -1,0 +1,246 @@
+"""The batch-compilation engine.
+
+:class:`BatchCompiler` takes a list of :class:`CompileJob` items and
+produces one :class:`JobOutcome` per job, in job order, through three
+tiers:
+
+1. **cache** — jobs whose compile fingerprint is already in the
+   :class:`~repro.runtime.cache.ScheduleCache` skip compilation;
+2. **dedup** — remaining jobs are grouped by compile fingerprint so each
+   distinct compilation runs exactly once per batch (the four
+   gate-implementation evaluations of one circuit share one compile);
+3. **fan-out** — distinct compilations run either serially (the
+   deterministic fallback, also used for single jobs) or across a
+   ``multiprocessing`` pool.
+
+Every schedule — fresh or cached, local or from a worker — travels as
+plain serialised data and is re-evaluated in the parent process, so the
+result **records are byte-identical** across the serial, parallel and
+warm-cache paths; only the timing side-channel (``compile_time_s``,
+``from_cache``) differs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.exceptions import ReproError
+from repro.noise.evaluator import evaluate_schedule
+from repro.runtime.cache import CachedCompilation, CacheStats, ScheduleCache
+from repro.runtime.jobs import CompileJob, compile_job
+
+
+def _compile_entry(item: "tuple[str, CompileJob]") -> "tuple[str, dict[str, Any]]":
+    """Worker function: compile one job and return plain data.
+
+    Must stay a module-level function so it pickles under every
+    multiprocessing start method.
+    """
+    fingerprint, job = item
+    result = compile_job(job)
+    return fingerprint, CachedCompilation.from_result(result).to_dict()
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (cheap, no re-import) where available."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """Result of one job: the deterministic record plus timing metadata.
+
+    ``record`` contains only deterministic fields (schedule counts and
+    evaluation metrics) and is identical whichever execution tier served
+    the job; wall-clock compile time and cache provenance live alongside
+    it.
+    """
+
+    job: CompileJob
+    fingerprint: str
+    compile_fingerprint: str
+    record: dict[str, object]
+    compile_time_s: float
+    from_cache: bool
+
+    def as_dict(self) -> dict[str, object]:
+        """Record plus timing columns, for tables and result files."""
+        row = dict(self.record)
+        row["compile_time_s"] = self.compile_time_s
+        row["from_cache"] = self.from_cache
+        return row
+
+
+@dataclass
+class BatchResult:
+    """Everything one :meth:`BatchCompiler.run` call produced."""
+
+    outcomes: list[JobOutcome]
+    cache_stats: CacheStats
+    compilations: int
+    workers: int
+    wall_time_s: float = 0.0
+    extra: dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def records(self) -> list[dict[str, object]]:
+        """The deterministic records, in job order."""
+        return [outcome.record for outcome in self.outcomes]
+
+    def as_dicts(self) -> list[dict[str, object]]:
+        """Records with timing columns, in job order (for reporting)."""
+        return [outcome.as_dict() for outcome in self.outcomes]
+
+    def summary(self) -> dict[str, object]:
+        """One-line batch statistics for logs and CLI footers."""
+        return {
+            "jobs": len(self.outcomes),
+            "compilations": self.compilations,
+            "cache_hits": self.cache_stats.hits,
+            "cache_misses": self.cache_stats.misses,
+            "workers": self.workers,
+            "wall_time_s": self.wall_time_s,
+        }
+
+
+class BatchCompiler:
+    """Fan compile jobs out over a worker pool, with schedule caching.
+
+    Parameters
+    ----------
+    workers:
+        Process count for the compilation stage.  ``0``/``1`` (or a
+        single distinct compilation) selects the deterministic serial
+        path; ``None`` means one worker per CPU.
+    cache:
+        Schedule cache shared across runs.  When omitted the engine owns
+        a private in-memory cache, so repeated ``run`` calls on one
+        instance still deduplicate.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = 1,
+        cache: ScheduleCache | None = None,
+    ) -> None:
+        if workers is None:
+            workers = multiprocessing.cpu_count()
+        if workers < 0:
+            raise ReproError("workers cannot be negative")
+        self.workers = max(workers, 1)
+        self.cache = cache if cache is not None else ScheduleCache()
+
+    def run(self, jobs: Sequence[CompileJob]) -> BatchResult:
+        """Execute ``jobs`` and return outcomes in job order."""
+        start = time.perf_counter()
+        jobs = list(jobs)
+        stats_before = self.cache.stats.snapshot()
+
+        entries: dict[str, CachedCompilation] = {}
+        from_cache: dict[str, bool] = {}
+        pending: "dict[str, CompileJob]" = {}
+        compile_fps = [job.compile_fingerprint() for job in jobs]
+
+        for job, fingerprint in zip(jobs, compile_fps):
+            if fingerprint in entries or fingerprint in pending:
+                continue
+            entry = self.cache.get(fingerprint)
+            if entry is not None:
+                entries[fingerprint] = entry
+                from_cache[fingerprint] = True
+            else:
+                pending[fingerprint] = job
+
+        for fingerprint, entry_data in self._compile_pending(pending):
+            entry = CachedCompilation.from_dict(entry_data)
+            self.cache.put(fingerprint, entry)
+            entries[fingerprint] = entry
+            from_cache[fingerprint] = False
+
+        outcomes = [
+            self._build_outcome(job, fingerprint, entries[fingerprint], from_cache[fingerprint])
+            for job, fingerprint in zip(jobs, compile_fps)
+        ]
+        stats_after = self.cache.stats.snapshot()
+        return BatchResult(
+            outcomes=outcomes,
+            cache_stats=CacheStats(
+                hits=stats_after.hits - stats_before.hits,
+                misses=stats_after.misses - stats_before.misses,
+                stores=stats_after.stores - stats_before.stores,
+                evictions=stats_after.evictions - stats_before.evictions,
+                disk_hits=stats_after.disk_hits - stats_before.disk_hits,
+            ),
+            compilations=len(pending),
+            workers=self.workers,
+            wall_time_s=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _compile_pending(
+        self, pending: "dict[str, CompileJob]"
+    ) -> list[tuple[str, dict[str, Any]]]:
+        items = list(pending.items())
+        if not items:
+            return []
+        if self.workers <= 1 or len(items) == 1:
+            return [_compile_entry(item) for item in items]
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(self.workers, len(items))) as pool:
+            return pool.map(_compile_entry, items)
+
+    @staticmethod
+    def _build_outcome(
+        job: CompileJob,
+        compile_fingerprint: str,
+        entry: CachedCompilation,
+        cached: bool,
+    ) -> JobOutcome:
+        schedule = entry.schedule()
+        implementation = job.resolved_gate_implementation()
+        evaluation = evaluate_schedule(
+            schedule, gate_implementation=implementation, heating=job.heating
+        )
+        # The circuit label comes from the job, not the cached schedule: the
+        # circuit *name* is not part of the compile fingerprint (identical
+        # gate lists dedup regardless of name), so a cache hit may carry
+        # another job's circuit_name.  The device name needs no such care —
+        # it is hashed via device_to_dict.
+        circuit_name = (
+            job.circuit.lower() if isinstance(job.circuit, str) else job.circuit.name
+        )
+        record: dict[str, object] = {
+            "label": job.label,
+            "parameter": job.parameter,
+            "value": job.value,
+            "circuit": circuit_name,
+            "device": schedule.device.name,
+            "compiler": entry.compiler_name,
+            "mapping": entry.mapping_name,
+            "gate_implementation": implementation.value,
+            "shuttles": schedule.shuttle_count,
+            "swaps": schedule.swap_count,
+            "two_qubit_gates": schedule.two_qubit_gate_count,
+            "success_rate": evaluation.success_rate,
+            "log_success_rate": evaluation.log_success_rate,
+            "execution_time_us": evaluation.execution_time_us,
+        }
+        return JobOutcome(
+            job=job,
+            fingerprint=job.fingerprint(),
+            compile_fingerprint=compile_fingerprint,
+            record=record,
+            compile_time_s=entry.compile_time_s,
+            from_cache=cached,
+        )

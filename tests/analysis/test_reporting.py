@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.analysis.reporting import (
@@ -10,7 +12,12 @@ from repro.analysis.reporting import (
     format_value,
     geometric_mean,
     ratio_summary,
+    records_to_csv,
+    records_to_dicts,
+    records_to_json,
+    write_records,
 )
+from repro.analysis.sweeps import CompileTimeRecord, SweepRecord
 from repro.exceptions import ReproError
 
 
@@ -91,3 +98,67 @@ class TestAggregates:
     def test_ratio_summary_empty_rejected(self):
         with pytest.raises(ReproError):
             ratio_summary({}, "x")
+
+
+class TestStructuredExport:
+    RECORDS = [
+        SweepRecord(
+            label="L-4",
+            circuit="qft_12",
+            device="L-4",
+            parameter="total_capacity",
+            value=20,
+            shuttles=7,
+            swaps=3,
+            success_rate=0.9,
+            execution_time_us=1000.0,
+            compile_time_s=0.01,
+        ),
+        SweepRecord(
+            label="G-2x2",
+            circuit="qft_12",
+            device="G-2x2",
+            parameter="total_capacity",
+            value=24,
+            shuttles=5,
+            swaps=2,
+            success_rate=0.95,
+            execution_time_us=900.0,
+            compile_time_s=0.02,
+        ),
+    ]
+
+    def test_records_to_dicts_accepts_mappings_and_as_dict(self):
+        rows = records_to_dicts([self.RECORDS[0], {"a": 1}])
+        assert rows[0]["label"] == "L-4"
+        assert rows[1] == {"a": 1}
+        with pytest.raises(ReproError):
+            records_to_dicts([object()])
+
+    def test_json_round_trip(self):
+        rows = json.loads(records_to_json(self.RECORDS))
+        assert [r["label"] for r in rows] == ["L-4", "G-2x2"]
+        assert rows[0]["shuttles"] == 7
+
+    def test_csv_has_header_and_rows(self):
+        text = records_to_csv(self.RECORDS)
+        lines = text.strip().splitlines()
+        assert lines[0].split(",")[0] == "label"
+        assert len(lines) == 3
+        with pytest.raises(ReproError):
+            records_to_csv([])
+
+    def test_write_records_infers_format(self, tmp_path):
+        json_path = write_records(self.RECORDS, tmp_path / "out.json")
+        assert json.loads(json_path.read_text())[1]["device"] == "G-2x2"
+        csv_path = write_records(self.RECORDS, tmp_path / "out.csv")
+        assert csv_path.read_text().startswith("label,")
+
+    def test_write_records_compile_time_family(self, tmp_path):
+        records = [CompileTimeRecord("s-sync", "qft_12", 12, 0.5)]
+        path = write_records(records, tmp_path / "times.csv", fmt="csv")
+        assert "application_size" in path.read_text()
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            write_records(self.RECORDS, tmp_path / "out.xml", fmt="xml")

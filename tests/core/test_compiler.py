@@ -60,6 +60,26 @@ class TestCompile:
         result = compiler.compile(circuit, initial_state=state)
         assert result.mapping_name == "custom"
 
+    def test_conflicting_mapping_and_state_warns_and_names_the_mapper(self, linear_3x5):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        compiler = SSyncCompiler(linear_3x5)
+        state = compiler.build_initial_state(circuit, initial_mapping="even-divided")
+        with pytest.warns(UserWarning, match="initial_state takes precedence"):
+            result = compiler.compile(circuit, initial_mapping="even-divided", initial_state=state)
+        assert result.mapping_name == "even-divided"
+
+    def test_conflicting_mapper_instance_reports_its_name(self, linear_3x5):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        compiler = SSyncCompiler(linear_3x5)
+        state = compiler.build_initial_state(circuit)
+        with pytest.warns(UserWarning):
+            result = compiler.compile(
+                circuit, initial_mapping=GatheringMapper(), initial_state=state
+            )
+        assert result.mapping_name == "gathering"
+
     def test_unknown_mapping_rejected(self, linear_3x5):
         with pytest.raises(MappingError):
             SSyncCompiler(linear_3x5).compile(qft_circuit(6), initial_mapping="magic")

@@ -1,0 +1,103 @@
+"""Unit tests for the schedule cache (LRU + on-disk tiers)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.runtime.cache import CACHE_FORMAT_VERSION, CachedCompilation, ScheduleCache
+from repro.runtime.jobs import CompileJob, compile_job
+
+
+@pytest.fixture(scope="module")
+def entry() -> CachedCompilation:
+    result = compile_job(CompileJob(circuit="qft_8", device="G-2x2", capacity=6))
+    return CachedCompilation.from_result(result)
+
+
+class TestMemoryTier:
+    def test_hit_miss_accounting(self, entry):
+        cache = ScheduleCache(max_entries=4)
+        assert cache.get("fp-a") is None
+        cache.put("fp-a", entry)
+        assert cache.get("fp-a") is entry
+        assert cache.stats.as_dict() == {
+            "hits": 1,
+            "misses": 1,
+            "stores": 1,
+            "evictions": 0,
+            "disk_hits": 0,
+        }
+
+    def test_lru_evicts_least_recently_used(self, entry):
+        cache = ScheduleCache(max_entries=2)
+        cache.put("a", entry)
+        cache.put("b", entry)
+        cache.get("a")  # refresh a, so b becomes the eviction victim
+        cache.put("c", entry)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_needs_positive_capacity(self):
+        with pytest.raises(ReproError):
+            ScheduleCache(max_entries=0)
+
+
+class TestDiskTier:
+    def test_round_trip_through_a_fresh_cache(self, tmp_path, entry):
+        ScheduleCache(directory=tmp_path).put("fp", entry)
+        fresh = ScheduleCache(directory=tmp_path)
+        loaded = fresh.get("fp")
+        assert loaded is not None
+        assert fresh.stats.disk_hits == 1
+        schedule = loaded.schedule()
+        assert schedule.count_summary() == entry.schedule().count_summary()
+        assert loaded.compiler_name == entry.compiler_name
+        assert loaded.mapping_name == entry.mapping_name
+
+    def test_disk_hit_promotes_into_memory(self, tmp_path, entry):
+        ScheduleCache(directory=tmp_path).put("fp", entry)
+        fresh = ScheduleCache(directory=tmp_path)
+        fresh.get("fp")
+        fresh.get("fp")
+        assert fresh.stats.hits == 2
+        assert fresh.stats.disk_hits == 1  # second hit came from memory
+
+    def test_corrupt_entry_rejected(self, tmp_path):
+        (tmp_path / "bad.json").write_text("{not json")
+        with pytest.raises(ReproError):
+            ScheduleCache(directory=tmp_path).get("bad")
+
+    def test_clear_disk(self, tmp_path, entry):
+        cache = ScheduleCache(directory=tmp_path)
+        cache.put("fp", entry)
+        cache.clear(disk=True)
+        assert ScheduleCache(directory=tmp_path).get("fp") is None
+
+
+class TestEntryFormat:
+    def test_dict_round_trip(self, entry):
+        rebuilt = CachedCompilation.from_dict(entry.to_dict())
+        assert rebuilt == entry
+
+    def test_version_mismatch_rejected(self, entry):
+        data = entry.to_dict()
+        data["format_version"] = CACHE_FORMAT_VERSION + 1
+        with pytest.raises(ReproError):
+            CachedCompilation.from_dict(data)
+
+    def test_missing_field_rejected(self, entry):
+        data = entry.to_dict()
+        del data["schedule"]
+        with pytest.raises(ReproError):
+            CachedCompilation.from_dict(data)
+
+    def test_disk_entry_is_plain_json(self, tmp_path, entry):
+        cache = ScheduleCache(directory=tmp_path)
+        cache.put("fp", entry)
+        data = json.loads((tmp_path / "fp.json").read_text())
+        assert data["format_version"] == CACHE_FORMAT_VERSION
+        assert data["schedule"]["circuit_name"] == "qft_8"

@@ -1,0 +1,145 @@
+"""Unit tests for JSON/YAML job-manifest parsing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.library import ghz_circuit
+from repro.circuit.qasm import circuit_to_qasm
+from repro.exceptions import ReproError
+from repro.runtime.manifest import (
+    job_from_dict,
+    jobs_from_manifest,
+    load_manifest,
+    ssync_config_from_dict,
+)
+
+
+class TestJobFromDict:
+    def test_defaults_merge_under_job_keys(self):
+        job = job_from_dict(
+            {"circuit": "qft_12", "mapping": "sta"},
+            defaults={"device": "G-2x3", "gate_implementation": "am2", "mapping": "gathering"},
+        )
+        assert job.device == "G-2x3"
+        assert job.initial_mapping == "sta"
+        assert job.resolved_gate_implementation().value == "am2"
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ReproError, match="unknown manifest job keys"):
+            job_from_dict({"circuit": "qft_12", "device": "G-2x2", "lasers": 9})
+
+    def test_job_mapping_beats_defaults_initial_mapping(self):
+        """A job's 'mapping' must not be overridden by a defaults-level
+        'initial_mapping' (the two keys are aliases)."""
+        job = job_from_dict(
+            {"circuit": "qft_12", "mapping": "gathering"},
+            defaults={"device": "G-2x2", "initial_mapping": "sta"},
+        )
+        assert job.initial_mapping == "gathering"
+
+    def test_circuit_and_device_required(self):
+        with pytest.raises(ReproError, match="'circuit'"):
+            job_from_dict({"device": "G-2x2"})
+        with pytest.raises(ReproError, match="'device'"):
+            job_from_dict({"circuit": "qft_12"})
+
+    def test_config_and_heating_dicts(self):
+        job = job_from_dict(
+            {
+                "circuit": "qft_12",
+                "device": "G-2x2",
+                "config": {"lookahead_depth": 0, "weight_ratio": 1000.0},
+                "heating": {"k1": 0.2},
+            }
+        )
+        assert job.config is not None
+        assert job.config.scheduler.lookahead_depth == 0
+        assert job.config.scheduler.weights.ratio == pytest.approx(1000.0)
+        assert job.heating is not None and job.heating.k1 == 0.2
+
+    def test_bad_heating_key_rejected(self):
+        with pytest.raises(ReproError, match="heating"):
+            job_from_dict(
+                {"circuit": "qft_12", "device": "G-2x2", "heating": {"quanta": 1}}
+            )
+
+
+class TestSSyncConfigFromDict:
+    def test_top_level_and_scheduler_keys(self):
+        config = ssync_config_from_dict(
+            {"default_mapping": "sta", "decay_delta": 0.01, "stall_limit": 9}
+        )
+        assert config.default_mapping == "sta"
+        assert config.scheduler.decay_delta == 0.01
+        assert config.scheduler.stall_limit == 9
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ReproError, match="unknown S-SYNC config key"):
+            ssync_config_from_dict({"temperature": 3})
+
+
+class TestManifestDocuments:
+    def test_bare_list_accepted(self):
+        jobs = jobs_from_manifest([{"circuit": "qft_12", "device": "G-2x2"}])
+        assert len(jobs) == 1
+
+    def test_jobs_list_required(self):
+        with pytest.raises(ReproError, match="'jobs'"):
+            jobs_from_manifest({"defaults": {"device": "G-2x2"}})
+
+    def test_empty_manifest_rejected(self):
+        with pytest.raises(ReproError, match="no jobs"):
+            jobs_from_manifest({"jobs": []})
+
+    def test_job_errors_name_the_index(self):
+        with pytest.raises(ReproError, match="job #1"):
+            jobs_from_manifest(
+                {"jobs": [{"circuit": "qft_12", "device": "G-2x2"}, {"device": "G-2x2"}]}
+            )
+
+
+class TestLoadManifest:
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "defaults": {"device": "G-2x2"},
+                    "jobs": [{"circuit": "qft_12"}, {"circuit": "bv_16", "device": "L-4"}],
+                }
+            )
+        )
+        jobs = load_manifest(path)
+        assert [job.circuit for job in jobs] == ["qft_12", "bv_16"]
+        assert jobs[0].device == "G-2x2"
+
+    def test_yaml_file(self, tmp_path):
+        pytest.importorskip("yaml")
+        path = tmp_path / "m.yaml"
+        path.write_text(
+            "defaults:\n  device: G-2x2\njobs:\n  - circuit: qft_12\n  - circuit: bv_16\n"
+        )
+        assert len(load_manifest(path)) == 2
+
+    def test_qasm_circuit_loaded_eagerly(self, tmp_path):
+        qasm = tmp_path / "ghz.qasm"
+        qasm.write_text(circuit_to_qasm(ghz_circuit(6)))
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps([{"circuit": str(qasm), "device": "G-2x2"}]))
+        job = load_manifest(path)[0]
+        assert isinstance(job.circuit, QuantumCircuit)
+        assert job.circuit.num_qubits == 6
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="does not exist"):
+            load_manifest(tmp_path / "absent.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{")
+        with pytest.raises(ReproError, match="invalid JSON"):
+            load_manifest(path)

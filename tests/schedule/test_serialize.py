@@ -6,11 +6,20 @@ import json
 
 import pytest
 
+from repro.circuit.gate import Gate
 from repro.circuit.library import qft_circuit
 from repro.core.compiler import SSyncCompiler
 from repro.exceptions import ReproError
 from repro.hardware.topologies import grid_device, star_device
 from repro.noise.evaluator import evaluate_schedule
+from repro.schedule.operations import (
+    GateOperation,
+    OperationKind,
+    ShuttleOperation,
+    SpaceShiftOperation,
+    SwapOperation,
+)
+from repro.schedule.schedule import Schedule
 from repro.schedule.serialize import (
     SCHEDULE_FORMAT_VERSION,
     device_from_dict,
@@ -74,6 +83,50 @@ class TestScheduleRoundTrip:
         _, _, result = compiled
         rebuilt = schedule_from_json(schedule_to_json(result.schedule))
         assert [op.kind for op in rebuilt] == [op.kind for op in result.schedule]
+
+
+class TestEveryOperationKind:
+    """Round-trip coverage for every :class:`ScheduledOperation` kind."""
+
+    def test_hand_built_schedule_with_all_kinds(self):
+        device = grid_device(2, 2, 6)
+        schedule = Schedule(device, "all-kinds")
+        operations = [
+            GateOperation(gate=Gate("h", (0,)), trap=0, chain_length=3),
+            GateOperation(gate=Gate("cp", (0, 1), (0.5,)), trap=0, chain_length=3, ion_separation=1),
+            SwapOperation(trap=0, qubit_a=0, qubit_b=2, chain_length=3, ion_separation=1),
+            ShuttleOperation(
+                qubit=2,
+                source_trap=0,
+                target_trap=1,
+                segments=2,
+                junctions=1,
+                source_chain_length=3,
+                target_chain_length=2,
+            ),
+            SpaceShiftOperation(trap=1, qubit=2, from_position=0, to_position=1),
+        ]
+        for operation in operations:
+            schedule.append(operation)
+        assert {op.kind for op in schedule} == set(OperationKind)
+
+        rebuilt = schedule_from_json(schedule_to_json(schedule))
+        assert list(rebuilt) == operations
+
+    def test_compiled_schedules_round_trip_field_for_field(self, compiled):
+        """Every operation the scheduler actually produces survives exactly."""
+        _, _, result = compiled
+        rebuilt = schedule_from_json(schedule_to_json(result.schedule))
+        assert list(rebuilt) == list(result.schedule)
+
+    def test_gate_params_survive(self):
+        device = grid_device(2, 2, 6)
+        schedule = Schedule(device, "params")
+        schedule.append(
+            GateOperation(gate=Gate("rzz", (0, 1), (0.125,)), trap=0, chain_length=2)
+        )
+        rebuilt = schedule_from_json(schedule_to_json(schedule))
+        assert rebuilt[0].gate.params == (0.125,)
 
 
 class TestErrorHandling:

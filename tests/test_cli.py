@@ -55,6 +55,22 @@ class TestCompileCommand:
         exit_code = main(["compile", "qft_10", "--device", "X-9"])
         assert exit_code == 1
 
+    def test_existing_non_qasm_file_not_parsed_as_qasm(self, tmp_path, capsys):
+        """An arbitrary existing file must not be fed to the QASM parser."""
+        path = tmp_path / "notes.txt"
+        path.write_text("definitely not qasm")
+        exit_code = main(["compile", str(path), "--device", "G-2x2"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "benchmark name" in captured.err
+        assert ".qasm" in captured.err
+
+    def test_missing_qasm_file_fails_cleanly(self, tmp_path, capsys):
+        exit_code = main(["compile", str(tmp_path / "absent.qasm"), "--device", "G-2x2"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "does not exist" in captured.err
+
 
 class TestCompareCommand:
     def test_compare_lists_all_compilers(self, capsys):
@@ -90,6 +106,64 @@ class TestEvaluateCommand:
         path.write_text("{")
         exit_code = main(["evaluate", str(path)])
         assert exit_code == 1
+
+
+class TestCompareOutput:
+    def test_compare_writes_csv(self, tmp_path, capsys):
+        output = tmp_path / "records.csv"
+        exit_code = main(["compare", "bv_16", "--device", "L-4", "--output", str(output)])
+        assert exit_code == 0
+        lines = output.read_text().strip().splitlines()
+        assert lines[0].startswith("circuit,")
+        assert len(lines) == 4  # header + 3 compilers
+
+
+class TestBatchCommand:
+    @staticmethod
+    def _write_manifest(tmp_path):
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(
+            json.dumps(
+                {
+                    "defaults": {"device": "G-2x2", "capacity": 6},
+                    "jobs": [{"circuit": "qft_10"}, {"circuit": "qft_10", "compiler": "murali"}],
+                }
+            )
+        )
+        return manifest
+
+    def test_batch_runs_manifest_and_writes_results(self, tmp_path, capsys):
+        manifest = self._write_manifest(tmp_path)
+        output = tmp_path / "results.json"
+        exit_code = main(["batch", str(manifest), "--output", str(output)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "batch results" in captured.out
+        assert "compilations=2" in captured.out
+        records = json.loads(output.read_text())
+        assert [r["compiler"] for r in records] == ["s-sync", "murali"]
+
+    def test_batch_warm_cache_skips_compilation(self, tmp_path, capsys):
+        manifest = self._write_manifest(tmp_path)
+        cache_dir = tmp_path / "cache"
+        assert main(["batch", str(manifest), "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(["batch", str(manifest), "--cache-dir", str(cache_dir)]) == 0
+        captured = capsys.readouterr()
+        assert "compilations=0" in captured.out
+        assert "cache_hits=2" in captured.out
+
+    def test_batch_parallel_workers(self, tmp_path, capsys):
+        manifest = self._write_manifest(tmp_path)
+        exit_code = main(["batch", str(manifest), "--workers", "2"])
+        assert exit_code == 0
+        assert "workers=2" in capsys.readouterr().out
+
+    def test_batch_missing_manifest_fails_cleanly(self, tmp_path, capsys):
+        exit_code = main(["batch", str(tmp_path / "absent.json")])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "error:" in captured.err
 
 
 class TestParser:
