@@ -16,6 +16,14 @@ The package mirrors the paper's structure:
   bounds and text/JSON/CSV reporting for every figure in the evaluation;
 * :mod:`repro.schedule` — the compiled operation log, its legality
   verifier and JSON serialisation;
+* :mod:`repro.pipeline` — the pass-pipeline compilation architecture:
+  every compiler is a :class:`CompilerPipeline` of ordered
+  :class:`Pass` stages (mapping, routing, optional verification,
+  metrics) with per-pass wall-time profiling;
+* :mod:`repro.registry` — the single compiler registry mapping
+  canonical names and aliases to pipeline factories;
+  :func:`register_compiler` plugs third-party backends into every
+  entry point (jobs, manifests, sweeps, CLI);
 * :mod:`repro.runtime` — the parallel batch-compilation engine:
   declarative :class:`CompileJob` specs, content-addressed schedule
   caching (in-memory LRU + on-disk), multiprocessing fan-out and the
@@ -90,6 +98,26 @@ from repro.noise import (
     OperationTimes,
     evaluate_schedule,
 )
+from repro.pipeline import (
+    CompilerPipeline,
+    InitialMappingPass,
+    MetricsPass,
+    Pass,
+    PassContext,
+    SchedulingPass,
+    VerifySchedulePass,
+)
+from repro.core.result import PassTiming
+from repro.registry import (
+    CompilerSpec,
+    available_compilers,
+    compiler_spec,
+    make_pipeline,
+    normalize_compiler_name,
+    register_compiler,
+    registered_names,
+    unregister_compiler,
+)
 from repro.runtime import (
     BatchCompiler,
     BatchResult,
@@ -100,7 +128,7 @@ from repro.runtime import (
 )
 from repro.schedule import Schedule, verify_schedule
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BatchCompiler",
@@ -108,6 +136,8 @@ __all__ = [
     "CircuitError",
     "CompilationResult",
     "CompileJob",
+    "CompilerPipeline",
+    "CompilerSpec",
     "DaiCompiler",
     "DependencyDAG",
     "DeviceError",
@@ -117,10 +147,15 @@ __all__ = [
     "GateImplementation",
     "GraphWeights",
     "HeatingParameters",
+    "InitialMappingPass",
     "MappingError",
+    "MetricsPass",
     "MuraliCompiler",
     "NoiseModelError",
     "OperationTimes",
+    "Pass",
+    "PassContext",
+    "PassTiming",
     "QCCDDevice",
     "QuantumCircuit",
     "ReproError",
@@ -130,16 +165,25 @@ __all__ = [
     "ScheduleCache",
     "SchedulerConfig",
     "SchedulingError",
+    "SchedulingPass",
     "SlotGraph",
     "StateError",
     "Trap",
+    "VerifySchedulePass",
     "__version__",
     "alternating_layered_ansatz",
+    "available_compilers",
     "bernstein_vazirani_circuit",
     "build_benchmark",
     "compile_circuit",
+    "compiler_spec",
     "cuccaro_adder_circuit",
     "evaluate_schedule",
+    "make_pipeline",
+    "normalize_compiler_name",
+    "register_compiler",
+    "registered_names",
+    "unregister_compiler",
     "ghz_circuit",
     "grid_device",
     "heisenberg_circuit",

@@ -19,9 +19,14 @@ from repro.hardware.device import QCCDDevice
 from repro.noise.evaluator import EvaluationResult
 from repro.noise.gate_times import GateImplementation
 from repro.noise.heating import HeatingParameters
+from repro.registry import normalize_compiler_name as normalize_compiler_name  # noqa: F401
 from repro.runtime.api import run_batch
 from repro.runtime.cache import ScheduleCache
 from repro.runtime.jobs import CompileJob, compile_job
+
+# Compiler-name resolution lives in :mod:`repro.registry`; the re-export
+# above is a deprecation shim for callers that used to resolve aliases
+# through this module.
 
 
 @dataclass(frozen=True)
@@ -66,11 +71,11 @@ def compile_with(
     ssync_config: SSyncConfig | None = None,
     initial_mapping: str | None = None,
 ) -> CompilationResult:
-    """Compile ``circuit`` with one of the known compilers by name.
+    """Compile ``circuit`` with any registered compiler by name.
 
-    The name dispatch (including aliases) lives in
-    :mod:`repro.runtime.jobs` so every entry point accepts the same
-    compiler names.
+    The name dispatch (including aliases) lives in :mod:`repro.registry`
+    so every entry point — including compilers added via
+    :func:`repro.registry.register_compiler` — accepts the same names.
     """
     return compile_job(
         CompileJob(

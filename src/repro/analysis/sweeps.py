@@ -27,6 +27,7 @@ from repro.exceptions import ReproError
 from repro.hardware.device import QCCDDevice
 from repro.hardware.presets import paper_device, paper_preset
 from repro.noise.gate_times import GateImplementation
+from repro.registry import normalize_compiler_name
 from repro.runtime.api import run_sweep
 from repro.runtime.cache import ScheduleCache
 from repro.runtime.jobs import CompileJob
@@ -389,15 +390,21 @@ def compile_time_jobs(
     compilers: Sequence[str] = ("murali", "s-sync"),
     ssync_config: SSyncConfig | None = None,
 ) -> list[CompileJob]:
-    """Build the Fig. 15 job list (one job per size × compiler)."""
+    """Build the Fig. 15 job list (one job per size × compiler).
+
+    Compiler names resolve through :mod:`repro.registry`, so aliases and
+    third-party backends work and unknown names fail before any
+    compilation starts.
+    """
     if not compilers:
         raise ReproError("compile_time_sweep needs at least one compiler")
+    names = [normalize_compiler_name(name) for name in compilers]
     jobs: list[CompileJob] = []
     for size in circuit_sizes:
         circuit = circuit_factory(size)
         if device.total_capacity <= circuit.num_qubits:
             continue
-        for name in compilers:
+        for name in names:
             jobs.append(
                 CompileJob(
                     circuit=circuit,

@@ -13,6 +13,12 @@ the routing primitives in :class:`BaselineRouter`:
   neighbouring trap with room;
 * ``shuttle`` — emit the split/move/merge record and update the state.
 
+Like S-SYNC, the baselines compile through the pass pipeline
+(:mod:`repro.pipeline`): :class:`BaselineMappingPass` runs the
+subclass's fixed initial mapping and :class:`BaselineRoutingPass` runs
+the greedy gate loop, so baseline results carry the same per-pass
+timings as every other compiler.
+
 Neither baseline reasons about the joint cost of SWAPs and shuttles —
 that co-optimization is exactly what S-SYNC adds — so both insert more
 of at least one of the two on most workloads.
@@ -20,8 +26,8 @@ of at least one of the two on most workloads.
 
 from __future__ import annotations
 
-import time
 from collections import defaultdict
+from typing import Any
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.gate import Gate
@@ -29,8 +35,74 @@ from repro.core.result import CompilationResult
 from repro.core.state import DeviceState
 from repro.exceptions import SchedulingError
 from repro.hardware.device import QCCDDevice
+from repro.pipeline import CompilerPipeline, MetricsPass, Pass, PassContext
 from repro.schedule.operations import GateOperation, ShuttleOperation, SwapOperation
 from repro.schedule.schedule import Schedule
+
+
+class BaselineMappingPass(Pass):
+    """Run a baseline's fixed initial mapping as the pipeline's first stage."""
+
+    name = "initial-mapping"
+
+    def __init__(self, router: "BaselineRouter") -> None:
+        self.router = router
+
+    def run(self, context: PassContext) -> None:
+        if context.requested_mapping is not None and context.state is None:
+            raise SchedulingError(
+                f"the {self.router.name!r} compiler brings its own initial mapping "
+                "and does not accept an initial_mapping argument"
+            )
+        if context.state is not None:  # caller-supplied starting occupancy
+            return
+        mapped = self.router.build_initial_state(context.circuit)
+        context.initial_state = mapped
+        context.state = mapped.copy()
+        context.mapping_name = f"{self.router.name}-default"
+
+    def statistics(self, context: PassContext) -> dict[str, Any]:
+        return {"mapping": context.mapping_name}
+
+
+class BaselineRoutingPass(Pass):
+    """The greedy in-order gate loop shared by both baselines."""
+
+    name = "routing"
+
+    def __init__(self, router: "BaselineRouter") -> None:
+        self.router = router
+
+    def run(self, context: PassContext) -> None:
+        router = self.router
+        circuit = context.circuit
+        state = context.require_state()
+        schedule = Schedule(router.device, circuit.name)
+        upcoming = router._upcoming_partners(circuit)
+        pending_1q, trailing_1q = router._partition_single_qubit_gates(circuit)
+
+        for index, gate in enumerate(circuit.gates):
+            if gate.is_single_qubit:
+                continue
+            if not gate.is_two_qubit:
+                continue
+            for single in pending_1q.pop(index, []):
+                router._emit_single_qubit_gate(schedule, state, single)
+            if not state.same_trap(*gate.qubits):
+                router.route_gate(schedule, state, gate, upcoming)
+            router._emit_two_qubit_gate(schedule, state, gate)
+            context.statistics.executed_two_qubit_gates += 1
+            router._consume_upcoming(upcoming, gate)
+        for single in trailing_1q:
+            router._emit_single_qubit_gate(schedule, state, single)
+
+        context.schedule = schedule
+        context.final_state = state
+
+    def statistics(self, context: PassContext) -> dict[str, Any]:
+        return {
+            "executed_two_qubit_gates": context.statistics.executed_two_qubit_gates,
+        }
 
 
 class BaselineRouter:
@@ -54,39 +126,21 @@ class BaselineRouter:
         """Bring the two operands of ``gate`` into one trap."""
         raise NotImplementedError
 
-    def compile(self, circuit: QuantumCircuit) -> CompilationResult:
-        """Compile ``circuit`` with this baseline's policy."""
-        start = time.perf_counter()
-        state = self.build_initial_state(circuit)
-        initial_state = state.copy()
-        schedule = Schedule(self.device, circuit.name)
-        upcoming = self._upcoming_partners(circuit)
-        pending_1q, trailing_1q = self._partition_single_qubit_gates(circuit)
-
-        for index, gate in enumerate(circuit.gates):
-            if gate.is_single_qubit:
-                continue
-            if not gate.is_two_qubit:
-                continue
-            for single in pending_1q.pop(index, []):
-                self._emit_single_qubit_gate(schedule, state, single)
-            if not state.same_trap(*gate.qubits):
-                self.route_gate(schedule, state, gate, upcoming)
-            self._emit_two_qubit_gate(schedule, state, gate)
-            self._consume_upcoming(upcoming, gate)
-        for single in trailing_1q:
-            self._emit_single_qubit_gate(schedule, state, single)
-
-        elapsed = time.perf_counter() - start
-        schedule.validate_against(circuit.num_two_qubit_gates)
-        return CompilationResult(
-            schedule=schedule,
-            initial_state=initial_state,
-            final_state=state,
-            compiler_name=self.name,
-            mapping_name=f"{self.name}-default",
-            compile_time_s=elapsed,
+    def pipeline(self) -> CompilerPipeline:
+        """The pass pipeline this baseline assembles."""
+        return CompilerPipeline(
+            self.name,
+            self.device,
+            (BaselineMappingPass(self), BaselineRoutingPass(self), MetricsPass()),
         )
+
+    def compile(
+        self,
+        circuit: QuantumCircuit,
+        initial_state: DeviceState | None = None,
+    ) -> CompilationResult:
+        """Compile ``circuit`` with this baseline's policy."""
+        return self.pipeline().compile(circuit, initial_state=initial_state)
 
     # ------------------------------------------------------------------
     # bookkeeping helpers
@@ -329,8 +383,7 @@ class BaselineRouter:
             if guard < 0:
                 raise SchedulingError(f"routing qubit {qubit} to trap {target_trap} did not converge")
             source = state.trap_of(qubit)
-            path = self.device.trap_path(source, target_trap)
-            next_trap = path[1]
+            next_trap = self.device.next_hop(source, target_trap)
             departing_end = state.facing_end(source, next_trap)
             min_free = reserve_at_target if next_trap == target_trap else 1
             # Free the destination first: an eviction may merge an ion into

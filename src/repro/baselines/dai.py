@@ -96,8 +96,7 @@ class DaiCompiler(BaselineRouter):
         """Estimated cost of moving ``qubit`` into ``partner``'s trap."""
         source = state.trap_of(qubit)
         target = state.trap_of(partner)
-        path = state.device.trap_path(source, target)
-        departing_end = state.facing_end(source, path[1])
+        departing_end = state.facing_end(source, state.device.next_hop(source, target))
         edge_distance = state.distance_to_end(qubit, departing_end)
         hop_cost = state.device.trap_distance(source, target)
         # Leaving behind qubits it will soon interact with is penalised.

@@ -1,15 +1,20 @@
 """Command-line interface for the S-SYNC reproduction.
 
-Three subcommands cover the common workflows without writing Python:
+Five subcommands cover the common workflows without writing Python:
 
 ``compile``
     Compile a circuit (a named Table-2 benchmark or an OpenQASM 2.0 file)
-    onto a device preset, print the shuttle/SWAP/success-rate summary and
+    onto a device preset with any registered compiler, print the
+    shuttle/SWAP/success-rate summary (plus per-pass timings) and
     optionally write the compiled schedule as JSON.
 
 ``compare``
     Run S-SYNC and the baseline compilers on the same workload and print
     a comparison table (the Fig. 8–10 view for one workload).
+
+``compilers``
+    List every compiler in the registry (canonical names, aliases,
+    pipeline passes).
 
 ``evaluate``
     Re-evaluate a previously saved schedule JSON under a chosen gate
@@ -23,8 +28,10 @@ Three subcommands cover the common workflows without writing Python:
 Examples::
 
     python -m repro compile qft_24 --device G-2x3 --mapping gathering
+    python -m repro compile bv_64 --device G-2x3 --compiler dai
     python -m repro compile my_circuit.qasm --device L-6 --output schedule.json
     python -m repro compare bv_64 --device G-2x3 --output records.csv
+    python -m repro compilers
     python -m repro evaluate schedule.json --gate-implementation am2
     python -m repro batch manifest.json --workers 4 --cache-dir .repro-cache \
         --output results.json
@@ -42,16 +49,16 @@ from repro.analysis.reporting import format_table, write_records
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.library import build_benchmark
 from repro.circuit.qasm import qasm_to_circuit
-from repro.core.compiler import SSyncCompiler, SSyncConfig
+from repro.core.compiler import SSyncConfig
 from repro.core.scheduler import SchedulerConfig
 from repro.exceptions import ReproError
 from repro.hardware.presets import paper_device, preset_names
 from repro.noise.evaluator import evaluate_schedule
+from repro.registry import available_compilers, compiler_spec, make_pipeline
 from repro.runtime.api import run_batch
 from repro.runtime.cache import ScheduleCache
 from repro.runtime.manifest import load_manifest
 from repro.schedule.serialize import schedule_from_json, schedule_to_json
-from repro.schedule.verify import verify_schedule
 
 
 def _load_circuit(spec: str) -> QuantumCircuit:
@@ -105,16 +112,24 @@ def _build_parser() -> argparse.ArgumentParser:
             help="two-qubit gate timing model used for evaluation",
         )
 
-    compile_parser = sub.add_parser("compile", help="compile one circuit with S-SYNC")
+    compile_parser = sub.add_parser("compile", help="compile one circuit with any registered compiler")
     add_common(compile_parser)
     compile_parser.add_argument(
-        "--mapping",
-        default="gathering",
-        choices=("gathering", "even-divided", "sta"),
-        help="first-level initial mapping strategy",
+        "--compiler",
+        default="s-sync",
+        help="registered compiler name or alias (see 'repro compilers')",
     )
     compile_parser.add_argument(
-        "--lookahead", type=int, default=4, help="heuristic lookahead depth (0 = paper-faithful)"
+        "--mapping",
+        default=None,
+        choices=("gathering", "even-divided", "sta"),
+        help="first-level initial mapping strategy (S-SYNC only; default: gathering)",
+    )
+    compile_parser.add_argument(
+        "--lookahead",
+        type=int,
+        default=None,
+        help="heuristic lookahead depth (S-SYNC only; 0 = paper-faithful, default: 4)",
     )
     compile_parser.add_argument(
         "--output", type=Path, default=None, help="write the compiled schedule to this JSON file"
@@ -163,6 +178,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="output file format (default: inferred from the --output suffix)",
     )
 
+    sub.add_parser("compilers", help="list the registered compilers and their pipelines")
+
     evaluate_parser = sub.add_parser("evaluate", help="re-evaluate a saved schedule JSON")
     evaluate_parser.add_argument("schedule", type=Path, help="path to a schedule JSON file")
     evaluate_parser.add_argument(
@@ -177,16 +194,29 @@ def _build_parser() -> argparse.ArgumentParser:
 def _command_compile(args: argparse.Namespace) -> int:
     circuit = _load_circuit(args.circuit)
     device = _load_device(args.device, args.capacity)
-    config = SSyncConfig(scheduler=SchedulerConfig(lookahead_depth=args.lookahead))
-    result = SSyncCompiler(device, config).compile(circuit, initial_mapping=args.mapping)
-    if not args.skip_verify:
-        verify_schedule(result.schedule, result.initial_state, circuit=circuit)
+    spec = compiler_spec(args.compiler)
+    if args.mapping is not None and not spec.accepts_mapping:
+        raise ReproError(
+            f"compiler {spec.name!r} brings its own initial mapping; --mapping only "
+            "applies to compilers with pluggable mappings (e.g. s-sync)"
+        )
+    if args.lookahead is not None and not spec.accepts_config:
+        raise ReproError(
+            f"compiler {spec.name!r} takes no scheduler configuration; --lookahead "
+            "only applies to compilers that accept one (e.g. s-sync)"
+        )
+    lookahead = args.lookahead if args.lookahead is not None else 4
+    config = SSyncConfig(scheduler=SchedulerConfig(lookahead_depth=lookahead))
+    pipeline = make_pipeline(spec.name, device, config=config, verify=not args.skip_verify)
+    result = pipeline.compile(
+        circuit, initial_mapping=args.mapping if spec.accepts_mapping else None
+    )
     evaluation = evaluate_schedule(result.schedule, gate_implementation=args.gate_implementation)
     rows = [
         {
             "circuit": circuit.name,
             "device": device.name,
-            "mapping": args.mapping,
+            "mapping": result.mapping_name or "-",
             "2q_gates": result.two_qubit_gate_count,
             "shuttles": result.shuttle_count,
             "swaps": result.swap_count,
@@ -195,10 +225,32 @@ def _command_compile(args: argparse.Namespace) -> int:
             "compile_time_s": result.compile_time_s,
         }
     ]
-    print(format_table(rows, title="S-SYNC compilation summary"))
+    print(format_table(rows, title=f"{spec.name.upper()} compilation summary"))
+    print(
+        "passes: "
+        + "  ".join(f"{t.name}={t.wall_time_s:.4f}s" for t in result.pass_timings)
+    )
     if args.output is not None:
         args.output.write_text(schedule_to_json(result.schedule, indent=2))
         print(f"schedule written to {args.output}")
+    return 0
+
+
+def _command_compilers(args: argparse.Namespace) -> int:
+    device = paper_device("G-2x2")  # a representative device to materialise pipelines
+    rows = []
+    for spec in available_compilers():
+        pipeline = make_pipeline(spec.name, device)
+        rows.append(
+            {
+                "name": spec.name,
+                "aliases": ", ".join(spec.aliases) or "-",
+                "passes": " -> ".join(pipeline.pass_names()),
+                "mapping": spec.default_mapping or "built-in",
+                "description": spec.description,
+            }
+        )
+    print(format_table(rows, title="registered compilers"))
     return 0
 
 
@@ -298,6 +350,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "compile": _command_compile,
         "compare": _command_compare,
+        "compilers": _command_compilers,
         "evaluate": _command_evaluate,
         "batch": _command_batch,
     }

@@ -9,17 +9,20 @@ Typical use::
     result = compiler.compile(qft_circuit(16), initial_mapping="gathering")
     print(result.shuttle_count, result.swap_count)
 
-The compiler wires together the initial mapping (§3.4), the generic-swap
-scheduler (§3.2–3.3) and the result container, and measures compile
-time.  Evaluation (success rate, execution time) is a separate step via
-:func:`repro.noise.evaluate_schedule`, so one compiled schedule can be
-scored under several gate implementations or heating assumptions.
+The compiler is a thin assembly over the pass pipeline
+(:mod:`repro.pipeline`): an
+:class:`~repro.pipeline.InitialMappingPass` carrying the config's
+mapping knobs (§3.4), a :class:`~repro.pipeline.SchedulingPass` wrapping
+the generic-swap scheduler (§3.2–3.3) and a
+:class:`~repro.pipeline.MetricsPass`.  The pipeline measures per-pass
+wall time and assembles the result.  Evaluation (success rate, execution
+time) is a separate step via :func:`repro.noise.evaluate_schedule`, so
+one compiled schedule can be scored under several gate implementations
+or heating assumptions.
 """
 
 from __future__ import annotations
 
-import time
-import warnings
 from dataclasses import dataclass, field, replace
 
 from repro.circuit.circuit import QuantumCircuit
@@ -30,6 +33,7 @@ from repro.core.state import DeviceState
 from repro.exceptions import SchedulingError
 from repro.hardware.device import QCCDDevice
 from repro.hardware.graph import GraphWeights
+from repro.pipeline import CompilerPipeline, InitialMappingPass, MetricsPass, SchedulingPass
 
 
 @dataclass(frozen=True)
@@ -68,6 +72,22 @@ class SSyncCompiler:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
+    def pipeline(self) -> CompilerPipeline:
+        """The pass pipeline this compiler assembles.
+
+        Mapping resolution, routing and metrics — callers can extend it
+        (e.g. ``.with_verification()``) before compiling.
+        """
+        return CompilerPipeline(
+            self.name,
+            self.device,
+            (
+                InitialMappingPass(self._resolve_mapper),
+                SchedulingPass(self._scheduler),
+                MetricsPass(),
+            ),
+        )
+
     def build_initial_state(
         self, circuit: QuantumCircuit, initial_mapping: "str | InitialMapper | None" = None
     ) -> DeviceState:
@@ -98,37 +118,8 @@ class SSyncCompiler:
             emitted, and the result records the named mapping it was
             asked for rather than silently reporting ``"custom"``.
         """
-        start = time.perf_counter()
-        if initial_state is not None:
-            state = initial_state.copy()
-            if initial_mapping is not None:
-                mapping_name = (
-                    initial_mapping.name
-                    if isinstance(initial_mapping, InitialMapper)
-                    else str(initial_mapping)
-                )
-                warnings.warn(
-                    f"both initial_mapping={mapping_name!r} and initial_state were "
-                    "supplied; the explicit initial_state takes precedence and the "
-                    "mapper is not run",
-                    stacklevel=2,
-                )
-            else:
-                mapping_name = "custom"
-        else:
-            mapper = self._resolve_mapper(initial_mapping)
-            state = mapper.map(circuit, self.device)
-            mapping_name = mapper.name
-        schedule, final_state, statistics = self._scheduler.run(circuit, state)
-        elapsed = time.perf_counter() - start
-        return CompilationResult(
-            schedule=schedule,
-            initial_state=state,
-            final_state=final_state,
-            compiler_name=self.name,
-            mapping_name=mapping_name,
-            compile_time_s=elapsed,
-            statistics=statistics,
+        return self.pipeline().compile(
+            circuit, initial_mapping=initial_mapping, initial_state=initial_state
         )
 
     # ------------------------------------------------------------------

@@ -128,8 +128,7 @@ class GenericSwapRules:
         source_trap = state.trap_of(qubit)
         if source_trap == goal_trap:
             return []
-        path = device.trap_path(source_trap, goal_trap)
-        next_trap = path[1]
+        next_trap = device.next_hop(source_trap, goal_trap)
         departing_end = state.facing_end(source_trap, next_trap)
         candidates: list[GenericSwap] = []
 

@@ -92,9 +92,10 @@ class HeuristicCost:
         if trap_a == trap_b:
             return inner * (state.ion_separation(qubit_a, qubit_b) + 1)
         device = state.device
-        path = device.trap_path(trap_a, trap_b)
-        end_a = state.facing_end(trap_a, path[1])
-        end_b = state.facing_end(trap_b, path[-2])
+        # next_hop/penultimate_hop read the precomputed shortest-path
+        # matrices — no path-list construction in this innermost loop.
+        end_a = state.facing_end(trap_a, device.next_hop(trap_a, trap_b))
+        end_b = state.facing_end(trap_b, device.penultimate_hop(trap_a, trap_b))
         edge_cost = inner * (state.distance_to_end(qubit_a, end_a) + state.distance_to_end(qubit_b, end_b))
         shuttle_cost = self.weights.shuttle_weight * device.trap_distance(trap_a, trap_b)
         return edge_cost + shuttle_cost

@@ -2,11 +2,49 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping
 
 from repro.core.scheduler import SchedulerStatistics
 from repro.core.state import DeviceState
 from repro.schedule.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class PassTiming:
+    """Wall-time and statistics of one pipeline pass.
+
+    Attributes
+    ----------
+    name:
+        The pass name (``"initial-mapping"``, ``"routing"``, ...).
+    wall_time_s:
+        Wall-clock seconds the pass spent in :meth:`Pass.run`.
+    statistics:
+        Pass-specific counters reported via :meth:`Pass.statistics`
+        (plain JSON-serialisable values only).
+    """
+
+    name: str
+    wall_time_s: float
+    statistics: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat plain-data form for serialisation."""
+        return {
+            "name": self.name,
+            "wall_time_s": self.wall_time_s,
+            "statistics": dict(self.statistics),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PassTiming":
+        """Rebuild a timing from :meth:`as_dict` output."""
+        return cls(
+            name=str(data["name"]),
+            wall_time_s=float(data["wall_time_s"]),
+            statistics=dict(data.get("statistics", {})),
+        )
 
 
 @dataclass(frozen=True)
@@ -23,14 +61,19 @@ class CompilationResult:
         Qubit placement after the last operation.
     compiler_name:
         Which compiler produced this result (``"s-sync"``, ``"murali"``,
-        ``"dai"``).
+        ``"dai"``, or any name registered via
+        :func:`repro.registry.register_compiler`).
     mapping_name:
         Which first-level initial mapping was used.
     compile_time_s:
         Wall-clock compilation time in seconds.
     statistics:
-        Scheduler-internal counters (S-SYNC only; baselines leave the
-        defaults).
+        Scheduler-internal counters (the S-SYNC search counters; baseline
+        pipelines fill the executed-gate count and leave the rest at 0).
+    pass_timings:
+        Per-pass wall time and statistics recorded by the
+        :class:`~repro.pipeline.CompilerPipeline` that produced this
+        result (empty for results built outside a pipeline).
     """
 
     schedule: Schedule
@@ -40,6 +83,7 @@ class CompilationResult:
     mapping_name: str
     compile_time_s: float
     statistics: SchedulerStatistics = field(default_factory=SchedulerStatistics)
+    pass_timings: tuple[PassTiming, ...] = ()
 
     # Convenience pass-throughs for the paper's headline metrics.
     @property
@@ -57,6 +101,10 @@ class CompilationResult:
         """Number of program two-qubit gates executed."""
         return self.schedule.two_qubit_gate_count
 
+    def statistics_dict(self) -> dict[str, int]:
+        """The scheduler statistics as a plain dictionary."""
+        return asdict(self.statistics)
+
     def summary(self) -> dict[str, object]:
         """A flat dictionary for tabular reporting."""
         return {
@@ -69,3 +117,16 @@ class CompilationResult:
             "two_qubit_gates": self.two_qubit_gate_count,
             "compile_time_s": self.compile_time_s,
         }
+
+    def as_dict(self) -> dict[str, object]:
+        """Full flat record: summary plus statistics and per-pass timings.
+
+        This is the shape the JSON/CSV export helpers in
+        :mod:`repro.analysis.reporting` pick up (they call ``as_dict()``
+        on any record), so scheduler statistics and pipeline timings
+        survive into exported result files.
+        """
+        row = self.summary()
+        row.update(self.statistics_dict())
+        row["pass_timings"] = [timing.as_dict() for timing in self.pass_timings]
+        return row

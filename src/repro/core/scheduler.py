@@ -304,8 +304,7 @@ class GenericSwapScheduler:
                 )
             source = state.trap_of(qubit_a)
             target = state.trap_of(qubit_b)
-            path = self.device.trap_path(source, target)
-            next_trap = path[1]
+            next_trap = self.device.next_hop(source, target)
             departing_end = state.facing_end(source, next_trap)
             # Free the destination before positioning the qubit: an eviction
             # may merge an ion into this trap's departing end and displace it.

@@ -5,6 +5,15 @@ against.  Besides holding the traps and shuttle paths it precomputes the
 all-pairs trap-level shortest paths under the paper's shuttle weights
 (``junctions + 1`` per hop), which both the heuristic cost function and
 the baselines use constantly.
+
+The all-pairs results are flattened into dense matrices at construction
+time — a distance matrix plus first-hop (:meth:`next_hop`) and last-hop
+(:meth:`penultimate_hop`) matrices derived from the *same* Dijkstra run
+— so the scheduler's innermost loops (the heuristic's ``pair_distance``
+and the stall force-route) are plain list indexing instead of graph
+queries and path-list copies.  Because the hop matrices are read off the
+stored shortest paths, routing decisions are bit-for-bit identical to
+walking the full paths.
 """
 
 from __future__ import annotations
@@ -77,12 +86,26 @@ class QCCDDevice:
         if len(self._traps) > 1 and not nx.is_connected(self._graph):
             raise DeviceError("the trap connectivity graph must be connected")
 
-        self._distances: dict[int, dict[int, float]] = dict(
+        distances: dict[int, dict[int, float]] = dict(
             nx.all_pairs_dijkstra_path_length(self._graph, weight="weight")
         )
         self._paths: dict[int, dict[int, list[int]]] = dict(
             nx.all_pairs_dijkstra_path(self._graph, weight="weight")
         )
+        # Dense all-pairs matrices for the hot paths.  The hop matrices
+        # are read off the stored shortest paths (path[1] / path[-2]), so
+        # they agree with trap_path() on every tie-break; -1 marks the
+        # diagonal (no hop needed).
+        n = len(self._traps)
+        self._distance_matrix: list[list[float]] = [
+            [distances[a][b] for b in range(n)] for a in range(n)
+        ]
+        self._next_hop: list[list[int]] = [
+            [self._paths[a][b][1] if a != b else -1 for b in range(n)] for a in range(n)
+        ]
+        self._penultimate_hop: list[list[int]] = [
+            [self._paths[a][b][-2] if a != b else -1 for b in range(n)] for a in range(n)
+        ]
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -145,13 +168,45 @@ class QCCDDevice:
         """Shortest-path shuttle weight between two traps (0 if equal)."""
         self.trap(trap_a)
         self.trap(trap_b)
-        return self._distances[trap_a][trap_b]
+        return self._distance_matrix[trap_a][trap_b]
 
     def trap_path(self, trap_a: int, trap_b: int) -> list[int]:
         """Trap ids along the cheapest shuttle route, endpoints included."""
         self.trap(trap_a)
         self.trap(trap_b)
         return list(self._paths[trap_a][trap_b])
+
+    def next_hop(self, trap_a: int, trap_b: int) -> int:
+        """First trap after ``trap_a`` on the cheapest route to ``trap_b``.
+
+        Equivalent to ``trap_path(trap_a, trap_b)[1]`` without building
+        the path list; raises :class:`DeviceError` when the traps are
+        equal (there is no hop to take).
+        """
+        self.trap(trap_a)
+        self.trap(trap_b)
+        hop = self._next_hop[trap_a][trap_b]
+        if hop < 0:
+            raise DeviceError(f"trap {trap_a} routes to itself; there is no next hop")
+        return hop
+
+    def penultimate_hop(self, trap_a: int, trap_b: int) -> int:
+        """Last trap before ``trap_b`` on the cheapest route from ``trap_a``.
+
+        Equivalent to ``trap_path(trap_a, trap_b)[-2]`` without building
+        the path list.
+        """
+        self.trap(trap_a)
+        self.trap(trap_b)
+        hop = self._penultimate_hop[trap_a][trap_b]
+        if hop < 0:
+            raise DeviceError(f"trap {trap_a} routes to itself; there is no penultimate hop")
+        return hop
+
+    @property
+    def distance_matrix(self) -> list[list[float]]:
+        """The all-pairs shuttle-weight matrix (a copy; mutations are safe)."""
+        return [row[:] for row in self._distance_matrix]
 
     def path_connections(self, trap_a: int, trap_b: int) -> list[Connection]:
         """Connections traversed along the cheapest route between two traps."""
@@ -168,9 +223,7 @@ class QCCDDevice:
 
     def max_trap_distance(self) -> float:
         """Diameter of the trap graph under shuttle weights."""
-        return max(
-            self._distances[a][b] for a in self._traps for b in self._traps
-        )
+        return max(max(row) for row in self._distance_matrix)
 
     # ------------------------------------------------------------------
     # misc

@@ -1,0 +1,253 @@
+"""The single compiler registry: one name resolution for every entry point.
+
+Before this module existed, compiler-name dispatch was duplicated — the
+batch runtime, the comparison metrics and the CLI each kept their own
+alias table.  Now a compiler name means the same thing everywhere: the
+registry maps canonical names and their aliases (``"s-sync"``/``"ssync"``/
+``"this work"``, ``"murali"``, ``"dai"``) to *pipeline factories*, and
+:func:`make_pipeline` hands back a ready
+:class:`~repro.pipeline.CompilerPipeline` for a device.
+
+Third-party backends plug in through :func:`register_compiler`::
+
+    from repro.pipeline import CompilerPipeline, MetricsPass
+    from repro.registry import register_compiler
+
+    def my_factory(device, config=None):
+        return CompilerPipeline("my-router", device, [MyMappingPass(), MyRoutingPass(), MetricsPass()])
+
+    register_compiler("my-router", my_factory, aliases=("mine",),
+                      description="my custom QCCD router")
+
+After registration the new name works in :class:`CompileJob` specs, batch
+manifests, sweeps, ``compare_compilers`` and the ``repro`` CLI exactly
+like the built-in compilers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import ReproError
+from repro.hardware.device import QCCDDevice
+from repro.pipeline import CompilerPipeline
+
+#: A pipeline factory: ``factory(device, config=None) -> CompilerPipeline``.
+PipelineFactory = Callable[..., CompilerPipeline]
+
+
+@dataclass(frozen=True)
+class CompilerSpec:
+    """One registered compiler: canonical name, aliases and its factory.
+
+    Attributes
+    ----------
+    name:
+        Canonical lower-case name used in records and fingerprints.
+    factory:
+        ``factory(device, config=None)`` returning a
+        :class:`~repro.pipeline.CompilerPipeline` for that device.
+    aliases:
+        Additional accepted spellings (lower-cased on registration).
+    description:
+        One-line human-readable summary for CLI listings.
+    accepts_mapping:
+        Whether the compiler takes a first-level ``initial_mapping``
+        argument (S-SYNC does; the greedy baselines bring their own
+        fixed mapping).
+    accepts_config:
+        Whether the compiler consumes an
+        :class:`~repro.core.compiler.SSyncConfig` (controls whether the
+        config participates in job fingerprints).
+    builtin:
+        True for the compilers this package registers at import time.
+        Built-ins exist in every freshly spawned interpreter; runtime
+        registrations do not, which the batch pool accounts for on
+        platforms without ``fork``.
+    """
+
+    name: str
+    factory: PipelineFactory
+    aliases: tuple[str, ...] = ()
+    description: str = ""
+    accepts_mapping: bool = False
+    accepts_config: bool = False
+    default_mapping: str = ""
+    builtin: bool = False
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def all_names(self) -> tuple[str, ...]:
+        """Canonical name followed by every alias."""
+        return (self.name, *self.aliases)
+
+
+_REGISTRY: dict[str, CompilerSpec] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_compiler(
+    name: str,
+    factory: PipelineFactory,
+    aliases: tuple[str, ...] | list[str] = (),
+    description: str = "",
+    accepts_mapping: bool = False,
+    accepts_config: bool = False,
+    default_mapping: str = "",
+    overwrite: bool = False,
+    _builtin: bool = False,
+) -> CompilerSpec:
+    """Register a compiler backend under ``name`` (plus ``aliases``).
+
+    Names and aliases are case-insensitive.  Registering a name or alias
+    that is already taken raises :class:`ReproError` unless
+    ``overwrite=True`` re-registers the canonical name (aliases may not
+    collide across compilers even then).  Returns the stored spec.
+    """
+    canonical = name.lower().strip()
+    if not canonical:
+        raise ReproError("a compiler name cannot be empty")
+    spec = CompilerSpec(
+        name=canonical,
+        factory=factory,
+        aliases=tuple(sorted({a.lower().strip() for a in aliases} - {canonical})),
+        description=description,
+        accepts_mapping=accepts_mapping,
+        accepts_config=accepts_config,
+        default_mapping=default_mapping,
+        builtin=_builtin,
+    )
+    if canonical in _REGISTRY and not overwrite:
+        raise ReproError(
+            f"a compiler named {canonical!r} is already registered "
+            "(pass overwrite=True to replace it)"
+        )
+    if canonical in _ALIASES and _ALIASES[canonical] != canonical:
+        raise ReproError(
+            f"{canonical!r} is already an alias of compiler {_ALIASES[canonical]!r}"
+        )
+    for alias in spec.aliases:
+        owner = _ALIASES.get(alias)
+        if owner is not None and owner != canonical:
+            raise ReproError(f"alias {alias!r} is already taken by compiler {owner!r}")
+        if alias in _REGISTRY:
+            raise ReproError(f"alias {alias!r} collides with a registered compiler name")
+    if canonical in _REGISTRY and overwrite:
+        _unlink_aliases(canonical)
+    _REGISTRY[canonical] = spec
+    _ALIASES[canonical] = canonical
+    for alias in spec.aliases:
+        _ALIASES[alias] = canonical
+    return spec
+
+
+def unregister_compiler(name: str) -> None:
+    """Remove a registered compiler and its aliases (for tests/plugins)."""
+    canonical = _ALIASES.get(name.lower().strip())
+    if canonical is None or canonical not in _REGISTRY:
+        raise ReproError(f"unknown compiler {name!r}")
+    _unlink_aliases(canonical)
+    del _REGISTRY[canonical]
+
+
+def _unlink_aliases(canonical: str) -> None:
+    for alias in list(_ALIASES):
+        if _ALIASES[alias] == canonical:
+            del _ALIASES[alias]
+
+
+def normalize_compiler_name(name: str) -> str:
+    """Map a compiler name or alias onto its canonical registered name.
+
+    This is the one name-resolution used by jobs, manifests, sweeps,
+    metrics and the CLI.  Raises :class:`ReproError` for unknown names,
+    listing what is available.
+    """
+    canonical = _ALIASES.get(name.lower().strip())
+    if canonical is None:
+        raise ReproError(
+            f"unknown compiler {name!r} (registered: {', '.join(registered_names())})"
+        )
+    return canonical
+
+
+def compiler_spec(name: str) -> CompilerSpec:
+    """The :class:`CompilerSpec` for a name or alias."""
+    return _REGISTRY[normalize_compiler_name(name)]
+
+
+def registered_names() -> tuple[str, ...]:
+    """All canonical compiler names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def available_compilers() -> tuple[CompilerSpec, ...]:
+    """All registered compiler specs, sorted by canonical name."""
+    return tuple(_REGISTRY[name] for name in registered_names())
+
+
+def make_pipeline(
+    name: str,
+    device: QCCDDevice,
+    config: Any = None,
+    verify: bool = False,
+) -> CompilerPipeline:
+    """Build the pipeline for compiler ``name`` on ``device``.
+
+    ``config`` is forwarded to the factory only when the compiler accepts
+    one; ``verify=True`` inserts a
+    :class:`~repro.pipeline.VerifySchedulePass` before the metrics stage.
+    """
+    spec = compiler_spec(name)
+    pipeline = spec.factory(device, config=config) if spec.accepts_config else spec.factory(device)
+    if verify:
+        pipeline = pipeline.with_verification()
+    return pipeline
+
+
+# ----------------------------------------------------------------------
+# built-in compilers
+# ----------------------------------------------------------------------
+def _register_builtin_compilers() -> None:
+    """Register S-SYNC and the paper's baselines (idempotent)."""
+    from repro.baselines.dai import DaiCompiler
+    from repro.baselines.murali import MuraliCompiler
+    from repro.core.compiler import SSyncCompiler, SSyncConfig
+
+    if "s-sync" in _REGISTRY:
+        return
+
+    def ssync_factory(device: QCCDDevice, config: "SSyncConfig | None" = None) -> CompilerPipeline:
+        return SSyncCompiler(device, config).pipeline()
+
+    def murali_factory(device: QCCDDevice) -> CompilerPipeline:
+        return MuraliCompiler(device).pipeline()
+
+    def dai_factory(device: QCCDDevice) -> CompilerPipeline:
+        return DaiCompiler(device).pipeline()
+
+    register_compiler(
+        "s-sync",
+        ssync_factory,
+        aliases=("ssync", "this work"),
+        description="shuttle/SWAP co-optimizing compiler (this paper)",
+        accepts_mapping=True,
+        accepts_config=True,
+        default_mapping="gathering",
+        _builtin=True,
+    )
+    register_compiler(
+        "murali",
+        murali_factory,
+        description="greedy first-use mapping + step-wise SWAP routing (ISCA'20)",
+        _builtin=True,
+    )
+    register_compiler(
+        "dai",
+        dai_factory,
+        description="lookahead greedy router with interaction-aware mapping (TQE'24)",
+        _builtin=True,
+    )
+
+
+_register_builtin_compilers()

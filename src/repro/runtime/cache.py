@@ -28,8 +28,9 @@ from repro.exceptions import ReproError
 from repro.schedule.schedule import Schedule
 from repro.schedule.serialize import schedule_from_dict, schedule_to_dict
 
-#: Format marker stored in every on-disk cache entry.
-CACHE_FORMAT_VERSION = 1
+#: Format marker stored in every on-disk cache entry.  Version 2 added the
+#: scheduler statistics and per-pass timings alongside the schedule.
+CACHE_FORMAT_VERSION = 2
 
 
 @dataclass
@@ -59,12 +60,20 @@ class CacheStats:
 
 @dataclass(frozen=True)
 class CachedCompilation:
-    """One cached compilation: compile metadata plus the schedule as data."""
+    """One cached compilation: compile metadata plus the schedule as data.
+
+    ``statistics`` (the deterministic scheduler counters) and
+    ``pass_timings`` (the pipeline's per-pass profile) travel with the
+    schedule, so a cache hit replays the original compilation's full
+    provenance — not just its operation log.
+    """
 
     compiler_name: str
     mapping_name: str
     compile_time_s: float
     schedule_data: dict[str, Any]
+    statistics: dict[str, int] = field(default_factory=dict)
+    pass_timings: tuple[dict[str, Any], ...] = ()
 
     def schedule(self) -> Schedule:
         """Rebuild the live schedule object from the stored data."""
@@ -78,6 +87,8 @@ class CachedCompilation:
             "mapping_name": self.mapping_name,
             "compile_time_s": self.compile_time_s,
             "schedule": self.schedule_data,
+            "statistics": dict(self.statistics),
+            "pass_timings": [dict(t) for t in self.pass_timings],
         }
 
     @classmethod
@@ -95,6 +106,8 @@ class CachedCompilation:
                 mapping_name=data["mapping_name"],
                 compile_time_s=data["compile_time_s"],
                 schedule_data=data["schedule"],
+                statistics=dict(data.get("statistics", {})),
+                pass_timings=tuple(dict(t) for t in data.get("pass_timings", ())),
             )
         except KeyError as exc:
             raise ReproError(f"cache entry is missing the {exc.args[0]!r} field") from exc
@@ -107,6 +120,8 @@ class CachedCompilation:
             mapping_name=result.mapping_name,
             compile_time_s=result.compile_time_s,
             schedule_data=schedule_to_dict(result.schedule),
+            statistics=result.statistics_dict(),
+            pass_timings=tuple(t.as_dict() for t in result.pass_timings),
         )
 
 
@@ -152,10 +167,11 @@ class ScheduleCache:
         path = self._disk_path_if_present(fingerprint)
         if path is not None:
             entry = self._read_disk_entry(path)
-            self._insert(fingerprint, entry)
-            self.stats.hits += 1
-            self.stats.disk_hits += 1
-            return entry
+            if entry is not None:
+                self._insert(fingerprint, entry)
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                return entry
         self.stats.misses += 1
         return None
 
@@ -202,9 +218,14 @@ class ScheduleCache:
         return path if path.exists() else None
 
     @staticmethod
-    def _read_disk_entry(path: Path) -> CachedCompilation:
+    def _read_disk_entry(path: Path) -> CachedCompilation | None:
         try:
             data = json.loads(path.read_text())
         except json.JSONDecodeError as exc:
             raise ReproError(f"corrupt cache entry {path}: {exc}") from exc
+        # An entry written by an older (or newer) library version is a
+        # cache miss, not an error: the caller recompiles and overwrites
+        # it with the current format.
+        if data.get("format_version") != CACHE_FORMAT_VERSION:
+            return None
         return CachedCompilation.from_dict(data)

@@ -28,20 +28,22 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Any
 
-from repro.baselines import DaiCompiler, MuraliCompiler
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.library import build_benchmark
-from repro.core.compiler import SSyncCompiler, SSyncConfig
+from repro.core.compiler import SSyncConfig
 from repro.core.result import CompilationResult
 from repro.exceptions import ReproError
 from repro.hardware.device import QCCDDevice
 from repro.hardware.presets import paper_device
 from repro.noise.gate_times import GateImplementation
 from repro.noise.heating import HeatingParameters
+from repro.registry import compiler_spec, make_pipeline
+from repro.registry import normalize_compiler_name as normalize_compiler_name  # noqa: F401
 from repro.schedule.serialize import device_to_dict
 
-#: Aliases accepted for the S-SYNC compiler (mirrors analysis.metrics).
-_SSYNC_ALIASES = frozenset({"s-sync", "ssync", "this work"})
+# ``normalize_compiler_name`` used to live here; it moved to
+# :mod:`repro.registry` so every entry point shares one alias table.  The
+# re-export above is a deprecation shim — import it from repro.registry.
 
 
 def _digest(payload: Any) -> str:
@@ -70,16 +72,6 @@ def device_fingerprint(device: QCCDDevice) -> str:
 def config_fingerprint(config: SSyncConfig | None) -> str:
     """Fingerprint of an :class:`SSyncConfig` (``None`` means the defaults)."""
     return _digest(asdict(config or SSyncConfig()))
-
-
-def normalize_compiler_name(name: str) -> str:
-    """Map compiler aliases onto the canonical names used in records."""
-    key = name.lower()
-    if key in _SSYNC_ALIASES:
-        return "s-sync"
-    if key in {"murali", "dai"}:
-        return key
-    raise ReproError(f"unknown compiler {name!r}")
 
 
 @dataclass(frozen=True)
@@ -128,12 +120,16 @@ class CompileJob:
         return paper_device(self.device, self.capacity)
 
     def resolved_compiler(self) -> str:
-        """Canonical compiler name (validates the alias)."""
+        """Canonical compiler name (validates the alias via the registry)."""
         return normalize_compiler_name(self.compiler)
 
     def resolved_mapping(self) -> str:
-        """The first-level mapping this job will use, as recorded."""
-        if self.resolved_compiler() != "s-sync":
+        """The first-level mapping this job will use, as recorded.
+
+        Compilers that bring their own fixed mapping (per their registry
+        spec) record the empty string.
+        """
+        if not compiler_spec(self.compiler).accepts_mapping:
             return ""
         if self.initial_mapping is not None:
             return self.initial_mapping
@@ -155,14 +151,15 @@ class CompileJob:
         cached = self.__dict__.get("_compile_key")
         if cached is not None:
             return cached
-        compiler = self.resolved_compiler()
+        spec = compiler_spec(self.compiler)
         key: dict[str, Any] = {
             "circuit": circuit_fingerprint(self.resolve_circuit()),
             "device": device_fingerprint(self.resolve_device()),
-            "compiler": compiler,
+            "compiler": spec.name,
         }
-        if compiler == "s-sync":
+        if spec.accepts_mapping:
             key["mapping"] = self.resolved_mapping()
+        if spec.accepts_config:
             key["config"] = asdict(self.config or SSyncConfig())
         object.__setattr__(self, "_compile_key", key)
         return key
@@ -209,16 +206,20 @@ class CompileJob:
 def compile_job(job: CompileJob) -> CompilationResult:
     """Execute the compilation stage of ``job`` (no evaluation).
 
-    This is the function worker processes run; it deliberately touches no
-    shared state.
+    Resolves the compiler through :mod:`repro.registry`, so any backend
+    registered via :func:`repro.registry.register_compiler` — built-in or
+    third-party — runs here.  This is the function worker processes run;
+    it deliberately touches no shared state.
     """
     circuit = job.resolve_circuit()
     device = job.resolve_device()
-    compiler = job.resolved_compiler()
-    if compiler == "s-sync":
-        return SSyncCompiler(device, job.config).compile(
-            circuit, initial_mapping=job.initial_mapping
+    spec = compiler_spec(job.compiler)
+    if job.initial_mapping is not None and not spec.accepts_mapping:
+        raise ReproError(
+            f"compiler {spec.name!r} brings its own initial mapping; "
+            f"initial_mapping={job.initial_mapping!r} would be ignored"
         )
-    if compiler == "murali":
-        return MuraliCompiler(device).compile(circuit)
-    return DaiCompiler(device).compile(circuit)
+    pipeline = make_pipeline(spec.name, device, config=job.config)
+    if spec.accepts_mapping:
+        return pipeline.compile(circuit, initial_mapping=job.initial_mapping)
+    return pipeline.compile(circuit)

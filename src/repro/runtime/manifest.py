@@ -35,6 +35,7 @@ from repro.core.compiler import SSyncConfig
 from repro.core.scheduler import SchedulerConfig
 from repro.exceptions import ReproError
 from repro.noise.heating import HeatingParameters
+from repro.registry import compiler_spec, normalize_compiler_name
 from repro.runtime.jobs import CompileJob
 
 #: Manifest keys understood by :func:`job_from_dict`.
@@ -136,11 +137,23 @@ def job_from_dict(
             raise ReproError(f"invalid heating parameters in manifest: {exc}") from exc
 
     mapping = merged.get("initial_mapping")
+    # Resolve the compiler through the registry now, so a typo fails with
+    # the job's index in the error instead of mid-batch.
+    compiler = normalize_compiler_name(str(merged.get("compiler", "s-sync")))
+    if mapping is not None and not compiler_spec(compiler).accepts_mapping:
+        if "initial_mapping" in _normalize_mapping_key(data):
+            raise ReproError(
+                f"compiler {compiler!r} brings its own initial mapping; "
+                f"remove mapping={mapping!r} from the job"
+            )
+        # A defaults-level mapping is meant for the jobs whose compiler
+        # has pluggable mappings; fixed-mapping compilers just skip it.
+        mapping = None
     return CompileJob(
         circuit=_resolve_circuit_spec(merged["circuit"]),
         device=merged["device"],
         capacity=merged.get("capacity"),
-        compiler=merged.get("compiler", "s-sync"),
+        compiler=compiler,
         initial_mapping=mapping,
         config=config,
         gate_implementation=merged.get("gate_implementation", "fm"),

@@ -66,12 +66,20 @@ class JobOutcome:
     record: dict[str, object]
     compile_time_s: float
     from_cache: bool
+    pass_timings: tuple[dict[str, object], ...] = ()
 
     def as_dict(self) -> dict[str, object]:
-        """Record plus timing columns, for tables and result files."""
+        """Record plus timing columns, for tables and result files.
+
+        ``pass_timings`` sit with the wall-clock side channel, not the
+        deterministic record: like ``compile_time_s`` they replay the
+        original compilation's profile on a cache hit and vary between
+        serial and parallel runs.
+        """
         row = dict(self.record)
         row["compile_time_s"] = self.compile_time_s
         row["from_cache"] = self.from_cache
+        row["pass_timings"] = [dict(t) for t in self.pass_timings]
         return row
 
 
@@ -197,8 +205,25 @@ class BatchCompiler:
         if self.workers <= 1 or len(items) == 1:
             return [_compile_entry(item) for item in items]
         ctx = _pool_context()
-        with ctx.Pool(processes=min(self.workers, len(items))) as pool:
-            return pool.map(_compile_entry, items)
+        pooled = items
+        local: list[tuple[str, CompileJob]] = []
+        if ctx.get_start_method() != "fork":
+            # Spawned workers re-import the package and therefore only see
+            # the built-in compilers; jobs using runtime-registered
+            # backends must compile in this process, where the registration
+            # happened.
+            from repro.registry import compiler_spec
+
+            pooled = [item for item in items if compiler_spec(item[1].compiler).builtin]
+            local = [item for item in items if not compiler_spec(item[1].compiler).builtin]
+        results = [_compile_entry(item) for item in local]
+        if pooled:
+            if len(pooled) == 1:
+                results.extend([_compile_entry(pooled[0])])
+            else:
+                with ctx.Pool(processes=min(self.workers, len(pooled))) as pool:
+                    results.extend(pool.map(_compile_entry, pooled))
+        return results
 
     @staticmethod
     def _build_outcome(
@@ -236,6 +261,10 @@ class BatchCompiler:
             "log_success_rate": evaluation.log_success_rate,
             "execution_time_us": evaluation.execution_time_us,
         }
+        # Scheduler statistics are deterministic counters, so they belong
+        # in the record proper (byte-identical across serial/parallel/
+        # cached paths); wall-clock pass timings stay a side channel.
+        record.update(entry.statistics)
         return JobOutcome(
             job=job,
             fingerprint=job.fingerprint(),
@@ -243,4 +272,5 @@ class BatchCompiler:
             record=record,
             compile_time_s=entry.compile_time_s,
             from_cache=cached,
+            pass_timings=entry.pass_timings,
         )

@@ -127,3 +127,96 @@ class TestWithCapacity:
         assert bigger.total_capacity == 40
         assert bigger.name == device.name
         assert device.total_capacity == 16
+
+
+class TestPrecomputedMatrices:
+    """The cached all-pairs matrices must agree with the graph queries."""
+
+    def _devices(self):
+        return [
+            linear_device(5, 4),
+            grid_device(2, 3, 4),
+            grid_device(3, 3, 4),
+            star_device(5, 4),
+        ]
+
+    def test_distance_matrix_matches_trap_distance(self):
+        for device in self._devices():
+            matrix = device.distance_matrix
+            for a in range(device.num_traps):
+                for b in range(device.num_traps):
+                    assert matrix[a][b] == pytest.approx(device.trap_distance(a, b))
+
+    def test_distance_matrix_is_a_copy(self):
+        device = grid_device(2, 2, 4)
+        matrix = device.distance_matrix
+        matrix[0][1] = -99.0
+        assert device.trap_distance(0, 1) > 0
+
+    def test_hop_matrices_match_stored_paths(self):
+        for device in self._devices():
+            for a in range(device.num_traps):
+                for b in range(device.num_traps):
+                    if a == b:
+                        with pytest.raises(DeviceError):
+                            device.next_hop(a, b)
+                        with pytest.raises(DeviceError):
+                            device.penultimate_hop(a, b)
+                        continue
+                    path = device.trap_path(a, b)
+                    assert device.next_hop(a, b) == path[1]
+                    assert device.penultimate_hop(a, b) == path[-2]
+
+    def test_unknown_trap_in_hop_queries_raises(self):
+        device = linear_device(3, 4)
+        with pytest.raises(DeviceError):
+            device.next_hop(0, 7)
+        with pytest.raises(DeviceError):
+            device.penultimate_hop(7, 0)
+
+
+class TestMatrixScheduleParity:
+    """Compiling with the cached matrices must yield the exact schedules
+    the per-query graph computations produced (the pre-cache behaviour)."""
+
+    @staticmethod
+    def _recomputing(device: QCCDDevice) -> QCCDDevice:
+        import networkx as nx
+
+        class RecomputingDevice(QCCDDevice):
+            """Answers every routing query with a fresh Dijkstra run."""
+
+            def _single_source(self, a):
+                return nx.single_source_dijkstra_path(self._graph, a, weight="weight")
+
+            def trap_distance(self, a, b):
+                self.trap(a), self.trap(b)
+                return nx.dijkstra_path_length(self._graph, a, b, weight="weight")
+
+            def trap_path(self, a, b):
+                self.trap(a), self.trap(b)
+                return list(self._single_source(a)[b])
+
+            def next_hop(self, a, b):
+                return self._single_source(a)[b][1]
+
+            def penultimate_hop(self, a, b):
+                return self._single_source(a)[b][-2]
+
+        return RecomputingDevice(
+            device.traps, device.connections, name=device.name,
+            junction_weight=device.junction_weight,
+        )
+
+    @pytest.mark.parametrize("compiler", ["s-sync", "murali", "dai"])
+    def test_schedules_identical_with_and_without_cache(self, compiler):
+        from repro.circuit.library import qft_circuit
+        from repro.registry import make_pipeline
+        from repro.schedule.serialize import schedule_to_dict
+
+        circuit = qft_circuit(12)
+        cached_device = grid_device(2, 3, 4)
+        uncached_device = self._recomputing(grid_device(2, 3, 4))
+        cached = make_pipeline(compiler, cached_device).compile(circuit)
+        uncached = make_pipeline(compiler, uncached_device).compile(circuit)
+        assert schedule_to_dict(cached.schedule) == schedule_to_dict(uncached.schedule)

@@ -71,6 +71,57 @@ class TestCompileCommand:
         assert exit_code == 1
         assert "does not exist" in captured.err
 
+    def test_compile_prints_pass_timings(self, capsys):
+        assert main(["compile", "qft_10", "--device", "G-2x2"]) == 0
+        out = capsys.readouterr().out
+        assert "passes:" in out
+        assert "initial-mapping=" in out and "routing=" in out and "verify=" in out
+
+    def test_compile_with_baseline_compiler(self, capsys):
+        exit_code = main(["compile", "bv_16", "--device", "L-4", "--compiler", "dai"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "DAI compilation summary" in captured.out
+        assert "dai-default" in captured.out
+
+    def test_compile_accepts_compiler_alias(self, capsys):
+        exit_code = main(["compile", "qft_10", "--device", "G-2x2", "--compiler", "This Work"])
+        assert exit_code == 0
+        assert "S-SYNC compilation summary" in capsys.readouterr().out
+
+    def test_mapping_flag_rejected_for_baselines(self, capsys):
+        exit_code = main(
+            ["compile", "qft_10", "--device", "G-2x2", "--compiler", "murali", "--mapping", "sta"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "brings its own initial mapping" in captured.err
+
+    def test_unknown_compiler_fails_cleanly(self, capsys):
+        exit_code = main(["compile", "qft_10", "--device", "G-2x2", "--compiler", "qiskit"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "unknown compiler" in captured.err
+
+    def test_lookahead_flag_rejected_for_baselines(self, capsys):
+        exit_code = main(
+            ["compile", "qft_10", "--device", "G-2x2", "--compiler", "dai", "--lookahead", "8"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "takes no scheduler configuration" in captured.err
+
+
+class TestCompilersCommand:
+    def test_lists_registered_compilers_and_pipelines(self, capsys):
+        exit_code = main(["compilers"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for name in ("s-sync", "murali", "dai"):
+            assert name in captured.out
+        assert "ssync, this work" in captured.out  # aliases column
+        assert "initial-mapping -> routing -> metrics" in captured.out
+
 
 class TestCompareCommand:
     def test_compare_lists_all_compilers(self, capsys):
