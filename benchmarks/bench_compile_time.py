@@ -1,0 +1,282 @@
+"""Tracked compile-time benchmark harness (``BENCH_compile_time.json``).
+
+Compile time is a first-class result of the paper (Fig. 15), so its
+trajectory is tracked machine-readably from PR 3 onward: this harness
+measures wall-clock compilation time per (compiler, circuit, size) point
+on the Fig. 15 device (G-2x2, trap capacity 20) and writes
+``benchmarks/results/BENCH_compile_time.json``.
+
+The committed JSON carries three things:
+
+* ``points`` — the current measurements (best-of-N total seconds plus
+  the routing-pass seconds, which is what the incremental scheduler
+  core optimises);
+* ``baseline.points`` — the same measurements taken by this harness on
+  the *pre-incremental-core* tree (recorded once with
+  ``--save-baseline`` before the optimisation landed);
+* ``speedups`` — current versus baseline per point, so regressions and
+  wins are visible in the diff of a single committed file.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_compile_time.py            # measure + write JSON
+    PYTHONPATH=src python benchmarks/bench_compile_time.py --full     # paper-scale sizes
+    PYTHONPATH=src python benchmarks/bench_compile_time.py --save-baseline
+    PYTHONPATH=src python benchmarks/bench_compile_time.py \
+        --check benchmarks/results/BENCH_compile_time.json            # CI regression gate
+
+``--check`` re-measures the suite and exits non-zero when any point's
+routing seconds regressed more than ``--threshold`` (default 2x) over
+the committed numbers — loose enough for noisy CI runners, tight enough
+to catch an accidental return to quadratic behaviour.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.circuit.library import build_family
+from repro.core.compiler import SSyncCompiler, SSyncConfig
+from repro.hardware.presets import paper_device
+from repro.registry import make_pipeline
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_compile_time.json"
+
+FORMAT_VERSION = 1
+DEVICE_NAME = "G-2x2"
+CAPACITY = 20
+FAMILIES = ("qft", "alt", "qaoa", "bv")
+SCALED_SIZES = (16, 24, 32)
+FULL_SIZES = (48, 56, 64)
+
+
+def _naive_config() -> SSyncConfig | None:
+    """An SSyncConfig forcing the reference (non-incremental) scorer.
+
+    Returns ``None`` on trees that predate the incremental core (the
+    harness then simply measures the stock s-sync compiler), so the
+    pre-change baseline can be recorded by the very same code.
+    """
+    from dataclasses import fields, replace
+
+    from repro.core.scheduler import SchedulerConfig
+
+    if not any(f.name == "incremental" for f in fields(SchedulerConfig)):
+        return None
+    config = SSyncConfig()
+    return replace(config, scheduler=replace(config.scheduler, incremental=False))
+
+
+def _compilers() -> dict[str, Any]:
+    """Name -> ``compile(circuit) -> CompilationResult`` callables."""
+    device = paper_device(DEVICE_NAME, CAPACITY)
+    ssync = SSyncCompiler(device)
+    compilers: dict[str, Any] = {"s-sync": ssync.compile}
+    naive = _naive_config()
+    if naive is not None:
+        compilers["s-sync-naive"] = SSyncCompiler(device, naive).compile
+    compilers["murali"] = lambda circuit: make_pipeline("murali", device).compile(circuit)
+    return compilers
+
+
+def measure_points(repeats: int = 5, full: bool = False) -> list[dict[str, Any]]:
+    """Best-of-``repeats`` seconds for every (compiler, circuit, size) point."""
+    sizes = FULL_SIZES if full else SCALED_SIZES
+    compilers = _compilers()
+    points: list[dict[str, Any]] = []
+    for family in FAMILIES:
+        for size in sizes:
+            circuit = build_family(family, size)
+            for name, compile_fn in compilers.items():
+                total = routing = float("inf")
+                result = None
+                for _ in range(repeats):
+                    result = compile_fn(circuit)
+                    total = min(total, result.compile_time_s)
+                    routing = min(
+                        routing,
+                        sum(t.wall_time_s for t in result.pass_timings if t.name == "routing"),
+                    )
+                assert result is not None
+                points.append(
+                    {
+                        "compiler": name,
+                        "circuit": family,
+                        "size": size,
+                        "seconds": round(total, 6),
+                        "routing_seconds": round(routing, 6),
+                        "generic_swap_iterations": result.statistics.generic_swap_iterations,
+                        "candidate_evaluations": result.statistics.candidate_evaluations,
+                    }
+                )
+                print(
+                    f"{name:>14}  {family}_{size:<3}  total {total:.4f}s  "
+                    f"routing {routing:.4f}s",
+                    flush=True,
+                )
+    return points
+
+
+def _point_key(point: dict[str, Any]) -> tuple[str, str, int]:
+    return (str(point["compiler"]), str(point["circuit"]), int(point["size"]))
+
+
+def compute_speedups(
+    points: list[dict[str, Any]], baseline_points: list[dict[str, Any]]
+) -> list[dict[str, Any]]:
+    """Current-vs-baseline speedup for every s-sync point present in both."""
+    current = {_point_key(p): p for p in points}
+    speedups: list[dict[str, Any]] = []
+    for base in baseline_points:
+        key = _point_key(base)
+        now = current.get(key)
+        if now is None or key[0] != "s-sync":
+            continue
+        speedups.append(
+            {
+                "circuit": base["circuit"],
+                "size": base["size"],
+                "baseline_seconds": base["seconds"],
+                "seconds": now["seconds"],
+                "speedup_total": round(base["seconds"] / max(now["seconds"], 1e-9), 2),
+                "baseline_routing_seconds": base["routing_seconds"],
+                "routing_seconds": now["routing_seconds"],
+                "speedup_routing": round(
+                    base["routing_seconds"] / max(now["routing_seconds"], 1e-9), 2
+                ),
+            }
+        )
+    return speedups
+
+
+#: Points faster than this are timer/noise dominated and are excluded
+#: from the cross-run regression gate.
+MIN_CHECKED_SECONDS = 0.001
+
+
+def check_regressions(
+    points: list[dict[str, Any]], committed: dict[str, Any], threshold: float
+) -> list[str]:
+    """Regression messages for this run versus the committed numbers.
+
+    Two gates, so the check stays meaningful on machines slower or
+    faster than the one that produced the committed file:
+
+    * absolute — a point's routing seconds must not exceed
+      ``threshold`` x the committed value (sub-millisecond points are
+      skipped: they are noise-dominated);
+    * relative (machine-independent) — on every circuit/size where both
+      were measured in *this* run, the incremental ``s-sync`` core must
+      not be meaningfully slower (>20%, beyond run-to-run noise) than
+      the ``s-sync-naive`` reference it replaces.
+    """
+    fresh = {_point_key(p): p for p in points}
+    failures: list[str] = []
+    for committed_point in committed.get("points", []):
+        key = _point_key(committed_point)
+        now = fresh.get(key)
+        if now is None:
+            continue
+        old = float(committed_point["routing_seconds"])
+        new = float(now["routing_seconds"])
+        if old >= MIN_CHECKED_SECONDS and new > threshold * old:
+            failures.append(
+                f"{key[0]} {key[1]}_{key[2]}: routing {new:.4f}s > "
+                f"{threshold:.1f}x committed {old:.4f}s"
+            )
+    for point in points:
+        if point["compiler"] != "s-sync":
+            continue
+        naive = fresh.get(("s-sync-naive", str(point["circuit"]), int(point["size"])))
+        if naive is None:
+            continue
+        incremental_s = float(point["routing_seconds"])
+        naive_s = float(naive["routing_seconds"])
+        if naive_s >= MIN_CHECKED_SECONDS and incremental_s > 1.2 * naive_s:
+            failures.append(
+                f"s-sync {point['circuit']}_{point['size']}: incremental routing "
+                f"{incremental_s:.4f}s slower than the naive reference {naive_s:.4f}s"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--output", type=Path, default=RESULTS_PATH)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--full", action="store_true", help="paper-scale circuit sizes")
+    parser.add_argument(
+        "--save-baseline",
+        action="store_true",
+        help="record this run as the pre-change baseline section",
+    )
+    parser.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        metavar="COMMITTED_JSON",
+        help="re-measure and fail on regression versus a committed run",
+    )
+    parser.add_argument("--threshold", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    points = measure_points(repeats=args.repeats, full=args.full)
+
+    if args.check is not None:
+        committed = json.loads(args.check.read_text())
+        failures = check_regressions(points, committed, args.threshold)
+        # Write the measurements before deciding the exit code, so a red
+        # CI run still uploads the numbers that triggered it.
+        if args.output != RESULTS_PATH:
+            args.output.parent.mkdir(parents=True, exist_ok=True)
+            args.output.write_text(json.dumps({"points": points}, indent=2, sort_keys=True) + "\n")
+        if failures:
+            print("\ncompile-time regression detected:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"\nno point regressed more than {args.threshold:.1f}x; all good")
+        return 0
+
+    existing: dict[str, Any] = {}
+    if args.output.exists():
+        existing = json.loads(args.output.read_text())
+
+    document: dict[str, Any] = {
+        "format_version": FORMAT_VERSION,
+        "device": DEVICE_NAME,
+        "capacity": CAPACITY,
+        "repeats": args.repeats,
+        "full_scale": args.full,
+        "python": platform.python_version(),
+        "points": points,
+        "baseline": existing.get("baseline", {}),
+        "speedups": [],
+    }
+    if args.save_baseline:
+        document["baseline"] = {
+            "note": "measured by this harness before the incremental scheduler core",
+            "points": points,
+        }
+    baseline_points = document["baseline"].get("points", [])
+    document["speedups"] = compute_speedups(points, baseline_points)
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {args.output}")
+    for speedup in document["speedups"]:
+        print(
+            f"  {speedup['circuit']}_{speedup['size']}: routing "
+            f"{speedup['baseline_routing_seconds']:.4f}s -> {speedup['routing_seconds']:.4f}s "
+            f"({speedup['speedup_routing']}x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

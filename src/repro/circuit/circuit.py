@@ -26,6 +26,9 @@ class QuantumCircuit:
         self._num_qubits = int(num_qubits)
         self._gates: list[Gate] = []
         self.name = name
+        # Memoised dependency structure (owned by repro.circuit.dag);
+        # invalidated whenever a gate is appended.
+        self._dag_template = None
 
     # ------------------------------------------------------------------
     # basic container protocol
@@ -70,6 +73,7 @@ class QuantumCircuit:
                 f"gate {gate} addresses a qubit outside range 0..{self._num_qubits - 1}"
             )
         self._gates.append(gate)
+        self._dag_template = None
         return self
 
     def add_gate(self, name: str, *qubits: int, params: Iterable[float] = ()) -> "QuantumCircuit":

@@ -17,55 +17,187 @@ The class supports exactly the operations Algorithm 1 needs:
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from dataclasses import dataclass
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.gate import Gate
 from repro.exceptions import SchedulingError
 
 
-@dataclass(frozen=True)
 class DAGNode:
-    """A two-qubit gate plus its position in the original program order."""
+    """A two-qubit gate plus its position in the original program order.
 
-    index: int
-    gate: Gate
+    A plain ``__slots__`` record (one is created per two-qubit gate on
+    every scheduler run, so construction cost matters); equality is by
+    (index, gate) value, like the frozen dataclass it replaces.
+    """
+
+    __slots__ = ("index", "gate")
+
+    def __init__(self, index: int, gate: Gate) -> None:
+        self.index = index
+        self.gate = gate
 
     @property
     def qubits(self) -> tuple[int, ...]:
         return self.gate.qubits
 
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not DAGNode:
+            return NotImplemented
+        return self.index == other.index and self.gate == other.gate
+
+    def __hash__(self) -> int:
+        return hash((self.index, self.gate))
+
+    def __repr__(self) -> str:
+        return f"DAGNode(index={self.index!r}, gate={self.gate!r})"
+
+
+class _DagTemplate:
+    """Immutable dependency structure of one circuit, memoised on it.
+
+    The edges, in-degrees, initial frontier and single-qubit buckets are
+    pure functions of the gate list, and the library compiles the same
+    circuit object many times (parameter sweeps, gate-implementation
+    studies, repeated benchmark runs, parity checks).  The first
+    :class:`DependencyDAG` built for a circuit stores this template on
+    ``circuit._dag_template`` (invalidated by ``QuantumCircuit.append``);
+    later DAGs adopt it with a few C-speed dict/set copies instead of
+    re-walking the whole program.
+    """
+
+    __slots__ = ("gates", "succ", "pred_count", "frontier", "pending_single_qubit", "trailing_single_qubit")
+
+    def __init__(
+        self,
+        gates: dict[int, Gate],
+        succ: dict[int, list[int]],
+        pred_count: dict[int, int],
+        frontier: set[int],
+        pending_single_qubit: dict[int, list[Gate]],
+        trailing_single_qubit: list[Gate],
+    ) -> None:
+        self.gates = gates
+        self.succ = succ
+        self.pred_count = pred_count
+        self.frontier = frontier
+        self.pending_single_qubit = pending_single_qubit
+        self.trailing_single_qubit = trailing_single_qubit
+
+
+def _build_template(circuit: QuantumCircuit) -> _DagTemplate:
+    """One pass over the circuit computing the full dependency structure."""
+    last_node_on_qubit: dict[int, int] = {}
+    gates: dict[int, Gate] = {}
+    succ: dict[int, list[int]] = defaultdict(list)
+    pred_count: dict[int, int] = {}
+    frontier: set[int] = set()
+    pending: dict[int, list[Gate]] = {}
+    waiting: dict[int, list[Gate]] = {}
+    last_get = last_node_on_qubit.get
+    get_waiting = waiting.get
+    for index, gate in enumerate(circuit.gates):
+        # Single-qubit gates outnumber two-qubit gates in most
+        # programs, so test for them first.
+        if gate.is_single_qubit:
+            q = gate.qubits[0]
+            queued = get_waiting(q)
+            if queued is None:
+                waiting[q] = [gate]
+            else:
+                queued.append(gate)
+            continue
+        if not gate.is_two_qubit:
+            continue
+        gates[index] = gate
+        qubit_a, qubit_b = gate.qubits
+        pred_a = last_get(qubit_a)
+        pred_b = last_get(qubit_b)
+        last_node_on_qubit[qubit_a] = index
+        last_node_on_qubit[qubit_b] = index
+        if pred_a is None:
+            if pred_b is None:
+                pred_count[index] = 0
+                frontier.add(index)
+            else:
+                pred_count[index] = 1
+                succ[pred_b].append(index)
+        elif pred_b is None or pred_b == pred_a:
+            pred_count[index] = 1
+            succ[pred_a].append(index)
+        else:
+            pred_count[index] = 2
+            succ[pred_a].append(index)
+            succ[pred_b].append(index)
+        for q in (qubit_a, qubit_b):
+            queued = get_waiting(q)
+            if queued:
+                attached = pending.get(index)
+                if attached is None:
+                    pending[index] = queued
+                else:
+                    attached.extend(queued)
+                waiting[q] = []
+    trailing = [gate for q in sorted(waiting) for gate in waiting[q]]
+    return _DagTemplate(gates, dict(succ), pred_count, frontier, pending, trailing)
+
 
 class DependencyDAG:
-    """Mutable dependency graph consumed front-to-back by the scheduler."""
+    """Mutable dependency graph consumed front-to-back by the scheduler.
 
-    def __init__(self, circuit: QuantumCircuit) -> None:
-        self._nodes: dict[int, DAGNode] = {}
-        self._succ: dict[int, list[int]] = defaultdict(list)
-        self._pred_count: dict[int, int] = {}
-        self._frontier: list[int] = []
+    With ``attach_single_qubit_gates=True`` the single construction pass
+    additionally buckets every single-qubit gate onto the next two-qubit
+    gate acting on its qubit (:attr:`pending_single_qubit`), with gates
+    after the last two-qubit gate collected in
+    :attr:`trailing_single_qubit` — the scheduler needs exactly this
+    partition and doing it here avoids a second walk over the circuit.
+
+    Construction is memoised per circuit via :class:`_DagTemplate`: the
+    shared, never-mutated parts (gate table, successor lists, trailing
+    gates) are adopted by reference and only the per-run mutable state
+    (in-degrees, frontier, pending buckets) is copied.
+    """
+
+    __slots__ = (
+        "_gates",
+        "_succ",
+        "_pred_count",
+        "_frontier",
+        "_executed",
+        "_remaining",
+        "_revision",
+        "pending_single_qubit",
+        "trailing_single_qubit",
+    )
+
+    def __init__(self, circuit: QuantumCircuit, attach_single_qubit_gates: bool = False) -> None:
+        template = getattr(circuit, "_dag_template", None)
+        if template is None:
+            template = _build_template(circuit)
+            circuit._dag_template = template
+        #: index -> two-qubit gate; DAGNode objects are materialised on
+        #: demand by the public accessors, the scheduler's hot loop works
+        #: on bare (index, gate) pairs.  Shared with the template (never
+        #: mutated), as are the successor lists and trailing gates.
+        self._gates: dict[int, Gate] = template.gates
+        self._succ: dict[int, list[int]] = template.succ
+        self._pred_count: dict[int, int] = dict(template.pred_count)
+        self._frontier: set[int] = set(template.frontier)
         self._executed: set[int] = set()
-        self._remaining = 0
-        self._build(circuit)
-
-    def _build(self, circuit: QuantumCircuit) -> None:
-        last_node_on_qubit: dict[int, int] = {}
-        for index, gate in enumerate(circuit.gates):
-            if not gate.is_two_qubit:
-                continue
-            node = DAGNode(index, gate)
-            self._nodes[index] = node
-            preds: set[int] = set()
-            for q in gate.qubits:
-                if q in last_node_on_qubit:
-                    preds.add(last_node_on_qubit[q])
-                last_node_on_qubit[q] = index
-            self._pred_count[index] = len(preds)
-            for p in preds:
-                self._succ[p].append(index)
-            if not preds:
-                self._frontier.append(index)
-        self._remaining = len(self._nodes)
+        self._remaining = len(template.gates)
+        self._revision = 0
+        if attach_single_qubit_gates:
+            # The per-gate lists are never mutated after construction, so
+            # a shallow copy isolates this run's pops from the template.
+            #: index of a two-qubit gate -> single-qubit gates to fire first.
+            self.pending_single_qubit: dict[int, list[Gate]] = dict(
+                template.pending_single_qubit
+            )
+            #: single-qubit gates with no later two-qubit gate on their qubit.
+            self.trailing_single_qubit: list[Gate] = template.trailing_single_qubit
+        else:
+            self.pending_single_qubit = {}
+            self.trailing_single_qubit = []
 
     # ------------------------------------------------------------------
     # queries
@@ -73,7 +205,7 @@ class DependencyDAG:
     @property
     def num_nodes(self) -> int:
         """Total number of two-qubit gates in the DAG."""
-        return len(self._nodes)
+        return len(self._gates)
 
     @property
     def num_remaining(self) -> int:
@@ -85,17 +217,34 @@ class DependencyDAG:
         """True when every two-qubit gate has been executed."""
         return self._remaining == 0
 
+    @property
+    def revision(self) -> int:
+        """Counter bumped on every :meth:`execute`.
+
+        The frontier and every lookahead slice are functions of the set
+        of executed gates, so callers (the scheduler) can cache them
+        between revisions instead of re-deriving them per iteration.
+        """
+        return self._revision
+
     def frontier(self) -> list[DAGNode]:
         """Gates whose dependencies are all satisfied, in program order."""
-        return [self._nodes[i] for i in sorted(self._frontier)]
+        gates = self._gates
+        return [DAGNode(i, gates[i]) for i in sorted(self._frontier)]
+
+    def frontier_items(self) -> list[tuple[int, Gate]]:
+        """The frontier as bare (index, gate) pairs (scheduler fast path)."""
+        gates = self._gates
+        return [(i, gates[i]) for i in sorted(self._frontier)]
 
     def node(self, index: int) -> DAGNode:
         """Return the node with the given program index."""
-        return self._nodes[index]
+        return DAGNode(index, self._gates[index])
 
     def successors(self, index: int) -> list[DAGNode]:
         """Immediate successors of a node."""
-        return [self._nodes[i] for i in self._succ.get(index, [])]
+        gates = self._gates
+        return [DAGNode(i, gates[i]) for i in self._succ.get(index, [])]
 
     def lookahead(self, depth: int, skip_frontier: bool = False) -> list[DAGNode]:
         """Breadth-first slice of up to ``depth`` dependency layers.
@@ -107,11 +256,12 @@ class DependencyDAG:
         """
         if depth <= 0:
             return []
+        gates = self._gates
         result: list[DAGNode] = []
         seen: set[int] = set(self._frontier)
         layer = list(sorted(self._frontier))
         if not skip_frontier:
-            result.extend(self._nodes[i] for i in layer)
+            result.extend(DAGNode(i, gates[i]) for i in layer)
         for _ in range(depth - 1 if not skip_frontier else depth):
             next_layer: list[int] = []
             for index in layer:
@@ -121,10 +271,46 @@ class DependencyDAG:
                     seen.add(succ)
                     next_layer.append(succ)
             next_layer.sort()
-            result.extend(self._nodes[i] for i in next_layer)
+            result.extend(DAGNode(i, gates[i]) for i in next_layer)
             layer = next_layer
             if not layer:
                 break
+        return result
+
+    def lookahead_pairs(self, depth: int, skip_frontier: bool = False) -> list[tuple[int, int]]:
+        """Qubit pairs of :meth:`lookahead`, built without the node list.
+
+        The scheduler consumes lookahead slices as qubit pairs once per
+        DAG revision; producing them directly skips the node-object
+        round-trip while walking the identical breadth-first order.
+        """
+        if depth <= 0:
+            return []
+        gates = self._gates
+        succ = self._succ
+        executed = self._executed
+        result: list[tuple[int, int]] = []
+        seen: set[int] = set(self._frontier)
+        layer = sorted(self._frontier)
+        if not skip_frontier:
+            for index in layer:
+                qubits = gates[index].qubits
+                result.append((qubits[0], qubits[1]))
+        for _ in range(depth - 1 if not skip_frontier else depth):
+            next_layer: list[int] = []
+            for index in layer:
+                for successor in succ.get(index, ()):
+                    if successor in seen or successor in executed:
+                        continue
+                    seen.add(successor)
+                    next_layer.append(successor)
+            if not next_layer:
+                break
+            next_layer.sort()
+            for index in next_layer:
+                qubits = gates[index].qubits
+                result.append((qubits[0], qubits[1]))
+            layer = next_layer
         return result
 
     def gates_in_first_layers(self, num_layers: int) -> list[Gate]:
@@ -136,41 +322,83 @@ class DependencyDAG:
     # ------------------------------------------------------------------
     def execute(self, index: int) -> list[DAGNode]:
         """Retire a frontier gate; return the successors that became ready."""
-        if index not in self._nodes:
+        if index not in self._gates:
             raise SchedulingError(f"gate index {index} is not part of the DAG")
         if index in self._executed:
             raise SchedulingError(f"gate index {index} was already executed")
         if index not in self._frontier:
             raise SchedulingError(f"gate index {index} is not in the frontier")
+        return [DAGNode(i, gate) for i, gate in self.retire(index)]
+
+    def retire(self, index: int) -> list[tuple[int, Gate]]:
+        """:meth:`execute` without the membership guards (scheduler fast path).
+
+        Returns bare (index, gate) pairs — sortable without a key
+        function, since program indices are unique.  The caller must
+        pass a current frontier index; a stale index raises ``KeyError``
+        from the frontier set rather than the descriptive
+        :class:`SchedulingError` of :meth:`execute`.
+        """
         self._frontier.remove(index)
         self._executed.add(index)
         self._remaining -= 1
-        newly_ready: list[DAGNode] = []
-        for succ in self._succ.get(index, []):
-            self._pred_count[succ] -= 1
-            if self._pred_count[succ] == 0:
-                self._frontier.append(succ)
-                newly_ready.append(self._nodes[succ])
+        self._revision += 1
+        newly_ready: list[tuple[int, Gate]] = []
+        pred_count = self._pred_count
+        gates = self._gates
+        for succ in self._succ.get(index, ()):
+            count = pred_count[succ] - 1
+            pred_count[succ] = count
+            if count == 0:
+                self._frontier.add(succ)
+                newly_ready.append((succ, gates[succ]))
+        return newly_ready
+
+    def retire_many(self, indices: list[int]) -> list[tuple[int, Gate]]:
+        """Batch :meth:`retire` for one execution round of the scheduler.
+
+        Equivalent to concatenating ``retire(i)`` for each index in
+        order, with the per-call bookkeeping hoisted out of the loop.
+        """
+        frontier = self._frontier
+        executed = self._executed
+        pred_count = self._pred_count
+        succ_map = self._succ
+        gates = self._gates
+        newly_ready: list[tuple[int, Gate]] = []
+        append = newly_ready.append
+        for index in indices:
+            frontier.remove(index)
+            executed.add(index)
+            for succ in succ_map.get(index, ()):
+                count = pred_count[succ] - 1
+                pred_count[succ] = count
+                if count == 0:
+                    frontier.add(succ)
+                    append((succ, gates[succ]))
+        self._remaining -= len(indices)
+        self._revision += len(indices)
         return newly_ready
 
     def topological_order(self) -> list[DAGNode]:
         """Return all nodes in a valid topological (program) order."""
         pred = dict(self._pred_count)
         # Rebuild pristine in-degrees (independent of execution state).
-        counts: dict[int, int] = {i: 0 for i in self._nodes}
+        counts: dict[int, int] = {i: 0 for i in self._gates}
         for src, succs in self._succ.items():
             for dst in succs:
                 counts[dst] += 1
         queue = deque(sorted(i for i, c in counts.items() if c == 0))
         order: list[DAGNode] = []
+        gates = self._gates
         while queue:
             index = queue.popleft()
-            order.append(self._nodes[index])
+            order.append(DAGNode(index, gates[index]))
             for succ in self._succ.get(index, []):
                 counts[succ] -= 1
                 if counts[succ] == 0:
                     queue.append(succ)
         del pred
-        if len(order) != len(self._nodes):  # pragma: no cover - defensive
+        if len(order) != len(self._gates):  # pragma: no cover - defensive
             raise SchedulingError("dependency graph contains a cycle")
         return order

@@ -89,6 +89,11 @@ class Gate:
         object.__setattr__(self, "name", self.name.lower())
         object.__setattr__(self, "qubits", tuple(int(q) for q in self.qubits))
         object.__setattr__(self, "params", tuple(float(p) for p in self.params))
+        # Precomputed predicates: the scheduler's per-gate passes read
+        # these millions of times, so they are plain attributes rather
+        # than properties.
+        object.__setattr__(self, "is_single_qubit", len(self.qubits) == 1)
+        object.__setattr__(self, "is_two_qubit", len(self.qubits) == 2)
         if not self.qubits:
             raise CircuitError(f"gate {self.name!r} must act on at least one qubit")
         if any(q < 0 for q in self.qubits):
@@ -116,15 +121,9 @@ class Gate:
         """Number of qubit operands."""
         return len(self.qubits)
 
-    @property
-    def is_single_qubit(self) -> bool:
-        """True when the gate acts on exactly one qubit."""
-        return len(self.qubits) == 1
-
-    @property
-    def is_two_qubit(self) -> bool:
-        """True when the gate acts on exactly two qubits."""
-        return len(self.qubits) == 2
+    # ``is_single_qubit`` / ``is_two_qubit`` are plain instance
+    # attributes precomputed in __post_init__ (not dataclass fields, so
+    # equality, repr and asdict are unchanged).
 
     @property
     def is_symmetric(self) -> bool:

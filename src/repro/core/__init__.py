@@ -3,6 +3,12 @@
 from repro.core.compiler import SSyncCompiler, SSyncConfig, compile_circuit
 from repro.core.generic_swap import GenericSwap, GenericSwapKind, GenericSwapRules
 from repro.core.heuristic import DecayTracker, HeuristicCost, apply_generic_swap
+from repro.core.incremental import (
+    CandidateCache,
+    IncrementalRun,
+    IncrementalSwapScorer,
+    TrapVersions,
+)
 from repro.core.mapping import (
     EvenDividedMapper,
     GatheringMapper,
@@ -15,6 +21,7 @@ from repro.core.scheduler import GenericSwapScheduler, SchedulerConfig, Schedule
 from repro.core.state import LEFT, RIGHT, DeviceState
 
 __all__ = [
+    "CandidateCache",
     "CompilationResult",
     "DecayTracker",
     "DeviceState",
@@ -25,6 +32,8 @@ __all__ = [
     "GenericSwapRules",
     "GenericSwapScheduler",
     "HeuristicCost",
+    "IncrementalRun",
+    "IncrementalSwapScorer",
     "InitialMapper",
     "LEFT",
     "RIGHT",
@@ -33,6 +42,7 @@ __all__ = [
     "STAMapper",
     "SchedulerConfig",
     "SchedulerStatistics",
+    "TrapVersions",
     "apply_generic_swap",
     "compile_circuit",
     "get_mapper",

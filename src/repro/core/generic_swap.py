@@ -19,7 +19,6 @@ Pen term discouraging fully occupied traps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum
 
 from repro.core.state import DeviceState
@@ -34,35 +33,66 @@ class GenericSwapKind(str, Enum):
     SHUTTLE = "shuttle"
 
 
-@dataclass(frozen=True)
 class GenericSwap:
     """One candidate node interchange.
 
     ``qubit_a`` is always a program qubit.  For ``SWAP_GATE`` candidates
     ``qubit_b`` is the other ion; for ``SHUTTLE`` candidates ``qubit_b``
     is ``None`` and ``target_trap`` names the receiving trap.
+
+    A plain ``__slots__`` value class (the candidate generator creates a
+    few per scheduler iteration, so construction stays cheap); equality
+    and hashing are field-wise, as with the frozen dataclass it
+    replaces, and instances are immutable by convention.
     """
 
-    kind: GenericSwapKind
-    qubit_a: int
-    qubit_b: int | None
-    trap: int
-    target_trap: int | None
-    weight: float
+    __slots__ = ("kind", "qubit_a", "qubit_b", "trap", "target_trap", "weight")
 
-    def __post_init__(self) -> None:
-        if self.kind is GenericSwapKind.SWAP_GATE:
-            if self.qubit_b is None or self.target_trap is not None:
+    def __init__(
+        self,
+        kind: GenericSwapKind,
+        qubit_a: int,
+        qubit_b: "int | None",
+        trap: int,
+        target_trap: "int | None",
+        weight: float,
+    ) -> None:
+        if kind is GenericSwapKind.SWAP_GATE:
+            if qubit_b is None or target_trap is not None:
                 raise SchedulingError("a SWAP_GATE candidate needs two qubits and no target trap")
-            if self.qubit_a == self.qubit_b:
+            if qubit_a == qubit_b:
                 raise SchedulingError("a SWAP_GATE candidate needs two distinct qubits")
         else:
-            if self.qubit_b is not None or self.target_trap is None:
+            if qubit_b is not None or target_trap is None:
                 raise SchedulingError("a SHUTTLE candidate needs one qubit and a target trap")
-            if self.trap == self.target_trap:
+            if trap == target_trap:
                 raise SchedulingError("a SHUTTLE candidate must change traps")
-        if self.weight <= 0:
+        if weight <= 0:
             raise SchedulingError("generic swap weights must be positive")
+        self.kind = kind
+        self.qubit_a = qubit_a
+        self.qubit_b = qubit_b
+        self.trap = trap
+        self.target_trap = target_trap
+        self.weight = weight
+
+    def _fields(self) -> tuple:
+        return (self.kind, self.qubit_a, self.qubit_b, self.trap, self.target_trap, self.weight)
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not GenericSwap:
+            return NotImplemented
+        return self._fields() == other._fields()
+
+    def __hash__(self) -> int:
+        return hash(self._fields())
+
+    def __repr__(self) -> str:
+        return (
+            f"GenericSwap(kind={self.kind!r}, qubit_a={self.qubit_a!r}, "
+            f"qubit_b={self.qubit_b!r}, trap={self.trap!r}, "
+            f"target_trap={self.target_trap!r}, weight={self.weight!r})"
+        )
 
     @property
     def moved_qubits(self) -> tuple[int, ...]:
@@ -70,6 +100,46 @@ class GenericSwap:
         if self.qubit_b is None:
             return (self.qubit_a,)
         return (self.qubit_a, self.qubit_b)
+
+    @property
+    def touched_traps(self) -> tuple[int, ...]:
+        """The traps whose chains change when this swap is applied.
+
+        A SWAP gate reorders one chain; a shuttle changes the source and
+        the target chain (and possibly their fullness).  Everything else
+        on the device is untouched — this is what makes delta evaluation
+        of ``H(swap)`` possible.
+        """
+        if self.target_trap is None:
+            return (self.trap,)
+        return (self.trap, self.target_trap)
+
+    def apply_to(self, state: DeviceState) -> None:
+        """Apply this swap to ``state`` via the unchecked fast paths.
+
+        Candidates are generated legal against the state they score, so
+        the legality checks of :meth:`DeviceState.shuttle` are skipped.
+        The applied move is undone by :meth:`undo` — both primitives are
+        their own inverse in the chain model, so no extra undo record is
+        needed beyond the candidate itself.
+        """
+        if self.kind is GenericSwapKind.SWAP_GATE:
+            state.unchecked_swap(self.qubit_a, self.qubit_b)  # type: ignore[arg-type]
+        else:
+            state.unchecked_shuttle(self.qubit_a, self.trap, self.target_trap)  # type: ignore[arg-type]
+
+    def undo(self, state: DeviceState) -> None:
+        """Exactly revert a preceding :meth:`apply_to` on ``state``.
+
+        The SWAP exchanges the same two ions back; the shuttle runs in
+        reverse (the ion re-enters its old chain at the end it left
+        from), restoring chains, positions and fullness counters
+        bit-for-bit.
+        """
+        if self.kind is GenericSwapKind.SWAP_GATE:
+            state.unchecked_swap(self.qubit_a, self.qubit_b)  # type: ignore[arg-type]
+        else:
+            state.unchecked_shuttle(self.qubit_a, self.target_trap, self.trap)  # type: ignore[arg-type]
 
     def reverses(self, other: "GenericSwap | None") -> bool:
         """True when applying this swap right after ``other`` undoes it."""
@@ -89,6 +159,22 @@ class GenericSwapRules:
 
     def __init__(self, weights: GraphWeights | None = None) -> None:
         self.weights = weights or GraphWeights()
+        self._tables_device: "object | None" = None
+        self._next_hop: list[list[int]] = []
+        self._connections: list = []
+
+    def _tables(self, device) -> "tuple[list[list[int]], list]":
+        """Per-device memo of the next-hop and connection tables.
+
+        ``device.routing_tables``/``connection_matrix`` build a fresh
+        tuple per access; the candidate generator runs per scheduler
+        iteration, so the rows are bound once per device.
+        """
+        if self._tables_device is not device:
+            self._tables_device = device
+            self._next_hop = device.routing_tables[1]
+            self._connections = device.connection_matrix
+        return self._next_hop, self._connections
 
     # ------------------------------------------------------------------
     # weights
@@ -124,20 +210,25 @@ class GenericSwapRules:
           room,
         * eviction SHUTTLEs that free up the next trap when it is full.
         """
-        device = state.device
-        source_trap = state.trap_of(qubit)
+        source_trap = state.locations[qubit]
         if source_trap == goal_trap:
             return []
-        next_trap = device.next_hop(source_trap, goal_trap)
-        departing_end = state.facing_end(source_trap, next_trap)
+        next_hop, connection_matrix = self._tables(state.device)
+        next_trap = next_hop[source_trap][goal_trap]
+        # Departing chain end: the right end (last index) faces larger
+        # trap ids, per the DeviceState.facing_end convention.
+        towards_right = next_trap > source_trap
         candidates: list[GenericSwap] = []
 
-        chain = state.chain(source_trap)
-        index = chain.index(qubit)
+        chain = state.chains[source_trap]
+        length = len(chain)
+        index = state.positions[qubit]
+        inner_weight = self.weights.inner_weight
         # SWAP with the ion at the departing end.
-        end_qubit = state.end_qubit(source_trap, departing_end)
+        end_index = length - 1 if towards_right else 0
+        end_qubit = chain[end_index] if length else None
         if end_qubit is not None and end_qubit != qubit:
-            distance = abs(chain.index(end_qubit) - index)
+            distance = end_index - index if towards_right else index
             candidates.append(
                 GenericSwap(
                     GenericSwapKind.SWAP_GATE,
@@ -145,7 +236,7 @@ class GenericSwapRules:
                     qubit_b=end_qubit,
                     trap=source_trap,
                     target_trap=None,
-                    weight=self.swap_gate_weight(distance),
+                    weight=inner_weight * distance,
                 )
             )
         # SWAP with the immediate neighbour towards the departing end.  Moves
@@ -153,8 +244,8 @@ class GenericSwapRules:
         # are not proposed here (another waiting gate proposes them if they
         # help it instead), which keeps the search from shuffling ions back
         # and forth without progress.
-        neighbour_index = index - 1 if departing_end == "left" else index + 1
-        if 0 <= neighbour_index < len(chain):
+        neighbour_index = index + 1 if towards_right else index - 1
+        if 0 <= neighbour_index < length:
             other = chain[neighbour_index]
             if other != qubit and (end_qubit is None or other != end_qubit):
                 candidates.append(
@@ -164,12 +255,13 @@ class GenericSwapRules:
                         qubit_b=other,
                         trap=source_trap,
                         target_trap=None,
-                        weight=self.swap_gate_weight(1),
+                        weight=inner_weight,
                     )
                 )
         # SHUTTLE toward the next trap on the route.
-        if state.is_at_end(qubit, departing_end):
-            connection = device.connection_between(source_trap, next_trap)
+        if index == end_index:
+            connection = connection_matrix[source_trap][next_trap]
+            assert connection is not None  # next_hop implies a direct edge
             if state.has_space(next_trap):
                 candidates.append(
                     GenericSwap(
@@ -178,7 +270,7 @@ class GenericSwapRules:
                         qubit_b=None,
                         trap=source_trap,
                         target_trap=next_trap,
-                        weight=self.shuttle_weight(connection.junctions),
+                        weight=self.weights.shuttle_weight * (1 + connection.junctions),
                     )
                 )
             else:
@@ -190,15 +282,19 @@ class GenericSwapRules:
     ) -> list[GenericSwap]:
         """Shuttles that move an end ion of ``full_trap`` to a neighbour with room."""
         device = state.device
+        chain = state.chains[full_trap]
+        connections = self._tables(device)[1][full_trap]
         candidates: list[GenericSwap] = []
         for neighbour in device.neighbors(full_trap):
             if not state.has_space(neighbour):
                 continue
-            end = state.facing_end(full_trap, neighbour)
-            victim = state.end_qubit(full_trap, end)
+            # The victim sits at the end facing the neighbour (right end
+            # faces larger trap ids).
+            victim = (chain[-1] if neighbour > full_trap else chain[0]) if chain else None
             if victim is None or victim in exclude:
                 continue
-            connection = device.connection_between(full_trap, neighbour)
+            connection = connections[neighbour]
+            assert connection is not None
             candidates.append(
                 GenericSwap(
                     GenericSwapKind.SHUTTLE,

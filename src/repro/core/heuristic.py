@@ -12,6 +12,12 @@ The decay factor inflates the score of gates whose qubits were moved
 recently, discouraging the search from repeatedly shuffling the same
 ions (paper §3.3 and §4.4: δ defaults to 0.001, reset after 5 idle
 iterations).
+
+:meth:`HeuristicCost.swap_score` here is the *reference* evaluator — a
+scratch state copy and a full rescore per candidate.  The production
+hot path delta-evaluates the same quantities bit-identically
+(:mod:`repro.core.incremental`); the randomized parity suite holds the
+two together.
 """
 
 from __future__ import annotations
@@ -62,6 +68,29 @@ class DecayTracker:
             if last is not None and self._iteration - last < self.reset_interval:
                 return 1.0 + self.delta
         return 1.0
+
+    def factors(self, pairs: list[tuple[int, int]]) -> list[float]:
+        """:meth:`factor` for many gates at once (one scheduler iteration).
+
+        Bulk variant for the incremental scorer: identical values, one
+        call per iteration instead of one per gate.
+        """
+        last_touched = self._last_touched
+        if not last_touched:
+            return [1.0] * len(pairs)
+        get = last_touched.get
+        threshold = self._iteration - self.reset_interval
+        inflated = 1.0 + self.delta
+        result: list[float] = []
+        append = result.append
+        for qubit_a, qubit_b in pairs:
+            last = get(qubit_a)
+            if last is not None and last > threshold:
+                append(inflated)
+                continue
+            last = get(qubit_b)
+            append(inflated if last is not None and last > threshold else 1.0)
+        return result
 
     def reset(self) -> None:
         """Forget all decay history."""

@@ -15,18 +15,25 @@ Two engineering safeguards complement the paper's description:
   generic swaps, the oldest frontier gate is *force-routed* along the
   shortest trap path, which guarantees termination on adversarial
   inputs.
+
+The hot path is **incremental** by default (``SchedulerConfig
+.incremental``): candidates are scored by delta evaluation on the live
+state and regenerated only for traps the last applied swap touched
+(:mod:`repro.core.incremental`).  The naive reference path — a fresh
+``state.copy()`` and a full rescore per candidate — is kept selectable
+for parity testing and produces bit-identical schedules and statistics.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.circuit.circuit import QuantumCircuit
-from repro.circuit.dag import DAGNode, DependencyDAG
+from repro.circuit.dag import DependencyDAG
 from repro.circuit.gate import Gate
 from repro.core.generic_swap import GenericSwap, GenericSwapKind, GenericSwapRules
 from repro.core.heuristic import DecayTracker, HeuristicCost, apply_generic_swap
+from repro.core.incremental import IncrementalRun
 from repro.core.state import DeviceState
 from repro.exceptions import SchedulingError
 from repro.hardware.device import QCCDDevice
@@ -57,6 +64,12 @@ class SchedulerConfig:
     lookahead_weight: float = 0.5
     stall_limit: int = 64
     max_generic_swaps: int = 2_000_000
+    #: Score candidates by delta evaluation on the live state instead of
+    #: copying it per candidate.  Schedules and statistics are identical
+    #: either way (asserted by the randomized parity suite); the naive
+    #: path exists as the reference implementation and for benchmarking
+    #: the incremental core's speedup.
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.stall_limit < 1:
@@ -101,30 +114,71 @@ class GenericSwapScheduler:
         state = initial_state.copy()
         schedule = Schedule(self.device, circuit.name)
         stats = SchedulerStatistics()
-        dag = DependencyDAG(circuit)
-        pending_1q, trailing_1q = self._partition_single_qubit_gates(circuit)
+        dag = DependencyDAG(circuit, attach_single_qubit_gates=True)
+        pending_1q = dag.pending_single_qubit
+        trailing_1q = dag.trailing_single_qubit
         decay = DecayTracker(self.config.decay_delta, self.config.decay_reset_interval)
+        caches = (
+            IncrementalRun(state, self.device, self.rules, self.cost)
+            if self.config.incremental
+            else None
+        )
+        generate_candidates = (
+            caches.candidates.candidates_for_gates if caches is not None
+            else self.rules.candidates_for_gates
+        )
 
         last_swap: GenericSwap | None = None
         swaps_since_progress = 0
+        # The frontier (and its lookahead slice) only changes when a gate
+        # executes; between executions the scheduler may apply many
+        # generic swaps against the same frontier, so both are cached
+        # under the DAG's revision counter.
+        frontier: list[tuple[int, Gate]] = []
+        frontier_pairs: list[tuple[int, int]] = []
+        lookahead_pairs: list[tuple[int, int]] | None = None
+        lookahead_stale = False
+        frontier_revision = -1
 
         self._execute_ready_gates(dag, state, schedule, pending_1q, stats)
         while not dag.is_done:
-            frontier = dag.frontier()
-            frontier_pairs = [(node.gate.qubits[0], node.gate.qubits[1]) for node in frontier]
-            candidates = self.rules.candidates_for_gates(state, frontier_pairs)
-            non_reversing = [c for c in candidates if not c.reverses(last_swap)]
-            if non_reversing:
-                candidates = non_reversing
+            if frontier_revision != dag.revision:
+                frontier = dag.frontier_items()
+                frontier_pairs = [(gate.qubits[0], gate.qubits[1]) for _, gate in frontier]
+                lookahead_pairs = None
+                lookahead_stale = self.config.lookahead_depth > 0
+                frontier_revision = dag.revision
+            candidates = generate_candidates(state, frontier_pairs)
+            if last_swap is not None:
+                non_reversing = [c for c in candidates if not c.reverses(last_swap)]
+                if non_reversing:
+                    candidates = non_reversing
 
             if not candidates or swaps_since_progress >= self.config.stall_limit:
-                self._force_route(schedule, state, frontier[0], stats)
+                self._force_route(schedule, state, frontier[0][1], stats, caches)
                 stats.forced_routes += 1
                 swaps_since_progress = 0
                 last_swap = None
+                self._execute_ready_gates(dag, state, schedule, pending_1q, stats, frontier)
             else:
-                best = self._select_candidate(state, candidates, frontier_pairs, dag, decay, stats)
-                self._apply_candidate(schedule, state, best)
+                # The lookahead slice is only consumed when candidates are
+                # actually scored; singleton iterations skip the BFS.
+                if lookahead_stale and len(candidates) > 1:
+                    lookahead_pairs = dag.lookahead_pairs(
+                        self.config.lookahead_depth, skip_frontier=True
+                    )
+                    lookahead_stale = False
+                best = self._select_candidate(
+                    state,
+                    candidates,
+                    frontier_pairs,
+                    lookahead_pairs,
+                    decay,
+                    stats,
+                    caches,
+                    frontier_revision,
+                )
+                self._apply_candidate(schedule, state, best, caches)
                 decay.advance()
                 decay.record(best.moved_qubits)
                 last_swap = best
@@ -136,13 +190,20 @@ class GenericSwapScheduler:
                         f"({self.config.max_generic_swaps}); the circuit/device combination "
                         "appears unroutable"
                     )
-
-            if self._execute_ready_gates(dag, state, schedule, pending_1q, stats):
-                swaps_since_progress = 0
+                # An intra-trap SWAP cannot co-locate a waiting gate (trap
+                # membership is unchanged), and a shuttle can only
+                # co-locate gates acting on the one ion it moved.
+                if best.kind is not GenericSwapKind.SWAP_GATE:
+                    moved = best.qubit_a
+                    affected = [item for item in frontier if moved in item[1].qubits]
+                    if affected and self._execute_ready_gates(
+                        dag, state, schedule, pending_1q, stats, affected
+                    ):
+                        swaps_since_progress = 0
 
         for gate in trailing_1q:
             self._emit_single_qubit_gate(schedule, state, gate)
-        schedule.validate_against(sum(1 for g in circuit.gates if g.is_two_qubit))
+        schedule.validate_against(dag.num_nodes)
         return schedule, state, stats
 
     # ------------------------------------------------------------------
@@ -157,23 +218,6 @@ class GenericSwapScheduler:
         if state.device is not self.device and state.device.name != self.device.name:
             raise SchedulingError("the initial state was built for a different device")
 
-    def _partition_single_qubit_gates(
-        self, circuit: QuantumCircuit
-    ) -> tuple[dict[int, list[Gate]], list[Gate]]:
-        """Attach every single-qubit gate to the next two-qubit gate on its qubit."""
-        pending: dict[int, list[Gate]] = defaultdict(list)
-        waiting: dict[int, list[Gate]] = defaultdict(list)
-        for index, gate in enumerate(circuit.gates):
-            if gate.is_two_qubit:
-                for q in gate.qubits:
-                    if waiting[q]:
-                        pending[index].extend(waiting[q])
-                        waiting[q] = []
-            elif gate.is_single_qubit:
-                waiting[gate.qubits[0]].append(gate)
-        trailing = [gate for q in sorted(waiting) for gate in waiting[q]]
-        return dict(pending), trailing
-
     def _execute_ready_gates(
         self,
         dag: DependencyDAG,
@@ -181,42 +225,108 @@ class GenericSwapScheduler:
         schedule: Schedule,
         pending_1q: dict[int, list[Gate]],
         stats: SchedulerStatistics,
+        ready: "list[tuple[int, Gate]] | None" = None,
     ) -> bool:
-        """Execute every frontier gate whose operands share a trap."""
+        """Execute every frontier gate whose operands share a trap.
+
+        Executing a gate never moves an ion, so a gate found split across
+        traps stays split for the whole call: each round only the gates
+        that became ready in the previous round need a co-location check,
+        instead of rescanning the entire frontier after every execution.
+        Execution order (ready gates in program order, round by round) is
+        unchanged from the full-rescan formulation.
+
+        ``ready`` lets the caller pass its revision-cached frontier list
+        (skipping a rebuild), or a prefiltered slice of it — after a
+        shuttle only the gates acting on the moved ion can have become
+        co-located, and the caller skips the call entirely when that
+        slice is empty.
+        """
         executed_any = False
-        progress = True
-        while progress:
-            progress = False
-            for node in dag.frontier():
-                qubit_a, qubit_b = node.gate.qubits
-                if not state.same_trap(qubit_a, qubit_b):
-                    continue
-                for gate in pending_1q.pop(node.index, []):
-                    self._emit_single_qubit_gate(schedule, state, gate)
-                self._emit_two_qubit_gate(schedule, state, node)
-                dag.execute(node.index)
-                stats.executed_two_qubit_gates += 1
+        locations = state.locations
+        positions = state.positions
+        chains = state.chains
+        append = schedule.appender()
+        pop_pending = pending_1q.pop
+        make_gate_op = GateOperation
+        executed = 0
+        if ready is None:
+            ready = dag.frontier_items()
+        retire = dag.retire
+        while ready:
+            if len(ready) == 1:
+                # The overwhelmingly common round on serial circuits: one
+                # ready gate whose execution enables the next.  Same
+                # semantics as the general round below, minus the batch
+                # machinery.
+                index, gate = ready[0]
+                qubit_a, qubit_b = gate.qubits
+                trap = locations[qubit_a]
+                if trap != locations[qubit_b]:
+                    break
+                previous_qubit = -1
+                for gate_1q in pop_pending(index, ()):
+                    qubit_1q = gate_1q.qubits[0]
+                    if qubit_1q != previous_qubit:
+                        trap_1q = locations[qubit_1q]
+                        chain_length_1q = len(chains[trap_1q])
+                        previous_qubit = qubit_1q
+                    append(make_gate_op(gate_1q, trap_1q, chain_length_1q))
+                separation = positions[qubit_a] - positions[qubit_b]
+                if separation < 0:
+                    separation = -separation
+                append(
+                    make_gate_op(
+                        gate, trap, len(chains[trap]), separation - 1 if separation > 1 else 0
+                    )
+                )
+                executed += 1
                 executed_any = True
-                progress = True
+                ready = retire(index)
+                if len(ready) > 1:
+                    # (index, gate) pairs sort by the unique index.
+                    ready.sort()
+                continue
+            retired: list[int] = []
+            for index, gate in ready:
+                qubit_a, qubit_b = gate.qubits
+                trap = locations[qubit_a]
+                if trap != locations[qubit_b]:
+                    continue
+                previous_qubit = -1
+                for gate_1q in pop_pending(index, ()):
+                    qubit_1q = gate_1q.qubits[0]
+                    if qubit_1q != previous_qubit:
+                        trap_1q = locations[qubit_1q]
+                        chain_length_1q = len(chains[trap_1q])
+                        previous_qubit = qubit_1q
+                    append(make_gate_op(gate_1q, trap_1q, chain_length_1q))
+                separation = positions[qubit_a] - positions[qubit_b]
+                if separation < 0:
+                    separation = -separation
+                append(
+                    make_gate_op(
+                        gate, trap, len(chains[trap]), separation - 1 if separation > 1 else 0
+                    )
+                )
+                retired.append(index)
+                executed_any = True
+            if not retired:
+                break
+            executed += len(retired)
+            # Retiring after the round's emissions is equivalent: gate
+            # execution never moves an ion, so later co-location checks
+            # in the same round are unaffected.
+            newly_ready = dag.retire_many(retired)
+            # (index, gate) pairs sort by the unique index — no key needed.
+            newly_ready.sort()
+            ready = newly_ready
+        stats.executed_two_qubit_gates += executed
         return executed_any
 
     def _emit_single_qubit_gate(self, schedule: Schedule, state: DeviceState, gate: Gate) -> None:
-        trap = state.trap_of(gate.qubits[0])
-        schedule.append(
-            GateOperation(gate=gate, trap=trap, chain_length=max(state.chain_length(trap), 1))
-        )
-
-    def _emit_two_qubit_gate(self, schedule: Schedule, state: DeviceState, node: DAGNode) -> None:
-        qubit_a, qubit_b = node.gate.qubits
-        trap = state.trap_of(qubit_a)
-        schedule.append(
-            GateOperation(
-                gate=node.gate,
-                trap=trap,
-                chain_length=state.chain_length(trap),
-                ion_separation=state.ion_separation(qubit_a, qubit_b),
-            )
-        )
+        trap = state.locations[gate.qubits[0]]
+        schedule.append(GateOperation(gate, trap, max(state.chain_length(trap), 1)))
 
     # ------------------------------------------------------------------
     # candidate selection and application
@@ -226,18 +336,36 @@ class GenericSwapScheduler:
         state: DeviceState,
         candidates: list[GenericSwap],
         frontier_pairs: list[tuple[int, int]],
-        dag: DependencyDAG,
+        lookahead_pairs: list[tuple[int, int]] | None,
         decay: DecayTracker,
         stats: SchedulerStatistics,
+        caches: IncrementalRun | None,
+        revision: int = -1,
     ) -> GenericSwap:
-        lookahead_pairs: list[tuple[int, int]] | None = None
-        if self.config.lookahead_depth > 0:
-            lookahead_pairs = [
-                (node.gate.qubits[0], node.gate.qubits[1])
-                for node in dag.lookahead(self.config.lookahead_depth, skip_frontier=True)
-            ]
         best_candidate = candidates[0]
+        if len(candidates) == 1:
+            # The argmin of a singleton needs no H evaluation; the
+            # reference loop also selects candidates[0] and counts one
+            # evaluation, so statistics stay identical.
+            stats.candidate_evaluations += 1
+            return best_candidate
         best_score = float("inf")
+        if caches is not None:
+            scorer = caches.scorer
+            scorer.begin_iteration(
+                frontier_pairs,
+                decay,
+                lookahead_pairs,
+                self.config.lookahead_weight,
+                revision,
+            )
+            for candidate in candidates:
+                score = scorer.score(state, candidate)
+                stats.candidate_evaluations += 1
+                if score < best_score - 1e-12:
+                    best_score = score
+                    best_candidate = candidate
+            return best_candidate
         for candidate in candidates:
             score = self.cost.swap_score(
                 state,
@@ -253,26 +381,40 @@ class GenericSwapScheduler:
                 best_candidate = candidate
         return best_candidate
 
-    def _apply_candidate(self, schedule: Schedule, state: DeviceState, candidate: GenericSwap) -> None:
+    def _apply_candidate(
+        self,
+        schedule: Schedule,
+        state: DeviceState,
+        candidate: GenericSwap,
+        caches: IncrementalRun | None = None,
+    ) -> None:
+        locations = state.locations
+        chains = state.chains
         if candidate.kind is GenericSwapKind.SWAP_GATE:
             assert candidate.qubit_b is not None
-            trap = state.trap_of(candidate.qubit_a)
+            trap = locations[candidate.qubit_a]
+            positions = state.positions
+            separation = positions[candidate.qubit_a] - positions[candidate.qubit_b]
+            if separation < 0:
+                separation = -separation
             schedule.append(
                 SwapOperation(
                     trap=trap,
                     qubit_a=candidate.qubit_a,
                     qubit_b=candidate.qubit_b,
-                    chain_length=state.chain_length(trap),
-                    ion_separation=state.ion_separation(candidate.qubit_a, candidate.qubit_b),
+                    chain_length=len(chains[trap]),
+                    ion_separation=separation - 1 if separation > 1 else 0,
                 )
             )
-            apply_generic_swap(state, candidate)
+            state.unchecked_swap(candidate.qubit_a, candidate.qubit_b)
         else:
             assert candidate.target_trap is not None
-            source_trap = state.trap_of(candidate.qubit_a)
+            source_trap = locations[candidate.qubit_a]
             connection = self.device.connection_between(source_trap, candidate.target_trap)
-            source_before = state.chain_length(source_trap)
-            apply_generic_swap(state, candidate)
+            source_before = len(chains[source_trap])
+            # The checked shuttle validates end position and capacity; a
+            # selected candidate was generated legal against this state.
+            state.unchecked_shuttle(candidate.qubit_a, source_trap, candidate.target_trap)
             schedule.append(
                 ShuttleOperation(
                     qubit=candidate.qubit_a,
@@ -281,25 +423,32 @@ class GenericSwapScheduler:
                     segments=connection.segments,
                     junctions=connection.junctions,
                     source_chain_length=source_before,
-                    target_chain_length=state.chain_length(candidate.target_trap),
+                    target_chain_length=len(chains[candidate.target_trap]),
                 )
             )
+        if caches is not None:
+            caches.notify_applied(candidate)
 
     # ------------------------------------------------------------------
     # stall-breaking fallback
     # ------------------------------------------------------------------
     def _force_route(
-        self, schedule: Schedule, state: DeviceState, node: DAGNode, stats: SchedulerStatistics
+        self,
+        schedule: Schedule,
+        state: DeviceState,
+        gate: Gate,
+        stats: SchedulerStatistics,
+        caches: IncrementalRun | None = None,
     ) -> None:
-        """Deterministically co-locate the operands of ``node``'s gate."""
-        qubit_a, qubit_b = node.gate.qubits
+        """Deterministically co-locate the operands of ``gate``."""
+        qubit_a, qubit_b = gate.qubits
         safety = 4 * self.device.num_traps * max(t.capacity for t in self.device.traps) + 16
         steps = 0
         while not state.same_trap(qubit_a, qubit_b):
             steps += 1
             if steps > safety:
                 raise SchedulingError(
-                    f"force-routing gate {node.gate} did not converge; the device appears "
+                    f"force-routing gate {gate} did not converge; the device appears "
                     "too congested to route"
                 )
             source = state.trap_of(qubit_a)
@@ -309,7 +458,7 @@ class GenericSwapScheduler:
             # Free the destination before positioning the qubit: an eviction
             # may merge an ion into this trap's departing end and displace it.
             if not state.has_space(next_trap):
-                self._make_space(schedule, state, next_trap, protected=(qubit_a,))
+                self._make_space(schedule, state, next_trap, protected=(qubit_a,), caches=caches)
             if not state.is_at_end(qubit_a, departing_end):
                 end_qubit = state.end_qubit(source, departing_end)
                 assert end_qubit is not None and end_qubit != qubit_a
@@ -326,6 +475,7 @@ class GenericSwapScheduler:
                             max(state.ion_separation(qubit_a, end_qubit) + 1, 1)
                         ),
                     ),
+                    caches,
                 )
             connection = self.device.connection_between(source, next_trap)
             self._apply_candidate(
@@ -339,10 +489,16 @@ class GenericSwapScheduler:
                     target_trap=next_trap,
                     weight=self.rules.shuttle_weight(connection.junctions),
                 ),
+                caches,
             )
 
     def _make_space(
-        self, schedule: Schedule, state: DeviceState, trap_id: int, protected: tuple[int, ...]
+        self,
+        schedule: Schedule,
+        state: DeviceState,
+        trap_id: int,
+        protected: tuple[int, ...],
+        caches: IncrementalRun | None = None,
     ) -> None:
         """Free one slot in ``trap_id`` by pushing ions towards the nearest trap with room."""
         path = self._path_to_free_slot(state, trap_id)
@@ -371,6 +527,7 @@ class GenericSwapScheduler:
                         target_trap=None,
                         weight=self.rules.swap_gate_weight(1),
                     ),
+                    caches,
                 )
                 victim = state.end_qubit(source, end)
                 assert victim is not None
@@ -386,6 +543,7 @@ class GenericSwapScheduler:
                     target_trap=target,
                     weight=self.rules.shuttle_weight(connection.junctions),
                 ),
+                caches,
             )
 
     def _path_to_free_slot(self, state: DeviceState, trap_id: int) -> list[int]:

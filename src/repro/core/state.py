@@ -10,6 +10,17 @@ The chain end facing a neighbouring trap follows the same orientation
 convention as :class:`repro.hardware.graph.SlotGraph`: the *right* end
 (last chain index) faces neighbours with a larger trap id, the *left*
 end (index 0) faces neighbours with a smaller id.
+
+The state is the scheduler's innermost data structure, so it maintains
+three derived indices incrementally instead of recomputing them per
+query: a qubit → chain-index table (``position``/``ion_separation``/
+``distance_to_end`` are O(1)), a per-trap capacity snapshot, and a
+count of completely full traps (the Pen term of Eq. 2, O(1) via
+:meth:`full_trap_count`).  Mutations keep all three in sync; the
+unchecked fast paths (:meth:`unchecked_swap`, :meth:`unchecked_shuttle`)
+skip the legality checks for callers that apply *known-legal* moves —
+the incremental scorer applies and reverts every candidate on the live
+state instead of copying it.
 """
 
 from __future__ import annotations
@@ -27,10 +38,45 @@ RIGHT = "right"
 class DeviceState:
     """Occupancy of a QCCD device: which qubit sits where in which trap."""
 
+    __slots__ = (
+        "device",
+        "_chains",
+        "_locations",
+        "_positions",
+        "_capacities",
+        "_full_traps",
+        "chains",
+        "locations",
+        "positions",
+        "capacities",
+    )
+
     def __init__(self, device: QCCDDevice) -> None:
         self.device = device
         self._chains: dict[int, list[int]] = {trap.trap_id: [] for trap in device.traps}
         self._locations: dict[int, int] = {}
+        self._positions: dict[int, int] = {}
+        self._capacities: dict[int, int] = {
+            trap.trap_id: trap.capacity for trap in device.traps
+        }
+        self._full_traps = sum(1 for cap in self._capacities.values() if cap == 0)
+        self._bind_views()
+
+    def _bind_views(self) -> None:
+        """Re-export the working dicts as read-only hot-path views.
+
+        Plain attribute aliases rather than properties: the scheduler
+        reads them millions of times.  Callers must never mutate them —
+        use :meth:`chain`/:meth:`occupancy` for snapshots.
+        """
+        #: Live qubit -> trap mapping (read-only view).
+        self.locations: Mapping[int, int] = self._locations
+        #: Live qubit -> chain-index mapping (read-only view).
+        self.positions: Mapping[int, int] = self._positions
+        #: Live trap -> chain mapping (read-only view).
+        self.chains: Mapping[int, list[int]] = self._chains
+        #: Trap -> capacity snapshot (read-only view).
+        self.capacities: Mapping[int, int] = self._capacities
 
     # ------------------------------------------------------------------
     # construction
@@ -50,15 +96,21 @@ class DeviceState:
         if qubit in self._locations:
             raise StateError(f"qubit {qubit} is already placed")
         chain = self._chains[trap_id]
-        if len(chain) >= self.device.capacity(trap_id):
-            raise StateError(f"trap {trap_id} is full (capacity {self.device.capacity(trap_id)})")
+        if len(chain) >= self._capacities[trap_id]:
+            raise StateError(f"trap {trap_id} is full (capacity {self._capacities[trap_id]})")
         if end == RIGHT:
+            self._positions[qubit] = len(chain)
             chain.append(qubit)
         elif end == LEFT:
+            for other in chain:
+                self._positions[other] += 1
+            self._positions[qubit] = 0
             chain.insert(0, qubit)
         else:
             raise StateError(f"unknown chain end {end!r}")
         self._locations[qubit] = trap_id
+        if len(chain) == self._capacities[trap_id]:
+            self._full_traps += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -90,20 +142,28 @@ class DeviceState:
 
     def free_slots(self, trap_id: int) -> int:
         """Remaining capacity of one trap."""
-        return self.device.capacity(trap_id) - self.chain_length(trap_id)
+        self._require_trap(trap_id)
+        return self._capacities[trap_id] - len(self._chains[trap_id])
 
     def has_space(self, trap_id: int) -> bool:
         """True when the trap can accept another ion."""
-        return self.free_slots(trap_id) > 0
+        try:
+            return len(self._chains[trap_id]) < self._capacities[trap_id]
+        except KeyError:
+            raise StateError(f"unknown trap id {trap_id}") from None
 
     def full_trap_count(self) -> int:
-        """Number of traps with no free slot (the Pen term of Eq. 2)."""
-        return sum(1 for trap_id in self._chains if not self.has_space(trap_id))
+        """Number of traps with no free slot (the Pen term of Eq. 2).
+
+        Maintained incrementally by every mutation, so this is O(1)
+        rather than a recount over all traps.
+        """
+        return self._full_traps
 
     def position(self, qubit: int) -> int:
         """Index of ``qubit`` within its trap's chain."""
-        trap_id = self.trap_of(qubit)
-        return self._chains[trap_id].index(qubit)
+        self.trap_of(qubit)
+        return self._positions[qubit]
 
     def ion_separation(self, qubit_a: int, qubit_b: int) -> int:
         """Number of ions strictly between two qubits in the same chain."""
@@ -113,9 +173,10 @@ class DeviceState:
             raise StateError(
                 f"qubits {qubit_a} and {qubit_b} are in different traps ({trap_a} vs {trap_b})"
             )
-        chain = self._chains[trap_a]
-        distance = abs(chain.index(qubit_a) - chain.index(qubit_b))
-        return max(distance - 1, 0)
+        distance = self._positions[qubit_a] - self._positions[qubit_b]
+        if distance < 0:
+            distance = -distance
+        return distance - 1 if distance > 1 else 0
 
     def same_trap(self, qubit_a: int, qubit_b: int) -> bool:
         """True when both qubits currently share a trap."""
@@ -146,10 +207,9 @@ class DeviceState:
     def is_at_end(self, qubit: int, end: str | None = None) -> bool:
         """True when the qubit sits at a chain end (optionally a specific one)."""
         trap_id = self.trap_of(qubit)
-        chain = self._chains[trap_id]
-        index = chain.index(qubit)
+        index = self._positions[qubit]
         at_left = index == 0
-        at_right = index == len(chain) - 1
+        at_right = index == len(self._chains[trap_id]) - 1
         if end is None:
             return at_left or at_right
         if end == LEFT:
@@ -161,12 +221,11 @@ class DeviceState:
     def distance_to_end(self, qubit: int, end: str) -> int:
         """Number of ions between the qubit and the given chain end."""
         trap_id = self.trap_of(qubit)
-        chain = self._chains[trap_id]
-        index = chain.index(qubit)
+        index = self._positions[qubit]
         if end == LEFT:
             return index
         if end == RIGHT:
-            return len(chain) - 1 - index
+            return len(self._chains[trap_id]) - 1 - index
         raise StateError(f"unknown chain end {end!r}")
 
     # ------------------------------------------------------------------
@@ -180,8 +239,18 @@ class DeviceState:
             raise StateError("SWAP gates only act within a single trap")
         if qubit_a == qubit_b:
             raise StateError("cannot SWAP a qubit with itself")
-        chain = self._chains[trap_a]
-        i, j = chain.index(qubit_a), chain.index(qubit_b)
+        self.unchecked_swap(qubit_a, qubit_b)
+
+    def unchecked_swap(self, qubit_a: int, qubit_b: int) -> None:
+        """SWAP fast path: the caller guarantees both qubits share a trap.
+
+        A SWAP is its own inverse, so reverting a hypothetical SWAP is
+        simply applying it again.
+        """
+        positions = self._positions
+        i, j = positions[qubit_a], positions[qubit_b]
+        positions[qubit_a], positions[qubit_b] = j, i
+        chain = self._chains[self._locations[qubit_a]]
         chain[i], chain[j] = chain[j], chain[i]
 
     def shuttle(self, qubit: int, target_trap: int) -> None:
@@ -205,14 +274,42 @@ class DeviceState:
                 f"qubit {qubit} is not at the {departing_end} end of trap {source_trap}; "
                 "it cannot be split from the chain"
             )
-        chain = self._chains[source_trap]
-        chain.remove(qubit)
-        arriving_end = self.facing_end(target_trap, source_trap)
-        if arriving_end == RIGHT:
-            self._chains[target_trap].append(qubit)
+        self.unchecked_shuttle(qubit, source_trap, target_trap)
+
+    def unchecked_shuttle(self, qubit: int, source_trap: int, target_trap: int) -> None:
+        """Shuttle fast path: the caller guarantees the move is legal.
+
+        The qubit leaves ``source_trap`` from the end facing
+        ``target_trap`` and merges into ``target_trap`` at the end facing
+        ``source_trap``.  Because both ends face each other, a shuttle is
+        its own inverse: ``unchecked_shuttle(q, target, source)`` exactly
+        restores the previous chains, positions and fullness counters.
+        """
+        chains = self._chains
+        positions = self._positions
+        source_chain = chains[source_trap]
+        if len(source_chain) == self._capacities[source_trap]:
+            self._full_traps -= 1
+        # Leave from the end facing the target (right = larger trap id).
+        if target_trap > source_trap:
+            source_chain.pop()
         else:
-            self._chains[target_trap].insert(0, qubit)
+            source_chain.pop(0)
+            for other in source_chain:
+                positions[other] -= 1
+        target_chain = chains[target_trap]
+        # Merge at the target's end facing the source.
+        if source_trap > target_trap:
+            positions[qubit] = len(target_chain)
+            target_chain.append(qubit)
+        else:
+            for other in target_chain:
+                positions[other] += 1
+            positions[qubit] = 0
+            target_chain.insert(0, qubit)
         self._locations[qubit] = target_trap
+        if len(target_chain) == self._capacities[target_trap]:
+            self._full_traps += 1
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -230,22 +327,34 @@ class DeviceState:
         clone = DeviceState(self.device)
         clone._chains = {trap_id: list(chain) for trap_id, chain in self._chains.items()}
         clone._locations = dict(self._locations)
+        clone._positions = dict(self._positions)
+        clone._full_traps = self._full_traps
+        clone._bind_views()
         return clone
 
     def validate(self) -> None:
-        """Check internal consistency (every qubit in exactly one chain)."""
+        """Check internal consistency (chains, locations, derived indices)."""
         seen: set[int] = set()
+        full = 0
         for trap_id, chain in self._chains.items():
-            if len(chain) > self.device.capacity(trap_id):
+            if len(chain) > self._capacities[trap_id]:
                 raise StateError(f"trap {trap_id} exceeds its capacity")
-            for qubit in chain:
+            if len(chain) == self._capacities[trap_id]:
+                full += 1
+            for index, qubit in enumerate(chain):
                 if qubit in seen:
                     raise StateError(f"qubit {qubit} appears in more than one trap")
                 seen.add(qubit)
                 if self._locations.get(qubit) != trap_id:
                     raise StateError(f"location table disagrees with chain for qubit {qubit}")
+                if self._positions.get(qubit) != index:
+                    raise StateError(f"position index disagrees with chain for qubit {qubit}")
         if seen != set(self._locations):
             raise StateError("location table and chains disagree on the set of placed qubits")
+        if full != self._full_traps:
+            raise StateError(
+                f"full-trap counter ({self._full_traps}) disagrees with a recount ({full})"
+            )
 
     def __repr__(self) -> str:
         occupancy = ", ".join(

@@ -106,6 +106,20 @@ class QCCDDevice:
         self._penultimate_hop: list[list[int]] = [
             [self._paths[a][b][-2] if a != b else -1 for b in range(n)] for a in range(n)
         ]
+        # Sorted adjacency, precomputed once: neighbors() sits inside the
+        # candidate generator and the force-route BFS.
+        self._neighbor_lists: list[tuple[int, ...]] = [
+            tuple(sorted(self._graph.neighbors(trap_id))) for trap_id in range(n)
+        ]
+        # Dense direct-connection lookup (None off-edges): the candidate
+        # generator and the shuttle emitter read connections per
+        # candidate, and a list indexing beats a networkx edge lookup.
+        self._connection_matrix: list[list[Connection | None]] = [
+            [None] * n for _ in range(n)
+        ]
+        for connection in self._connections:
+            self._connection_matrix[connection.trap_a][connection.trap_b] = connection
+            self._connection_matrix[connection.trap_b][connection.trap_a] = connection
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -147,15 +161,23 @@ class QCCDDevice:
         return self.trap(trap_id).capacity
 
     def neighbors(self, trap_id: int) -> list[int]:
-        """Traps directly connected to ``trap_id``."""
+        """Traps directly connected to ``trap_id``, in ascending id order."""
         self.trap(trap_id)
-        return sorted(self._graph.neighbors(trap_id))
+        return list(self._neighbor_lists[trap_id])
 
     def connection_between(self, trap_a: int, trap_b: int) -> Connection:
         """The direct connection between two traps (raises if absent)."""
-        if not self._graph.has_edge(trap_a, trap_b):
+        connection = None
+        if 0 <= trap_a < len(self._connection_matrix) and 0 <= trap_b < len(self._connection_matrix):
+            connection = self._connection_matrix[trap_a][trap_b]
+        if connection is None:
             raise DeviceError(f"traps {trap_a} and {trap_b} are not directly connected")
-        return self._graph[trap_a][trap_b]["connection"]
+        return connection
+
+    @property
+    def connection_matrix(self) -> "list[list[Connection | None]]":
+        """The live dense direct-connection table (do not mutate)."""
+        return self._connection_matrix
 
     def are_connected(self, trap_a: int, trap_b: int) -> bool:
         """True when the two traps share a direct shuttle path."""
@@ -207,6 +229,16 @@ class QCCDDevice:
     def distance_matrix(self) -> list[list[float]]:
         """The all-pairs shuttle-weight matrix (a copy; mutations are safe)."""
         return [row[:] for row in self._distance_matrix]
+
+    @property
+    def routing_tables(self) -> tuple[list[list[float]], list[list[int]], list[list[int]]]:
+        """The live (distance, next-hop, penultimate-hop) matrices.
+
+        Shared references handed to the scheduler's innermost loops so a
+        pair score is three list indexings — callers must not mutate
+        them (use :attr:`distance_matrix` for a safe copy).
+        """
+        return self._distance_matrix, self._next_hop, self._penultimate_hop
 
     def path_connections(self, trap_a: int, trap_b: int) -> list[Connection]:
         """Connections traversed along the cheapest route between two traps."""

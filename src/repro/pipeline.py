@@ -169,12 +169,20 @@ class SchedulingPass(Pass):
 
     def statistics(self, context: PassContext) -> dict[str, Any]:
         stats = context.statistics
-        return {
+        data = {
             "generic_swap_iterations": stats.generic_swap_iterations,
             "forced_routes": stats.forced_routes,
             "candidate_evaluations": stats.candidate_evaluations,
             "executed_two_qubit_gates": stats.executed_two_qubit_gates,
         }
+        config = getattr(self.scheduler, "config", None)
+        incremental = getattr(config, "incremental", None)
+        if incremental is not None:
+            # Surface which scheduler core routed this circuit, so the
+            # compile-time benchmarks and batch records can attribute
+            # timings end-to-end.
+            data["scheduler_core"] = "incremental" if incremental else "naive"
+        return data
 
 
 class VerifySchedulePass(Pass):

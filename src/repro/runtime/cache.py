@@ -42,6 +42,7 @@ class CacheStats:
     stores: int = 0
     evictions: int = 0
     disk_hits: int = 0
+    disk_evictions: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Flat dictionary for reporting."""
@@ -51,6 +52,7 @@ class CacheStats:
             "stores": self.stores,
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
+            "disk_evictions": self.disk_evictions,
         }
 
     def snapshot(self) -> "CacheStats":
@@ -131,17 +133,31 @@ class ScheduleCache:
     Parameters
     ----------
     max_entries:
-        Capacity of the in-memory LRU tier.  Disk entries are unbounded.
+        Capacity of the in-memory LRU tier.
     directory:
         When given, every stored entry is also written to
         ``<directory>/<fingerprint>.json`` and memory misses fall back to
         disk (promoting hits back into memory).
+    max_disk_bytes:
+        Optional byte budget for the on-disk tier.  After every disk
+        write, the least-recently-used entry files (by mtime — disk
+        reads refresh it) are deleted until the tier fits the budget
+        again; the entry just written is never evicted by its own
+        store.  ``None`` (the default) leaves the disk tier unbounded.
     """
 
-    def __init__(self, max_entries: int = 256, directory: "Path | str | None" = None) -> None:
+    def __init__(
+        self,
+        max_entries: int = 256,
+        directory: "Path | str | None" = None,
+        max_disk_bytes: int | None = None,
+    ) -> None:
         if max_entries < 1:
             raise ReproError("a schedule cache needs room for at least one entry")
+        if max_disk_bytes is not None and max_disk_bytes < 1:
+            raise ReproError("the disk byte budget must be positive")
         self.max_entries = max_entries
+        self.max_disk_bytes = max_disk_bytes
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -171,6 +187,12 @@ class ScheduleCache:
                 self._insert(fingerprint, entry)
                 self.stats.hits += 1
                 self.stats.disk_hits += 1
+                # Refresh the file's recency so size-based eviction
+                # treats disk reads as uses (LRU, not FIFO).
+                try:
+                    os.utime(path)
+                except OSError:  # pragma: no cover - file raced away
+                    pass
                 return entry
         self.stats.misses += 1
         return None
@@ -187,6 +209,8 @@ class ScheduleCache:
             tmp = path.with_suffix(f".{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
             tmp.write_text(json.dumps(entry.to_dict(), sort_keys=True))
             tmp.replace(path)
+            if self.max_disk_bytes is not None:
+                self._enforce_disk_budget(keep=path)
 
     def clear(self, disk: bool = False) -> None:
         """Drop the in-memory tier (and the disk tier when ``disk=True``)."""
@@ -206,6 +230,36 @@ class ScheduleCache:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+
+    def _enforce_disk_budget(self, keep: Path) -> None:
+        """Delete LRU entry files until the disk tier fits its byte budget.
+
+        ``keep`` (the entry that was just written) is exempt, so a budget
+        smaller than a single entry still leaves the newest one usable.
+        """
+        assert self.directory is not None and self.max_disk_bytes is not None
+        entries: list[tuple[float, int, Path]] = []
+        total = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - concurrent eviction
+                continue
+            total += stat.st_size
+            if path != keep:
+                entries.append((stat.st_mtime, stat.st_size, path))
+        if total <= self.max_disk_bytes:
+            return
+        entries.sort()  # oldest mtime first
+        for _, size, path in entries:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent eviction
+                continue
+            total -= size
+            self.stats.disk_evictions += 1
+            if total <= self.max_disk_bytes:
+                return
 
     def _disk_path(self, fingerprint: str) -> Path:
         assert self.directory is not None

@@ -5,11 +5,17 @@ captures the *context* the noise model needs (trap occupancy, ion
 separation, path length) at the moment the operation fires, so the
 schedule can be re-evaluated under different gate implementations or
 heating parameters without recompiling.
+
+The records are plain ``__slots__`` classes with hand-written
+constructors rather than frozen dataclasses: the scheduler creates one
+per emitted operation (thousands per compile), and the dataclass
+machinery dominated the emission path.  They keep value semantics —
+field-wise ``__eq__``/``__hash__`` and a dataclass-style ``repr`` — and
+are immutable by convention (never mutate a record after creation).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from enum import Enum
 
 from repro.circuit.gate import Gate
@@ -26,14 +32,30 @@ class OperationKind(str, Enum):
     SPACE_SHIFT = "space_shift"
 
 
-@dataclass(frozen=True)
 class ScheduledOperation:
     """Base record; concrete kinds are the subclasses below."""
 
-    kind: OperationKind = field(init=False)
+    __slots__ = ("kind",)
+
+    kind: OperationKind
+
+    def _fields(self) -> tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self._fields() == other._fields()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._fields()))
+
+    def __repr__(self) -> str:
+        names = [slot for cls in reversed(type(self).__mro__) for slot in getattr(cls, "__slots__", ()) if slot != "kind"]
+        inner = ", ".join(f"{name}={getattr(self, name)!r}" for name in names)
+        return f"{type(self).__name__}({inner})"
 
 
-@dataclass(frozen=True)
 class GateOperation(ScheduledOperation):
     """A program gate executed inside one trap.
 
@@ -50,42 +72,48 @@ class GateOperation(ScheduledOperation):
         irrelevant for single-qubit gates).
     """
 
-    gate: Gate
-    trap: int
-    chain_length: int
-    ion_separation: int = 0
+    __slots__ = ("gate", "trap", "chain_length", "ion_separation")
 
-    def __post_init__(self) -> None:
-        object.__setattr__(
-            self, "kind", OperationKind.GATE_2Q if self.gate.is_two_qubit else OperationKind.GATE_1Q
-        )
-        if self.chain_length < 1:
+    def __init__(self, gate: Gate, trap: int, chain_length: int, ion_separation: int = 0) -> None:
+        if chain_length < 1:
             raise SchedulingError("a gate needs at least one ion in the trap")
-        if self.ion_separation < 0:
+        if ion_separation < 0:
             raise SchedulingError("ion separation cannot be negative")
+        self.kind = OperationKind.GATE_2Q if gate.is_two_qubit else OperationKind.GATE_1Q
+        self.gate = gate
+        self.trap = trap
+        self.chain_length = chain_length
+        self.ion_separation = ion_separation
+
+    def _fields(self) -> tuple:
+        return (self.gate, self.trap, self.chain_length, self.ion_separation)
 
 
-@dataclass(frozen=True)
 class SwapOperation(ScheduledOperation):
     """An inserted SWAP gate between two ions in the same trap."""
 
-    trap: int
-    qubit_a: int
-    qubit_b: int
-    chain_length: int
-    ion_separation: int = 0
+    __slots__ = ("trap", "qubit_a", "qubit_b", "chain_length", "ion_separation")
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "kind", OperationKind.SWAP)
-        if self.qubit_a == self.qubit_b:
+    def __init__(
+        self, trap: int, qubit_a: int, qubit_b: int, chain_length: int, ion_separation: int = 0
+    ) -> None:
+        if qubit_a == qubit_b:
             raise SchedulingError("a SWAP needs two distinct qubits")
-        if self.chain_length < 2:
+        if chain_length < 2:
             raise SchedulingError("a SWAP needs at least two ions in the trap")
-        if self.ion_separation < 0:
+        if ion_separation < 0:
             raise SchedulingError("ion separation cannot be negative")
+        self.kind = OperationKind.SWAP
+        self.trap = trap
+        self.qubit_a = qubit_a
+        self.qubit_b = qubit_b
+        self.chain_length = chain_length
+        self.ion_separation = ion_separation
+
+    def _fields(self) -> tuple:
+        return (self.trap, self.qubit_a, self.qubit_b, self.chain_length, self.ion_separation)
 
 
-@dataclass(frozen=True)
 class ShuttleOperation(ScheduledOperation):
     """A split / move / merge transfer of one ion between two traps.
 
@@ -105,27 +133,55 @@ class ShuttleOperation(ScheduledOperation):
         Ions in the target trap *after* the merge.
     """
 
-    qubit: int
-    source_trap: int
-    target_trap: int
-    segments: int
-    junctions: int
-    source_chain_length: int
-    target_chain_length: int
+    __slots__ = (
+        "qubit",
+        "source_trap",
+        "target_trap",
+        "segments",
+        "junctions",
+        "source_chain_length",
+        "target_chain_length",
+    )
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "kind", OperationKind.SHUTTLE)
-        if self.source_trap == self.target_trap:
+    def __init__(
+        self,
+        qubit: int,
+        source_trap: int,
+        target_trap: int,
+        segments: int,
+        junctions: int,
+        source_chain_length: int,
+        target_chain_length: int,
+    ) -> None:
+        if source_trap == target_trap:
             raise SchedulingError("a shuttle must change traps")
-        if self.segments < 1:
+        if segments < 1:
             raise SchedulingError("a shuttle traverses at least one segment")
-        if self.junctions < 0:
+        if junctions < 0:
             raise SchedulingError("junction count cannot be negative")
-        if self.source_chain_length < 1 or self.target_chain_length < 1:
+        if source_chain_length < 1 or target_chain_length < 1:
             raise SchedulingError("chain lengths must be at least 1")
+        self.kind = OperationKind.SHUTTLE
+        self.qubit = qubit
+        self.source_trap = source_trap
+        self.target_trap = target_trap
+        self.segments = segments
+        self.junctions = junctions
+        self.source_chain_length = source_chain_length
+        self.target_chain_length = target_chain_length
+
+    def _fields(self) -> tuple:
+        return (
+            self.qubit,
+            self.source_trap,
+            self.target_trap,
+            self.segments,
+            self.junctions,
+            self.source_chain_length,
+            self.target_chain_length,
+        )
 
 
-@dataclass(frozen=True)
 class SpaceShiftOperation(ScheduledOperation):
     """Intra-trap reordering of one ion into an adjacent empty slot.
 
@@ -134,17 +190,21 @@ class SpaceShiftOperation(ScheduledOperation):
     clear the receiving slot for an incoming ion.
     """
 
-    trap: int
-    qubit: int
-    from_position: int
-    to_position: int
+    __slots__ = ("trap", "qubit", "from_position", "to_position")
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "kind", OperationKind.SPACE_SHIFT)
-        if self.from_position == self.to_position:
+    def __init__(self, trap: int, qubit: int, from_position: int, to_position: int) -> None:
+        if from_position == to_position:
             raise SchedulingError("a space shift must change the ion's position")
-        if self.from_position < 0 or self.to_position < 0:
+        if from_position < 0 or to_position < 0:
             raise SchedulingError("positions cannot be negative")
+        self.kind = OperationKind.SPACE_SHIFT
+        self.trap = trap
+        self.qubit = qubit
+        self.from_position = from_position
+        self.to_position = to_position
+
+    def _fields(self) -> tuple:
+        return (self.trap, self.qubit, self.from_position, self.to_position)
 
     @property
     def distance(self) -> int:

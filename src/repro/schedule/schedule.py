@@ -26,11 +26,13 @@ from repro.schedule.operations import (
 class Schedule:
     """Ordered log of scheduled operations for one compiled circuit."""
 
+    __slots__ = ("device", "circuit_name", "_operations", "_cached_counts")
+
     def __init__(self, device: QCCDDevice, circuit_name: str = "circuit") -> None:
         self.device = device
         self.circuit_name = circuit_name
         self._operations: list[ScheduledOperation] = []
-        self._counts: Counter[OperationKind] = Counter()
+        self._cached_counts: "Counter[OperationKind] | None" = None
 
     # ------------------------------------------------------------------
     # construction
@@ -40,12 +42,38 @@ class Schedule:
         if not isinstance(operation, ScheduledOperation):
             raise SchedulingError(f"expected a ScheduledOperation, got {type(operation).__name__}")
         self._operations.append(operation)
-        self._counts[operation.kind] += 1
+        self._cached_counts = None
+
+    @property
+    def _counts(self) -> "Counter[OperationKind]":
+        """Per-kind operation counts, recounted lazily after appends.
+
+        The compiler reads the counters once per compile but appends
+        thousands of operations, so the count is not maintained per
+        append.
+        """
+        counts = self._cached_counts
+        if counts is None:
+            counts = Counter(op.kind for op in self._operations)
+            self._cached_counts = counts
+        return counts
 
     def extend(self, operations: Iterator[ScheduledOperation] | list[ScheduledOperation]) -> None:
         """Append several operations in order."""
         for operation in operations:
             self.append(operation)
+
+    def appender(self):
+        """A bound fast-append for trusted bulk producers (the scheduler).
+
+        Skips the per-call type check and count invalidation — the
+        caller promises to append only :class:`ScheduledOperation`
+        instances.  Counts are invalidated once here, which stays
+        correct for every later append through the returned bound
+        method.
+        """
+        self._cached_counts = None
+        return self._operations.append
 
     # ------------------------------------------------------------------
     # access

@@ -217,3 +217,53 @@ class TestCopyAndValidate:
     def test_repr_shows_chains(self):
         _, state = make_state()
         assert "0:[0, 1, 2]" in repr(state)
+
+
+class TestIncrementalIndices:
+    """The maintained position index and O(1) full-trap counter."""
+
+    def test_full_trap_counter_tracks_shuttles(self):
+        device, state = make_state()
+        capacity = device.capacity(0)
+        # Fill trap 1 up to capacity from trap 0's right end.
+        before = state.full_trap_count()
+        chain = state.chain(0)
+        state.shuttle(chain[-1], 1)
+        recount = sum(1 for t in range(device.num_traps) if not state.has_space(t))
+        assert state.full_trap_count() == recount
+        state.validate()
+
+    def test_positions_follow_swaps_and_shuttles(self):
+        _, state = make_state()
+        state.swap_qubits(0, 2)
+        assert state.position(0) == 2 and state.position(2) == 0
+        state.validate()
+
+    def test_unchecked_shuttle_is_its_own_inverse(self):
+        device, state = make_state()
+        snapshot = state.occupancy()
+        full = state.full_trap_count()
+        qubit = state.chain(0)[-1]
+        state.unchecked_shuttle(qubit, 0, 1)
+        state.unchecked_shuttle(qubit, 1, 0)
+        assert state.occupancy() == snapshot
+        assert state.full_trap_count() == full
+        state.validate()
+
+    def test_unchecked_swap_is_its_own_inverse(self):
+        _, state = make_state()
+        snapshot = state.occupancy()
+        state.unchecked_swap(0, 2)
+        state.unchecked_swap(0, 2)
+        assert state.occupancy() == snapshot
+        state.validate()
+
+    def test_views_alias_the_live_state(self):
+        _, state = make_state()
+        locations = state.locations
+        positions = state.positions
+        state.swap_qubits(0, 2)
+        assert positions[0] == 2
+        clone = state.copy()
+        assert clone.locations is not locations
+        assert clone.locations == locations
