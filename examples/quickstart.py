@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
 """Quickstart: compile one circuit for a QCCD device and inspect the result.
 
-This example walks through the whole S-SYNC pipeline on a 24-qubit QFT:
+This example walks through the modern entry points on a 24-qubit QFT:
 
 1. build a QCCD device from one of the paper's presets (G-2x3),
-2. compile the circuit with the S-SYNC compiler (gathering initial
-   mapping + generic-swap scheduling),
-3. verify the produced schedule is physically legal,
-4. evaluate its execution time and success rate under the FM gate model,
-5. compare against the Murali et al. and Dai et al. baseline compilers.
+2. resolve the S-SYNC compiler through the registry
+   (:func:`repro.make_pipeline` — the same resolution the CLI, batch
+   manifests and the service use) and compile with verification,
+3. evaluate the schedule's execution time and success rate under the FM
+   gate model,
+4. compare against the Murali et al. and Dai et al. baselines by running
+   one batch through the runtime (:func:`repro.run_batch`), which
+   deduplicates and caches compilations.
 
 Run with ``python examples/quickstart.py``.
 """
@@ -16,13 +19,13 @@ Run with ``python examples/quickstart.py``.
 from __future__ import annotations
 
 from repro import (
-    DaiCompiler,
-    MuraliCompiler,
-    SSyncCompiler,
+    CompileJob,
+    available_compilers,
     evaluate_schedule,
+    make_pipeline,
     paper_device,
     qft_circuit,
-    verify_schedule,
+    run_batch,
 )
 
 
@@ -37,32 +40,36 @@ def main() -> None:
     print(f"circuit: {circuit.name} with {circuit.num_qubits} qubits and "
           f"{circuit.num_two_qubit_gates} two-qubit gates")
 
-    # 3. Compile with S-SYNC.
-    compiler = SSyncCompiler(device)
-    result = compiler.compile(circuit, initial_mapping="gathering")
+    # 3. Compile with S-SYNC, resolved by name through the registry.
+    #    verify=True inserts the schedule legality check into the pipeline.
+    pipeline = make_pipeline("s-sync", device, verify=True)
+    result = pipeline.compile(circuit, initial_mapping="gathering")
     print(f"\nS-SYNC compiled in {result.compile_time_s * 1e3:.1f} ms:")
     print(f"  shuttles inserted : {result.shuttle_count}")
     print(f"  SWAP gates inserted: {result.swap_count}")
+    print("  passes: " + " -> ".join(t.name for t in result.pass_timings))
 
-    # 4. Check the schedule is physically legal and evaluate it.
-    verify_schedule(result.schedule, result.initial_state, circuit=circuit)
+    # 4. Evaluate the schedule under the FM gate-timing model.
     evaluation = evaluate_schedule(result.schedule, gate_implementation="fm")
     print(f"  estimated execution time: {evaluation.execution_time_us / 1e3:.1f} ms")
     print(f"  estimated success rate  : {evaluation.success_rate:.4f}")
 
-    # 5. Compare against the two baselines the paper evaluates.
-    print("\ncomparison against the baseline compilers:")
+    # 5. Compare every registered compiler on the same workload with one
+    #    batch run (identical compilations dedup; schedules are cached).
+    jobs = [
+        CompileJob(circuit=circuit, device=device, compiler=spec.name)
+        for spec in available_compilers()
+    ]
+    batch = run_batch(jobs, workers=2)
+    print("\ncomparison across the registered compilers:")
     print(f"  {'compiler':10s} {'shuttles':>8s} {'swaps':>6s} {'success':>9s}")
-    for baseline in (MuraliCompiler(device), DaiCompiler(device), None):
-        if baseline is None:
-            name, compiled = "s-sync", result
-        else:
-            name, compiled = baseline.name, baseline.compile(circuit)
-        score = evaluate_schedule(compiled.schedule)
+    for outcome in batch:
+        record = outcome.record
         print(
-            f"  {name:10s} {compiled.shuttle_count:8d} {compiled.swap_count:6d} "
-            f"{score.success_rate:9.4f}"
+            f"  {record['compiler']:10s} {record['shuttles']:8d} "
+            f"{record['swaps']:6d} {record['success_rate']:9.4f}"
         )
+    print(f"\nbatch summary: {batch.summary()}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Talk to the compilation service: submit a manifest, stream results.
+
+This example is fully self-contained: it starts an in-process service on
+an ephemeral port (the same stack ``python -m repro serve`` runs), then
+uses :class:`repro.service.ServiceClient` to
+
+1. check ``/v1/healthz`` and list the registered compilers,
+2. POST the repository's smoke manifest to ``/v1/jobs``,
+3. stream each result line as its compilation lands (chunked JSON
+   lines — the first record arrives while the rest still compile),
+4. re-submit the same manifest and observe the fingerprint-derived job
+   id dedup the work,
+5. fetch one compiled schedule back out of the cache by its compile
+   fingerprint.
+
+Against a standalone server (``python -m repro serve --port 8000``) the
+client half of this script works unchanged — point ``ServiceClient`` at
+the printed URL.
+
+Run with ``python examples/service_client.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+from repro.service import ServiceClient, make_server
+
+MANIFEST = Path(__file__).parent / "manifests" / "smoke.json"
+
+
+def main() -> None:
+    # Start the service in-process on an ephemeral port (port=0).  A
+    # warm worker pool compiles; a shared ScheduleCache serves repeats.
+    server = make_server(workers=2, port=0)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    client = ServiceClient(server.url)
+    print(f"service up at {server.url}")
+
+    health = client.health()
+    print(f"healthz: status={health['status']} version={health['version']}")
+    names = ", ".join(row["name"] for row in client.compilers())
+    print(f"registered compilers: {names}")
+
+    # Submit the manifest.  The job id is derived from the compile-job
+    # fingerprints, so the same manifest always gets the same id.
+    receipt = client.submit_file(MANIFEST)
+    print(f"\nsubmitted {MANIFEST.name}: job {receipt['job_id']} "
+          f"({receipt['jobs']} jobs, status={receipt['status']})")
+
+    # Stream results as they complete (one JSON line per outcome).
+    print("streaming results:")
+    fingerprint = None
+    for line in client.stream_results(receipt["job_id"]):
+        if line["type"] == "outcome":
+            record = line["record"]
+            fingerprint = line["compile_fingerprint"]
+            print(
+                f"  [{line['index']}] {record['circuit']:8s} on {record['device']:5s}"
+                f" via {record['compiler']:7s} success={record['success_rate']:.4f}"
+                f" from_cache={line['from_cache']}"
+            )
+        else:
+            print(f"  [end] status={line['status']} summary={line.get('summary')}")
+
+    # Re-submit: same fingerprints, same job id, no recompilation.
+    again = client.submit_file(MANIFEST)
+    print(f"\nresubmitted: job {again['job_id']} resubmitted={again['resubmitted']}")
+
+    # Any compiled schedule can be fetched back by compile fingerprint.
+    entry = client.schedule(fingerprint)["entry"]
+    print(f"cached schedule {fingerprint[:12]}…: compiler={entry['compiler_name']} "
+          f"operations={len(entry['schedule']['operations'])}")
+
+    server.shutdown()
+    server.server_close()
+    server.service.close()
+
+
+if __name__ == "__main__":
+    main()

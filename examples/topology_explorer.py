@@ -11,14 +11,16 @@ scale for two contrasting workloads:
 
 and prints, for each topology/capacity point, the shuttle count, the
 estimated execution time and the success rate, plus a per-workload
-recommendation.
+recommendation.  The whole grid runs as **one batch** through the
+runtime (:func:`repro.run_batch`), so distinct points compile in
+parallel worker processes.
 
 Run with ``python examples/topology_explorer.py``.
 """
 
 from __future__ import annotations
 
-from repro import SSyncCompiler, evaluate_schedule, paper_device, qaoa_circuit, qft_circuit
+from repro import CompileJob, paper_device, qaoa_circuit, qft_circuit, run_batch
 from repro.analysis.reporting import format_table
 
 TOPOLOGIES = ("L-4", "L-6", "S-4", "G-2x2", "G-2x3", "G-3x3")
@@ -27,25 +29,35 @@ CAPACITIES = (10, 14, 18, 22)
 
 def sweep(circuit, label: str) -> list[dict[str, object]]:
     """Compile ``circuit`` on every feasible (topology, capacity) point."""
-    rows: list[dict[str, object]] = []
+    jobs = []
     for topology in TOPOLOGIES:
         for capacity in CAPACITIES:
             device = paper_device(topology, capacity)
             if device.total_capacity <= circuit.num_qubits:
                 continue
-            result = SSyncCompiler(device).compile(circuit)
-            evaluation = evaluate_schedule(result.schedule)
-            rows.append(
-                {
-                    "workload": label,
-                    "topology": topology,
-                    "total_capacity": capacity * device.num_traps,
-                    "shuttles": result.shuttle_count,
-                    "swaps": result.swap_count,
-                    "exec_time_ms": evaluation.execution_time_us / 1e3,
-                    "success_rate": evaluation.success_rate,
-                }
+            jobs.append(
+                CompileJob(
+                    circuit=circuit,
+                    device=device,
+                    label=label,
+                    parameter="topology",
+                    value=topology,
+                )
             )
+    rows: list[dict[str, object]] = []
+    for outcome in run_batch(jobs, workers=2):
+        record = outcome.record
+        rows.append(
+            {
+                "workload": label,
+                "topology": record["value"],
+                "total_capacity": outcome.job.device.total_capacity,
+                "shuttles": record["shuttles"],
+                "swaps": record["swaps"],
+                "exec_time_ms": record["execution_time_us"] / 1e3,
+                "success_rate": record["success_rate"],
+            }
+        )
     return rows
 
 

@@ -7,7 +7,10 @@ The package mirrors the paper's structure:
 * :mod:`repro.hardware` — the QCCD device model (traps, junctions,
   L/G/S topologies, the static weighted slot graph);
 * :mod:`repro.core` — the S-SYNC compiler itself (generic swaps,
-  heuristic scheduler, initial mappings);
+  heuristic scheduler, initial mappings); :mod:`repro.core.incremental`
+  is its delta-evaluated hot path (score caches, candidate memoisation,
+  O(1) state bookkeeping), schedule-identical to the naive reference
+  scorer and ≥3x faster on the Fig. 15 points;
 * :mod:`repro.baselines` — reimplementations of the Murali et al. and
   Dai et al. compilers the paper compares against;
 * :mod:`repro.noise` — gate-time, heating and fidelity models plus the
@@ -26,9 +29,15 @@ The package mirrors the paper's structure:
   entry point (jobs, manifests, sweeps, CLI);
 * :mod:`repro.runtime` — the parallel batch-compilation engine:
   declarative :class:`CompileJob` specs, content-addressed schedule
-  caching (in-memory LRU + on-disk), multiprocessing fan-out and the
+  caching (in-memory LRU + on-disk), multiprocessing fan-out — warm
+  persistent pools and streamed per-job outcomes included — and the
   :func:`run_batch`/:func:`run_sweep` entry points behind
-  ``python -m repro batch``.
+  ``python -m repro batch``;
+* :mod:`repro.service` — the async HTTP compilation service over the
+  batch runtime (``python -m repro serve``): manifest submission with
+  fingerprint-derived job ids, chunked JSON-lines result streaming, a
+  warm worker pool surviving across requests, cached-schedule and
+  registry endpoints, plus the stdlib :class:`ServiceClient`.
 
 Quickstart::
 
@@ -48,6 +57,15 @@ Batch quickstart::
     batch = run_batch(jobs, workers=4, cache_dir=".repro-cache")
     for outcome in batch:
         print(outcome.record["circuit"], outcome.record["success_rate"])
+
+Service quickstart (or ``python -m repro serve`` from a shell)::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8000")
+    receipt = client.submit({"jobs": [{"circuit": "qft_24", "device": "G-2x3"}]})
+    for line in client.stream_results(receipt["job_id"]):
+        print(line)
 """
 
 from repro.baselines import DaiCompiler, MuraliCompiler
@@ -75,10 +93,12 @@ from repro.core import (
 from repro.exceptions import (
     CircuitError,
     DeviceError,
+    ManifestError,
     MappingError,
     NoiseModelError,
     ReproError,
     SchedulingError,
+    ServiceError,
     StateError,
 )
 from repro.hardware import (
@@ -127,14 +147,16 @@ from repro.runtime import (
     run_sweep,
 )
 from repro.schedule import Schedule, verify_schedule
+from repro.service import CompilationService, ServiceClient
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BatchCompiler",
     "BatchResult",
     "CircuitError",
     "CompilationResult",
+    "CompilationService",
     "CompileJob",
     "CompilerPipeline",
     "CompilerSpec",
@@ -148,6 +170,7 @@ __all__ = [
     "GraphWeights",
     "HeatingParameters",
     "InitialMappingPass",
+    "ManifestError",
     "MappingError",
     "MetricsPass",
     "MuraliCompiler",
@@ -166,6 +189,8 @@ __all__ = [
     "SchedulerConfig",
     "SchedulingError",
     "SchedulingPass",
+    "ServiceClient",
+    "ServiceError",
     "SlotGraph",
     "StateError",
     "Trap",

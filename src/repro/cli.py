@@ -1,6 +1,6 @@
 """Command-line interface for the S-SYNC reproduction.
 
-Five subcommands cover the common workflows without writing Python:
+Six subcommands cover the common workflows without writing Python:
 
 ``compile``
     Compile a circuit (a named Table-2 benchmark or an OpenQASM 2.0 file)
@@ -25,6 +25,11 @@ Five subcommands cover the common workflows without writing Python:
     runtime — parallel workers, schedule caching — and write the result
     records to a JSON or CSV file.
 
+``serve``
+    Run the HTTP compilation service (:mod:`repro.service`): submit
+    manifests over ``POST /v1/jobs``, stream results as they compile,
+    backed by a warm worker pool and the shared schedule cache.
+
 Examples::
 
     python -m repro compile qft_24 --device G-2x3 --mapping gathering
@@ -35,6 +40,7 @@ Examples::
     python -m repro evaluate schedule.json --gate-implementation am2
     python -m repro batch manifest.json --workers 4 --cache-dir .repro-cache \
         --output results.json
+    python -m repro serve --port 8000 --workers 4 --cache-dir .repro-cache
 """
 
 from __future__ import annotations
@@ -176,6 +182,30 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=("json", "csv"),
         help="output file format (default: inferred from the --output suffix)",
+    )
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the HTTP compilation service over the batch runtime"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    serve_parser.add_argument("--port", type=int, default=8000, help="TCP port (0 = ephemeral)")
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="warm worker processes for compilations (0 = one per CPU)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="directory for the on-disk schedule cache (survives restarts)",
+    )
+    serve_parser.add_argument(
+        "--max-cache-entries",
+        type=int,
+        default=256,
+        help="capacity of the in-memory schedule-cache tier",
     )
 
     sub.add_parser("compilers", help="list the registered compilers and their pipelines")
@@ -324,6 +354,33 @@ def _command_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    # Imported here so the five offline subcommands never pay for (or
+    # depend on) the service stack.
+    from repro.service.server import make_server
+
+    workers = None if args.workers == 0 else args.workers
+    server = make_server(
+        host=args.host,
+        port=args.port,
+        workers=workers,
+        cache_dir=args.cache_dir,
+        max_cache_entries=args.max_cache_entries,
+    )
+    print(f"repro service listening on {server.url}")
+    print("endpoints: POST /v1/jobs  GET /v1/jobs/<id>[/results]  "
+          "GET /v1/schedules/<fp>  GET /v1/compilers  GET /v1/healthz")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.service.close()
+    return 0
+
+
 def _command_evaluate(args: argparse.Namespace) -> int:
     schedule = schedule_from_json(args.schedule.read_text())
     evaluation = evaluate_schedule(schedule, gate_implementation=args.gate_implementation)
@@ -353,6 +410,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "compilers": _command_compilers,
         "evaluate": _command_evaluate,
         "batch": _command_batch,
+        "serve": _command_serve,
     }
     try:
         return handlers[args.command](args)

@@ -39,3 +39,29 @@ class StateError(ReproError):
 
 class NoiseModelError(ReproError):
     """Raised for invalid noise / timing model configurations."""
+
+
+class ManifestError(ReproError):
+    """Raised for malformed job manifests / batch requests.
+
+    Covers everything a declarative job description can get wrong —
+    invalid JSON, unknown keys, unknown compiler names, device specs
+    that do not resolve — so service front-ends can map exactly this
+    type onto a structured 4xx response while treating every other
+    :class:`ReproError` as a server-side failure.
+    """
+
+
+class ServiceError(ReproError):
+    """Raised by the compilation-service client for error responses.
+
+    Carries the HTTP ``status`` and the structured error ``payload``
+    (the parsed JSON body) alongside the message.
+    """
+
+    def __init__(
+        self, message: str, status: int = 0, payload: "dict | None" = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}

@@ -11,7 +11,9 @@ throughput engine:
   deduplicates identical jobs, fans misses out over a multiprocessing
   worker pool (with a deterministic serial fallback) and re-evaluates
   every schedule in the parent so serial, parallel and cached paths
-  produce identical records;
+  produce identical records; ``warm=True`` keeps the pool alive across
+  batches and ``run(..., on_outcome=...)`` streams each outcome as it
+  completes (what :mod:`repro.service` is built on);
 * :mod:`repro.runtime.api` — :func:`run_batch` / :func:`run_sweep`
   convenience entry points;
 * :mod:`repro.runtime.manifest` — JSON/YAML job-manifest parsing for the
@@ -30,6 +32,7 @@ from repro.runtime.jobs import (
 from repro.runtime.manifest import (
     job_from_dict,
     jobs_from_manifest,
+    jobs_from_manifest_text,
     load_manifest,
     ssync_config_from_dict,
 )
@@ -49,6 +52,7 @@ __all__ = [
     "device_fingerprint",
     "job_from_dict",
     "jobs_from_manifest",
+    "jobs_from_manifest_text",
     "load_manifest",
     "run_batch",
     "run_sweep",

@@ -9,11 +9,11 @@ flat row dictionaries (record + compile time) in job order.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.runtime.cache import ScheduleCache
 from repro.runtime.jobs import CompileJob
-from repro.runtime.pool import BatchCompiler, BatchResult
+from repro.runtime.pool import BatchCompiler, BatchResult, JobOutcome
 
 
 def _resolve_cache(
@@ -34,6 +34,7 @@ def run_batch(
     cache: ScheduleCache | None = None,
     cache_dir: "Path | str | None" = None,
     max_cache_entries: int = 256,
+    on_outcome: "Callable[[JobOutcome], None] | None" = None,
 ) -> BatchResult:
     """Compile and evaluate every job, parallelising distinct compilations.
 
@@ -49,11 +50,21 @@ def run_batch(
     cache_dir:
         Shorthand for a disk-backed cache at this directory (ignored when
         ``cache`` is given).
+    on_outcome:
+        Called once per job, in job order, as soon as the job's outcome
+        is known (streamed result delivery; see
+        :meth:`BatchCompiler.run`).
+
+    Long-lived callers that issue many small batches should hold a warm
+    engine instead (``BatchCompiler(warm=True)``): a fresh engine per
+    call — what this function builds — pays the pool spawn cost every
+    time.
     """
     engine = BatchCompiler(
         workers=workers, cache=_resolve_cache(cache, cache_dir, max_cache_entries)
     )
-    return engine.run(jobs)
+    with engine:
+        return engine.run(jobs, on_outcome=on_outcome)
 
 
 def run_sweep(

@@ -197,6 +197,22 @@ class ScheduleCache:
         self.stats.misses += 1
         return None
 
+    def peek(self, fingerprint: str) -> CachedCompilation | None:
+        """Look up a compilation without touching stats or LRU recency.
+
+        Read-only observers (the service's cached-schedule endpoint, CLI
+        inspection) use this so they neither skew the hit/miss counters
+        batch runs report as deltas nor promote entries over the working
+        set.
+        """
+        entry = self._entries.get(fingerprint)
+        if entry is not None:
+            return entry
+        path = self._disk_path_if_present(fingerprint)
+        if path is not None:
+            return self._read_disk_entry(path)
+        return None
+
     def put(self, fingerprint: str, entry: CachedCompilation) -> None:
         """Store a compilation under ``fingerprint`` (memory and disk)."""
         self._insert(fingerprint, entry)

@@ -20,6 +20,13 @@ supports the keys ``circuit`` (benchmark name or ``.qasm`` path),
 :class:`HeatingParameters` fields), ``config`` (see
 :func:`ssync_config_from_dict`) and the presentation metadata ``label``,
 ``parameter``, ``value``.
+
+Every way a manifest can be malformed raises the typed
+:class:`~repro.exceptions.ManifestError` (a :class:`ReproError`
+subclass), so callers that accept untrusted documents — the
+:mod:`repro.service` HTTP front-end chief among them — can map bad
+requests onto structured 4xx responses without guessing which failures
+were the client's fault.
 """
 
 from __future__ import annotations
@@ -27,13 +34,15 @@ from __future__ import annotations
 import json
 from dataclasses import fields as dataclass_fields
 from dataclasses import replace
+from functools import lru_cache
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from repro.circuit.qasm import qasm_to_circuit
 from repro.core.compiler import SSyncConfig
 from repro.core.scheduler import SchedulerConfig
-from repro.exceptions import ReproError
+from repro.exceptions import ManifestError, ReproError
+from repro.hardware.presets import paper_device
 from repro.noise.heating import HeatingParameters
 from repro.registry import compiler_spec, normalize_compiler_name
 from repro.runtime.jobs import CompileJob
@@ -80,7 +89,7 @@ def ssync_config_from_dict(data: Mapping[str, Any]) -> SSyncConfig:
         elif key in _SCHEDULER_KEYS:
             scheduler[key] = value
         else:
-            raise ReproError(f"unknown S-SYNC config key {key!r} in manifest")
+            raise ManifestError(f"unknown S-SYNC config key {key!r} in manifest")
     if scheduler:
         config = replace(config, scheduler=replace(config.scheduler, **scheduler))
     if top:
@@ -90,12 +99,36 @@ def ssync_config_from_dict(data: Mapping[str, Any]) -> SSyncConfig:
     return config
 
 
+@lru_cache(maxsize=64)
+def _device_spec_error(device: str, capacity: "int | None") -> str | None:
+    """``None`` when the spec resolves, else the builder's error message.
+
+    Memoised because validation materialises the device (including its
+    dense distance matrices) only to discard it, and a sweep-shaped
+    manifest repeats one spec across every job.
+    """
+    try:
+        paper_device(device, capacity)
+    except (ReproError, TypeError, ValueError) as exc:
+        return str(exc)
+    return None
+
+
+def _validate_device_spec(device: str, capacity: Any) -> None:
+    if isinstance(capacity, int) or capacity is None:
+        error = _device_spec_error(device, capacity)
+    else:  # unhashable/garbage capacity cannot go through the cache
+        error = _device_spec_error.__wrapped__(device, capacity)
+    if error is not None:
+        raise ManifestError(f"invalid device spec {device!r}: {error}")
+
+
 def _resolve_circuit_spec(spec: Any) -> Any:
     """A ``.qasm`` path is loaded eagerly; benchmark names stay symbolic."""
     if isinstance(spec, str) and spec.lower().endswith(".qasm"):
         path = Path(spec)
         if not path.exists():
-            raise ReproError(f"manifest circuit file {spec!r} does not exist")
+            raise ManifestError(f"manifest circuit file {spec!r} does not exist")
         return qasm_to_circuit(path.read_text(), name=path.stem)
     return spec
 
@@ -120,11 +153,11 @@ def job_from_dict(
     merged.update(_normalize_mapping_key(data))
     unknown = set(merged) - _JOB_KEYS
     if unknown:
-        raise ReproError(f"unknown manifest job keys: {', '.join(sorted(unknown))}")
+        raise ManifestError(f"unknown manifest job keys: {', '.join(sorted(unknown))}")
     if "circuit" not in merged:
-        raise ReproError("every manifest job needs a 'circuit'")
+        raise ManifestError("every manifest job needs a 'circuit'")
     if "device" not in merged:
-        raise ReproError("every manifest job needs a 'device' (directly or via defaults)")
+        raise ManifestError("every manifest job needs a 'device' (directly or via defaults)")
 
     config = merged.get("config")
     if isinstance(config, Mapping):
@@ -134,15 +167,22 @@ def job_from_dict(
         try:
             heating = HeatingParameters(**heating)
         except TypeError as exc:
-            raise ReproError(f"invalid heating parameters in manifest: {exc}") from exc
+            raise ManifestError(f"invalid heating parameters in manifest: {exc}") from exc
 
     mapping = merged.get("initial_mapping")
-    # Resolve the compiler through the registry now, so a typo fails with
-    # the job's index in the error instead of mid-batch.
-    compiler = normalize_compiler_name(str(merged.get("compiler", "s-sync")))
+    # Resolve the compiler through the registry and validate the device
+    # spec now, so a typo fails with the job's index in the error (and a
+    # 4xx from the service) instead of mid-batch in a worker process.
+    try:
+        compiler = normalize_compiler_name(str(merged.get("compiler", "s-sync")))
+    except ReproError as exc:
+        raise ManifestError(str(exc)) from exc
+    device = merged["device"]
+    if isinstance(device, str):
+        _validate_device_spec(device, merged.get("capacity"))
     if mapping is not None and not compiler_spec(compiler).accepts_mapping:
         if "initial_mapping" in _normalize_mapping_key(data):
-            raise ReproError(
+            raise ManifestError(
                 f"compiler {compiler!r} brings its own initial mapping; "
                 f"remove mapping={mapping!r} from the job"
             )
@@ -173,42 +213,60 @@ def jobs_from_manifest(document: Any) -> list[CompileJob]:
         defaults = document.get("defaults", {})
         job_specs = document.get("jobs")
         if job_specs is None:
-            raise ReproError("manifest object needs a 'jobs' list")
+            raise ManifestError("manifest object needs a 'jobs' list")
     else:
-        raise ReproError("a manifest must be a JSON object or a list of jobs")
+        raise ManifestError("a manifest must be a JSON object or a list of jobs")
     if not isinstance(defaults, Mapping):
-        raise ReproError("manifest 'defaults' must be an object")
+        raise ManifestError("manifest 'defaults' must be an object")
     jobs = []
     for index, spec in enumerate(job_specs):
         if not isinstance(spec, Mapping):
-            raise ReproError(f"manifest job #{index} is not an object")
+            raise ManifestError(f"manifest job #{index} is not an object")
         try:
             jobs.append(job_from_dict(spec, defaults=defaults))
         except ReproError as exc:
-            raise ReproError(f"manifest job #{index}: {exc}") from exc
+            raise ManifestError(f"manifest job #{index}: {exc}") from exc
     if not jobs:
-        raise ReproError("the manifest contains no jobs")
+        raise ManifestError("the manifest contains no jobs")
     return jobs
+
+
+def jobs_from_manifest_text(text: "str | bytes") -> list[CompileJob]:
+    """Parse a JSON manifest from raw text (the service request body).
+
+    This is the one request-parsing path shared by the HTTP front-end
+    and JSON file loading: decode, then :func:`jobs_from_manifest`.
+    Raises :class:`ManifestError` for undecodable or invalid documents.
+    """
+    if isinstance(text, bytes):
+        try:
+            text = text.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ManifestError(f"manifest body is not valid UTF-8: {exc}") from exc
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ManifestError(f"invalid JSON manifest: {exc}") from exc
+    return jobs_from_manifest(document)
 
 
 def load_manifest(path: "Path | str") -> list[CompileJob]:
     """Read a JSON or YAML manifest file into compile jobs."""
     path = Path(path)
     if not path.exists():
-        raise ReproError(f"manifest file {path} does not exist")
+        raise ManifestError(f"manifest file {path} does not exist")
     text = path.read_text()
     if path.suffix.lower() in {".yaml", ".yml"}:
         try:
             import yaml  # type: ignore[import-untyped]
         except ImportError as exc:
-            raise ReproError(
+            raise ManifestError(
                 "YAML manifests need the optional PyYAML dependency; "
                 "install it or use a JSON manifest"
             ) from exc
         document = yaml.safe_load(text)
-    else:
-        try:
-            document = json.loads(text)
-        except json.JSONDecodeError as exc:
-            raise ReproError(f"invalid JSON manifest {path}: {exc}") from exc
-    return jobs_from_manifest(document)
+        return jobs_from_manifest(document)
+    try:
+        return jobs_from_manifest_text(text)
+    except ManifestError as exc:
+        raise ManifestError(f"manifest {path}: {exc}") from exc

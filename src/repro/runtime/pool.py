@@ -18,14 +18,27 @@ plain serialised data and is re-evaluated in the parent process, so the
 result **records are byte-identical** across the serial, parallel and
 warm-cache paths; only the timing side-channel (``compile_time_s``,
 ``from_cache``) differs.
+
+Two service-oriented modes layer on top of the same engine:
+
+* **warm pool** (``BatchCompiler(warm=True)``) — the worker pool is
+  created once and survives across :meth:`BatchCompiler.run` calls, so
+  small batches amortise the process-spawn cost instead of paying it per
+  batch.  ``BatchResult.extra["worker_pids"]`` records which processes
+  compiled, making the reuse observable;
+* **completion callbacks** (``run(jobs, on_outcome=...)``) — each
+  :class:`JobOutcome` is delivered in job order as soon as its
+  compilation lands, instead of after the whole batch.  This is what the
+  :mod:`repro.service` streaming endpoint consumes.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.exceptions import ReproError
 from repro.noise.evaluator import evaluate_schedule
@@ -33,15 +46,18 @@ from repro.runtime.cache import CachedCompilation, CacheStats, ScheduleCache
 from repro.runtime.jobs import CompileJob, compile_job
 
 
-def _compile_entry(item: "tuple[str, CompileJob]") -> "tuple[str, dict[str, Any]]":
+def _compile_entry(
+    item: "tuple[str, CompileJob]",
+) -> "tuple[str, dict[str, Any], int]":
     """Worker function: compile one job and return plain data.
 
     Must stay a module-level function so it pickles under every
-    multiprocessing start method.
+    multiprocessing start method.  The compiling process id travels with
+    the result so warm-pool reuse is observable from the parent.
     """
     fingerprint, job = item
     result = compile_job(job)
-    return fingerprint, CachedCompilation.from_result(result).to_dict()
+    return fingerprint, CachedCompilation.from_result(result).to_dict(), os.getpid()
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -133,12 +149,20 @@ class BatchCompiler:
         Schedule cache shared across runs.  When omitted the engine owns
         a private in-memory cache, so repeated ``run`` calls on one
         instance still deduplicate.
+    warm:
+        Keep one persistent worker pool alive across :meth:`run` calls
+        instead of spawning (and tearing down) a pool per batch.  Warm
+        engines route every pooled compilation — even a single one —
+        through the persistent workers, amortising process spawn on
+        small jobs; call :meth:`close` (or use the engine as a context
+        manager) to release the workers.
     """
 
     def __init__(
         self,
         workers: int | None = 1,
         cache: ScheduleCache | None = None,
+        warm: bool = False,
     ) -> None:
         if workers is None:
             workers = multiprocessing.cpu_count()
@@ -146,9 +170,22 @@ class BatchCompiler:
             raise ReproError("workers cannot be negative")
         self.workers = max(workers, 1)
         self.cache = cache if cache is not None else ScheduleCache()
+        self.warm = bool(warm)
+        self._pool: "multiprocessing.pool.Pool | None" = None
 
-    def run(self, jobs: Sequence[CompileJob]) -> BatchResult:
-        """Execute ``jobs`` and return outcomes in job order."""
+    def run(
+        self,
+        jobs: Sequence[CompileJob],
+        on_outcome: "Callable[[JobOutcome], None] | None" = None,
+    ) -> BatchResult:
+        """Execute ``jobs`` and return outcomes in job order.
+
+        ``on_outcome`` is called once per job, in job order, as soon as
+        the job's outcome is known — cache hits fire before the first
+        compilation finishes, compiled jobs as their schedule lands.  The
+        callback runs in the calling thread and sees exactly the outcomes
+        the returned :class:`BatchResult` will contain.
+        """
         start = time.perf_counter()
         jobs = list(jobs)
         stats_before = self.cache.stats.snapshot()
@@ -168,16 +205,32 @@ class BatchCompiler:
             else:
                 pending[fingerprint] = job
 
-        for fingerprint, entry_data in self._compile_pending(pending):
+        outcomes: list[JobOutcome] = []
+        worker_pids: set[int] = set()
+
+        def _drain() -> None:
+            """Emit every job whose compilation is resolved, in job order."""
+            while len(outcomes) < len(jobs):
+                fingerprint = compile_fps[len(outcomes)]
+                entry = entries.get(fingerprint)
+                if entry is None:
+                    return
+                outcome = self._build_outcome(
+                    jobs[len(outcomes)], fingerprint, entry, from_cache[fingerprint]
+                )
+                outcomes.append(outcome)
+                if on_outcome is not None:
+                    on_outcome(outcome)
+
+        _drain()  # jobs fully served by the cache stream before any compile
+        for fingerprint, entry_data, pid in self._iter_compiled(pending):
             entry = CachedCompilation.from_dict(entry_data)
             self.cache.put(fingerprint, entry)
             entries[fingerprint] = entry
             from_cache[fingerprint] = False
+            worker_pids.add(pid)
+            _drain()
 
-        outcomes = [
-            self._build_outcome(job, fingerprint, entries[fingerprint], from_cache[fingerprint])
-            for job, fingerprint in zip(jobs, compile_fps)
-        ]
         stats_after = self.cache.stats.snapshot()
         return BatchResult(
             outcomes=outcomes,
@@ -191,39 +244,78 @@ class BatchCompiler:
             compilations=len(pending),
             workers=self.workers,
             wall_time_s=time.perf_counter() - start,
+            extra={"worker_pids": sorted(worker_pids)},
         )
+
+    def close(self) -> None:
+        """Release the persistent warm pool (no-op for cold engines)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "BatchCompiler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _compile_pending(
+    def _ensure_pool(self) -> "multiprocessing.pool.Pool":
+        """The persistent warm pool, created on first use."""
+        if self._pool is None:
+            self._pool = _pool_context().Pool(processes=self.workers)
+        return self._pool
+
+    def _split_items(
+        self, items: "list[tuple[str, CompileJob]]"
+    ) -> "tuple[list[tuple[str, CompileJob]], list[tuple[str, CompileJob]]]":
+        """Partition items into (pooled, compile-in-this-process).
+
+        Spawned workers re-import the package and therefore only see the
+        built-in compilers; a warm pool additionally snapshots the parent
+        at creation time, so even under ``fork`` a compiler registered
+        after the pool started would be missing.  In both situations jobs
+        using runtime-registered backends compile in this process, where
+        the registration happened.
+        """
+        if not self.warm and _pool_context().get_start_method() == "fork":
+            return items, []
+        from repro.registry import compiler_spec
+
+        pooled = [item for item in items if compiler_spec(item[1].compiler).builtin]
+        local = [item for item in items if not compiler_spec(item[1].compiler).builtin]
+        return pooled, local
+
+    def _iter_compiled(
         self, pending: "dict[str, CompileJob]"
-    ) -> list[tuple[str, dict[str, Any]]]:
+    ) -> "Iterator[tuple[str, dict[str, Any], int]]":
+        """Compile pending items, yielding each as soon as it completes."""
         items = list(pending.items())
         if not items:
-            return []
-        if self.workers <= 1 or len(items) == 1:
-            return [_compile_entry(item) for item in items]
-        ctx = _pool_context()
-        pooled = items
-        local: list[tuple[str, CompileJob]] = []
-        if ctx.get_start_method() != "fork":
-            # Spawned workers re-import the package and therefore only see
-            # the built-in compilers; jobs using runtime-registered
-            # backends must compile in this process, where the registration
-            # happened.
-            from repro.registry import compiler_spec
-
-            pooled = [item for item in items if compiler_spec(item[1].compiler).builtin]
-            local = [item for item in items if not compiler_spec(item[1].compiler).builtin]
-        results = [_compile_entry(item) for item in local]
-        if pooled:
-            if len(pooled) == 1:
-                results.extend([_compile_entry(pooled[0])])
-            else:
-                with ctx.Pool(processes=min(self.workers, len(pooled))) as pool:
-                    results.extend(pool.map(_compile_entry, pooled))
-        return results
+            return
+        if not self.warm and (self.workers <= 1 or len(items) == 1):
+            for item in items:
+                yield _compile_entry(item)
+            return
+        pooled, local = self._split_items(items)
+        if not pooled:
+            for item in local:
+                yield _compile_entry(item)
+            return
+        if self.warm:
+            results = self._ensure_pool().imap_unordered(_compile_entry, pooled)
+            for item in local:
+                yield _compile_entry(item)
+            yield from results
+        else:
+            with _pool_context().Pool(processes=min(self.workers, len(pooled))) as pool:
+                results = pool.imap_unordered(_compile_entry, pooled)
+                for item in local:
+                    yield _compile_entry(item)
+                yield from results
 
     @staticmethod
     def _build_outcome(

@@ -1,0 +1,55 @@
+"""Async compilation service: an HTTP front-end over the batch runtime.
+
+The service turns the library into something a user can submit work to
+without importing Python: POST a job manifest, get a fingerprint-derived
+job id back, stream each result as its compilation lands.  Four modules
+split the responsibilities:
+
+* :mod:`repro.service.jobs` — submission bookkeeping:
+  :class:`ServiceJob` life cycle (queued/running/done/failed), the
+  thread-safe outcome buffer streams read from, and deterministic job
+  ids derived from :meth:`CompileJob.fingerprint`;
+* :mod:`repro.service.app` — :class:`CompilationService`, the
+  transport-independent core owning the **warm**
+  :class:`~repro.runtime.pool.BatchCompiler` (worker processes survive
+  across submissions), the shared
+  :class:`~repro.runtime.cache.ScheduleCache` and the FIFO executor;
+* :mod:`repro.service.server` — the stdlib ``http.server`` front-end:
+  ``/v1/jobs`` (submit/list/status), the chunked JSON-lines
+  ``/v1/jobs/<id>/results`` stream, ``/v1/schedules/<fingerprint>``,
+  ``/v1/compilers`` and ``/v1/healthz``, with structured 4xx errors for
+  everything :class:`~repro.exceptions.ManifestError` covers;
+* :mod:`repro.service.client` — :class:`ServiceClient`, the thin stdlib
+  client used by tests, examples and CI.
+
+Start one from the CLI (``python -m repro serve --port 8000``) or
+in-process::
+
+    from repro.service import CompilationService, ServiceClient, make_server
+    import threading
+
+    server = make_server(workers=2, port=0)          # ephemeral port
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    client = ServiceClient(server.url)
+    receipt = client.submit({"jobs": [{"circuit": "qft_12", "device": "G-2x2"}]})
+    for line in client.stream_results(receipt["job_id"]):
+        print(line)
+
+Everything is standard library — no web framework, no new dependencies.
+"""
+
+from repro.service.app import CompilationService
+from repro.service.client import ServiceClient
+from repro.service.jobs import JobStore, ServiceJob, job_batch_id
+from repro.service.server import ServiceServer, make_server, serve
+
+__all__ = [
+    "CompilationService",
+    "JobStore",
+    "ServiceClient",
+    "ServiceJob",
+    "ServiceServer",
+    "job_batch_id",
+    "make_server",
+    "serve",
+]

@@ -1,0 +1,266 @@
+"""The compilation service core, independent of any transport.
+
+:class:`CompilationService` owns the three long-lived pieces the HTTP
+front-end (and any embedding application) shares:
+
+* a **warm** :class:`~repro.runtime.pool.BatchCompiler` whose worker
+  processes survive across submissions, so small jobs do not pay the
+  pool-spawn cost per request;
+* a :class:`~repro.runtime.cache.ScheduleCache` (optionally disk-backed)
+  that serves repeated submissions without recompiling;
+* a :class:`~repro.service.jobs.JobStore` of every submission, keyed by
+  the fingerprint-derived job id.
+
+Submissions run on a single executor thread in FIFO order — the engine
+itself fans distinct compilations out over processes, so one batch at a
+time keeps the records deterministic while still saturating the workers.
+Outcomes stream through :meth:`ServiceJob.add_outcome` as each
+compilation lands, which is what makes incremental result delivery
+possible before a batch finishes.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.hardware.presets import paper_device
+from repro.registry import available_compilers, make_pipeline
+from repro.runtime.cache import ScheduleCache
+from repro.runtime.manifest import jobs_from_manifest, jobs_from_manifest_text
+from repro.runtime.pool import BatchCompiler
+from repro.service.jobs import JobStore, ServiceJob, job_batch_id
+
+#: Executor-queue sentinel that asks the worker thread to exit.
+_STOP = object()
+
+
+class CompilationService:
+    """Async compilation jobs over a warm batch engine.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count of the underlying engine.
+    cache:
+        An existing :class:`ScheduleCache` to serve and populate.
+    cache_dir:
+        Shorthand for a disk-backed cache (ignored when ``cache`` is
+        given), so schedules survive service restarts.
+    warm:
+        Keep the engine's worker pool alive across submissions (the
+        default; disable only for tests of the cold path).
+    """
+
+    def __init__(
+        self,
+        workers: int | None = 2,
+        cache: ScheduleCache | None = None,
+        cache_dir: "Path | str | None" = None,
+        max_cache_entries: int = 256,
+        warm: bool = True,
+    ) -> None:
+        if cache is None:
+            cache = ScheduleCache(max_entries=max_cache_entries, directory=cache_dir)
+        self.engine = BatchCompiler(workers=workers, cache=cache, warm=warm)
+        self.store = JobStore()
+        self._queue: "queue.Queue[Any]" = queue.Queue()
+        self._executor: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self._closed = False
+        self._compilers_cache: "tuple[tuple, list[dict[str, object]]] | None" = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the executor thread (idempotent; ``submit`` calls it)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("the service has been closed")
+            if self._executor is None:
+                self._executor = threading.Thread(
+                    target=self._run_executor, name="repro-service-executor", daemon=True
+                )
+                self._executor.start()
+
+    def close(self) -> None:
+        """Stop the executor after the current batch and release workers.
+
+        Jobs still queued behind the in-flight batch are abandoned (the
+        executor checks the closed flag before starting each one), so
+        shutdown takes at most one batch, not the whole backlog.
+        """
+        with self._lock:
+            self._closed = True
+            executor = self._executor
+            self._executor = None
+        if executor is not None:
+            self._queue.put(_STOP)
+            executor.join()
+        self.engine.close()
+
+    def __enter__(self) -> "CompilationService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _run_executor(self) -> None:
+        while True:
+            item = self._queue.get()
+            # The closed flag outranks the backlog: _STOP only wakes an
+            # idle executor, while a closing service must not start the
+            # batches still queued behind the in-flight one.
+            if item is _STOP or self._closed:
+                return
+            job: ServiceJob = item
+            job.mark_running()
+            try:
+                result = self.engine.run(job.jobs, on_outcome=job.add_outcome)
+            except Exception as exc:  # noqa: BLE001 - job-scoped failure, not ours
+                job.mark_failed(exc)
+            else:
+                job.mark_done(result)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit_document(self, document: Any) -> "tuple[ServiceJob, bool]":
+        """Submit a parsed manifest document; returns ``(job, resubmitted)``.
+
+        Raises :class:`~repro.exceptions.ManifestError` for invalid
+        documents.  A manifest whose fingerprint-derived id matches an
+        existing non-failed job is **not** re-run: the original job is
+        returned with ``resubmitted=True`` (its results may already be
+        streaming, or complete).  A failed job is retried.
+        """
+        jobs = jobs_from_manifest(document)
+        return self._enqueue(jobs)
+
+    def submit_text(self, body: "str | bytes") -> "tuple[ServiceJob, bool]":
+        """Submit a raw JSON manifest body (the POST request path)."""
+        jobs = jobs_from_manifest_text(body)
+        return self._enqueue(jobs)
+
+    def _enqueue(self, jobs: list) -> "tuple[ServiceJob, bool]":
+        self.start()
+        job_id = job_batch_id(jobs)
+        with self._lock:
+            existing = self.store.get(job_id)
+            if existing is not None and existing.status != "failed":
+                return existing, True
+            job = ServiceJob(job_id, jobs)
+            self.store.put(job)
+        self._queue.put(job)
+        return job, False
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> ServiceJob | None:
+        """The job record for an id, or ``None``."""
+        return self.store.get(job_id)
+
+    def stream_lines(
+        self, job_id: str, timeout: float | None = None
+    ) -> Iterator[dict[str, object]]:
+        """JSON-ready result lines for a job, in job order, as they land.
+
+        Yields one ``{"type": "outcome", ...}`` object per compile job
+        and exactly one terminal ``{"type": "end", ...}`` object carrying
+        the batch summary (or the failure).  Unknown ids raise
+        :class:`KeyError` — eagerly, before the first iteration, so HTTP
+        handlers can turn it into a 404 while the status line is still
+        unsent.
+        """
+        job = self.store.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        return self._stream_lines(job, timeout)
+
+    def _stream_lines(
+        self, job: ServiceJob, timeout: float | None
+    ) -> Iterator[dict[str, object]]:
+        for index, outcome in enumerate(job.iter_outcomes(timeout=timeout)):
+            yield {
+                "type": "outcome",
+                "job_id": job.job_id,
+                "index": index,
+                "fingerprint": outcome.fingerprint,
+                "compile_fingerprint": outcome.compile_fingerprint,
+                "record": dict(outcome.record),
+                "compile_time_s": outcome.compile_time_s,
+                "from_cache": outcome.from_cache,
+            }
+        end: dict[str, object] = {
+            "type": "end",
+            "job_id": job.job_id,
+            "status": job.status,
+        }
+        if job.summary is not None:
+            end["summary"] = dict(job.summary)
+        if job.error is not None:
+            end["error"] = dict(job.error)
+        yield end
+
+    def schedule_payload(self, compile_fingerprint: str) -> dict[str, object] | None:
+        """The cached compilation stored under a compile fingerprint.
+
+        Uses :meth:`ScheduleCache.peek`, so lookups neither skew the
+        cache statistics nor reorder the LRU tier.  ``None`` when the
+        fingerprint is unknown (or its on-disk entry has a mismatched
+        format version).
+        """
+        entry = self.engine.cache.peek(compile_fingerprint)
+        if entry is None:
+            return None
+        return {"compile_fingerprint": compile_fingerprint, "entry": entry.to_dict()}
+
+    def compilers_payload(self) -> list[dict[str, object]]:
+        """The registry listing, mirroring ``python -m repro compilers``.
+
+        Building the payload materialises one pipeline per compiler, so
+        the rows are cached and recomputed only when the registry
+        contents change (spec equality includes factory identity, so a
+        re-registration under the same name invalidates too).
+        """
+        specs = available_compilers()
+        cached = self._compilers_cache
+        if cached is not None and cached[0] == specs:
+            return cached[1]
+        device = paper_device("G-2x2")  # a representative device to materialise pipelines
+        rows = []
+        for spec in specs:
+            pipeline = make_pipeline(spec.name, device)
+            rows.append(
+                {
+                    "name": spec.name,
+                    "aliases": list(spec.aliases),
+                    "passes": list(pipeline.pass_names()),
+                    "mapping": spec.default_mapping or "built-in",
+                    "accepts_mapping": spec.accepts_mapping,
+                    "accepts_config": spec.accepts_config,
+                    "builtin": spec.builtin,
+                    "description": spec.description,
+                }
+            )
+        self._compilers_cache = (specs, rows)
+        return rows
+
+    def health_payload(self) -> dict[str, object]:
+        """Liveness plus the numbers an operator wants at a glance."""
+        # Imported lazily: repro/__init__ re-exports this package, so a
+        # top-level import of the package root would be circular.
+        from repro import __version__
+
+        return {
+            "status": "ok",
+            "version": __version__,
+            "jobs": self.store.counts(),
+            "engine": {"workers": self.engine.workers, "warm": self.engine.warm},
+            "cache": self.engine.cache.stats.as_dict(),
+        }

@@ -1,0 +1,146 @@
+"""A thin stdlib client for the compilation service.
+
+:class:`ServiceClient` wraps the HTTP API in Python calls returning the
+parsed JSON payloads; :meth:`ServiceClient.stream_results` exposes the
+chunked JSON-lines endpoint as a generator, yielding each result object
+the moment the service flushes it.  Error responses raise the typed
+:class:`~repro.exceptions.ServiceError` with the HTTP status and the
+structured error payload attached.
+
+Used by the test suite, ``examples/service_client.py`` and CI's service
+smoke step; applications embedding the service in-process can skip HTTP
+entirely and talk to :class:`~repro.service.app.CompilationService`.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.exceptions import ServiceError
+
+
+class ServiceClient:
+    """Talks to one service at ``base_url`` (e.g. ``http://127.0.0.1:8000``)."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _open(self, method: str, path: str, body: bytes | None = None):
+        request = urllib.request.Request(
+            self.base_url + path, data=body, method=method
+        )
+        if body is not None:
+            request.add_header("Content-Type", "application/json")
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                payload = {}
+            error = payload.get("error", {}) if isinstance(payload, dict) else {}
+            message = error.get("message") or f"{exc.code} {exc.reason}"
+            raise ServiceError(message, status=exc.code, payload=payload) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"cannot reach {self.base_url}: {exc.reason}") from exc
+
+    def _json(self, method: str, path: str, body: bytes | None = None) -> Any:
+        with self._open(method, path, body) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, manifest: "Mapping | Sequence | str | bytes") -> dict[str, Any]:
+        """POST a manifest (dict/list, or raw JSON text) to ``/v1/jobs``.
+
+        Returns the submission receipt: ``job_id``, ``status``,
+        ``resubmitted`` and the results path.
+        """
+        if isinstance(manifest, bytes):
+            body = manifest
+        elif isinstance(manifest, str):
+            body = manifest.encode("utf-8")
+        else:
+            body = json.dumps(manifest).encode("utf-8")
+        return self._json("POST", "/v1/jobs", body)
+
+    def submit_file(self, path: "Path | str") -> dict[str, Any]:
+        """Submit a JSON manifest file from disk."""
+        return self.submit(Path(path).read_bytes())
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def stream_results(
+        self, job_id: str, timeout: float | None = None
+    ) -> Iterator[dict[str, Any]]:
+        """Yield result lines for a job as the service flushes them.
+
+        Each yielded object is either an ``outcome`` (one per compile
+        job, in job order) or the terminal ``end`` object.  ``timeout``
+        is forwarded to the server, bounding how long the stream may
+        stay open overall.
+        """
+        path = f"/v1/jobs/{job_id}/results"
+        if timeout is not None:
+            path += f"?timeout={timeout}"
+        with self._open("GET", path) as response:
+            for raw in response:
+                line = raw.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+
+    def results(self, job_id: str, timeout: float | None = None) -> list[dict[str, Any]]:
+        """Collect every outcome of a job, blocking until it finishes.
+
+        Raises :class:`ServiceError` when the job failed server-side
+        (the error payload carries the failure detail).
+        """
+        outcomes: list[dict[str, Any]] = []
+        for line in self.stream_results(job_id, timeout=timeout):
+            if line.get("type") == "outcome":
+                outcomes.append(line)
+            elif line.get("type") == "end" and line.get("status") == "failed":
+                error = line.get("error") or {}
+                raise ServiceError(
+                    f"job {job_id} failed: {error.get('message', 'unknown error')}",
+                    payload=line,
+                )
+        return outcomes
+
+    def records(self, job_id: str, timeout: float | None = None) -> list[dict[str, Any]]:
+        """Just the deterministic result records, in job order."""
+        return [outcome["record"] for outcome in self.results(job_id, timeout=timeout)]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> dict[str, Any]:
+        """One job's status payload (404 raises :class:`ServiceError`)."""
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> list[dict[str, Any]]:
+        """Status payloads of every submitted job, oldest first."""
+        return self._json("GET", "/v1/jobs")["jobs"]
+
+    def schedule(self, compile_fingerprint: str) -> dict[str, Any]:
+        """The cached compilation stored under a compile fingerprint."""
+        return self._json("GET", f"/v1/schedules/{compile_fingerprint}")
+
+    def compilers(self) -> list[dict[str, Any]]:
+        """The registry listing (name, aliases, passes, description)."""
+        return self._json("GET", "/v1/compilers")["compilers"]
+
+    def health(self) -> dict[str, Any]:
+        """The health payload (status, version, job counts, cache stats)."""
+        return self._json("GET", "/v1/healthz")

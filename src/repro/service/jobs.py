@@ -1,0 +1,177 @@
+"""Service-side job bookkeeping: submissions, states, streamed outcomes.
+
+A :class:`ServiceJob` tracks one submitted manifest through its life
+cycle (``queued`` → ``running`` → ``done``/``failed``) and buffers the
+:class:`~repro.runtime.pool.JobOutcome` items the batch engine delivers
+via its completion callback.  All mutation happens under one condition
+variable, so any number of HTTP handler threads can stream outcomes
+while the executor thread appends them.
+
+Job ids are **derived from the compile-job fingerprints** (not from a
+counter or a clock): the same manifest always maps to the same id, which
+makes submission idempotent — a client retrying a POST neither duplicates
+work nor loses track of the original run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from typing import Iterator, Sequence
+
+from repro.runtime.jobs import CompileJob
+from repro.runtime.pool import BatchResult, JobOutcome
+
+#: The four states a submitted job moves through.
+JOB_STATUSES = ("queued", "running", "done", "failed")
+
+
+def job_batch_id(jobs: Sequence[CompileJob]) -> str:
+    """Deterministic id of a submission: a digest over its job fingerprints.
+
+    Built from :meth:`CompileJob.fingerprint` (compile inputs *and*
+    evaluation settings) **plus** the presentation metadata
+    (``label``/``parameter``/``value``) — metadata never enters the
+    compile fingerprints, but it does appear in result records, so two
+    manifests that would produce different records must never share an
+    id.  A byte-for-byte resubmission always does.
+    """
+    payload = "\n".join(
+        f"{job.fingerprint()}|{job.label}|{job.parameter}|{job.value!r}"
+        for job in jobs
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class ServiceJob:
+    """One submitted batch: its compile jobs, state and streamed outcomes."""
+
+    def __init__(self, job_id: str, jobs: Sequence[CompileJob]) -> None:
+        self.job_id = job_id
+        self.jobs: list[CompileJob] = list(jobs)
+        self.status = "queued"
+        self.outcomes: list[JobOutcome] = []
+        self.error: "dict[str, str] | None" = None
+        self.summary: "dict[str, object] | None" = None
+        self.created_at = time.time()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self._cond = threading.Condition()
+
+    # ------------------------------------------------------------------
+    # executor-side transitions
+    # ------------------------------------------------------------------
+    def add_outcome(self, outcome: JobOutcome) -> None:
+        """Record one completed outcome (the engine's ``on_outcome`` hook)."""
+        with self._cond:
+            self.outcomes.append(outcome)
+            self._cond.notify_all()
+
+    def mark_running(self) -> None:
+        with self._cond:
+            self.status = "running"
+            self.started_at = time.time()
+            self._cond.notify_all()
+
+    def mark_done(self, result: BatchResult) -> None:
+        with self._cond:
+            self.status = "done"
+            self.summary = result.summary()
+            self.finished_at = time.time()
+            self._cond.notify_all()
+
+    def mark_failed(self, exc: BaseException) -> None:
+        with self._cond:
+            self.status = "failed"
+            self.error = {"type": type(exc).__name__, "message": str(exc)}
+            self.finished_at = time.time()
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # reader side
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.status in ("done", "failed")
+
+    def iter_outcomes(self, timeout: float | None = None) -> Iterator[JobOutcome]:
+        """Yield outcomes in job order, blocking until each is available.
+
+        The iterator ends when every buffered outcome has been yielded
+        and the job has reached a terminal state; a job that fails
+        mid-batch still yields the outcomes that landed before the
+        failure.  ``timeout`` bounds the *total* wait; exceeding it
+        raises :class:`TimeoutError`.
+        """
+        index = 0
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._cond:
+                while len(self.outcomes) <= index and not self.finished:
+                    if deadline is None:
+                        self._cond.wait()
+                    else:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or not self._cond.wait(remaining):
+                            if len(self.outcomes) <= index and not self.finished:
+                                raise TimeoutError(
+                                    f"timed out streaming job {self.job_id!r}"
+                                )
+                if len(self.outcomes) <= index:
+                    return
+                outcome = self.outcomes[index]
+                index += 1
+            yield outcome
+
+    def status_payload(self) -> dict[str, object]:
+        """The job's public JSON representation (the status endpoint)."""
+        with self._cond:
+            payload: dict[str, object] = {
+                "job_id": self.job_id,
+                "status": self.status,
+                "jobs": len(self.jobs),
+                "completed": len(self.outcomes),
+                "created_at": self.created_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "job_specs": [job.describe() for job in self.jobs],
+            }
+            if self.summary is not None:
+                payload["summary"] = dict(self.summary)
+            if self.error is not None:
+                payload["error"] = dict(self.error)
+        return payload
+
+
+class JobStore:
+    """Thread-safe id → :class:`ServiceJob` table."""
+
+    def __init__(self) -> None:
+        self._jobs: dict[str, ServiceJob] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def get(self, job_id: str) -> ServiceJob | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def put(self, job: ServiceJob) -> None:
+        with self._lock:
+            self._jobs[job.job_id] = job
+
+    def all(self) -> list[ServiceJob]:
+        """Every known job, oldest submission first."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda job: job.created_at)
+
+    def counts(self) -> dict[str, int]:
+        """How many jobs sit in each state (for the health endpoint)."""
+        counts = {status: 0 for status in JOB_STATUSES}
+        with self._lock:
+            for job in self._jobs.values():
+                counts[job.status] = counts.get(job.status, 0) + 1
+        return counts

@@ -1,0 +1,277 @@
+"""The stdlib HTTP front-end over :class:`CompilationService`.
+
+Endpoints (all JSON; see ``docs/service.md`` for schemas and examples):
+
+==========  =================================  =====================================
+method      path                               meaning
+==========  =================================  =====================================
+``POST``    ``/v1/jobs``                       submit a manifest body, get a job id
+``GET``     ``/v1/jobs``                       list submitted jobs
+``GET``     ``/v1/jobs/<id>``                  one job's status
+``GET``     ``/v1/jobs/<id>/results``          **stream** results as JSON lines
+``GET``     ``/v1/schedules/<fingerprint>``    cached-schedule lookup
+``GET``     ``/v1/compilers``                  the compiler registry listing
+``GET``     ``/v1/healthz``                    liveness + operational counters
+==========  =================================  =====================================
+
+The results endpoint answers with ``Transfer-Encoding: chunked`` and
+media type ``application/x-ndjson``: one JSON object per line, each
+flushed as soon as the corresponding compilation lands, so a client
+reads the first result while the rest of the batch is still compiling.
+
+Errors are structured — every non-2xx response carries
+``{"error": {"type", "message", "status"}}`` — and client-side problems
+(malformed JSON, unknown compiler names, bad device specs: everything
+:class:`~repro.exceptions.ManifestError` covers) map to 400 rather than
+500.
+
+Built entirely on :mod:`http.server` (``ThreadingHTTPServer``); the
+service has no dependencies beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.exceptions import ManifestError, ReproError
+from repro.service.app import CompilationService
+
+logger = logging.getLogger("repro.service")
+
+#: Request bodies larger than this are refused (413) instead of buffered.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_JOB_RESULTS = re.compile(r"^/v1/jobs/(?P<job_id>[0-9a-f]{16})/results$")
+_JOB_STATUS = re.compile(r"^/v1/jobs/(?P<job_id>[0-9a-f]{16})$")
+_SCHEDULE = re.compile(r"^/v1/schedules/(?P<fingerprint>[0-9a-f]{16,64})$")
+
+
+def _encode(payload: object) -> bytes:
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests onto the owning :class:`ServiceServer`'s service."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service"
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    @property
+    def service(self) -> CompilationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Route access logs through :mod:`logging` instead of stderr."""
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+    def _send_json(self, status: int, payload: object) -> None:
+        body = _encode(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, error_type: str, message: str) -> None:
+        self._send_json(
+            status,
+            {"error": {"type": error_type, "message": message, "status": status}},
+        )
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        url = urlparse(self.path)
+        try:
+            self._route(method, url.path, parse_qs(url.query))
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            self.close_connection = True
+        except ManifestError as exc:
+            self._send_error_json(400, "manifest_error", str(exc))
+        except ReproError as exc:
+            self._send_error_json(500, "repro_error", str(exc))
+        except Exception as exc:  # noqa: BLE001 - last-resort boundary
+            logger.exception("unhandled error serving %s %s", method, self.path)
+            self._send_error_json(500, "internal_error", str(exc))
+
+    def _route(self, method: str, path: str, query: dict[str, list[str]]) -> None:
+        if path == "/v1/jobs":
+            if method == "POST":
+                return self._handle_submit()
+            if method == "GET":
+                return self._send_json(
+                    200,
+                    {"jobs": [job.status_payload() for job in self.service.store.all()]},
+                )
+            return self._send_error_json(405, "method_not_allowed", f"{method} {path}")
+        if method != "GET":
+            return self._send_error_json(405, "method_not_allowed", f"{method} {path}")
+        match = _JOB_RESULTS.match(path)
+        if match:
+            return self._handle_results(match.group("job_id"), query)
+        match = _JOB_STATUS.match(path)
+        if match:
+            return self._handle_status(match.group("job_id"))
+        match = _SCHEDULE.match(path)
+        if match:
+            return self._handle_schedule(match.group("fingerprint"))
+        if path == "/v1/compilers":
+            return self._send_json(200, {"compilers": self.service.compilers_payload()})
+        if path == "/v1/healthz":
+            return self._send_json(200, self.service.health_payload())
+        return self._send_error_json(404, "not_found", f"no route for {path}")
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+    def _handle_submit(self) -> None:
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            return self._send_error_json(
+                411, "length_required", "POST /v1/jobs needs a Content-Length header"
+            )
+        try:
+            length = int(length_header)
+        except ValueError:
+            return self._send_error_json(
+                400, "bad_request", f"invalid Content-Length {length_header!r}"
+            )
+        if length < 0:
+            return self._send_error_json(
+                400, "bad_request", "Content-Length cannot be negative"
+            )
+        if length > MAX_BODY_BYTES:
+            return self._send_error_json(
+                413, "payload_too_large", f"manifest bodies are capped at {MAX_BODY_BYTES} bytes"
+            )
+        body = self.rfile.read(length)
+        job, resubmitted = self.service.submit_text(body)
+        self._send_json(
+            200 if resubmitted else 202,
+            {
+                "job_id": job.job_id,
+                "status": job.status,
+                "jobs": len(job.jobs),
+                "resubmitted": resubmitted,
+                "results_path": f"/v1/jobs/{job.job_id}/results",
+            },
+        )
+
+    def _handle_status(self, job_id: str) -> None:
+        job = self.service.job(job_id)
+        if job is None:
+            return self._send_error_json(404, "unknown_job", f"no job {job_id!r}")
+        self._send_json(200, job.status_payload())
+
+    def _handle_schedule(self, fingerprint: str) -> None:
+        payload = self.service.schedule_payload(fingerprint)
+        if payload is None:
+            return self._send_error_json(
+                404,
+                "unknown_fingerprint",
+                f"no cached schedule under compile fingerprint {fingerprint!r}",
+            )
+        self._send_json(200, payload)
+
+    def _handle_results(self, job_id: str, query: dict[str, list[str]]) -> None:
+        timeout: float | None = None
+        if "timeout" in query:
+            try:
+                timeout = float(query["timeout"][0])
+            except ValueError:
+                return self._send_error_json(
+                    400, "bad_query", "timeout must be a number of seconds"
+                )
+        try:
+            lines = self.service.stream_lines(job_id, timeout=timeout)
+        except KeyError:
+            return self._send_error_json(404, "unknown_job", f"no job {job_id!r}")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        try:
+            for line in lines:
+                data = _encode(line) + b"\n"
+                self.wfile.write(b"%X\r\n%s\r\n" % (len(data), data))
+                self.wfile.flush()
+            self.wfile.write(b"0\r\n\r\n")
+        except TimeoutError:
+            # Mid-stream, the status line is gone; terminating the chunked
+            # body early is the only way left to signal the timeout.
+            self.close_connection = True
+
+    # BaseHTTPRequestHandler replies 501 for other verbs on its own.
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`CompilationService`.
+
+    Handler threads are daemons, so a blocked streaming client never
+    prevents interpreter exit; ``service`` is shared by every handler.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self, address: "tuple[str, int]", service: CompilationService
+    ) -> None:
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def make_server(
+    service: CompilationService | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    **service_kwargs: object,
+) -> ServiceServer:
+    """Build a ready-to-serve :class:`ServiceServer`.
+
+    When ``service`` is omitted a fresh :class:`CompilationService` is
+    created from ``service_kwargs`` (``workers``, ``cache_dir``, ...).
+    ``port=0`` binds an ephemeral port — read it back from
+    :attr:`ServiceServer.server_address` (tests do).
+    """
+    if service is None:
+        service = CompilationService(**service_kwargs)  # type: ignore[arg-type]
+    service.start()
+    return ServiceServer((host, port), service)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    **service_kwargs: object,
+) -> None:
+    """Run a compilation service until interrupted (the CLI entry point)."""
+    server = make_server(host=host, port=port, **service_kwargs)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.service.close()

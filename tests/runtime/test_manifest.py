@@ -9,10 +9,11 @@ import pytest
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.library import ghz_circuit
 from repro.circuit.qasm import circuit_to_qasm
-from repro.exceptions import ReproError
+from repro.exceptions import ManifestError, ReproError
 from repro.runtime.manifest import (
     job_from_dict,
     jobs_from_manifest,
+    jobs_from_manifest_text,
     load_manifest,
     ssync_config_from_dict,
 )
@@ -142,4 +143,65 @@ class TestLoadManifest:
         path = tmp_path / "broken.json"
         path.write_text("{")
         with pytest.raises(ReproError, match="invalid JSON"):
+            load_manifest(path)
+
+
+class TestTypedManifestErrors:
+    """Every malformed-manifest path raises ManifestError (a ReproError).
+
+    Service front-ends rely on exactly this type to map client mistakes
+    onto structured 4xx responses, so the distinction is load-bearing.
+    """
+
+    def test_manifest_error_subclasses_repro_error(self):
+        assert issubclass(ManifestError, ReproError)
+
+    def test_malformed_json_text(self):
+        with pytest.raises(ManifestError, match="invalid JSON"):
+            jobs_from_manifest_text("{not json")
+
+    def test_non_utf8_body(self):
+        with pytest.raises(ManifestError, match="UTF-8"):
+            jobs_from_manifest_text(b"\xff\xfe{}")
+
+    def test_unknown_compiler_name(self):
+        with pytest.raises(ManifestError, match="unknown compiler"):
+            job_from_dict({"circuit": "qft_8", "device": "G-2x2", "compiler": "nope"})
+
+    def test_bad_device_spec(self):
+        with pytest.raises(ManifestError, match="invalid device spec"):
+            job_from_dict({"circuit": "qft_8", "device": "Z-99"})
+
+    def test_bad_capacity_in_device_spec(self):
+        with pytest.raises(ManifestError, match="invalid device spec"):
+            job_from_dict({"circuit": "qft_8", "device": "G-2x2", "capacity": -3})
+
+    def test_unknown_job_keys(self):
+        with pytest.raises(ManifestError, match="unknown manifest job keys"):
+            job_from_dict({"circuit": "qft_8", "device": "G-2x2", "flavour": "spicy"})
+
+    def test_wrong_document_shape(self):
+        with pytest.raises(ManifestError, match="JSON object or a list"):
+            jobs_from_manifest("just a string")
+
+    def test_job_index_is_reported(self):
+        document = {
+            "defaults": {"device": "G-2x2"},
+            "jobs": [{"circuit": "qft_8"}, {"circuit": "qft_8", "compiler": "nope"}],
+        }
+        with pytest.raises(ManifestError, match="job #1"):
+            jobs_from_manifest(document)
+
+    def test_text_parsing_matches_document_parsing(self):
+        document = {"jobs": [{"circuit": "qft_8", "device": "G-2x2"}]}
+        from_text = jobs_from_manifest_text(json.dumps(document))
+        from_document = jobs_from_manifest(document)
+        assert [j.fingerprint() for j in from_text] == [
+            j.fingerprint() for j in from_document
+        ]
+
+    def test_load_manifest_wraps_json_errors_with_path(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{oops")
+        with pytest.raises(ManifestError, match="broken.json"):
             load_manifest(path)

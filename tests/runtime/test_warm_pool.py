@@ -1,0 +1,108 @@
+"""Warm-pool engine tests: worker reuse, streamed outcomes, lifecycle."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.runtime.api import run_batch
+from repro.runtime.jobs import CompileJob
+from repro.runtime.pool import BatchCompiler
+
+
+def _jobs_a():
+    return [
+        CompileJob(circuit="qft_8", device="L-2", capacity=6),
+        CompileJob(circuit="qft_10", device="L-2", capacity=6),
+    ]
+
+
+def _jobs_b():
+    return [
+        CompileJob(circuit="bv_8", device="L-2", capacity=6),
+        CompileJob(circuit="qft_11", device="L-2", capacity=6),
+    ]
+
+
+def _record_bytes(result) -> bytes:
+    return json.dumps(result.records(), sort_keys=True).encode()
+
+
+class TestWarmPool:
+    def test_workers_survive_across_batches(self):
+        with BatchCompiler(workers=2, warm=True) as engine:
+            first = engine.run(_jobs_a())
+            second = engine.run(_jobs_b())
+        pids_first = set(first.extra["worker_pids"])
+        pids_second = set(second.extra["worker_pids"])
+        assert pids_first, "warm batches must record compiling worker pids"
+        # Four distinct compilations ran across the two batches; a cold
+        # engine would have spawned a fresh pool per batch, while the
+        # warm pool can only ever involve its two persistent processes.
+        assert len(pids_first | pids_second) <= 2
+        assert os.getpid() not in pids_first, "warm compilations run out of process"
+
+    def test_single_job_rides_the_warm_pool(self):
+        # The point of warm start: even a one-job batch compiles in the
+        # persistent workers instead of paying a pool spawn (or running
+        # in the parent, which would hide the spawn cost it measures).
+        # One worker makes the reuse deterministic: with more, the pool
+        # may hand consecutive batches to different idle processes.
+        with BatchCompiler(workers=1, warm=True) as engine:
+            first = engine.run([_jobs_a()[0]])
+            second = engine.run([_jobs_b()[0]])
+        assert os.getpid() not in first.extra["worker_pids"]
+        assert set(first.extra["worker_pids"]) == set(second.extra["worker_pids"])
+
+    def test_warm_records_byte_identical_to_cold(self):
+        with BatchCompiler(workers=2, warm=True) as engine:
+            warm = engine.run(_jobs_a())
+        cold = BatchCompiler(workers=2).run(_jobs_a())
+        serial = BatchCompiler(workers=1).run(_jobs_a())
+        assert _record_bytes(warm) == _record_bytes(cold) == _record_bytes(serial)
+
+    def test_cold_engine_keeps_no_pool(self):
+        engine = BatchCompiler(workers=2)
+        engine.run(_jobs_a())
+        assert engine._pool is None
+
+    def test_close_is_idempotent(self):
+        engine = BatchCompiler(workers=2, warm=True)
+        engine.run(_jobs_a())
+        engine.close()
+        engine.close()
+        # A closed engine warm-starts a fresh pool on the next run.
+        result = engine.run(_jobs_b())
+        assert result.extra["worker_pids"]
+        engine.close()
+
+
+class TestStreamedOutcomes:
+    def test_callback_sees_outcomes_in_job_order(self):
+        jobs = _jobs_a() + _jobs_b()
+        streamed = []
+        result = run_batch(jobs, workers=3, on_outcome=streamed.append)
+        assert [o.record for o in streamed] == [o.record for o in result.outcomes]
+        assert [o.fingerprint for o in streamed] == [
+            job.fingerprint() for job in jobs
+        ]
+
+    def test_callback_fires_on_serial_path_too(self):
+        streamed = []
+        result = run_batch(_jobs_a(), workers=1, on_outcome=streamed.append)
+        assert len(streamed) == len(result.outcomes) == 2
+
+    def test_cached_jobs_stream_with_cache_provenance(self):
+        with BatchCompiler(workers=2, warm=True) as engine:
+            engine.run(_jobs_a())
+            streamed = []
+            again = engine.run(_jobs_a() + _jobs_b(), on_outcome=streamed.append)
+        assert [o.from_cache for o in streamed] == [True, True, False, False]
+        assert again.compilations == 2
+
+    def test_streamed_records_match_batch_result_exactly(self):
+        streamed = []
+        result = run_batch(_jobs_b(), workers=2, on_outcome=streamed.append)
+        assert json.dumps([o.record for o in streamed], sort_keys=True) == json.dumps(
+            result.records(), sort_keys=True
+        )
