@@ -35,9 +35,13 @@ The package mirrors the paper's structure:
   ``python -m repro batch``;
 * :mod:`repro.service` — the async HTTP compilation service over the
   batch runtime (``python -m repro serve``): manifest submission with
-  fingerprint-derived job ids, chunked JSON-lines result streaming, a
-  warm worker pool surviving across requests, cached-schedule and
-  registry endpoints, plus the stdlib :class:`ServiceClient`.
+  fingerprint-derived job ids, a multi-slot scheduler running several
+  batches concurrently over one warm worker pool (priorities, FIFO
+  within priority, cooperative cancellation), a durable JSON-lines job
+  journal replayed on restart, chunked JSON-lines result streaming,
+  cached-schedule and registry endpoints, the stdlib
+  :class:`ServiceClient`, and the ``repro submit``/``results``/``jobs``
+  CLI client commands.
 
 Quickstart::
 
@@ -149,7 +153,7 @@ from repro.runtime import (
 from repro.schedule import Schedule, verify_schedule
 from repro.service import CompilationService, ServiceClient
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BatchCompiler",

@@ -1,6 +1,6 @@
 """Command-line interface for the S-SYNC reproduction.
 
-Six subcommands cover the common workflows without writing Python:
+Nine subcommands cover the common workflows without writing Python:
 
 ``compile``
     Compile a circuit (a named Table-2 benchmark or an OpenQASM 2.0 file)
@@ -28,7 +28,14 @@ Six subcommands cover the common workflows without writing Python:
 ``serve``
     Run the HTTP compilation service (:mod:`repro.service`): submit
     manifests over ``POST /v1/jobs``, stream results as they compile,
-    backed by a warm worker pool and the shared schedule cache.
+    backed by a multi-slot scheduler over a warm worker pool, the shared
+    schedule cache and a durable job journal.
+
+``submit`` / ``results`` / ``jobs``
+    The client side of the service: submit a manifest to a running
+    service (optionally waiting for its results), stream/collect a job's
+    results by id, and list or cancel jobs — the full job life cycle
+    without writing Python, over :class:`repro.service.ServiceClient`.
 
 Examples::
 
@@ -40,12 +47,17 @@ Examples::
     python -m repro evaluate schedule.json --gate-implementation am2
     python -m repro batch manifest.json --workers 4 --cache-dir .repro-cache \
         --output results.json
-    python -m repro serve --port 8000 --workers 4 --cache-dir .repro-cache
+    python -m repro serve --port 8000 --workers 4 --slots 2 --cache-dir .repro-cache
+    python -m repro submit manifest.json --url http://127.0.0.1:8000 --wait
+    python -m repro results 4c58ad19e38009ca --url http://127.0.0.1:8000
+    python -m repro jobs --url http://127.0.0.1:8000
+    python -m repro jobs --cancel 4c58ad19e38009ca --url http://127.0.0.1:8000
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -207,6 +219,102 @@ def _build_parser() -> argparse.ArgumentParser:
         default=256,
         help="capacity of the in-memory schedule-cache tier",
     )
+    serve_parser.add_argument(
+        "--slots",
+        type=int,
+        default=2,
+        help="how many submitted batches may run concurrently (1 = serial)",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to let running jobs finish on shutdown before cancelling",
+    )
+    serve_parser.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="disable the durable job journal (jobs then live in memory only)",
+    )
+
+    def add_client_url(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--url",
+            default="http://127.0.0.1:8000",
+            help="base URL of a running repro service (default: %(default)s)",
+        )
+        p.add_argument(
+            "--timeout",
+            type=float,
+            default=300.0,
+            help="client-side HTTP timeout in seconds",
+        )
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit a job manifest to a running compilation service"
+    )
+    submit_parser.add_argument("manifest", type=Path, help="path to a JSON job manifest")
+    add_client_url(submit_parser)
+    submit_parser.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="scheduler priority (larger runs earlier; default 0)",
+    )
+    submit_parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="stream the results and print the record table before returning",
+    )
+    submit_parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the streamed records to this JSON/CSV file (implies --wait)",
+    )
+    submit_parser.add_argument(
+        "--format",
+        dest="output_format",
+        default=None,
+        choices=("json", "csv"),
+        help="output file format (default: inferred from the --output suffix)",
+    )
+
+    results_parser = sub.add_parser(
+        "results", help="stream a submitted job's results from a running service"
+    )
+    results_parser.add_argument("job_id", help="fingerprint-derived job id")
+    add_client_url(results_parser)
+    results_parser.add_argument(
+        "--raw",
+        action="store_true",
+        help="print the JSON result lines as received instead of a table",
+    )
+    results_parser.add_argument(
+        "--output", type=Path, default=None, help="write the records to this JSON/CSV file"
+    )
+    results_parser.add_argument(
+        "--format",
+        dest="output_format",
+        default=None,
+        choices=("json", "csv"),
+        help="output file format (default: inferred from the --output suffix)",
+    )
+
+    jobs_parser = sub.add_parser(
+        "jobs", help="list (or cancel) jobs on a running compilation service"
+    )
+    add_client_url(jobs_parser)
+    jobs_parser.add_argument("--offset", type=int, default=0, help="listing page offset")
+    jobs_parser.add_argument(
+        "--limit", type=int, default=None, help="listing page size (default: everything)"
+    )
+    jobs_parser.add_argument(
+        "--cancel",
+        metavar="JOB_ID",
+        default=None,
+        help="cancel this job instead of listing",
+    )
 
     sub.add_parser("compilers", help="list the registered compilers and their pipelines")
 
@@ -355,8 +463,8 @@ def _command_batch(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
-    # Imported here so the five offline subcommands never pay for (or
-    # depend on) the service stack.
+    # Imported here so the offline subcommands never pay for (or depend
+    # on) the service stack.
     from repro.service.server import make_server
 
     workers = None if args.workers == 0 else args.workers
@@ -366,10 +474,14 @@ def _command_serve(args: argparse.Namespace) -> int:
         workers=workers,
         cache_dir=args.cache_dir,
         max_cache_entries=args.max_cache_entries,
+        slots=args.slots,
+        journal=not args.no_journal,
+        drain_timeout=args.drain_timeout,
     )
     print(f"repro service listening on {server.url}")
-    print("endpoints: POST /v1/jobs  GET /v1/jobs/<id>[/results]  "
-          "GET /v1/schedules/<fp>  GET /v1/compilers  GET /v1/healthz")
+    print("endpoints: POST/GET /v1/jobs  GET|DELETE /v1/jobs/<id>  "
+          "GET /v1/jobs/<id>/results  GET /v1/schedules/<fp>  "
+          "GET /v1/compilers  GET /v1/healthz")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -378,6 +490,125 @@ def _command_serve(args: argparse.Namespace) -> int:
         server.shutdown()
         server.server_close()
         server.service.close()
+    return 0
+
+
+def _service_client(args: argparse.Namespace):
+    # Deferred import for the same reason as _command_serve.
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(args.url, timeout=args.timeout)
+
+
+_RESULT_COLUMNS = [
+    "circuit",
+    "device",
+    "compiler",
+    "mapping",
+    "gate_implementation",
+    "shuttles",
+    "swaps",
+    "success_rate",
+    "execution_time_us",
+    "compile_time_s",
+    "from_cache",
+]
+
+
+def _print_streamed_results(client, job_id: str, args: argparse.Namespace) -> int:
+    """Stream one job's result lines and render them (shared by
+    ``repro results`` and ``repro submit --wait``)."""
+    raw = getattr(args, "raw", False)
+    rows: list[dict[str, object]] = []
+    end: dict[str, object] = {}
+    for line in client.stream_results(job_id):
+        if raw:
+            print(json.dumps(line, sort_keys=True))
+        if line.get("type") == "outcome":
+            row = dict(line["record"])
+            row["compile_time_s"] = line["compile_time_s"]
+            row["from_cache"] = line["from_cache"]
+            rows.append(row)
+        elif line.get("type") == "end":
+            end = line
+    if not raw:
+        if rows:
+            print(format_table(rows, columns=_RESULT_COLUMNS, title=f"job {job_id}"))
+        status = end.get("status", "unknown")
+        summary = end.get("summary")
+        if isinstance(summary, dict):
+            print(
+                "status={status} jobs={jobs} compilations={compilations} "
+                "cache_hits={cache_hits} wall_time_s={wall:.3f}".format(
+                    status=status,
+                    jobs=summary.get("jobs"),
+                    compilations=summary.get("compilations"),
+                    cache_hits=summary.get("cache_hits"),
+                    wall=float(summary.get("wall_time_s", 0.0)),
+                )
+            )
+        else:
+            print(f"status={status}")
+        error = end.get("error")
+        if isinstance(error, dict):
+            print(f"error: {error.get('type')}: {error.get('message')}", file=sys.stderr)
+    output = getattr(args, "output", None)
+    if output is not None:
+        written = write_records(rows, output, fmt=args.output_format)
+        print(f"records written to {written}")
+    return 0 if end.get("status") == "done" else 1
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    if not args.manifest.exists():
+        raise ReproError(f"manifest file {args.manifest} does not exist")
+    receipt = client.submit_file(args.manifest, priority=args.priority)
+    print(
+        "job_id={job_id} status={status} jobs={jobs} resubmitted={resubmitted}".format(
+            **{key: receipt.get(key) for key in ("job_id", "status", "jobs", "resubmitted")}
+        )
+    )
+    if args.wait or args.output is not None:  # --output implies waiting
+        return _print_streamed_results(client, receipt["job_id"], args)
+    print(f"results: {args.url}{receipt.get('results_path', '')}")
+    return 0
+
+
+def _command_results(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    return _print_streamed_results(client, args.job_id, args)
+
+
+def _command_jobs(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    if args.cancel is not None:
+        payload = client.cancel(args.cancel)
+        print(
+            "job_id={job_id} status={status} cancel_requested={cancel_requested}".format(
+                **payload
+            )
+        )
+        return 0
+    page = client.jobs_page(offset=args.offset, limit=args.limit)
+    rows = [
+        {
+            "job_id": job["job_id"],
+            "status": job["status"],
+            "priority": job.get("priority", 0),
+            "jobs": job["jobs"],
+            "completed": job["completed"],
+            "created_at": job["created_at"],
+        }
+        for job in page["jobs"]
+    ]
+    if rows:
+        print(format_table(rows, title="service jobs"))
+    print(
+        "total={total} offset={offset} count={count}".format(
+            total=page["total"], offset=page["offset"], count=page["count"]
+        )
+    )
     return 0
 
 
@@ -411,6 +642,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "evaluate": _command_evaluate,
         "batch": _command_batch,
         "serve": _command_serve,
+        "submit": _command_submit,
+        "results": _command_results,
+        "jobs": _command_jobs,
     }
     try:
         return handlers[args.command](args)

@@ -52,6 +52,17 @@ class ManifestError(ReproError):
     """
 
 
+class JobCancelledError(ReproError):
+    """Cooperative-cancellation signal for an in-flight service job.
+
+    Raised from inside a batch's ``on_outcome`` callback (and caught by
+    the service scheduler) when :meth:`ServiceJob.cancel` was requested
+    while the job was running: the engine stops draining outcomes between
+    compilations and the job lands in the terminal ``cancelled`` state.
+    Library users never see this escape the service layer.
+    """
+
+
 class ServiceError(ReproError):
     """Raised by the compilation-service client for error responses.
 

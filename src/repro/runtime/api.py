@@ -35,6 +35,7 @@ def run_batch(
     cache_dir: "Path | str | None" = None,
     max_cache_entries: int = 256,
     on_outcome: "Callable[[JobOutcome], None] | None" = None,
+    engine: BatchCompiler | None = None,
 ) -> BatchResult:
     """Compile and evaluate every job, parallelising distinct compilations.
 
@@ -54,12 +55,17 @@ def run_batch(
         Called once per job, in job order, as soon as the job's outcome
         is known (streamed result delivery; see
         :meth:`BatchCompiler.run`).
-
-    Long-lived callers that issue many small batches should hold a warm
-    engine instead (``BatchCompiler(warm=True)``): a fresh engine per
-    call — what this function builds — pays the pool spawn cost every
-    time.
+    engine:
+        An existing :class:`BatchCompiler` to run on instead of building
+        a throwaway one; ``workers``/``cache``/``cache_dir`` are then
+        ignored and the engine is **not** closed afterwards.  This is how
+        long-lived callers (the service scheduler, REPL sessions holding
+        ``BatchCompiler(warm=True)``) route one-off batches through their
+        shared warm pool — :meth:`BatchCompiler.run` is re-entrant, so
+        such calls may overlap freely.
     """
+    if engine is not None:
+        return engine.run(jobs, on_outcome=on_outcome)
     engine = BatchCompiler(
         workers=workers, cache=_resolve_cache(cache, cache_dir, max_cache_entries)
     )

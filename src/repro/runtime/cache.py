@@ -12,12 +12,21 @@ hits survive process restarts.
 Entries store plain data (the serialised schedule), never live objects,
 so a cached result replays identically to a fresh compilation no matter
 which process produced it.
+
+The cache is **thread-safe**: an internal lock guards the LRU table and
+the counters, so any number of concurrently running batches (the service
+scheduler runs several at once over one shared cache) can look up, store
+and evict without torn LRU state or corrupted counters.  Disk I/O —
+entry reads, the atomic write, the size-budget sweep — deliberately
+happens *outside* the lock, so one slot faulting an entry in from disk
+never stalls another slot's in-memory hits.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 import uuid
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -163,39 +172,64 @@ class ScheduleCache:
             self.directory.mkdir(parents=True, exist_ok=True)
         self._entries: "OrderedDict[str, CachedCompilation]" = OrderedDict()
         self.stats = CacheStats()
+        # One re-entrant lock guards the LRU table, the counters and the
+        # disk-budget sweep.  Re-entrant because ``get`` promotes disk
+        # entries through ``_insert`` while already holding it.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # core operations
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, fingerprint: str) -> bool:
-        return fingerprint in self._entries or self._disk_path_if_present(fingerprint) is not None
+        with self._lock:
+            if fingerprint in self._entries:
+                return True
+        return self._disk_path_if_present(fingerprint) is not None
 
-    def get(self, fingerprint: str) -> CachedCompilation | None:
-        """Look up a compilation; ``None`` on a miss (counted in stats)."""
-        entry = self._entries.get(fingerprint)
-        if entry is not None:
-            self._entries.move_to_end(fingerprint)
-            self.stats.hits += 1
-            return entry
+    def lookup(self, fingerprint: str) -> "tuple[CachedCompilation | None, str | None]":
+        """Like :meth:`get`, but also reports where the entry came from.
+
+        Returns ``(entry, tier)`` with ``tier`` one of ``"memory"``,
+        ``"disk"`` or ``None`` (a miss).  Concurrent batches use the tier
+        to account run-local hit statistics without reading the shared
+        counters, whose deltas interleave across overlapping runs.
+
+        Disk reads happen **outside** the lock — a slot faulting an
+        entry in from disk must not stall every other slot's in-memory
+        hits behind its file I/O.
+        """
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is not None:
+                self._entries.move_to_end(fingerprint)
+                self.stats.hits += 1
+                return entry, "memory"
         path = self._disk_path_if_present(fingerprint)
         if path is not None:
             entry = self._read_disk_entry(path)
             if entry is not None:
-                self._insert(fingerprint, entry)
-                self.stats.hits += 1
-                self.stats.disk_hits += 1
+                with self._lock:
+                    self._insert(fingerprint, entry)
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
                 # Refresh the file's recency so size-based eviction
                 # treats disk reads as uses (LRU, not FIFO).
                 try:
                     os.utime(path)
                 except OSError:  # pragma: no cover - file raced away
                     pass
-                return entry
-        self.stats.misses += 1
-        return None
+                return entry, "disk"
+        with self._lock:
+            self.stats.misses += 1
+        return None, None
+
+    def get(self, fingerprint: str) -> CachedCompilation | None:
+        """Look up a compilation; ``None`` on a miss (counted in stats)."""
+        return self.lookup(fingerprint)[0]
 
     def peek(self, fingerprint: str) -> CachedCompilation | None:
         """Look up a compilation without touching stats or LRU recency.
@@ -205,18 +239,29 @@ class ScheduleCache:
         batch runs report as deltas nor promote entries over the working
         set.
         """
-        entry = self._entries.get(fingerprint)
-        if entry is not None:
-            return entry
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is not None:
+                return entry
         path = self._disk_path_if_present(fingerprint)
         if path is not None:
             return self._read_disk_entry(path)
         return None
 
-    def put(self, fingerprint: str, entry: CachedCompilation) -> None:
-        """Store a compilation under ``fingerprint`` (memory and disk)."""
-        self._insert(fingerprint, entry)
-        self.stats.stores += 1
+    def put(self, fingerprint: str, entry: CachedCompilation) -> "tuple[int, int]":
+        """Store a compilation under ``fingerprint`` (memory and disk).
+
+        Returns ``(evictions, disk_evictions)`` caused by this store, so
+        a concurrently running batch can attribute the displacement it
+        triggered to its own run-local statistics.  As with lookups, the
+        disk write and budget sweep run outside the lock.
+        """
+        with self._lock:
+            evictions_before = self.stats.evictions
+            self._insert(fingerprint, entry)
+            self.stats.stores += 1
+            evictions = self.stats.evictions - evictions_before
+        disk_evictions = 0
         if self.directory is not None:
             path = self._disk_path(fingerprint)
             # Unique temp name per writer: concurrent processes sharing a
@@ -226,16 +271,21 @@ class ScheduleCache:
             tmp.write_text(json.dumps(entry.to_dict(), sort_keys=True))
             tmp.replace(path)
             if self.max_disk_bytes is not None:
-                self._enforce_disk_budget(keep=path)
+                disk_evictions = self._enforce_disk_budget(keep=path)
+                if disk_evictions:
+                    with self._lock:
+                        self.stats.disk_evictions += disk_evictions
+        return evictions, disk_evictions
 
     def clear(self, disk: bool = False) -> None:
         """Drop the in-memory tier (and the disk tier when ``disk=True``)."""
-        self._entries.clear()
-        if disk and self.directory is not None:
-            for path in self.directory.glob("*.json"):
-                path.unlink()
-            for path in self.directory.glob("*.tmp"):
-                path.unlink()
+        with self._lock:
+            self._entries.clear()
+            if disk and self.directory is not None:
+                for path in self.directory.glob("*.json"):
+                    path.unlink()
+                for path in self.directory.glob("*.tmp"):
+                    path.unlink()
 
     # ------------------------------------------------------------------
     # internals
@@ -247,15 +297,20 @@ class ScheduleCache:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
 
-    def _enforce_disk_budget(self, keep: Path) -> None:
+    def _enforce_disk_budget(self, keep: Path) -> int:
         """Delete LRU entry files until the disk tier fits its byte budget.
 
         ``keep`` (the entry that was just written) is exempt, so a budget
         smaller than a single entry still leaves the newest one usable.
+        Returns how many entry files were deleted (the caller folds the
+        count into the stats under the lock — this sweep itself runs
+        without it, and concurrent sweeps tolerate each other through
+        the ``OSError`` guards).
         """
         assert self.directory is not None and self.max_disk_bytes is not None
         entries: list[tuple[float, int, Path]] = []
         total = 0
+        deleted = 0
         for path in self.directory.glob("*.json"):
             try:
                 stat = path.stat()
@@ -265,7 +320,7 @@ class ScheduleCache:
             if path != keep:
                 entries.append((stat.st_mtime, stat.st_size, path))
         if total <= self.max_disk_bytes:
-            return
+            return 0
         entries.sort()  # oldest mtime first
         for _, size, path in entries:
             try:
@@ -273,9 +328,10 @@ class ScheduleCache:
             except OSError:  # pragma: no cover - concurrent eviction
                 continue
             total -= size
-            self.stats.disk_evictions += 1
+            deleted += 1
             if total <= self.max_disk_bytes:
-                return
+                break
+        return deleted
 
     def _disk_path(self, fingerprint: str) -> Path:
         assert self.directory is not None

@@ -231,12 +231,14 @@ def jobs_from_manifest(document: Any) -> list[CompileJob]:
     return jobs
 
 
-def jobs_from_manifest_text(text: "str | bytes") -> list[CompileJob]:
-    """Parse a JSON manifest from raw text (the service request body).
+def manifest_document_from_text(text: "str | bytes") -> Any:
+    """Decode a raw JSON manifest body into its document form.
 
-    This is the one request-parsing path shared by the HTTP front-end
-    and JSON file loading: decode, then :func:`jobs_from_manifest`.
-    Raises :class:`ManifestError` for undecodable or invalid documents.
+    Split out of :func:`jobs_from_manifest_text` so callers that need the
+    *document* as well as the jobs — the service journals the document
+    verbatim, which is what makes interrupted jobs resubmittable after a
+    restart — decode exactly once.  Raises :class:`ManifestError` for
+    bodies that are not UTF-8 or not JSON.
     """
     if isinstance(text, bytes):
         try:
@@ -244,10 +246,19 @@ def jobs_from_manifest_text(text: "str | bytes") -> list[CompileJob]:
         except UnicodeDecodeError as exc:
             raise ManifestError(f"manifest body is not valid UTF-8: {exc}") from exc
     try:
-        document = json.loads(text)
+        return json.loads(text)
     except json.JSONDecodeError as exc:
         raise ManifestError(f"invalid JSON manifest: {exc}") from exc
-    return jobs_from_manifest(document)
+
+
+def jobs_from_manifest_text(text: "str | bytes") -> list[CompileJob]:
+    """Parse a JSON manifest from raw text (the service request body).
+
+    This is the one request-parsing path shared by the HTTP front-end
+    and JSON file loading: decode, then :func:`jobs_from_manifest`.
+    Raises :class:`ManifestError` for undecodable or invalid documents.
+    """
+    return jobs_from_manifest(manifest_document_from_text(text))
 
 
 def load_manifest(path: "Path | str") -> list[CompileJob]:

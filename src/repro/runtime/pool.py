@@ -30,12 +30,27 @@ Two service-oriented modes layer on top of the same engine:
   :class:`JobOutcome` is delivered in job order as soon as its
   compilation lands, instead of after the whole batch.  This is what the
   :mod:`repro.service` streaming endpoint consumes.
+
+:meth:`BatchCompiler.run` is **re-entrant**: any number of threads may
+call it concurrently on one engine (the service scheduler runs several
+batches at once over a single warm pool).  Each call keeps its state in
+locals, the shared :class:`ScheduleCache` takes its own lock, the warm
+pool accepts task submissions from multiple threads, and per-run cache
+statistics are accounted locally instead of as deltas of the shared
+counters (which interleave across overlapping runs).  Deduplication
+extends across overlapping runs: a run that misses the cache but finds
+the same compile fingerprint **in flight** in another run waits for that
+compilation and serves it as a cache hit instead of compiling it twice
+(falling back to compiling locally if the other run fails or is
+cancelled).  The ``on_outcome`` in-job-order guarantee holds per call,
+and records stay byte-identical whether runs overlap or not.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
@@ -64,6 +79,13 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     """Prefer ``fork`` (cheap, no re-import) where available."""
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+#: Upper bound on waiting for another run's in-flight compilation of the
+#: same fingerprint.  Generously above any real compile time — on expiry
+#: the waiter assumes the holder died and compiles locally, so a wedged
+#: run can never wedge its neighbours.
+_INFLIGHT_WAIT_S = 600.0
 
 
 @dataclass(frozen=True)
@@ -172,6 +194,15 @@ class BatchCompiler:
         self.cache = cache if cache is not None else ScheduleCache()
         self.warm = bool(warm)
         self._pool: "multiprocessing.pool.Pool | None" = None
+        # Guards warm-pool creation/teardown only; ``run`` itself keeps
+        # all batch state in locals and needs no engine-wide lock.
+        self._pool_lock = threading.Lock()
+        # Compile fingerprints currently being compiled by some run, each
+        # mapped to the event its completion sets.  Concurrent runs use
+        # this to wait for each other's compilations instead of
+        # duplicating them.
+        self._inflight: "dict[str, threading.Event]" = {}
+        self._inflight_lock = threading.Lock()
 
     def run(
         self,
@@ -184,26 +215,39 @@ class BatchCompiler:
         the job's outcome is known — cache hits fire before the first
         compilation finishes, compiled jobs as their schedule lands.  The
         callback runs in the calling thread and sees exactly the outcomes
-        the returned :class:`BatchResult` will contain.
+        the returned :class:`BatchResult` will contain.  An exception
+        raised by the callback aborts the run between compilations and
+        propagates to the caller (the service scheduler cancels jobs this
+        way); outcomes already delivered stay delivered, and compilations
+        already cached stay cached.
+
+        Re-entrant: concurrent calls on one engine are safe and share the
+        cache and (in warm mode) the worker pool.
         """
         start = time.perf_counter()
         jobs = list(jobs)
-        stats_before = self.cache.stats.snapshot()
+        # Per-run statistics are accumulated locally: with several runs
+        # in flight, before/after deltas of the shared cache counters
+        # would attribute other runs' traffic to this batch.
+        run_stats = CacheStats()
 
         entries: dict[str, CachedCompilation] = {}
         from_cache: dict[str, bool] = {}
         pending: "dict[str, CompileJob]" = {}
+        # Fingerprints another run is compiling right now: wait for its
+        # event instead of compiling a second copy.  Insertion order is
+        # job order, which is the order waits resolve in below.
+        awaited: "dict[str, tuple[threading.Event, CompileJob]]" = {}
+        claimed: set[str] = set()
+        compilations = 0
         compile_fps = [job.compile_fingerprint() for job in jobs]
 
-        for job, fingerprint in zip(jobs, compile_fps):
-            if fingerprint in entries or fingerprint in pending:
-                continue
-            entry = self.cache.get(fingerprint)
-            if entry is not None:
-                entries[fingerprint] = entry
-                from_cache[fingerprint] = True
-            else:
-                pending[fingerprint] = job
+        def _record_hit(fingerprint: str, entry: CachedCompilation, tier: str) -> None:
+            run_stats.hits += 1
+            if tier == "disk":
+                run_stats.disk_hits += 1
+            entries[fingerprint] = entry
+            from_cache[fingerprint] = True
 
         outcomes: list[JobOutcome] = []
         worker_pids: set[int] = set()
@@ -222,37 +266,97 @@ class BatchCompiler:
                 if on_outcome is not None:
                     on_outcome(outcome)
 
-        _drain()  # jobs fully served by the cache stream before any compile
-        for fingerprint, entry_data, pid in self._iter_compiled(pending):
-            entry = CachedCompilation.from_dict(entry_data)
-            self.cache.put(fingerprint, entry)
+        def _store_compiled(fingerprint: str, entry: CachedCompilation) -> None:
+            evictions, disk_evictions = self.cache.put(fingerprint, entry)
+            run_stats.stores += 1
+            run_stats.evictions += evictions
+            run_stats.disk_evictions += disk_evictions
             entries[fingerprint] = entry
             from_cache[fingerprint] = False
-            worker_pids.add(pid)
-            _drain()
 
-        stats_after = self.cache.stats.snapshot()
+        try:
+            for job, fingerprint in zip(jobs, compile_fps):
+                if (
+                    fingerprint in entries
+                    or fingerprint in pending
+                    or fingerprint in awaited
+                ):
+                    continue
+                entry, tier = self.cache.lookup(fingerprint)
+                if entry is not None:
+                    _record_hit(fingerprint, entry, tier)
+                    continue
+                holder = self._claim_inflight(fingerprint)
+                if holder is not None:
+                    awaited[fingerprint] = (holder, job)
+                    continue
+                claimed.add(fingerprint)
+                # Re-check after claiming: the holder may have finished
+                # (and released) between our cache miss and our claim.
+                # peek, not lookup — the miss was already counted above,
+                # and this rare-hit probe must not count a second one.
+                entry = self.cache.peek(fingerprint)
+                if entry is not None:
+                    claimed.discard(fingerprint)
+                    self._release_inflight(fingerprint)
+                    _record_hit(fingerprint, entry, "memory")
+                    continue
+                run_stats.misses += 1
+                pending[fingerprint] = job
+
+            _drain()  # jobs fully served by the cache stream before any compile
+            for fingerprint, entry_data, pid in self._iter_compiled(pending):
+                entry = CachedCompilation.from_dict(entry_data)
+                _store_compiled(fingerprint, entry)
+                compilations += 1
+                worker_pids.add(pid)
+                # Release before draining: a waiting run may proceed even
+                # if our on_outcome callback raises (cancellation).
+                claimed.discard(fingerprint)
+                self._release_inflight(fingerprint)
+                _drain()
+            for fingerprint, (event, job) in awaited.items():
+                resolved = event.wait(timeout=_INFLIGHT_WAIT_S)
+                entry, tier = self.cache.lookup(fingerprint) if resolved else (None, None)
+                if entry is not None:
+                    _record_hit(fingerprint, entry, tier)
+                else:
+                    # The other run failed, was cancelled before this
+                    # compilation, or is pathologically slow: compile it
+                    # ourselves rather than lose the batch.
+                    run_stats.misses += 1
+                    _, entry_data, pid = _compile_entry((fingerprint, job))
+                    _store_compiled(fingerprint, CachedCompilation.from_dict(entry_data))
+                    compilations += 1
+                    worker_pids.add(pid)
+                _drain()
+        finally:
+            # Claims this run never compiled (its callback raised, or a
+            # worker died): wake the waiters so they self-serve.
+            for fingerprint in claimed:
+                self._release_inflight(fingerprint)
+
         return BatchResult(
             outcomes=outcomes,
-            cache_stats=CacheStats(
-                hits=stats_after.hits - stats_before.hits,
-                misses=stats_after.misses - stats_before.misses,
-                stores=stats_after.stores - stats_before.stores,
-                evictions=stats_after.evictions - stats_before.evictions,
-                disk_hits=stats_after.disk_hits - stats_before.disk_hits,
-            ),
-            compilations=len(pending),
+            cache_stats=run_stats,
+            compilations=compilations,
             workers=self.workers,
             wall_time_s=time.perf_counter() - start,
             extra={"worker_pids": sorted(worker_pids)},
         )
 
     def close(self) -> None:
-        """Release the persistent warm pool (no-op for cold engines)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Release the persistent warm pool (no-op for cold engines).
+
+        Thread-safe and idempotent.  Callers owning concurrent batches
+        (the service) must drain them first — terminating the pool under
+        a live ``run`` kills its in-flight compilations.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
 
     def __enter__(self) -> "BatchCompiler":
         return self
@@ -263,11 +367,33 @@ class BatchCompiler:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _claim_inflight(self, fingerprint: str) -> "threading.Event | None":
+        """Claim a fingerprint for compilation by this run.
+
+        Returns ``None`` when the claim succeeded (this run compiles it
+        and must eventually :meth:`_release_inflight` it), or the holding
+        run's completion event to wait on.
+        """
+        with self._inflight_lock:
+            event = self._inflight.get(fingerprint)
+            if event is not None:
+                return event
+            self._inflight[fingerprint] = threading.Event()
+            return None
+
+    def _release_inflight(self, fingerprint: str) -> None:
+        """Drop a claim and wake every run waiting on it (idempotent)."""
+        with self._inflight_lock:
+            event = self._inflight.pop(fingerprint, None)
+        if event is not None:
+            event.set()
+
     def _ensure_pool(self) -> "multiprocessing.pool.Pool":
-        """The persistent warm pool, created on first use."""
-        if self._pool is None:
-            self._pool = _pool_context().Pool(processes=self.workers)
-        return self._pool
+        """The persistent warm pool, created on first use (thread-safe)."""
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = _pool_context().Pool(processes=self.workers)
+            return self._pool
 
     def _split_items(
         self, items: "list[tuple[str, CompileJob]]"

@@ -2,25 +2,33 @@
 
 The service turns the library into something a user can submit work to
 without importing Python: POST a job manifest, get a fingerprint-derived
-job id back, stream each result as its compilation lands.  Four modules
+job id back, stream each result as its compilation lands.  Six modules
 split the responsibilities:
 
 * :mod:`repro.service.jobs` — submission bookkeeping:
-  :class:`ServiceJob` life cycle (queued/running/done/failed), the
-  thread-safe outcome buffer streams read from, and deterministic job
-  ids derived from :meth:`CompileJob.fingerprint`;
+  :class:`ServiceJob` life cycle (queued/running/done/failed/cancelled),
+  the thread-safe outcome buffer streams read from, cooperative
+  cancellation, and deterministic job ids derived from
+  :meth:`CompileJob.fingerprint`;
+* :mod:`repro.service.scheduler` — :class:`ServiceScheduler`, the
+  multi-slot scheduler running several submitted batches concurrently
+  over the shared warm engine (priority order, FIFO within priority,
+  cancellation between compilations, graceful drain on shutdown);
+* :mod:`repro.service.journal` — :class:`JobJournal`, the JSON-lines
+  journal under the cache directory that makes the job table durable:
+  finished jobs survive restarts, interrupted ones are resubmitted from
+  their journaled manifests (or marked failed);
 * :mod:`repro.service.app` — :class:`CompilationService`, the
-  transport-independent core owning the **warm**
-  :class:`~repro.runtime.pool.BatchCompiler` (worker processes survive
-  across submissions), the shared
-  :class:`~repro.runtime.cache.ScheduleCache` and the FIFO executor;
+  transport-independent core wiring engine + store + scheduler +
+  journal together;
 * :mod:`repro.service.server` — the stdlib ``http.server`` front-end:
-  ``/v1/jobs`` (submit/list/status), the chunked JSON-lines
+  ``/v1/jobs`` (submit/list/status/cancel), the chunked JSON-lines
   ``/v1/jobs/<id>/results`` stream, ``/v1/schedules/<fingerprint>``,
   ``/v1/compilers`` and ``/v1/healthz``, with structured 4xx errors for
   everything :class:`~repro.exceptions.ManifestError` covers;
 * :mod:`repro.service.client` — :class:`ServiceClient`, the thin stdlib
-  client used by tests, examples and CI.
+  client used by tests, examples, CI and the ``repro submit`` /
+  ``repro results`` / ``repro jobs`` CLI commands.
 
 Start one from the CLI (``python -m repro serve --port 8000``) or
 in-process::
@@ -41,15 +49,20 @@ Everything is standard library — no web framework, no new dependencies.
 from repro.service.app import CompilationService
 from repro.service.client import ServiceClient
 from repro.service.jobs import JobStore, ServiceJob, job_batch_id
+from repro.service.journal import JobJournal, replay_journal
+from repro.service.scheduler import ServiceScheduler
 from repro.service.server import ServiceServer, make_server, serve
 
 __all__ = [
     "CompilationService",
+    "JobJournal",
     "JobStore",
     "ServiceClient",
     "ServiceJob",
+    "ServiceScheduler",
     "ServiceServer",
     "job_batch_id",
     "make_server",
+    "replay_journal",
     "serve",
 ]

@@ -1,6 +1,6 @@
 """The compilation service core, independent of any transport.
 
-:class:`CompilationService` owns the three long-lived pieces the HTTP
+:class:`CompilationService` owns the long-lived pieces the HTTP
 front-end (and any embedding application) shares:
 
 * a **warm** :class:`~repro.runtime.pool.BatchCompiler` whose worker
@@ -9,19 +9,25 @@ front-end (and any embedding application) shares:
 * a :class:`~repro.runtime.cache.ScheduleCache` (optionally disk-backed)
   that serves repeated submissions without recompiling;
 * a :class:`~repro.service.jobs.JobStore` of every submission, keyed by
-  the fingerprint-derived job id.
+  the fingerprint-derived job id;
+* a :class:`~repro.service.scheduler.ServiceScheduler` running up to
+  ``slots`` submitted batches **concurrently** over the shared engine
+  (priority order, FIFO within priority);
+* optionally a :class:`~repro.service.journal.JobJournal` — a JSON-lines
+  log under the cache directory that makes the job table durable:
+  finished jobs survive restarts, and interrupted ones are resubmitted
+  from their journaled manifests (or marked ``failed`` with a restart
+  error when they cannot be).
 
-Submissions run on a single executor thread in FIFO order — the engine
-itself fans distinct compilations out over processes, so one batch at a
-time keeps the records deterministic while still saturating the workers.
 Outcomes stream through :meth:`ServiceJob.add_outcome` as each
 compilation lands, which is what makes incremental result delivery
-possible before a batch finishes.
+possible before a batch finishes; cancellation
+(:meth:`CompilationService.cancel`) is cooperative, taking effect
+between compilations.
 """
 
 from __future__ import annotations
 
-import queue
 import threading
 from pathlib import Path
 from typing import Any, Iterator
@@ -29,16 +35,21 @@ from typing import Any, Iterator
 from repro.hardware.presets import paper_device
 from repro.registry import available_compilers, make_pipeline
 from repro.runtime.cache import ScheduleCache
-from repro.runtime.manifest import jobs_from_manifest, jobs_from_manifest_text
+from repro.runtime.manifest import (
+    jobs_from_manifest,
+    manifest_document_from_text,
+)
 from repro.runtime.pool import BatchCompiler
 from repro.service.jobs import JobStore, ServiceJob, job_batch_id
+from repro.service.journal import JobJournal, replay_journal
+from repro.service.scheduler import ServiceScheduler
 
-#: Executor-queue sentinel that asks the worker thread to exit.
-_STOP = object()
+#: File name of the job journal inside the service's cache directory.
+JOURNAL_FILENAME = "jobs.journal.jsonl"
 
 
 class CompilationService:
-    """Async compilation jobs over a warm batch engine.
+    """Concurrent, durable compilation jobs over a warm batch engine.
 
     Parameters
     ----------
@@ -48,10 +59,36 @@ class CompilationService:
         An existing :class:`ScheduleCache` to serve and populate.
     cache_dir:
         Shorthand for a disk-backed cache (ignored when ``cache`` is
-        given), so schedules survive service restarts.
+        given), so schedules — and, via the journal, the job table —
+        survive service restarts.
     warm:
         Keep the engine's worker pool alive across submissions (the
         default; disable only for tests of the cold path).
+    slots:
+        How many submitted batches may run concurrently (``1`` restores
+        the old strictly-serial executor behaviour).
+    engine:
+        An existing engine to run on instead of building one —
+        ``workers``/``cache``/``warm`` are then ignored.  Tests inject
+        controllable engines here.
+    journal_path:
+        Where to keep the JSON-lines job journal.  Defaults to
+        ``<cache_dir>/jobs.journal.jsonl`` when ``cache_dir`` is given;
+        without either there is nothing durable to write to and the
+        journal is disabled.
+    journal:
+        Set ``False`` to disable journaling even with a cache directory.
+    recover:
+        What to do with journaled jobs that were queued/running when the
+        previous process died: ``"resubmit"`` (default) re-parses their
+        journaled manifests and queues them again — with the schedule
+        cache in the same directory the recompilation is typically free —
+        while ``"fail"`` marks them ``failed`` with a restart error.
+        Jobs whose manifest was not journalable always fall back to the
+        failure marker.
+    drain_timeout:
+        Default bound, in seconds, on how long :meth:`close` waits for
+        running batches to finish before cooperatively cancelling them.
     """
 
     def __init__(
@@ -61,46 +98,74 @@ class CompilationService:
         cache_dir: "Path | str | None" = None,
         max_cache_entries: int = 256,
         warm: bool = True,
+        slots: int = 2,
+        engine: BatchCompiler | None = None,
+        journal_path: "Path | str | None" = None,
+        journal: bool = True,
+        recover: str = "resubmit",
+        drain_timeout: float | None = 10.0,
     ) -> None:
-        if cache is None:
-            cache = ScheduleCache(max_entries=max_cache_entries, directory=cache_dir)
-        self.engine = BatchCompiler(workers=workers, cache=cache, warm=warm)
+        if recover not in ("resubmit", "fail"):
+            raise ValueError(f"unknown recover policy {recover!r}")
+        if engine is None:
+            if cache is None:
+                cache = ScheduleCache(
+                    max_entries=max_cache_entries, directory=cache_dir
+                )
+            engine = BatchCompiler(workers=workers, cache=cache, warm=warm)
+        self.engine = engine
         self.store = JobStore()
-        self._queue: "queue.Queue[Any]" = queue.Queue()
-        self._executor: threading.Thread | None = None
+        self.scheduler = ServiceScheduler(
+            self.engine, slots=slots, observer=self._journal_transition
+        )
+        self.drain_timeout = drain_timeout
+        if journal_path is None and journal and cache_dir is not None:
+            journal_path = Path(cache_dir) / JOURNAL_FILENAME
+        self.journal: JobJournal | None = None
         self._lock = threading.Lock()
         self._closed = False
         self._compilers_cache: "tuple[tuple, list[dict[str, object]]] | None" = None
+        if journal and journal_path is not None:
+            recovered = replay_journal(journal_path)
+            self.journal = JobJournal(journal_path)
+            self._recover(recovered, policy=recover)
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Start the executor thread (idempotent; ``submit`` calls it)."""
+        """Start the scheduler slots (idempotent; ``submit`` calls it)."""
         with self._lock:
             if self._closed:
                 raise RuntimeError("the service has been closed")
-            if self._executor is None:
-                self._executor = threading.Thread(
-                    target=self._run_executor, name="repro-service-executor", daemon=True
-                )
-                self._executor.start()
+        self.scheduler.start()
 
-    def close(self) -> None:
-        """Stop the executor after the current batch and release workers.
+    def close(self, drain_timeout: float | None = None) -> None:
+        """Graceful shutdown: drain running jobs, cancel the queue.
 
-        Jobs still queued behind the in-flight batch are abandoned (the
-        executor checks the closed flag before starting each one), so
-        shutdown takes at most one batch, not the whole backlog.
+        Running batches get ``drain_timeout`` seconds (defaulting to the
+        service's ``drain_timeout``) to finish; still-queued jobs are
+        marked ``cancelled`` — and journaled as such, so a restart does
+        not resurrect work the operator shut down on purpose.  The
+        journal is flushed and closed, then the engine's workers are
+        released.  Idempotent.
         """
         with self._lock:
+            if self._closed:
+                return
             self._closed = True
-            executor = self._executor
-            self._executor = None
-        if executor is not None:
-            self._queue.put(_STOP)
-            executor.join()
-        self.engine.close()
+        if drain_timeout is None:
+            drain_timeout = self.drain_timeout
+        self.scheduler.close(drain_timeout=drain_timeout)
+        if self.journal is not None:
+            self.journal.close()
+        if self.scheduler.active_count() == 0:
+            self.engine.close()
+        # else: slots outlived the drain deadline.  Terminating the warm
+        # pool under their live engine.run calls would leave the daemon
+        # slot threads blocked in the pool's result iterators forever —
+        # leave the workers to die with the process instead (they are
+        # daemonic), and let the cooperative cancel land if it can.
 
     def __enter__(self) -> "CompilationService":
         self.start()
@@ -109,54 +174,169 @@ class CompilationService:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    def _run_executor(self) -> None:
-        while True:
-            item = self._queue.get()
-            # The closed flag outranks the backlog: _STOP only wakes an
-            # idle executor, while a closing service must not start the
-            # batches still queued behind the in-flight one.
-            if item is _STOP or self._closed:
-                return
-            job: ServiceJob = item
-            job.mark_running()
-            try:
-                result = self.engine.run(job.jobs, on_outcome=job.add_outcome)
-            except Exception as exc:  # noqa: BLE001 - job-scoped failure, not ours
-                job.mark_failed(exc)
-            else:
-                job.mark_done(result)
+    # ------------------------------------------------------------------
+    # journal plumbing
+    # ------------------------------------------------------------------
+    def _journal_transition(self, job: ServiceJob, transition: str) -> None:
+        """Scheduler observer: persist every state change."""
+        if self.journal is None:
+            return
+        fields: dict[str, Any] = {}
+        if transition == "done" and job.summary is not None:
+            fields["summary"] = job.summary
+        if transition == "failed" and job.error is not None:
+            fields["error"] = job.error
+        self.journal.append(transition, job.job_id, **fields)
+
+    def _journal_submission(
+        self, job: ServiceJob, document: Any
+    ) -> None:
+        if self.journal is None:
+            return
+        # A document that resists JSON (live objects in a Python-side
+        # submission) is dropped by JobJournal.append's own fallback;
+        # replay then sees manifest=None and marks the job failed
+        # rather than resubmitting it.
+        self.journal.append(
+            "submitted",
+            job.job_id,
+            created_at=job.created_at,
+            priority=job.priority,
+            jobs=len(job.jobs),
+            specs=job.spec_rows(),
+            manifest=document,
+        )
+
+    def _recover(self, recovered: "list[dict[str, Any]]", policy: str) -> None:
+        """Rebuild the job table from replayed journal states."""
+        for state in recovered:
+            status = state["status"]
+            if status in ("done", "failed", "cancelled"):
+                self.store.put(
+                    ServiceJob.from_journal(
+                        state["job_id"],
+                        status,
+                        created_at=state["created_at"] or 0.0,
+                        priority=state["priority"],
+                        total_jobs=state["total_jobs"],
+                        spec_rows=state["spec_rows"],
+                        summary=state["summary"],
+                        error=state["error"],
+                        started_at=state["started_at"],
+                        finished_at=state["finished_at"],
+                    )
+                )
+                continue
+            # Interrupted mid-flight.  Resubmit when we can, otherwise
+            # record the restart as the failure it was.
+            resubmitted = False
+            if policy == "resubmit" and state["manifest"] is not None:
+                try:
+                    jobs = jobs_from_manifest(state["manifest"])
+                    job = ServiceJob(
+                        state["job_id"], jobs, priority=state["priority"]
+                    )
+                    job.replayed = True
+                except Exception:  # noqa: BLE001 - fall through to failure marker
+                    pass
+                else:
+                    self.store.put(job)
+                    self.scheduler.submit(job)
+                    resubmitted = True
+            if not resubmitted:
+                failed = ServiceJob.from_journal(
+                    state["job_id"],
+                    "failed",
+                    created_at=state["created_at"] or 0.0,
+                    priority=state["priority"],
+                    total_jobs=state["total_jobs"],
+                    spec_rows=state["spec_rows"],
+                    error={
+                        "type": "ServiceRestart",
+                        "message": "restart: the service stopped while this "
+                        "job was in flight and it could not be resubmitted",
+                    },
+                    started_at=state["started_at"],
+                )
+                self.store.put(failed)
+                if self.journal is not None:
+                    self.journal.append("failed", failed.job_id, error=failed.error)
 
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
-    def submit_document(self, document: Any) -> "tuple[ServiceJob, bool]":
+    def submit_document(
+        self, document: Any, priority: int = 0
+    ) -> "tuple[ServiceJob, bool]":
         """Submit a parsed manifest document; returns ``(job, resubmitted)``.
 
         Raises :class:`~repro.exceptions.ManifestError` for invalid
         documents.  A manifest whose fingerprint-derived id matches an
-        existing non-failed job is **not** re-run: the original job is
-        returned with ``resubmitted=True`` (its results may already be
-        streaming, or complete).  A failed job is retried.
+        existing job that is neither ``failed`` nor ``cancelled`` is
+        **not** re-run: the original job is returned with
+        ``resubmitted=True`` (its results may already be streaming, or
+        complete).  Failed and cancelled jobs are retried.
         """
         jobs = jobs_from_manifest(document)
-        return self._enqueue(jobs)
+        return self._enqueue(jobs, priority=priority, document=document)
 
-    def submit_text(self, body: "str | bytes") -> "tuple[ServiceJob, bool]":
+    def submit_text(
+        self, body: "str | bytes", priority: int = 0
+    ) -> "tuple[ServiceJob, bool]":
         """Submit a raw JSON manifest body (the POST request path)."""
-        jobs = jobs_from_manifest_text(body)
-        return self._enqueue(jobs)
+        document = manifest_document_from_text(body)
+        return self.submit_document(document, priority=priority)
 
-    def _enqueue(self, jobs: list) -> "tuple[ServiceJob, bool]":
+    def _enqueue(
+        self, jobs: list, priority: int, document: Any
+    ) -> "tuple[ServiceJob, bool]":
         self.start()
         job_id = job_batch_id(jobs)
         with self._lock:
             existing = self.store.get(job_id)
-            if existing is not None and existing.status != "failed":
+            if existing is not None and not self._retryable(existing):
                 return existing, True
-            job = ServiceJob(job_id, jobs)
+            job = ServiceJob(job_id, jobs, priority=priority)
             self.store.put(job)
-        self._queue.put(job)
+        self._journal_submission(job, document)
+        self.scheduler.submit(job)
         return job, False
+
+    @staticmethod
+    def _retryable(existing: ServiceJob) -> bool:
+        """Whether a resubmission should re-run instead of deduplicate.
+
+        Failed and cancelled jobs retry.  So does a **replayed terminal
+        job**: its status and summary survived the restart but its
+        streamed outcome buffers did not, so deduplicating against it
+        would make the results permanently unretrievable — while the
+        schedule cache makes the re-run nearly free.
+        """
+        if existing.status in ("failed", "cancelled"):
+            return True
+        return existing.replayed and existing.finished and not existing.outcomes
+
+    # ------------------------------------------------------------------
+    # cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str) -> "tuple[ServiceJob, bool]":
+        """Request cancellation of a job; returns ``(job, accepted)``.
+
+        Raises :class:`KeyError` for unknown ids.  A queued job lands in
+        ``cancelled`` immediately (and is journaled); a running one is
+        flagged and transitions at its next outcome boundary; a job
+        already terminal is returned with ``accepted=False``.
+        """
+        job = self.store.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        was_queued = job.status == "queued"
+        accepted = job.cancel()
+        if accepted and was_queued and job.status == "cancelled":
+            # Running jobs are journaled by the scheduler when the
+            # cooperative cancel lands; queued ones finish right here.
+            self._journal_transition(job, "cancelled")
+        return job, accepted
 
     # ------------------------------------------------------------------
     # queries
@@ -164,6 +344,23 @@ class CompilationService:
     def job(self, job_id: str) -> ServiceJob | None:
         """The job record for an id, or ``None``."""
         return self.store.get(job_id)
+
+    def jobs_payload(
+        self, offset: int = 0, limit: int | None = None
+    ) -> dict[str, object]:
+        """A paginated job listing, oldest submission first."""
+        if offset < 0:
+            raise ValueError("offset cannot be negative")
+        if limit is not None and limit < 0:
+            raise ValueError("limit cannot be negative")
+        jobs = self.store.all()
+        window = jobs[offset:] if limit is None else jobs[offset : offset + limit]
+        return {
+            "jobs": [job.status_payload() for job in window],
+            "total": len(jobs),
+            "offset": offset,
+            "count": len(window),
+        }
 
     def stream_lines(
         self, job_id: str, timeout: float | None = None
@@ -252,7 +449,12 @@ class CompilationService:
         return rows
 
     def health_payload(self) -> dict[str, object]:
-        """Liveness plus the numbers an operator wants at a glance."""
+        """Liveness plus the numbers an operator wants at a glance.
+
+        ``jobs`` is the per-state job census, ``scheduler`` the queue
+        depth and slot occupancy, ``cache`` the shared schedule cache's
+        hit/miss/eviction counters.
+        """
         # Imported lazily: repro/__init__ re-exports this package, so a
         # top-level import of the package root would be circular.
         from repro import __version__
@@ -261,6 +463,8 @@ class CompilationService:
             "status": "ok",
             "version": __version__,
             "jobs": self.store.counts(),
+            "scheduler": self.scheduler.stats(),
             "engine": {"workers": self.engine.workers, "warm": self.engine.warm},
             "cache": self.engine.cache.stats.as_dict(),
+            "journal": str(self.journal.path) if self.journal is not None else None,
         }

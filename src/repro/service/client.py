@@ -60,11 +60,16 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
-    def submit(self, manifest: "Mapping | Sequence | str | bytes") -> dict[str, Any]:
+    def submit(
+        self,
+        manifest: "Mapping | Sequence | str | bytes",
+        priority: int | None = None,
+    ) -> dict[str, Any]:
         """POST a manifest (dict/list, or raw JSON text) to ``/v1/jobs``.
 
-        Returns the submission receipt: ``job_id``, ``status``,
-        ``resubmitted`` and the results path.
+        ``priority`` orders the job in the scheduler queue (larger runs
+        earlier; default 0).  Returns the submission receipt: ``job_id``,
+        ``status``, ``resubmitted`` and the results path.
         """
         if isinstance(manifest, bytes):
             body = manifest
@@ -72,11 +77,26 @@ class ServiceClient:
             body = manifest.encode("utf-8")
         else:
             body = json.dumps(manifest).encode("utf-8")
-        return self._json("POST", "/v1/jobs", body)
+        path = "/v1/jobs"
+        if priority is not None:
+            path += f"?priority={int(priority)}"
+        return self._json("POST", path, body)
 
-    def submit_file(self, path: "Path | str") -> dict[str, Any]:
+    def submit_file(
+        self, path: "Path | str", priority: int | None = None
+    ) -> dict[str, Any]:
         """Submit a JSON manifest file from disk."""
-        return self.submit(Path(path).read_bytes())
+        return self.submit(Path(path).read_bytes(), priority=priority)
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """``DELETE /v1/jobs/<id>``: cancel a queued or running job.
+
+        Queued jobs land in ``cancelled`` immediately; running jobs stop
+        cooperatively at their next outcome boundary.  Raises
+        :class:`ServiceError` with status 409 when the job already
+        finished, 404 when the id is unknown.
+        """
+        return self._json("DELETE", f"/v1/jobs/{job_id}")
 
     # ------------------------------------------------------------------
     # results
@@ -129,9 +149,21 @@ class ServiceClient:
         """One job's status payload (404 raises :class:`ServiceError`)."""
         return self._json("GET", f"/v1/jobs/{job_id}")
 
-    def jobs(self) -> list[dict[str, Any]]:
-        """Status payloads of every submitted job, oldest first."""
-        return self._json("GET", "/v1/jobs")["jobs"]
+    def jobs(
+        self, offset: int = 0, limit: int | None = None
+    ) -> list[dict[str, Any]]:
+        """Status payloads of submitted jobs, oldest first (one page)."""
+        return self.jobs_page(offset=offset, limit=limit)["jobs"]
+
+    def jobs_page(
+        self, offset: int = 0, limit: int | None = None
+    ) -> dict[str, Any]:
+        """The full paginated listing: ``jobs``, ``total``, ``offset``,
+        ``count`` — for walking a long job table page by page."""
+        path = f"/v1/jobs?offset={int(offset)}"
+        if limit is not None:
+            path += f"&limit={int(limit)}"
+        return self._json("GET", path)
 
     def schedule(self, compile_fingerprint: str) -> dict[str, Any]:
         """The cached compilation stored under a compile fingerprint."""

@@ -1,16 +1,24 @@
 """Service-side job bookkeeping: submissions, states, streamed outcomes.
 
 A :class:`ServiceJob` tracks one submitted manifest through its life
-cycle (``queued`` → ``running`` → ``done``/``failed``) and buffers the
-:class:`~repro.runtime.pool.JobOutcome` items the batch engine delivers
-via its completion callback.  All mutation happens under one condition
-variable, so any number of HTTP handler threads can stream outcomes
-while the executor thread appends them.
+cycle (``queued`` → ``running`` → ``done``/``failed``/``cancelled``) and
+buffers the :class:`~repro.runtime.pool.JobOutcome` items the batch
+engine delivers via its completion callback.  All mutation happens under
+one condition variable, so any number of HTTP handler threads can stream
+outcomes while a scheduler slot thread appends them.
 
 Job ids are **derived from the compile-job fingerprints** (not from a
 counter or a clock): the same manifest always maps to the same id, which
 makes submission idempotent — a client retrying a POST neither duplicates
 work nor loses track of the original run.
+
+Cancellation is cooperative: :meth:`ServiceJob.cancel` flips a queued job
+straight to ``cancelled``, while a running job only gets a request flag —
+the scheduler checks it between compilations and finishes the transition
+(:meth:`ServiceJob.mark_cancelled`).  Jobs restored from the on-disk
+journal after a restart (:mod:`repro.service.journal`) carry
+``replayed=True`` and keep their terminal state and summary even though
+their in-memory outcome buffers are gone.
 """
 
 from __future__ import annotations
@@ -23,8 +31,11 @@ from typing import Iterator, Sequence
 from repro.runtime.jobs import CompileJob
 from repro.runtime.pool import BatchResult, JobOutcome
 
-#: The four states a submitted job moves through.
-JOB_STATUSES = ("queued", "running", "done", "failed")
+#: The five states a submitted job moves through.
+JOB_STATUSES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job never leaves.
+TERMINAL_STATUSES = ("done", "failed", "cancelled")
 
 
 def job_batch_id(jobs: Sequence[CompileJob]) -> str:
@@ -45,19 +56,64 @@ def job_batch_id(jobs: Sequence[CompileJob]) -> str:
 
 
 class ServiceJob:
-    """One submitted batch: its compile jobs, state and streamed outcomes."""
+    """One submitted batch: its compile jobs, state and streamed outcomes.
 
-    def __init__(self, job_id: str, jobs: Sequence[CompileJob]) -> None:
+    ``priority`` orders jobs in the scheduler queue — larger values run
+    earlier, equal values run in submission order (FIFO within priority).
+    """
+
+    def __init__(
+        self, job_id: str, jobs: Sequence[CompileJob], priority: int = 0
+    ) -> None:
         self.job_id = job_id
         self.jobs: list[CompileJob] = list(jobs)
+        self.priority = int(priority)
         self.status = "queued"
         self.outcomes: list[JobOutcome] = []
+        self.outcome_times: list[float] = []
         self.error: "dict[str, str] | None" = None
         self.summary: "dict[str, object] | None" = None
         self.created_at = time.time()
         self.started_at: float | None = None
         self.finished_at: float | None = None
+        self.cancel_requested = False
+        self.replayed = False
+        self._total_jobs = len(self.jobs)
+        self._spec_rows: "list[dict[str, object]] | None" = None
         self._cond = threading.Condition()
+
+    @classmethod
+    def from_journal(
+        cls,
+        job_id: str,
+        status: str,
+        created_at: float,
+        priority: int = 0,
+        total_jobs: int = 0,
+        spec_rows: "Sequence[dict[str, object]] | None" = None,
+        summary: "dict[str, object] | None" = None,
+        error: "dict[str, str] | None" = None,
+        started_at: float | None = None,
+        finished_at: float | None = None,
+    ) -> "ServiceJob":
+        """Rebuild a terminal job from replayed journal events.
+
+        The compile jobs themselves are gone with the old process, so the
+        record keeps the journaled spec rows and counts instead; streamed
+        results are no longer available, but status, summary and error
+        survive the restart.
+        """
+        job = cls(job_id, [], priority=priority)
+        job.status = status
+        job.created_at = created_at
+        job.started_at = started_at
+        job.finished_at = finished_at
+        job.summary = dict(summary) if summary is not None else None
+        job.error = dict(error) if error is not None else None
+        job.replayed = True
+        job._total_jobs = int(total_jobs)
+        job._spec_rows = [dict(row) for row in spec_rows] if spec_rows else None
+        return job
 
     # ------------------------------------------------------------------
     # executor-side transitions
@@ -66,13 +122,24 @@ class ServiceJob:
         """Record one completed outcome (the engine's ``on_outcome`` hook)."""
         with self._cond:
             self.outcomes.append(outcome)
+            self.outcome_times.append(time.monotonic())
             self._cond.notify_all()
 
-    def mark_running(self) -> None:
+    def try_start(self) -> bool:
+        """Atomically move ``queued`` → ``running``; ``False`` otherwise.
+
+        The check-and-transition happens under the job's own lock, the
+        same one :meth:`cancel` takes — so a job can be started or
+        cancelled, never both: whichever gets the lock first wins, and a
+        scheduler slot that loses simply drops the job.
+        """
         with self._cond:
+            if self.status != "queued" or self.cancel_requested:
+                return False
             self.status = "running"
             self.started_at = time.time()
             self._cond.notify_all()
+            return True
 
     def mark_done(self, result: BatchResult) -> None:
         with self._cond:
@@ -88,21 +155,49 @@ class ServiceJob:
             self.finished_at = time.time()
             self._cond.notify_all()
 
+    def mark_cancelled(self) -> None:
+        """Finish the transition to ``cancelled`` (scheduler side)."""
+        with self._cond:
+            self.status = "cancelled"
+            self.finished_at = time.time()
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # cancellation
+    # ------------------------------------------------------------------
+    def cancel(self) -> bool:
+        """Request cancellation; ``False`` when the job is already terminal.
+
+        A queued job transitions to ``cancelled`` immediately (the
+        scheduler discards it when popped); a running one is flagged and
+        lands in ``cancelled`` cooperatively, at the next outcome
+        boundary — outcomes already streamed stay streamed.
+        """
+        with self._cond:
+            if self.status in TERMINAL_STATUSES:
+                return False
+            self.cancel_requested = True
+            if self.status == "queued":
+                self.status = "cancelled"
+                self.finished_at = time.time()
+            self._cond.notify_all()
+            return True
+
     # ------------------------------------------------------------------
     # reader side
     # ------------------------------------------------------------------
     @property
     def finished(self) -> bool:
-        return self.status in ("done", "failed")
+        return self.status in TERMINAL_STATUSES
 
     def iter_outcomes(self, timeout: float | None = None) -> Iterator[JobOutcome]:
         """Yield outcomes in job order, blocking until each is available.
 
         The iterator ends when every buffered outcome has been yielded
-        and the job has reached a terminal state; a job that fails
-        mid-batch still yields the outcomes that landed before the
-        failure.  ``timeout`` bounds the *total* wait; exceeding it
-        raises :class:`TimeoutError`.
+        and the job has reached a terminal state; a job that fails (or is
+        cancelled) mid-batch still yields the outcomes that landed before
+        the interruption.  ``timeout`` bounds the *total* wait; exceeding
+        it raises :class:`TimeoutError`.
         """
         index = 0
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -124,19 +219,29 @@ class ServiceJob:
                 index += 1
             yield outcome
 
+    def spec_rows(self) -> list[dict[str, object]]:
+        """Human-readable job specs (journaled rows for replayed jobs)."""
+        if self._spec_rows is not None:
+            return [dict(row) for row in self._spec_rows]
+        return [job.describe() for job in self.jobs]
+
     def status_payload(self) -> dict[str, object]:
         """The job's public JSON representation (the status endpoint)."""
         with self._cond:
             payload: dict[str, object] = {
                 "job_id": self.job_id,
                 "status": self.status,
-                "jobs": len(self.jobs),
+                "priority": self.priority,
+                "jobs": self._total_jobs,
                 "completed": len(self.outcomes),
                 "created_at": self.created_at,
                 "started_at": self.started_at,
                 "finished_at": self.finished_at,
-                "job_specs": [job.describe() for job in self.jobs],
+                "cancel_requested": self.cancel_requested,
+                "job_specs": self.spec_rows(),
             }
+            if self.replayed:
+                payload["replayed"] = True
             if self.summary is not None:
                 payload["summary"] = dict(self.summary)
             if self.error is not None:
@@ -145,7 +250,14 @@ class ServiceJob:
 
 
 class JobStore:
-    """Thread-safe id → :class:`ServiceJob` table."""
+    """Thread-safe id → :class:`ServiceJob` table.
+
+    Readers get **snapshots**: :meth:`all` and :meth:`counts` copy the
+    table contents under the lock before iterating, so a streaming
+    handler enumerating jobs never races a concurrent ``put`` mutating
+    the underlying dict (a ``RuntimeError: dictionary changed size
+    during iteration`` under the old in-place iteration).
+    """
 
     def __init__(self) -> None:
         self._jobs: dict[str, ServiceJob] = {}
@@ -163,15 +275,20 @@ class JobStore:
         with self._lock:
             self._jobs[job.job_id] = job
 
-    def all(self) -> list[ServiceJob]:
-        """Every known job, oldest submission first."""
+    def snapshot(self) -> list[ServiceJob]:
+        """A point-in-time copy of the table's values (unordered)."""
         with self._lock:
-            return sorted(self._jobs.values(), key=lambda job: job.created_at)
+            return list(self._jobs.values())
+
+    def all(self) -> list[ServiceJob]:
+        """Every known job, oldest submission first (a stable snapshot)."""
+        # Sort outside the lock: the snapshot list is private to this
+        # call, and created_at/job_id are immutable after construction.
+        return sorted(self.snapshot(), key=lambda job: (job.created_at, job.job_id))
 
     def counts(self) -> dict[str, int]:
         """How many jobs sit in each state (for the health endpoint)."""
         counts = {status: 0 for status in JOB_STATUSES}
-        with self._lock:
-            for job in self._jobs.values():
-                counts[job.status] = counts.get(job.status, 0) + 1
+        for job in self.snapshot():
+            counts[job.status] = counts.get(job.status, 0) + 1
         return counts

@@ -1,0 +1,182 @@
+"""A durable JSON-lines journal of service-job state transitions.
+
+The :class:`JobJournal` is the persistence layer behind
+:class:`~repro.service.app.CompilationService`: every job transition
+(``submitted`` → ``running`` → ``done``/``failed``/``cancelled``) is
+appended as one JSON object per line to a file under the service's cache
+directory.  On startup the service replays the journal
+(:func:`replay_journal` folds the event log into one final state per job
+id) and rebuilds its job table:
+
+* jobs whose last event is **terminal** are restored as finished records
+  (status, summary, error and timestamps survive; the streamed outcome
+  buffers do not);
+* jobs that were **queued or running** when the process died are either
+  resubmitted from their journaled manifest document — recompilation is
+  then typically free, because the schedule cache lives in the same
+  directory — or marked ``failed("restart")`` when the manifest was not
+  journalable (submissions carrying live Python objects) or the service
+  was configured not to retry.
+
+The format is append-only and crash-tolerant: a torn final line (the
+process died mid-write) is ignored on replay, and every line carries a
+``"v"`` format marker so future versions can skip records they do not
+understand instead of refusing the whole file.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterator
+
+#: Format marker written on every journal line.
+JOURNAL_VERSION = 1
+
+#: Events that leave a job in a terminal state.
+_TERMINAL_EVENTS = frozenset({"done", "failed", "cancelled"})
+
+
+class JobJournal:
+    """Append-only, thread-safe JSON-lines journal at ``path``.
+
+    Lines are flushed on every append — a service killed between
+    submissions loses at most the line being written, never an
+    acknowledged transition.
+    """
+
+    def __init__(self, path: "Path | str") -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._file = self.path.open("a", encoding="utf-8")
+
+    def append(self, event: str, job_id: str, **fields: Any) -> None:
+        """Record one transition; unserialisable extras are dropped."""
+        record: dict[str, Any] = {
+            "v": JOURNAL_VERSION,
+            "event": event,
+            "job_id": job_id,
+            "at": time.time(),
+        }
+        record.update(fields)
+        try:
+            line = json.dumps(record, sort_keys=True)
+        except (TypeError, ValueError):
+            # A field (e.g. a manifest holding live objects) resists JSON:
+            # journal the transition without it rather than not at all.
+            record = {
+                key: value
+                for key, value in record.items()
+                if _json_safe(value)
+            }
+            line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            self._file.write(line + "\n")
+            self._file.flush()
+
+    def flush(self) -> None:
+        with self._lock:
+            self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+                self._file.close()
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _json_safe(value: Any) -> bool:
+    try:
+        json.dumps(value)
+    except (TypeError, ValueError):
+        return False
+    return True
+
+
+def iter_journal(path: "Path | str") -> Iterator[dict[str, Any]]:
+    """Yield parsed journal records, skipping torn or foreign lines."""
+    path = Path(path)
+    if not path.exists():
+        return
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # A torn trailing line from a crashed writer — or garbage.
+                # Either way the records before it are intact; skip it.
+                continue
+            if not isinstance(record, dict) or "event" not in record:
+                continue
+            if record.get("v") != JOURNAL_VERSION:
+                continue
+            yield record
+
+
+def replay_journal(path: "Path | str") -> "list[dict[str, Any]]":
+    """Fold the event log into one final state per job, submission order.
+
+    Each returned dict has the shape::
+
+        {"job_id", "status", "created_at", "priority", "total_jobs",
+         "spec_rows", "manifest", "started_at", "finished_at",
+         "summary", "error"}
+
+    ``status`` is the last journaled state (``queued`` when only the
+    submission made it to disk).  ``manifest`` is the document journaled
+    at submission time, or ``None`` when it was not JSON-serialisable.
+    """
+    states: "dict[str, dict[str, Any]]" = {}
+    order: list[str] = []
+    for record in iter_journal(path):
+        job_id = record.get("job_id")
+        if not isinstance(job_id, str):
+            continue
+        event = record["event"]
+        if event == "submitted":
+            if job_id not in states:
+                order.append(job_id)
+            # A resubmission after a failure re-journals "submitted":
+            # reset the folded state so a stale error does not stick.
+            states[job_id] = {
+                "job_id": job_id,
+                "status": "queued",
+                "created_at": record.get("created_at", record.get("at")),
+                "priority": int(record.get("priority", 0)),
+                "total_jobs": int(record.get("jobs", 0)),
+                "spec_rows": record.get("specs") or [],
+                "manifest": record.get("manifest"),
+                "started_at": None,
+                "finished_at": None,
+                "summary": None,
+                "error": None,
+            }
+            continue
+        state = states.get(job_id)
+        if state is None:
+            # A transition without its submission (journal truncated at
+            # the head, e.g. rotated): nothing to rebuild from.
+            continue
+        if event == "running":
+            state["status"] = "running"
+            state["started_at"] = record.get("at")
+        elif event in _TERMINAL_EVENTS:
+            state["status"] = event
+            state["finished_at"] = record.get("at")
+            if record.get("summary") is not None:
+                state["summary"] = record["summary"]
+            if record.get("error") is not None:
+                state["error"] = record["error"]
+    return [states[job_id] for job_id in order]

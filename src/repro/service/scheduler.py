@@ -1,0 +1,236 @@
+"""The multi-slot job scheduler behind :class:`CompilationService`.
+
+:class:`ServiceScheduler` replaces the old single FIFO executor thread:
+``slots`` worker threads pull :class:`~repro.service.jobs.ServiceJob`
+items off one priority queue and run each through the **shared** batch
+engine, so several submitted batches make progress concurrently over one
+warm worker pool (:meth:`BatchCompiler.run` is re-entrant — each slot's
+call keeps its own state, the schedule cache takes its own lock, and the
+pool multiplexes compilations from every slot).
+
+Ordering is **priority, then FIFO**: larger ``ServiceJob.priority``
+values run earlier; jobs of equal priority run in submission order (a
+monotonic sequence number breaks ties, so no submission can starve
+another at the same priority).
+
+Cancellation is cooperative and checked **between compilations**: the
+scheduler wraps each job's ``on_outcome`` callback, and when
+:meth:`ServiceJob.cancel` has been requested it raises
+:class:`~repro.exceptions.JobCancelledError` out of the engine's drain
+loop instead of buffering the next outcome.  Outcomes already delivered
+stay delivered, schedules already compiled stay cached — only the
+remaining drain is abandoned.
+
+Shutdown (:meth:`close`) is graceful: still-queued jobs are cancelled
+immediately, running slots get ``drain_timeout`` seconds to finish their
+current batch, and anything still running after the deadline receives a
+cooperative cancel request.  Slot threads are daemons, so a runaway
+compilation can never block interpreter exit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Callable, Protocol, Sequence
+
+from repro.exceptions import JobCancelledError, ReproError
+from repro.runtime.pool import BatchResult, JobOutcome
+from repro.service.jobs import ServiceJob
+
+
+class _Engine(Protocol):
+    """What the scheduler needs from an engine (tests substitute stubs)."""
+
+    def run(
+        self,
+        jobs: Sequence[object],
+        on_outcome: "Callable[[JobOutcome], None] | None" = None,
+    ) -> BatchResult: ...
+
+
+#: Transition names handed to the scheduler's observer callback.
+TRANSITIONS = ("running", "done", "failed", "cancelled")
+
+
+class ServiceScheduler:
+    """Run service jobs over ``slots`` concurrent worker threads.
+
+    Parameters
+    ----------
+    engine:
+        The shared batch engine; its ``run`` must be re-entrant
+        (:class:`~repro.runtime.pool.BatchCompiler` is).
+    slots:
+        How many submitted batches may run concurrently.  ``1``
+        reproduces the old strictly-serial executor.
+    observer:
+        Optional callback ``(job, transition)`` invoked after every state
+        change the scheduler performs (``running``/``done``/``failed``/
+        ``cancelled``) — the service journals through this hook.
+    """
+
+    def __init__(
+        self,
+        engine: _Engine,
+        slots: int = 2,
+        observer: "Callable[[ServiceJob, str], None] | None" = None,
+    ) -> None:
+        if slots < 1:
+            # A ReproError so the CLI maps `serve --slots 0` onto its
+            # clean `error:` exit instead of a raw traceback.
+            raise ReproError("the scheduler needs at least one slot")
+        self.engine = engine
+        self.slots = int(slots)
+        self._observer = observer
+        self._heap: "list[tuple[int, int, ServiceJob]]" = []
+        self._seq = itertools.count()
+        self._cond = threading.Condition()
+        self._threads: list[threading.Thread] = []
+        self._active: "dict[int, ServiceJob]" = {}
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the slot threads (idempotent; ``submit`` calls it)."""
+        with self._cond:
+            if self._closing:
+                raise RuntimeError("the scheduler has been closed")
+            while len(self._threads) < self.slots:
+                index = len(self._threads)
+                thread = threading.Thread(
+                    target=self._run_slot,
+                    args=(index,),
+                    name=f"repro-scheduler-slot-{index}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+
+    def close(self, drain_timeout: float | None = None) -> list[ServiceJob]:
+        """Stop the scheduler gracefully; returns the jobs it cancelled.
+
+        Still-queued jobs are cancelled immediately (they never started);
+        running slots get ``drain_timeout`` seconds in total to finish
+        their in-flight batches (``None`` waits indefinitely).  Jobs
+        still running at the deadline get a cooperative cancel request
+        and are included in the returned list; their daemon slot threads
+        are abandoned rather than joined.
+        """
+        with self._cond:
+            self._closing = True
+            abandoned = [job for _, _, job in self._heap]
+            self._heap.clear()
+            self._cond.notify_all()
+        cancelled: list[ServiceJob] = []
+        for job in abandoned:
+            if job.cancel():
+                cancelled.append(job)
+                self._notify(job, "cancelled")
+        deadline = (
+            None if drain_timeout is None else time.monotonic() + drain_timeout
+        )
+        for thread in self._threads:
+            if deadline is None:
+                thread.join()
+            else:
+                thread.join(max(0.0, deadline - time.monotonic()))
+        with self._cond:
+            still_running = list(self._active.values())
+        for job in still_running:
+            # Past the drain deadline: ask the batch to stop at its next
+            # outcome boundary.  The slot thread (a daemon) will finish
+            # the in-memory transition if the process lives long enough;
+            # the observer is told *now*, so the cancellation reaches the
+            # journal before the service closes it — otherwise a restart
+            # would resurrect work the operator shut down on purpose.
+            # Guarded: a job that finished right around the deadline must
+            # not get a stale "cancelled" journaled over its "done".
+            if job.cancel():
+                cancelled.append(job)
+                self._notify(job, "cancelled")
+        return cancelled
+
+    def active_count(self) -> int:
+        """Slots still executing a batch (used by graceful shutdown)."""
+        with self._cond:
+            return len(self._active)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, job: ServiceJob) -> None:
+        """Queue a job; larger priorities run earlier, ties run FIFO."""
+        self.start()
+        with self._cond:
+            if self._closing:
+                raise RuntimeError("the scheduler has been closed")
+            heapq.heappush(self._heap, (-job.priority, next(self._seq), job))
+            self._cond.notify()
+
+    def stats(self) -> dict[str, int]:
+        """Queue depth and slot occupancy (for the health endpoint)."""
+        with self._cond:
+            return {
+                "slots": self.slots,
+                "active": len(self._active),
+                "queued": len(self._heap),
+            }
+
+    # ------------------------------------------------------------------
+    # slot loop
+    # ------------------------------------------------------------------
+    def _run_slot(self, index: int) -> None:
+        while True:
+            with self._cond:
+                while not self._heap and not self._closing:
+                    self._cond.wait()
+                if self._closing and not self._heap:
+                    return
+                _, _, job = heapq.heappop(self._heap)
+                # try_start is atomic with ServiceJob.cancel: a job
+                # cancelled while queued (or racing this very pop) is
+                # dropped without ever occupying the slot.
+                if not job.try_start():
+                    continue
+                self._active[index] = job
+            try:
+                self._execute(job)
+            finally:
+                with self._cond:
+                    self._active.pop(index, None)
+
+    def _execute(self, job: ServiceJob) -> None:
+        self._notify(job, "running")
+
+        def deliver(outcome: JobOutcome) -> None:
+            # The cancellation point "between compilations": refuse the
+            # next outcome instead of buffering it.
+            if job.cancel_requested:
+                raise JobCancelledError(job.job_id)
+            job.add_outcome(outcome)
+
+        try:
+            if job.cancel_requested:
+                raise JobCancelledError(job.job_id)
+            result = self.engine.run(job.jobs, on_outcome=deliver)
+        except JobCancelledError:
+            job.mark_cancelled()
+            self._notify(job, "cancelled")
+        except Exception as exc:  # noqa: BLE001 - job-scoped failure, not ours
+            job.mark_failed(exc)
+            self._notify(job, "failed")
+        else:
+            job.mark_done(result)
+            self._notify(job, "done")
+
+    def _notify(self, job: ServiceJob, transition: str) -> None:
+        if self._observer is not None:
+            try:
+                self._observer(job, transition)
+            except Exception:  # noqa: BLE001 - observers must not kill slots
+                pass

@@ -6,13 +6,19 @@ Endpoints (all JSON; see ``docs/service.md`` for schemas and examples):
 method      path                               meaning
 ==========  =================================  =====================================
 ``POST``    ``/v1/jobs``                       submit a manifest body, get a job id
-``GET``     ``/v1/jobs``                       list submitted jobs
+``GET``     ``/v1/jobs``                       list submitted jobs (paginated)
 ``GET``     ``/v1/jobs/<id>``                  one job's status
+``DELETE``  ``/v1/jobs/<id>``                  cancel a queued/running job
 ``GET``     ``/v1/jobs/<id>/results``          **stream** results as JSON lines
 ``GET``     ``/v1/schedules/<fingerprint>``    cached-schedule lookup
 ``GET``     ``/v1/compilers``                  the compiler registry listing
-``GET``     ``/v1/healthz``                    liveness + operational counters
+``GET``     ``/v1/healthz``                    liveness + scheduler/cache counters
 ==========  =================================  =====================================
+
+``POST /v1/jobs`` takes an optional ``?priority=<int>`` (larger runs
+earlier); ``GET /v1/jobs`` takes ``?offset=`` / ``?limit=``.  Cancelling
+an already-finished job answers ``409 Conflict`` with the job's terminal
+status in the error body.
 
 The results endpoint answers with ``Transfer-Encoding: chunked`` and
 media type ``application/x-ndjson``: one JSON object per line, each
@@ -94,6 +100,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         self._dispatch("POST")
 
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("DELETE")
+
     def _dispatch(self, method: str) -> None:
         url = urlparse(self.path)
         try:
@@ -111,21 +120,22 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def _route(self, method: str, path: str, query: dict[str, list[str]]) -> None:
         if path == "/v1/jobs":
             if method == "POST":
-                return self._handle_submit()
+                return self._handle_submit(query)
             if method == "GET":
-                return self._send_json(
-                    200,
-                    {"jobs": [job.status_payload() for job in self.service.store.all()]},
-                )
+                return self._handle_list(query)
+            return self._send_error_json(405, "method_not_allowed", f"{method} {path}")
+        match = _JOB_STATUS.match(path)
+        if match:
+            if method == "GET":
+                return self._handle_status(match.group("job_id"))
+            if method == "DELETE":
+                return self._handle_cancel(match.group("job_id"))
             return self._send_error_json(405, "method_not_allowed", f"{method} {path}")
         if method != "GET":
             return self._send_error_json(405, "method_not_allowed", f"{method} {path}")
         match = _JOB_RESULTS.match(path)
         if match:
             return self._handle_results(match.group("job_id"), query)
-        match = _JOB_STATUS.match(path)
-        if match:
-            return self._handle_status(match.group("job_id"))
         match = _SCHEDULE.match(path)
         if match:
             return self._handle_schedule(match.group("fingerprint"))
@@ -138,28 +148,80 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # handlers
     # ------------------------------------------------------------------
-    def _handle_submit(self) -> None:
+    def _int_query(
+        self, query: dict[str, list[str]], key: str, default: "int | None"
+    ) -> "int | None":
+        """Parse one integer query parameter; raises ``ValueError``."""
+        if key not in query:
+            return default
+        return int(query[key][0])
+
+    def _handle_list(self, query: dict[str, list[str]]) -> None:
+        try:
+            offset = self._int_query(query, "offset", 0)
+            limit = self._int_query(query, "limit", None)
+            payload = self.service.jobs_payload(offset=offset, limit=limit)
+        except ValueError:
+            return self._send_error_json(
+                400, "bad_query", "offset/limit must be non-negative integers"
+            )
+        self._send_json(200, payload)
+
+    def _handle_cancel(self, job_id: str) -> None:
+        try:
+            job, accepted = self.service.cancel(job_id)
+        except KeyError:
+            return self._send_error_json(404, "unknown_job", f"no job {job_id!r}")
+        if not accepted:
+            # Terminal before the request arrived: nothing to cancel.
+            return self._send_error_json(
+                409,
+                "job_finished",
+                f"job {job_id!r} already reached terminal state {job.status!r}",
+            )
+        self._send_json(
+            200,
+            {
+                "job_id": job.job_id,
+                "status": job.status,
+                "cancel_requested": job.cancel_requested,
+            },
+        )
+
+    def _handle_submit(self, query: dict[str, list[str]]) -> None:
+        # Every early rejection below happens before the request body is
+        # read.  On a keep-alive connection the unread body bytes would
+        # be parsed as the next request line, so these responses must
+        # also close the connection.
+        def reject(status: int, error_type: str, message: str) -> None:
+            self.close_connection = True
+            self._send_error_json(status, error_type, message)
+
+        try:
+            priority = self._int_query(query, "priority", 0)
+        except ValueError:
+            return reject(400, "bad_query", "priority must be an integer")
         length_header = self.headers.get("Content-Length")
         if length_header is None:
-            return self._send_error_json(
+            return reject(
                 411, "length_required", "POST /v1/jobs needs a Content-Length header"
             )
         try:
             length = int(length_header)
         except ValueError:
-            return self._send_error_json(
+            return reject(
                 400, "bad_request", f"invalid Content-Length {length_header!r}"
             )
         if length < 0:
-            return self._send_error_json(
-                400, "bad_request", "Content-Length cannot be negative"
-            )
+            return reject(400, "bad_request", "Content-Length cannot be negative")
         if length > MAX_BODY_BYTES:
-            return self._send_error_json(
-                413, "payload_too_large", f"manifest bodies are capped at {MAX_BODY_BYTES} bytes"
+            return reject(
+                413,
+                "payload_too_large",
+                f"manifest bodies are capped at {MAX_BODY_BYTES} bytes",
             )
         body = self.rfile.read(length)
-        job, resubmitted = self.service.submit_text(body)
+        job, resubmitted = self.service.submit_text(body, priority=priority)
         self._send_json(
             200 if resubmitted else 202,
             {

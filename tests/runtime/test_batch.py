@@ -1,8 +1,10 @@
-"""Batch-engine tests: determinism, dedup, caching, parallel equivalence."""
+"""Batch-engine tests: determinism, dedup, caching, parallel equivalence,
+and re-entrancy of ``run`` under concurrent callers."""
 
 from __future__ import annotations
 
 import json
+import threading
 
 from repro.analysis.metrics import compare_compilers
 from repro.analysis.sweeps import (
@@ -100,6 +102,75 @@ class TestCaching:
         assert result.compilations == 1
         success_rates = {row["success_rate"] for row in result.records()}
         assert len(success_rates) > 1  # evaluations really differ per implementation
+
+
+class TestConcurrentRuns:
+    """``BatchCompiler.run`` is re-entrant: overlapping calls on one
+    engine must neither corrupt records nor duplicate compilations."""
+
+    def _run_concurrently(self, engine, job_lists):
+        results = [None] * len(job_lists)
+        errors = []
+
+        def call(index, jobs):
+            try:
+                results[index] = engine.run(jobs)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=call, args=(index, jobs))
+            for index, jobs in enumerate(job_lists)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(120)
+        assert not errors, errors
+        assert all(result is not None for result in results)
+        return results
+
+    def test_overlapping_runs_match_serial_records(self):
+        lists = [
+            [CompileJob(circuit="qft_10", device="G-2x2")],
+            [CompileJob(circuit="bv_12", device="L-4")],
+        ]
+        serial = [run_batch(jobs, workers=1).records() for jobs in lists]
+        engine = BatchCompiler(workers=1)
+        concurrent = self._run_concurrently(engine, lists)
+        assert [r.records() for r in concurrent] == serial
+
+    def test_identical_overlapping_runs_compile_once(self):
+        # Both runs carry the same compile fingerprint: the loser of the
+        # in-flight claim must wait for the winner, not compile a copy.
+        lists = [
+            [CompileJob(circuit="qft_10", device="G-2x2", label="first")],
+            [CompileJob(circuit="qft_10", device="G-2x2", label="second")],
+        ]
+        engine = BatchCompiler(workers=1)
+        results = self._run_concurrently(engine, lists)
+        assert sum(result.compilations for result in results) == 1
+        waiter = next(r for r in results if r.compilations == 0)
+        assert waiter.cache_stats.hits == 1
+        assert waiter.outcomes[0].from_cache is True
+        records = [result.records()[0] for result in results]
+        strip = lambda r: {k: v for k, v in r.items() if k != "label"}
+        assert strip(records[0]) == strip(records[1])
+
+    def test_per_run_stats_are_isolated(self):
+        # Two disjoint concurrent runs: each must report exactly its own
+        # misses/stores, not a slice of the interleaved global deltas.
+        lists = [
+            [CompileJob(circuit="qft_10", device="G-2x2")],
+            [CompileJob(circuit="bv_12", device="L-4")],
+        ]
+        engine = BatchCompiler(workers=1)
+        results = self._run_concurrently(engine, lists)
+        for result in results:
+            assert result.compilations == 1
+            assert result.cache_stats.misses == 1
+            assert result.cache_stats.stores == 1
+            assert result.cache_stats.hits == 0
 
 
 class TestBatchResult:

@@ -142,7 +142,63 @@ class TestRegistryAndHealth:
         payload = client.health()
         assert payload["status"] == "ok"
         assert payload["engine"]["warm"] is True
-        assert set(payload["jobs"]) == {"queued", "running", "done", "failed"}
+        assert set(payload["jobs"]) == {
+            "queued", "running", "done", "failed", "cancelled",
+        }
+
+    def test_health_reports_scheduler_depth_and_cache_counters(self, service_stack):
+        _, client = service_stack
+        payload = client.health()
+        scheduler = payload["scheduler"]
+        assert scheduler["slots"] >= 1
+        assert scheduler["active"] >= 0 and scheduler["queued"] >= 0
+        assert {"hits", "misses", "stores", "evictions"} <= set(payload["cache"])
+
+
+class TestJobListingAndCancel:
+    def test_jobs_listing_paginates(self, service_stack):
+        _, client = service_stack
+        client.results(client.submit_file(SMOKE_MANIFEST)["job_id"])
+        page = client.jobs_page(offset=0, limit=1)
+        assert page["count"] == 1 and page["total"] >= 1
+        assert len(page["jobs"]) == 1
+        everything = client.jobs_page()
+        assert everything["count"] == everything["total"]
+        # Pages tile the full listing without overlap.
+        ids = [job["job_id"] for job in everything["jobs"]]
+        paged = [
+            job["job_id"]
+            for offset in range(everything["total"])
+            for job in client.jobs(offset=offset, limit=1)
+        ]
+        assert paged == ids
+
+    def test_bad_pagination_query_is_400(self, service_stack):
+        _, client = service_stack
+        with pytest.raises(ServiceError) as excinfo:
+            client._json("GET", "/v1/jobs?offset=nope")
+        assert excinfo.value.status == 400
+
+    def test_cancel_of_finished_job_is_409(self, service_stack):
+        _, client = service_stack
+        job_id = client.submit_file(SMOKE_MANIFEST)["job_id"]
+        client.results(job_id)
+        with pytest.raises(ServiceError) as excinfo:
+            client.cancel(job_id)
+        assert excinfo.value.status == 409
+        assert excinfo.value.payload["error"]["type"] == "job_finished"
+
+    def test_cancel_of_unknown_job_is_404(self, service_stack):
+        _, client = service_stack
+        with pytest.raises(ServiceError) as excinfo:
+            client.cancel("0" * 16)
+        assert excinfo.value.status == 404
+
+    def test_submit_rejects_non_integer_priority(self, service_stack):
+        _, client = service_stack
+        with pytest.raises(ServiceError) as excinfo:
+            client._json("POST", "/v1/jobs?priority=high", b"{}")
+        assert excinfo.value.status == 400
 
 
 class TestErrorPaths:

@@ -217,6 +217,60 @@ class TestBatchCommand:
         assert "error:" in captured.err
 
 
+class TestServiceClientCommands:
+    """``repro submit`` / ``results`` / ``jobs`` against a live server."""
+
+    @pytest.fixture()
+    def service_url(self):
+        import threading
+
+        from repro.service import make_server
+
+        server = make_server(workers=1, port=0, warm=False)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server.url
+        server.shutdown()
+        server.server_close()
+        server.service.close()
+        thread.join(timeout=5)
+
+    def test_submit_wait_results_and_jobs_round_trip(
+        self, service_url, tmp_path, capsys
+    ):
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(
+            json.dumps({"jobs": [{"circuit": "qft_10", "device": "G-2x2"}]})
+        )
+        assert main(["submit", str(manifest), "--url", service_url, "--wait"]) == 0
+        submitted = capsys.readouterr().out
+        assert "resubmitted=False" in submitted and "status=done" in submitted
+        job_id = submitted.split("job_id=", 1)[1].split()[0]
+
+        output = tmp_path / "records.json"
+        assert main(
+            ["results", job_id, "--url", service_url, "--output", str(output)]
+        ) == 0
+        assert "qft_10" in capsys.readouterr().out
+        assert json.loads(output.read_text())[0]["circuit"] == "qft_10"
+
+        assert main(["jobs", "--url", service_url]) == 0
+        listing = capsys.readouterr().out
+        assert job_id in listing and "total=1" in listing
+
+    def test_results_unknown_job_fails_cleanly(self, service_url, capsys):
+        exit_code = main(["results", "0" * 16, "--url", service_url])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "error:" in captured.err
+
+    def test_client_commands_fail_cleanly_without_a_service(self, capsys):
+        exit_code = main(["jobs", "--url", "http://127.0.0.1:1", "--timeout", "2"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "cannot reach" in captured.err
+
+
 class TestParser:
     def test_missing_subcommand_exits(self):
         with pytest.raises(SystemExit):
