@@ -1,0 +1,190 @@
+"""Tracked service-throughput benchmark (``BENCH_service_throughput.json``).
+
+Runs the :mod:`repro.loadgen` profiles (``burst``, ``duplicates``,
+``priorities``) against a compilation service and records throughput and
+latency percentiles per profile into
+``benchmarks/results/BENCH_service_throughput.json`` — the service-layer
+counterpart of ``bench_compile_time.py``: the committed file makes the
+service's performance trajectory visible in the diff of one JSON file.
+
+By default the harness boots its own in-process service (ephemeral port,
+temporary cache directory) so a run needs nothing but this checkout;
+``--url`` points it at an already-running service instead.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py            # measure + write JSON
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --requests 50
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py \
+        --check benchmarks/results/BENCH_service_throughput.json            # CI regression gate
+
+``--check`` re-measures and exits non-zero when any profile's p95
+latency regressed more than ``--threshold`` (default 2x) over the
+committed numbers.  Points whose committed p95 sits under
+``MIN_CHECKED_SECONDS`` are skipped — they are timer/noise dominated,
+and a 2x gate on microseconds would flap on every loaded CI runner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.loadgen import PROFILES, run_profile
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_service_throughput.json"
+
+FORMAT_VERSION = 1
+
+#: Committed p95 values below this are excluded from the regression
+#: gate: at that scale the measurement is scheduling noise, not service
+#: performance.
+MIN_CHECKED_SECONDS = 0.05
+
+
+def _boot_service(workers: int, slots: int):
+    """An in-process service on an ephemeral port; returns (server, stop)."""
+    from repro.service.server import make_server
+
+    tmp = tempfile.TemporaryDirectory(prefix="repro-bench-")
+    server = make_server(workers=workers, slots=slots, port=0, cache_dir=tmp.name)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+
+    def stop() -> None:
+        server.shutdown()
+        server.server_close()
+        server.service.close()
+        tmp.cleanup()
+
+    return server, stop
+
+
+def measure_profiles(
+    url: str, requests: int, concurrency: int, seed: int
+) -> list[dict[str, Any]]:
+    """One aggregated result document per profile, in PROFILES order."""
+    points: list[dict[str, Any]] = []
+    for profile in PROFILES:
+        result = run_profile(
+            url, profile, requests=requests, seed=seed, concurrency=concurrency
+        )
+        summary = result.as_dict()
+        points.append(summary)
+        latency = summary["latency_s"]
+        print(
+            f"{profile:>11}  {summary['throughput_rps']:8.2f} req/s  "
+            f"p50 {latency['p50']:.4f}s  p95 {latency['p95']:.4f}s  "
+            f"p99 {latency['p99']:.4f}s",
+            flush=True,
+        )
+        if not result.ok:
+            failed = [r for r in result.records if r.error or r.status != "done"]
+            for record in failed[:5]:
+                print(
+                    f"  request {record.index}: status={record.status} "
+                    f"error={record.error}",
+                    file=sys.stderr,
+                )
+            raise SystemExit(f"loadgen profile {profile!r} had failing requests")
+    return points
+
+
+def check_regressions(
+    points: list[dict[str, Any]], committed: dict[str, Any], threshold: float
+) -> list[str]:
+    """Regression messages for this run versus the committed numbers."""
+    fresh = {p["profile"]: p for p in points}
+    failures: list[str] = []
+    for committed_point in committed.get("profiles", []):
+        now = fresh.get(committed_point["profile"])
+        if now is None:
+            continue
+        old = float(committed_point["latency_s"]["p95"])
+        new = float(now["latency_s"]["p95"])
+        if old >= MIN_CHECKED_SECONDS and new > threshold * old:
+            failures.append(
+                f"{committed_point['profile']}: p95 {new:.4f}s > "
+                f"{threshold:.1f}x committed {old:.4f}s"
+            )
+    return failures
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--output", type=Path, default=RESULTS_PATH)
+    parser.add_argument(
+        "--url",
+        default=None,
+        help="use a running service instead of booting one in-process",
+    )
+    parser.add_argument("--requests", type=int, default=24, help="submissions per profile")
+    parser.add_argument("--concurrency", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=2, help="in-process service workers")
+    parser.add_argument("--slots", type=int, default=2, help="in-process scheduler slots")
+    parser.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        metavar="COMMITTED_JSON",
+        help="re-measure and fail on regression versus a committed run",
+    )
+    parser.add_argument("--threshold", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    stop = None
+    if args.url is None:
+        server, stop = _boot_service(args.workers, args.slots)
+        url = server.url
+        print(f"booted in-process service at {url}")
+    else:
+        url = args.url
+    try:
+        points = measure_profiles(url, args.requests, args.concurrency, args.seed)
+    finally:
+        if stop is not None:
+            stop()
+
+    if args.check is not None:
+        committed = json.loads(args.check.read_text())
+        failures = check_regressions(points, committed, args.threshold)
+        # Write the measurements before deciding the exit code, so a red
+        # CI run still uploads the numbers that triggered it.
+        if args.output != RESULTS_PATH:
+            args.output.parent.mkdir(parents=True, exist_ok=True)
+            args.output.write_text(
+                json.dumps({"profiles": points}, indent=2, sort_keys=True) + "\n"
+            )
+        if failures:
+            print("\nservice-throughput regression detected:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"\nno profile regressed more than {args.threshold:.1f}x; all good")
+        return 0
+
+    document: dict[str, Any] = {
+        "format_version": FORMAT_VERSION,
+        "requests": args.requests,
+        "concurrency": args.concurrency,
+        "seed": args.seed,
+        "workers": args.workers,
+        "slots": args.slots,
+        "python": platform.python_version(),
+        "profiles": points,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

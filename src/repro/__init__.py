@@ -41,7 +41,15 @@ The package mirrors the paper's structure:
   journal replayed on restart, chunked JSON-lines result streaming,
   cached-schedule and registry endpoints, the stdlib
   :class:`ServiceClient`, and the ``repro submit``/``results``/``jobs``
-  CLI client commands.
+  CLI client commands;
+* :mod:`repro.obs` — the stdlib-only observability core: thread-safe
+  counters/gauges/histograms with labels, Prometheus text-format
+  exposition (served at ``GET /v1/metrics``) and its parser, wired
+  through the cache, engine, scheduler, journal and HTTP layers;
+* :mod:`repro.loadgen` — the seeded service load generator behind
+  ``python -m repro loadgen`` and the tracked throughput benchmark
+  (``burst``/``duplicates``/``priorities`` profiles, latency
+  percentiles, reproducible request plans).
 
 Quickstart::
 
@@ -150,10 +158,11 @@ from repro.runtime import (
     run_batch,
     run_sweep,
 )
+from repro.obs import MetricsRegistry, parse_exposition
 from repro.schedule import Schedule, verify_schedule
 from repro.service import CompilationService, ServiceClient
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "BatchCompiler",
@@ -177,6 +186,7 @@ __all__ = [
     "ManifestError",
     "MappingError",
     "MetricsPass",
+    "MetricsRegistry",
     "MuraliCompiler",
     "NoiseModelError",
     "OperationTimes",
@@ -219,6 +229,7 @@ __all__ = [
     "linear_device",
     "paper_benchmark_suite",
     "paper_device",
+    "parse_exposition",
     "qaoa_circuit",
     "qft_circuit",
     "random_circuit",

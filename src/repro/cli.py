@@ -1,6 +1,6 @@
 """Command-line interface for the S-SYNC reproduction.
 
-Nine subcommands cover the common workflows without writing Python:
+Ten subcommands cover the common workflows without writing Python:
 
 ``compile``
     Compile a circuit (a named Table-2 benchmark or an OpenQASM 2.0 file)
@@ -36,6 +36,13 @@ Nine subcommands cover the common workflows without writing Python:
     service (optionally waiting for its results), stream/collect a job's
     results by id, and list or cancel jobs — the full job life cycle
     without writing Python, over :class:`repro.service.ServiceClient`.
+    ``jobs --metrics`` pretty-prints the service's ``/v1/metrics``
+    exposition as a table (see ``docs/observability.md``).
+
+``loadgen``
+    Drive a running service with a seeded synthetic workload
+    (:mod:`repro.loadgen`: ``burst``, ``duplicates`` or ``priorities``)
+    and print latency percentiles and throughput.
 
 Examples::
 
@@ -52,6 +59,8 @@ Examples::
     python -m repro results 4c58ad19e38009ca --url http://127.0.0.1:8000
     python -m repro jobs --url http://127.0.0.1:8000
     python -m repro jobs --cancel 4c58ad19e38009ca --url http://127.0.0.1:8000
+    python -m repro jobs --metrics --url http://127.0.0.1:8000
+    python -m repro loadgen --profile burst --requests 20 --url http://127.0.0.1:8000
 """
 
 from __future__ import annotations
@@ -236,6 +245,11 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the durable job journal (jobs then live in memory only)",
     )
+    serve_parser.add_argument(
+        "--no-compact",
+        action="store_true",
+        help="keep the full journal event log instead of compacting it after replay",
+    )
 
     def add_client_url(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -314,6 +328,45 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="JOB_ID",
         default=None,
         help="cancel this job instead of listing",
+    )
+    jobs_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the service's /v1/metrics exposition as a table instead of listing jobs",
+    )
+    jobs_parser.add_argument(
+        "--raw",
+        action="store_true",
+        help="with --metrics: print the Prometheus text exposition verbatim",
+    )
+
+    loadgen_parser = sub.add_parser(
+        "loadgen", help="drive a running service with a synthetic workload profile"
+    )
+    add_client_url(loadgen_parser)
+    loadgen_parser.add_argument(
+        "--profile",
+        default="burst",
+        choices=("burst", "duplicates", "priorities"),
+        help="workload shape (see repro.loadgen; default: %(default)s)",
+    )
+    loadgen_parser.add_argument(
+        "--requests", type=int, default=20, help="how many submissions to make"
+    )
+    loadgen_parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=4,
+        help="client threads submitting and streaming concurrently",
+    )
+    loadgen_parser.add_argument(
+        "--seed", type=int, default=0, help="request-plan seed (plans are deterministic)"
+    )
+    loadgen_parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the aggregated result as JSON to this file",
     )
 
     sub.add_parser("compilers", help="list the registered compilers and their pipelines")
@@ -476,12 +529,13 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_cache_entries=args.max_cache_entries,
         slots=args.slots,
         journal=not args.no_journal,
+        compact=not args.no_compact,
         drain_timeout=args.drain_timeout,
     )
     print(f"repro service listening on {server.url}")
     print("endpoints: POST/GET /v1/jobs  GET|DELETE /v1/jobs/<id>  "
           "GET /v1/jobs/<id>/results  GET /v1/schedules/<fp>  "
-          "GET /v1/compilers  GET /v1/healthz")
+          "GET /v1/compilers  GET /v1/healthz  GET /v1/metrics")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -580,8 +634,36 @@ def _command_results(args: argparse.Namespace) -> int:
     return _print_streamed_results(client, args.job_id, args)
 
 
+def _print_metrics(client, raw: bool) -> int:
+    """Render ``/v1/metrics`` as a table (or verbatim with ``raw``)."""
+    text = client.metrics()
+    if raw:
+        print(text, end="")
+        return 0
+    from repro.obs import parse_exposition
+
+    rows = []
+    for name, metric in sorted(parse_exposition(text).items()):
+        for sample in metric.samples:
+            labels = ",".join(
+                f"{key}={value}" for key, value in sample.labels_dict().items()
+            )
+            rows.append(
+                {
+                    "metric": sample.name,
+                    "labels": labels or "-",
+                    "kind": metric.kind,
+                    "value": sample.value,
+                }
+            )
+    print(format_table(rows, title="service metrics"))
+    return 0
+
+
 def _command_jobs(args: argparse.Namespace) -> int:
     client = _service_client(args)
+    if args.metrics:
+        return _print_metrics(client, raw=args.raw)
     if args.cancel is not None:
         payload = client.cancel(args.cancel)
         print(
@@ -610,6 +692,48 @@ def _command_jobs(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _command_loadgen(args: argparse.Namespace) -> int:
+    # Deferred import like the other service commands.
+    from repro.loadgen import run_profile
+
+    result = run_profile(
+        args.url,
+        args.profile,
+        requests=args.requests,
+        seed=args.seed,
+        concurrency=args.concurrency,
+        timeout=args.timeout,
+    )
+    summary = result.as_dict()
+    latency = summary["latency_s"]
+    print(
+        format_table(
+            [
+                {
+                    "profile": summary["profile"],
+                    "requests": summary["requests"],
+                    "throughput_rps": summary["throughput_rps"],
+                    "p50_s": latency["p50"],
+                    "p95_s": latency["p95"],
+                    "p99_s": latency["p99"],
+                    "max_s": latency["max"],
+                    "wall_s": summary["wall_s"],
+                }
+            ],
+            title=f"loadgen {summary['profile']} (seed {summary['seed']})",
+        )
+    )
+    print(
+        "statuses="
+        + " ".join(f"{k}:{v}" for k, v in sorted(summary["statuses"].items()))
+        + f" resubmitted={summary['resubmitted']}"
+    )
+    if args.output is not None:
+        args.output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        print(f"result written to {args.output}")
+    return 0 if result.ok else 1
 
 
 def _command_evaluate(args: argparse.Namespace) -> int:
@@ -645,6 +769,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "submit": _command_submit,
         "results": _command_results,
         "jobs": _command_jobs,
+        "loadgen": _command_loadgen,
     }
     try:
         return handlers[args.command](args)

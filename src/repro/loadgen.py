@@ -1,0 +1,266 @@
+"""A reproducible load generator for the compilation service.
+
+``repro loadgen`` (and :func:`run_profile` under it) drives a running
+service with one of three synthetic workload profiles and reports
+latency percentiles and throughput — the numbers behind
+``benchmarks/bench_service_throughput.py`` and CI's loadgen smoke job:
+
+``burst``
+    Every request carries a distinct single-job manifest, all submitted
+    as fast as the concurrency limit allows.  Exercises the scheduler
+    queue and the compile path with no help from request idempotency.
+
+``duplicates``
+    Requests draw from a small pool of identical manifests, so most
+    submissions are byte-for-byte resubmissions of an earlier job.
+    Exercises the fingerprint-derived idempotency path and the schedule
+    cache: after the pool has been compiled once, the service should
+    answer from state it already has.
+
+``priorities``
+    Distinct manifests, but ~20% of requests are submitted at high
+    priority into a queue full of normal ones.  Exercises priority
+    ordering under contention; compare the per-priority queue-latency
+    histograms on ``/v1/metrics`` after a run.
+
+Reproducibility: the request plan is a pure function of ``(profile,
+requests, seed)`` — :func:`generate_requests` uses its own seeded
+:class:`random.Random` and nothing else, so two runs against equivalent
+services submit the identical byte sequences in the same order.
+Everything is standard library, like the service itself.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.exceptions import ReproError
+from repro.service.client import ServiceClient
+
+#: The workload profiles ``repro loadgen --profile`` accepts.
+PROFILES = ("burst", "duplicates", "priorities")
+
+#: Circuit families and the (small) size range synthetic jobs draw from.
+#: Sizes are kept low so a loadgen run measures the *service* — queueing,
+#: dedup, caching, streaming — rather than minutes of compilation.
+_FAMILIES = ("qft", "bv", "qaoa")
+_SIZES = (4, 5, 6)
+
+#: Device every synthetic job targets (the smallest grid preset).
+_DEVICE = "G-2x2"
+
+#: Fraction of high-priority submissions in the ``priorities`` profile.
+_HIGH_PRIORITY_FRACTION = 0.2
+_HIGH_PRIORITY = 5
+
+#: Pool size for the ``duplicates`` profile: ``requests`` submissions
+#: cycle over this many distinct manifests.
+_DUPLICATE_POOL = 4
+
+
+@dataclass(frozen=True)
+class LoadRequest:
+    """One planned submission: a manifest body and its priority."""
+
+    index: int
+    body: bytes
+    priority: int
+
+
+@dataclass
+class RequestRecord:
+    """What one submission measured."""
+
+    index: int
+    job_id: str
+    priority: int
+    resubmitted: bool
+    status: str
+    outcomes: int
+    submit_s: float  #: POST round-trip
+    total_s: float  #: POST to end of the result stream
+    error: "str | None" = None
+
+
+@dataclass
+class LoadgenResult:
+    """Aggregated outcome of one profile run (see :meth:`as_dict`)."""
+
+    profile: str
+    requests: int
+    seed: int
+    concurrency: int
+    wall_s: float
+    records: list[RequestRecord] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.error is None and r.status == "done" for r in self.records)
+
+    def latencies(self) -> list[float]:
+        return [r.total_s for r in self.records if r.error is None]
+
+    def as_dict(self) -> dict[str, Any]:
+        """The JSON document the benchmark harness stores."""
+        latencies = self.latencies()
+        statuses: dict[str, int] = {}
+        for record in self.records:
+            key = record.status if record.error is None else "error"
+            statuses[key] = statuses.get(key, 0) + 1
+        return {
+            "profile": self.profile,
+            "requests": self.requests,
+            "seed": self.seed,
+            "concurrency": self.concurrency,
+            "wall_s": self.wall_s,
+            "throughput_rps": (
+                len(latencies) / self.wall_s if self.wall_s > 0 else 0.0
+            ),
+            "statuses": statuses,
+            "resubmitted": sum(1 for r in self.records if r.resubmitted),
+            "latency_s": {
+                "p50": percentile(latencies, 50.0),
+                "p95": percentile(latencies, 95.0),
+                "p99": percentile(latencies, 99.0),
+                "mean": (sum(latencies) / len(latencies)) if latencies else 0.0,
+                "max": max(latencies) if latencies else 0.0,
+            },
+        }
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in 0–100); 0.0 on empty input.
+
+    Nearest-rank (not interpolated) so the reported p99 is a latency
+    that actually happened.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ReproError(f"percentile {q!r} is not in [0, 100]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _manifest(rng: random.Random, label: str) -> bytes:
+    family = rng.choice(_FAMILIES)
+    size = rng.choice(_SIZES)
+    document = {
+        "defaults": {"device": _DEVICE, "capacity": 8},
+        "jobs": [{"circuit": f"{family}_{size}", "label": label}],
+    }
+    return json.dumps(document, sort_keys=True).encode("utf-8")
+
+
+def generate_requests(
+    profile: str, requests: int, seed: int = 0
+) -> list[LoadRequest]:
+    """The deterministic request plan for one run.
+
+    Labels carry the request index (except in ``duplicates``, where
+    sharing labels is the point): the service derives job ids from
+    fingerprints *and* labels, so distinct labels force distinct jobs
+    even when two requests drew the same circuit — while the underlying
+    compilations still share the schedule cache.
+    """
+    if profile not in PROFILES:
+        raise ReproError(
+            f"unknown load profile {profile!r} (choose from {', '.join(PROFILES)})"
+        )
+    if requests < 1:
+        raise ReproError("a load run needs at least one request")
+    rng = random.Random(seed)
+    plan: list[LoadRequest] = []
+    if profile == "duplicates":
+        pool = [
+            _manifest(rng, f"dup-{i}") for i in range(min(_DUPLICATE_POOL, requests))
+        ]
+        for index in range(requests):
+            plan.append(LoadRequest(index, rng.choice(pool), 0))
+        return plan
+    for index in range(requests):
+        body = _manifest(rng, f"req-{index}")
+        priority = 0
+        if profile == "priorities" and rng.random() < _HIGH_PRIORITY_FRACTION:
+            priority = _HIGH_PRIORITY
+        plan.append(LoadRequest(index, body, priority))
+    return plan
+
+
+def _drive_one(client: ServiceClient, request: LoadRequest) -> RequestRecord:
+    """Submit one request and drain its result stream, timing both."""
+    started = time.perf_counter()
+    try:
+        receipt = client.submit(request.body, priority=request.priority)
+        submit_s = time.perf_counter() - started
+        status = "unknown"
+        outcomes = 0
+        for line in client.stream_results(receipt["job_id"]):
+            if line.get("type") == "outcome":
+                outcomes += 1
+            elif line.get("type") == "end":
+                status = str(line.get("status", "unknown"))
+        return RequestRecord(
+            index=request.index,
+            job_id=str(receipt["job_id"]),
+            priority=request.priority,
+            resubmitted=bool(receipt.get("resubmitted")),
+            status=status,
+            outcomes=outcomes,
+            submit_s=submit_s,
+            total_s=time.perf_counter() - started,
+        )
+    except Exception as exc:  # noqa: BLE001 - a failed request is a data point
+        elapsed = time.perf_counter() - started
+        return RequestRecord(
+            index=request.index,
+            job_id="",
+            priority=request.priority,
+            resubmitted=False,
+            status="error",
+            outcomes=0,
+            submit_s=elapsed,
+            total_s=elapsed,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def run_profile(
+    url: str,
+    profile: str,
+    requests: int = 20,
+    seed: int = 0,
+    concurrency: int = 4,
+    timeout: float = 300.0,
+) -> LoadgenResult:
+    """Run one profile against the service at ``url`` and aggregate.
+
+    ``concurrency`` client threads share the plan; each submits its
+    request and drains the result stream before taking the next, so at
+    most ``concurrency`` jobs are in flight client-side at any moment.
+    """
+    if concurrency < 1:
+        raise ReproError("loadgen needs at least one client thread")
+    plan = generate_requests(profile, requests, seed=seed)
+    client = ServiceClient(url, timeout=timeout)
+    started = time.perf_counter()
+    with ThreadPoolExecutor(
+        max_workers=min(concurrency, len(plan)), thread_name_prefix="repro-loadgen"
+    ) as pool:
+        records = list(pool.map(lambda req: _drive_one(client, req), plan))
+    wall_s = time.perf_counter() - started
+    return LoadgenResult(
+        profile=profile,
+        requests=requests,
+        seed=seed,
+        concurrency=concurrency,
+        wall_s=wall_s,
+        records=records,
+    )

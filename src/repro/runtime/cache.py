@@ -178,6 +178,79 @@ class ScheduleCache:
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def disk_bytes(self) -> int:
+        """Total size of the on-disk entry files (0 without a disk tier)."""
+        if self.directory is None:
+            return 0
+        total = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:  # pragma: no cover - concurrent eviction
+                continue
+        return total
+
+    def disk_entries(self) -> int:
+        """How many entry files the on-disk tier currently holds."""
+        if self.directory is None:
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def bind_metrics(self, registry: "Any") -> None:
+        """Expose this cache through a :class:`~repro.obs.MetricsRegistry`.
+
+        Registers a scrape-time collector mirroring :attr:`stats` (the
+        counters stay the single source of truth — the hot paths gain no
+        extra bookkeeping) plus gauges for the in-memory entry count and
+        the disk tier's entry files and bytes.
+        """
+        registry.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> "list[Any]":
+        from repro.obs.metrics import Counter, Gauge
+
+        with self._lock:
+            stats = self.stats.snapshot()
+            entries = len(self._entries)
+        hits = Counter(
+            "repro_cache_hits_total",
+            "Schedule-cache hits, by serving tier.",
+            ("tier",),
+        )
+        hits.labels(tier="memory").inc(stats.hits - stats.disk_hits)
+        hits.labels(tier="disk").inc(stats.disk_hits)
+        misses = Counter(
+            "repro_cache_misses_total", "Schedule-cache lookups that missed both tiers."
+        )
+        misses.inc(stats.misses)
+        stores = Counter(
+            "repro_cache_stores_total", "Compilations stored into the schedule cache."
+        )
+        stores.inc(stats.stores)
+        evictions = Counter(
+            "repro_cache_evictions_total",
+            "Schedule-cache entries evicted, by tier.",
+            ("tier",),
+        )
+        evictions.labels(tier="memory").inc(stats.evictions)
+        evictions.labels(tier="disk").inc(stats.disk_evictions)
+        memory_entries = Gauge(
+            "repro_cache_entries", "Entries currently in the in-memory LRU tier."
+        )
+        memory_entries.set(entries)
+        disk_files = Gauge(
+            "repro_cache_disk_entries", "Entry files currently in the on-disk tier."
+        )
+        disk_files.set(self.disk_entries())
+        disk_size = Gauge(
+            "repro_cache_disk_bytes", "Bytes used by the on-disk cache tier."
+        )
+        disk_size.set(self.disk_bytes())
+        return [hits, misses, stores, evictions, memory_entries, disk_files, disk_size]
+
+    # ------------------------------------------------------------------
     # core operations
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -203,6 +203,47 @@ class BatchCompiler:
         # duplicating them.
         self._inflight: "dict[str, threading.Event]" = {}
         self._inflight_lock = threading.Lock()
+        # Optional instruments; bound by bind_metrics (the service does).
+        self._m_runs = None
+        self._m_jobs = None
+        self._m_compilations = None
+        self._m_compile_seconds = None
+        self._m_dedup = None
+
+    def bind_metrics(self, registry: "Any") -> None:
+        """Record engine activity into a :class:`~repro.obs.MetricsRegistry`.
+
+        Creates the ``repro_engine_*`` counters (runs, jobs,
+        fresh compilations, compile seconds, deduplications by kind) and
+        a workers gauge.  Unbound engines skip all accounting — the
+        library batch path stays observability-free unless asked.
+        """
+        self._m_runs = registry.counter(
+            "repro_engine_runs_total", "Completed BatchCompiler.run calls."
+        )
+        self._m_jobs = registry.counter(
+            "repro_engine_jobs_total", "Compile jobs processed across all runs."
+        )
+        self._m_compilations = registry.counter(
+            "repro_engine_compilations_total",
+            "Fresh compilations executed (cache misses actually compiled).",
+        )
+        self._m_compile_seconds = registry.counter(
+            "repro_engine_compile_seconds_total",
+            "Wall-clock seconds spent inside fresh compilations; divide by "
+            "uptime times workers for pool utilisation.",
+        )
+        self._m_dedup = registry.counter(
+            "repro_engine_dedup_total",
+            "Compilations avoided by deduplication: 'batch' folds repeats "
+            "within one run, 'inflight' waits on another run's compile.",
+            ("kind",),
+        )
+        registry.gauge(
+            "repro_engine_workers",
+            "Configured worker-process count of the engine.",
+            callback=lambda: self.workers,
+        )
 
     def run(
         self,
@@ -240,6 +281,9 @@ class BatchCompiler:
         awaited: "dict[str, tuple[threading.Event, CompileJob]]" = {}
         claimed: set[str] = set()
         compilations = 0
+        batch_dedups = 0
+        inflight_dedups = 0
+        fresh_seconds = 0.0
         compile_fps = [job.compile_fingerprint() for job in jobs]
 
         def _record_hit(fingerprint: str, entry: CachedCompilation, tier: str) -> None:
@@ -267,6 +311,8 @@ class BatchCompiler:
                     on_outcome(outcome)
 
         def _store_compiled(fingerprint: str, entry: CachedCompilation) -> None:
+            nonlocal fresh_seconds
+            fresh_seconds += entry.compile_time_s
             evictions, disk_evictions = self.cache.put(fingerprint, entry)
             run_stats.stores += 1
             run_stats.evictions += evictions
@@ -281,6 +327,8 @@ class BatchCompiler:
                     or fingerprint in pending
                     or fingerprint in awaited
                 ):
+                    if fingerprint in pending or fingerprint in awaited:
+                        batch_dedups += 1
                     continue
                 entry, tier = self.cache.lookup(fingerprint)
                 if entry is not None:
@@ -319,6 +367,7 @@ class BatchCompiler:
                 resolved = event.wait(timeout=_INFLIGHT_WAIT_S)
                 entry, tier = self.cache.lookup(fingerprint) if resolved else (None, None)
                 if entry is not None:
+                    inflight_dedups += 1
                     _record_hit(fingerprint, entry, tier)
                 else:
                     # The other run failed, was cancelled before this
@@ -336,6 +385,15 @@ class BatchCompiler:
             for fingerprint in claimed:
                 self._release_inflight(fingerprint)
 
+        if self._m_runs is not None:
+            self._m_runs.inc()
+            self._m_jobs.inc(len(jobs))
+            self._m_compilations.inc(compilations)
+            self._m_compile_seconds.inc(fresh_seconds)
+            if batch_dedups:
+                self._m_dedup.labels(kind="batch").inc(batch_dedups)
+            if inflight_dedups:
+                self._m_dedup.labels(kind="inflight").inc(inflight_dedups)
         return BatchResult(
             outcomes=outcomes,
             cache_stats=run_stats,

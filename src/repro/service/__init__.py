@@ -17,15 +17,17 @@ split the responsibilities:
 * :mod:`repro.service.journal` — :class:`JobJournal`, the JSON-lines
   journal under the cache directory that makes the job table durable:
   finished jobs survive restarts, interrupted ones are resubmitted from
-  their journaled manifests (or marked failed);
+  their journaled manifests (or marked failed), and the file is
+  compacted after every replay (:func:`compact_journal`);
 * :mod:`repro.service.app` — :class:`CompilationService`, the
   transport-independent core wiring engine + store + scheduler +
   journal together;
 * :mod:`repro.service.server` — the stdlib ``http.server`` front-end:
   ``/v1/jobs`` (submit/list/status/cancel), the chunked JSON-lines
   ``/v1/jobs/<id>/results`` stream, ``/v1/schedules/<fingerprint>``,
-  ``/v1/compilers`` and ``/v1/healthz``, with structured 4xx errors for
-  everything :class:`~repro.exceptions.ManifestError` covers;
+  ``/v1/compilers``, ``/v1/healthz`` and the Prometheus-format
+  ``/v1/metrics`` (see :mod:`repro.obs`), with structured 4xx errors
+  for everything :class:`~repro.exceptions.ManifestError` covers;
 * :mod:`repro.service.client` — :class:`ServiceClient`, the thin stdlib
   client used by tests, examples, CI and the ``repro submit`` /
   ``repro results`` / ``repro jobs`` CLI commands.
@@ -49,7 +51,7 @@ Everything is standard library — no web framework, no new dependencies.
 from repro.service.app import CompilationService
 from repro.service.client import ServiceClient
 from repro.service.jobs import JobStore, ServiceJob, job_batch_id
-from repro.service.journal import JobJournal, replay_journal
+from repro.service.journal import JobJournal, compact_journal, replay_journal
 from repro.service.scheduler import ServiceScheduler
 from repro.service.server import ServiceServer, make_server, serve
 
@@ -61,6 +63,7 @@ __all__ = [
     "ServiceJob",
     "ServiceScheduler",
     "ServiceServer",
+    "compact_journal",
     "job_batch_id",
     "make_server",
     "replay_journal",

@@ -29,10 +29,13 @@ between compilations.
 from __future__ import annotations
 
 import threading
+import time
 from pathlib import Path
 from typing import Any, Iterator
 
 from repro.hardware.presets import paper_device
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.service import ServiceMetrics
 from repro.registry import available_compilers, make_pipeline
 from repro.runtime.cache import ScheduleCache
 from repro.runtime.manifest import (
@@ -41,7 +44,7 @@ from repro.runtime.manifest import (
 )
 from repro.runtime.pool import BatchCompiler
 from repro.service.jobs import JobStore, ServiceJob, job_batch_id
-from repro.service.journal import JobJournal, replay_journal
+from repro.service.journal import JobJournal, compact_journal, replay_journal
 from repro.service.scheduler import ServiceScheduler
 
 #: File name of the job journal inside the service's cache directory.
@@ -86,9 +89,21 @@ class CompilationService:
         while ``"fail"`` marks them ``failed`` with a restart error.
         Jobs whose manifest was not journalable always fall back to the
         failure marker.
+    compact:
+        Compact the journal right after replaying it (the default): the
+        append-only event log is rewritten to only the live/terminal
+        state replay needs, so it stops growing without bound across
+        restarts.  ``repro serve --no-compact`` disables this.
     drain_timeout:
         Default bound, in seconds, on how long :meth:`close` waits for
         running batches to finish before cooperatively cancelling them.
+    metrics_registry:
+        An existing :class:`~repro.obs.MetricsRegistry` to expose the
+        service's metrics through (embedding applications merge them
+        into their own exposition); a private registry is created by
+        default.  Either way :attr:`metrics` holds the
+        :class:`~repro.obs.ServiceMetrics` binding behind
+        ``GET /v1/metrics``.
     """
 
     def __init__(
@@ -103,7 +118,9 @@ class CompilationService:
         journal_path: "Path | str | None" = None,
         journal: bool = True,
         recover: str = "resubmit",
+        compact: bool = True,
         drain_timeout: float | None = 10.0,
+        metrics_registry: MetricsRegistry | None = None,
     ) -> None:
         if recover not in ("resubmit", "fail"):
             raise ValueError(f"unknown recover policy {recover!r}")
@@ -115,8 +132,15 @@ class CompilationService:
             engine = BatchCompiler(workers=workers, cache=cache, warm=warm)
         self.engine = engine
         self.store = JobStore()
+        self.started_at = time.time()
+        self.started_monotonic = time.monotonic()
+        if metrics_registry is None:
+            metrics_registry = MetricsRegistry()
         self.scheduler = ServiceScheduler(
-            self.engine, slots=slots, observer=self._journal_transition
+            self.engine,
+            slots=slots,
+            observer=self._journal_transition,
+            registry=metrics_registry,
         )
         self.drain_timeout = drain_timeout
         if journal_path is None and journal and cache_dir is not None:
@@ -125,8 +149,11 @@ class CompilationService:
         self._lock = threading.Lock()
         self._closed = False
         self._compilers_cache: "tuple[tuple, list[dict[str, object]]] | None" = None
+        self.metrics = ServiceMetrics(self, registry=metrics_registry)
         if journal and journal_path is not None:
             recovered = replay_journal(journal_path)
+            if compact:
+                compact_journal(journal_path, states=recovered)
             self.journal = JobJournal(journal_path)
             self._recover(recovered, policy=recover)
 
@@ -448,23 +475,38 @@ class CompilationService:
         self._compilers_cache = (specs, rows)
         return rows
 
+    def metrics_text(self) -> str:
+        """The Prometheus exposition behind ``GET /v1/metrics``."""
+        return self.metrics.render()
+
     def health_payload(self) -> dict[str, object]:
         """Liveness plus the numbers an operator wants at a glance.
 
         ``jobs`` is the per-state job census, ``scheduler`` the queue
         depth and slot occupancy, ``cache`` the shared schedule cache's
-        hit/miss/eviction counters.
+        hit/miss/eviction counters.  ``uptime_seconds`` and the journal
+        size ride along so a liveness probe can alert on a restarted or
+        journal-bloated service without scraping the full metrics
+        endpoint.
         """
         # Imported lazily: repro/__init__ re-exports this package, so a
         # top-level import of the package root would be circular.
         from repro import __version__
 
+        journal: "dict[str, object] | None" = None
+        if self.journal is not None:
+            journal = {
+                "path": str(self.journal.path),
+                "size_bytes": self.journal.size_bytes(),
+                "events_appended": self.journal.events_appended,
+            }
         return {
             "status": "ok",
             "version": __version__,
+            "uptime_seconds": time.monotonic() - self.started_monotonic,
             "jobs": self.store.counts(),
             "scheduler": self.scheduler.stats(),
             "engine": {"workers": self.engine.workers, "warm": self.engine.warm},
             "cache": self.engine.cache.stats.as_dict(),
-            "journal": str(self.journal.path) if self.journal is not None else None,
+            "journal": journal,
         }

@@ -176,3 +176,13 @@ class ServiceClient:
     def health(self) -> dict[str, Any]:
         """The health payload (status, version, job counts, cache stats)."""
         return self._json("GET", "/v1/healthz")
+
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition from ``GET /v1/metrics``.
+
+        Returned as text because that *is* the interchange format; feed
+        it to :func:`repro.obs.parse_exposition` for structured access
+        (``repro jobs --metrics`` does exactly that).
+        """
+        with self._open("GET", "/v1/metrics") as response:
+            return response.read().decode("utf-8")

@@ -78,6 +78,9 @@ class ServiceJob:
         self.finished_at: float | None = None
         self.cancel_requested = False
         self.replayed = False
+        # Monotonic queue-entry time, stamped by ServiceScheduler.submit;
+        # the queue-latency histogram is measured from it.
+        self.enqueued_at: float | None = None
         self._total_jobs = len(self.jobs)
         self._spec_rows: "list[dict[str, object]] | None" = None
         self._cond = threading.Condition()

@@ -21,12 +21,17 @@ id) and rebuilds its job table:
 The format is append-only and crash-tolerant: a torn final line (the
 process died mid-write) is ignored on replay, and every line carries a
 ``"v"`` format marker so future versions can skip records they do not
-understand instead of refusing the whole file.
+understand instead of refusing the whole file.  Because append-only
+grows without bound, the service **compacts** the file right after
+replay on every startup (:func:`compact_journal`, disable with
+``repro serve --no-compact``): the event log is rewritten to only the
+live/terminal state replay actually needs.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from pathlib import Path
@@ -52,6 +57,18 @@ class JobJournal:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
         self._file = self.path.open("a", encoding="utf-8")
+        # Per-instance write accounting (monotonic while the journal is
+        # open) — the health endpoint and the metrics collector read
+        # these instead of re-scanning the file.
+        self.events_appended = 0
+        self.bytes_written = 0
+
+    def size_bytes(self) -> int:
+        """Current on-disk size of the journal file (0 when missing)."""
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
 
     def append(self, event: str, job_id: str, **fields: Any) -> None:
         """Record one transition; unserialisable extras are dropped."""
@@ -76,6 +93,8 @@ class JobJournal:
         with self._lock:
             self._file.write(line + "\n")
             self._file.flush()
+            self.events_appended += 1
+            self.bytes_written += len(line) + 1
 
     def flush(self) -> None:
         with self._lock:
@@ -180,3 +199,70 @@ def replay_journal(path: "Path | str") -> "list[dict[str, Any]]":
             if record.get("error") is not None:
                 state["error"] = record["error"]
     return [states[job_id] for job_id in order]
+
+
+def compact_journal(
+    path: "Path | str", states: "list[dict[str, Any]] | None" = None
+) -> "tuple[int, int]":
+    """Rewrite the journal to the minimal events reproducing its replay.
+
+    The journal is append-only, so a long-lived service accumulates one
+    line per transition — including every superseded resubmission —
+    forever.  Compaction folds the log (:func:`replay_journal`, unless
+    the caller already has the ``states``) and rewrites the file with
+    only what replay needs per job: its ``submitted`` event, a
+    ``running`` event when it had started, and its terminal event with
+    the surviving summary/error.  Torn lines and foreign-version records
+    disappear with the rewrite.
+
+    The rewrite is atomic (temp file + replace), so a crash mid-compact
+    leaves the original journal intact.  Returns ``(events_before,
+    events_after)``; a missing file is a no-op ``(0, 0)``.
+
+    Only safe while no :class:`JobJournal` has the file open for append
+    — the service compacts between replaying and reopening on startup.
+    """
+    path = Path(path)
+    if not path.exists():
+        return 0, 0
+    events_before = sum(1 for _ in iter_journal(path))
+    if states is None:
+        states = replay_journal(path)
+    lines: list[str] = []
+    for state in states:
+        submitted: dict[str, Any] = {
+            "v": JOURNAL_VERSION,
+            "event": "submitted",
+            "job_id": state["job_id"],
+            "at": state["created_at"],
+            "created_at": state["created_at"],
+            "priority": state["priority"],
+            "jobs": state["total_jobs"],
+            "specs": state["spec_rows"],
+            "manifest": state["manifest"],
+        }
+        lines.append(json.dumps(submitted, sort_keys=True))
+        if state["started_at"] is not None:
+            running = {
+                "v": JOURNAL_VERSION,
+                "event": "running",
+                "job_id": state["job_id"],
+                "at": state["started_at"],
+            }
+            lines.append(json.dumps(running, sort_keys=True))
+        if state["status"] in _TERMINAL_EVENTS:
+            terminal: dict[str, Any] = {
+                "v": JOURNAL_VERSION,
+                "event": state["status"],
+                "job_id": state["job_id"],
+                "at": state["finished_at"],
+            }
+            if state["summary"] is not None:
+                terminal["summary"] = state["summary"]
+            if state["error"] is not None:
+                terminal["error"] = state["error"]
+            lines.append(json.dumps(terminal, sort_keys=True))
+    tmp = path.with_suffix(f".compact.{os.getpid()}.tmp")
+    tmp.write_text("".join(line + "\n" for line in lines), encoding="utf-8")
+    tmp.replace(path)
+    return events_before, len(lines)

@@ -34,7 +34,7 @@ import heapq
 import itertools
 import threading
 import time
-from typing import Callable, Protocol, Sequence
+from typing import Any, Callable, Protocol, Sequence
 
 from repro.exceptions import JobCancelledError, ReproError
 from repro.runtime.pool import BatchResult, JobOutcome
@@ -70,6 +70,11 @@ class ServiceScheduler:
         Optional callback ``(job, transition)`` invoked after every state
         change the scheduler performs (``running``/``done``/``failed``/
         ``cancelled``) — the service journals through this hook.
+    registry:
+        Optional :class:`~repro.obs.MetricsRegistry`.  When given, the
+        scheduler records per-priority queue-latency histograms,
+        per-slot busy-seconds counters and a per-transition job counter,
+        and exposes slot/queue-depth gauges at scrape time.
     """
 
     def __init__(
@@ -77,6 +82,7 @@ class ServiceScheduler:
         engine: _Engine,
         slots: int = 2,
         observer: "Callable[[ServiceJob, str], None] | None" = None,
+        registry: "object | None" = None,
     ) -> None:
         if slots < 1:
             # A ReproError so the CLI maps `serve --slots 0` onto its
@@ -91,6 +97,48 @@ class ServiceScheduler:
         self._threads: list[threading.Thread] = []
         self._active: "dict[int, ServiceJob]" = {}
         self._closing = False
+        self._m_queue_latency = None
+        self._m_slot_busy = None
+        self._m_transitions = None
+        if registry is not None:
+            self.bind_metrics(registry)
+
+    def bind_metrics(self, registry: "Any") -> None:
+        """Create the scheduler's instruments on ``registry``."""
+        self._m_queue_latency = registry.histogram(
+            "repro_scheduler_queue_latency_seconds",
+            "Seconds a job waited in the queue before a slot started it, "
+            "by priority.",
+            ("priority",),
+        )
+        self._m_slot_busy = registry.counter(
+            "repro_scheduler_slot_busy_seconds_total",
+            "Seconds each slot spent executing batches; divide by uptime "
+            "for per-slot utilisation.",
+            ("slot",),
+        )
+        self._m_transitions = registry.counter(
+            "repro_scheduler_jobs_total",
+            "Job state transitions the scheduler performed.",
+            ("transition",),
+        )
+        registry.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> "list[Any]":
+        from repro.obs.metrics import Gauge
+
+        stats = self.stats()
+        slots = Gauge("repro_scheduler_slots", "Configured concurrent batch slots.")
+        slots.set(stats["slots"])
+        active = Gauge(
+            "repro_scheduler_active_slots", "Slots currently executing a batch."
+        )
+        active.set(stats["active"])
+        queued = Gauge(
+            "repro_scheduler_queued_jobs", "Jobs waiting in the priority queue."
+        )
+        queued.set(stats["queued"])
+        return [slots, active, queued]
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -166,6 +214,7 @@ class ServiceScheduler:
     def submit(self, job: ServiceJob) -> None:
         """Queue a job; larger priorities run earlier, ties run FIFO."""
         self.start()
+        job.enqueued_at = time.monotonic()
         with self._cond:
             if self._closing:
                 raise RuntimeError("the scheduler has been closed")
@@ -198,9 +247,18 @@ class ServiceScheduler:
                 if not job.try_start():
                     continue
                 self._active[index] = job
+            if self._m_queue_latency is not None and job.enqueued_at is not None:
+                self._m_queue_latency.labels(priority=str(job.priority)).observe(
+                    time.monotonic() - job.enqueued_at
+                )
+            busy_start = time.perf_counter()
             try:
                 self._execute(job)
             finally:
+                if self._m_slot_busy is not None:
+                    self._m_slot_busy.labels(slot=str(index)).inc(
+                        time.perf_counter() - busy_start
+                    )
                 with self._cond:
                     self._active.pop(index, None)
 
@@ -229,6 +287,8 @@ class ServiceScheduler:
             self._notify(job, "done")
 
     def _notify(self, job: ServiceJob, transition: str) -> None:
+        if self._m_transitions is not None:
+            self._m_transitions.labels(transition=transition).inc()
         if self._observer is not None:
             try:
                 self._observer(job, transition)

@@ -13,12 +13,19 @@ method      path                               meaning
 ``GET``     ``/v1/schedules/<fingerprint>``    cached-schedule lookup
 ``GET``     ``/v1/compilers``                  the compiler registry listing
 ``GET``     ``/v1/healthz``                    liveness + scheduler/cache counters
+``GET``     ``/v1/metrics``                    Prometheus text-format metrics
 ==========  =================================  =====================================
 
 ``POST /v1/jobs`` takes an optional ``?priority=<int>`` (larger runs
 earlier); ``GET /v1/jobs`` takes ``?offset=`` / ``?limit=``.  Cancelling
 an already-finished job answers ``409 Conflict`` with the job's terminal
 status in the error body.
+
+``GET /v1/metrics`` serves the service's whole observability surface
+(scheduler, cache, engine, journal and the HTTP layer itself) in
+Prometheus text exposition format — every other endpoint is instrumented
+with per-route request counters and latency histograms recorded into the
+service's shared :class:`~repro.obs.metrics.MetricsRegistry`.
 
 The results endpoint answers with ``Transfer-Encoding: chunked`` and
 media type ``application/x-ndjson``: one JSON object per line, each
@@ -40,10 +47,12 @@ from __future__ import annotations
 import json
 import logging
 import re
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from repro.exceptions import ManifestError, ReproError
+from repro.obs.metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
 from repro.service.app import CompilationService
 
 logger = logging.getLogger("repro.service")
@@ -54,6 +63,29 @@ MAX_BODY_BYTES = 16 * 1024 * 1024
 _JOB_RESULTS = re.compile(r"^/v1/jobs/(?P<job_id>[0-9a-f]{16})/results$")
 _JOB_STATUS = re.compile(r"^/v1/jobs/(?P<job_id>[0-9a-f]{16})$")
 _SCHEDULE = re.compile(r"^/v1/schedules/(?P<fingerprint>[0-9a-f]{16,64})$")
+
+
+def _route_template(path: str) -> str:
+    """Collapse a request path onto its route template for metric labels.
+
+    Raw paths would explode label cardinality (every job id a new
+    series), so the HTTP metrics label by template instead; unknown
+    paths share one ``other`` bucket for the same reason.
+    """
+    if path in (
+        "/v1/jobs",
+        "/v1/compilers",
+        "/v1/healthz",
+        "/v1/metrics",
+    ):
+        return path
+    if _JOB_RESULTS.match(path):
+        return "/v1/jobs/{id}/results"
+    if _JOB_STATUS.match(path):
+        return "/v1/jobs/{id}"
+    if _SCHEDULE.match(path):
+        return "/v1/schedules/{fingerprint}"
+    return "other"
 
 
 def _encode(payload: object) -> bytes:
@@ -76,6 +108,13 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: object) -> None:
         """Route access logs through :mod:`logging` instead of stderr."""
         logger.debug("%s - %s", self.address_string(), format % args)
+
+    def send_response(self, code: int, message: "str | None" = None) -> None:
+        # Remember the status line for the per-request metrics recorded
+        # in _dispatch; handlers answer through many paths, the status
+        # line is the one thing they all emit.
+        self._metrics_status = code
+        super().send_response(code, message)
 
     def _send_json(self, status: int, payload: object) -> None:
         body = _encode(payload)
@@ -105,6 +144,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         url = urlparse(self.path)
+        self._metrics_status = 0  # no status line sent (client vanished)
+        started = time.perf_counter()
         try:
             self._route(method, url.path, parse_qs(url.query))
         except (BrokenPipeError, ConnectionResetError):  # client went away
@@ -116,6 +157,22 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # noqa: BLE001 - last-resort boundary
             logger.exception("unhandled error serving %s %s", method, self.path)
             self._send_error_json(500, "internal_error", str(exc))
+        finally:
+            self._record_request(method, url.path, time.perf_counter() - started)
+
+    def _record_request(self, method: str, path: str, seconds: float) -> None:
+        """Feed the HTTP-layer instruments; never fails the request."""
+        try:
+            metrics = self.service.metrics
+            route = _route_template(path)
+            metrics.http_requests.labels(
+                method=method, route=route, status=str(self._metrics_status)
+            ).inc()
+            # Streaming results hold the connection open while results
+            # land, so that route's latency measures time-to-last-byte.
+            metrics.http_latency.labels(method=method, route=route).observe(seconds)
+        except Exception:  # noqa: BLE001 - metrics must never break serving
+            logger.debug("failed to record request metrics", exc_info=True)
 
     def _route(self, method: str, path: str, query: dict[str, list[str]]) -> None:
         if path == "/v1/jobs":
@@ -143,6 +200,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             return self._send_json(200, {"compilers": self.service.compilers_payload()})
         if path == "/v1/healthz":
             return self._send_json(200, self.service.health_payload())
+        if path == "/v1/metrics":
+            return self._handle_metrics()
         return self._send_error_json(404, "not_found", f"no route for {path}")
 
     # ------------------------------------------------------------------
@@ -232,6 +291,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 "results_path": f"/v1/jobs/{job.job_id}/results",
             },
         )
+
+    def _handle_metrics(self) -> None:
+        body = self.service.metrics_text().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", METRICS_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def _handle_status(self, job_id: str) -> None:
         job = self.service.job(job_id)

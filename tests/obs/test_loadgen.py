@@ -1,0 +1,166 @@
+"""Loadgen tests: deterministic plans, E2E smoke, metrics reconciliation.
+
+The E2E test drives a real in-process service with the ``burst`` profile
+and then **reconciles** the loadgen's own bookkeeping against what
+``/v1/metrics`` reports: every submission must appear in the HTTP
+request counters and every job in the scheduler's transition counter.
+Agreement between two independently-kept sets of numbers is the
+strongest cheap evidence that neither is dropping events.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.loadgen import (
+    PROFILES,
+    generate_requests,
+    percentile,
+    run_profile,
+)
+from repro.obs import parse_exposition
+from repro.service import ServiceClient, make_server
+
+
+class TestRequestPlans:
+    def test_plans_are_deterministic_per_seed(self):
+        for profile in PROFILES:
+            first = generate_requests(profile, 20, seed=7)
+            again = generate_requests(profile, 20, seed=7)
+            assert [(r.body, r.priority) for r in first] == [
+                (r.body, r.priority) for r in again
+            ]
+        assert [r.body for r in generate_requests("burst", 20, seed=7)] != [
+            r.body for r in generate_requests("burst", 20, seed=8)
+        ]
+
+    def test_burst_requests_are_all_distinct(self):
+        plan = generate_requests("burst", 30, seed=0)
+        assert len({r.body for r in plan}) == 30
+        assert all(r.priority == 0 for r in plan)
+
+    def test_duplicates_draw_from_a_small_pool(self):
+        plan = generate_requests("duplicates", 30, seed=0)
+        assert 1 < len({r.body for r in plan}) <= 4
+
+    def test_priorities_mix_high_into_normal(self):
+        plan = generate_requests("priorities", 50, seed=0)
+        priorities = {r.priority for r in plan}
+        assert priorities == {0, 5}
+        high = sum(1 for r in plan if r.priority == 5)
+        assert 0 < high < 25  # ~20% of 50, not degenerate either way
+
+    def test_manifests_are_valid_single_job_documents(self):
+        for request in generate_requests("burst", 5, seed=1):
+            document = json.loads(request.body)
+            assert len(document["jobs"]) == 1
+            assert document["defaults"]["device"] == "G-2x2"
+
+    def test_bad_arguments_raise(self):
+        with pytest.raises(ReproError):
+            generate_requests("typo", 5)
+        with pytest.raises(ReproError):
+            generate_requests("burst", 0)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [0.1, 0.2, 0.3, 0.4, 0.5]
+        assert percentile(values, 50.0) == 0.3
+        assert percentile(values, 95.0) == 0.5
+        assert percentile(values, 0.0) == 0.1
+        assert percentile([], 50.0) == 0.0
+        with pytest.raises(ReproError):
+            percentile(values, 101.0)
+
+
+@pytest.fixture(scope="module")
+def live_service(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("loadgen-cache")
+    server = make_server(workers=2, slots=2, port=0, cache_dir=cache_dir)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    server.service.close()
+    thread.join(timeout=5)
+
+
+class TestEndToEnd:
+    REQUESTS = 8
+
+    def test_burst_run_reconciles_with_service_metrics(self, live_service):
+        result = run_profile(
+            live_service.url,
+            "burst",
+            requests=self.REQUESTS,
+            seed=3,
+            concurrency=3,
+        )
+        assert result.ok, [r.error for r in result.records if r.error]
+        assert len(result.records) == self.REQUESTS
+        assert all(r.outcomes == 1 for r in result.records)
+        summary = result.as_dict()
+        assert summary["statuses"] == {"done": self.REQUESTS}
+        assert summary["throughput_rps"] > 0
+        assert (
+            summary["latency_s"]["p50"]
+            <= summary["latency_s"]["p95"]
+            <= summary["latency_s"]["p99"]
+            <= summary["latency_s"]["max"]
+        )
+
+        # Reconciliation: the service's own counters must account for
+        # every request the loadgen believes it made.  Counters are
+        # recorded after the response body is flushed, so the client can
+        # observe the last byte before the handler thread books the
+        # request — poll briefly rather than scrape once.
+        client = ServiceClient(live_service.url)
+        deadline = time.monotonic() + 10.0
+        while True:
+            parsed = parse_exposition(client.metrics())
+            posts = sum(
+                s.value
+                for s in parsed["repro_http_requests_total"].samples
+                if s.labels_dict()["method"] == "POST"
+                and s.labels_dict()["route"] == "/v1/jobs"
+            )
+            streams = sum(
+                s.value
+                for s in parsed["repro_http_requests_total"].samples
+                if s.labels_dict()["route"] == "/v1/jobs/{id}/results"
+            )
+            if posts >= self.REQUESTS and streams >= self.REQUESTS:
+                break
+            if time.monotonic() > deadline:
+                break
+            time.sleep(0.05)
+        assert posts >= self.REQUESTS
+        assert streams >= self.REQUESTS
+        done = parsed["repro_scheduler_jobs_total"].value(transition="done")
+        job_ids = {r.job_id for r in result.records}
+        assert done >= len(job_ids)
+        # The HTTP latency histogram saw at least as many POSTs too.
+        post_count = parsed["repro_http_request_seconds"].value(
+            method="POST", route="/v1/jobs", le="+Inf"
+        )
+        assert post_count >= self.REQUESTS
+
+    def test_duplicates_run_exercises_idempotent_resubmission(self, live_service):
+        result = run_profile(
+            live_service.url,
+            "duplicates",
+            requests=self.REQUESTS,
+            seed=3,
+            concurrency=2,
+        )
+        assert result.ok
+        job_ids = {r.job_id for r in result.records}
+        assert len(job_ids) < self.REQUESTS
+        assert any(r.resubmitted for r in result.records)
