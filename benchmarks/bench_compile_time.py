@@ -1,21 +1,36 @@
 """Tracked compile-time benchmark harness (``BENCH_compile_time.json``).
 
 Compile time is a first-class result of the paper (Fig. 15), so its
-trajectory is tracked machine-readably from PR 3 onward: this harness
-measures wall-clock compilation time per (compiler, circuit, size) point
-on the Fig. 15 device (G-2x2, trap capacity 20) and writes
-``benchmarks/results/BENCH_compile_time.json``.
+trajectory is tracked machine-readably from PR 3 onward.  The harness
+measures two suites and writes
+``benchmarks/results/BENCH_compile_time.json``:
 
-The committed JSON carries three things:
+* the **scaled suite** — every (compiler, circuit, size) point on the
+  Fig. 15 device (G-2x2, trap capacity 20): the stock ``s-sync``
+  compiler (flat scheduler core), the ``s-sync-incremental`` and
+  ``s-sync-naive`` cores it is parity-locked to, and the ``murali``
+  baseline;
+* the **backend shoot-out** — 64/96/128-qubit points on routing-bound
+  devices (many traps, tight capacity: the regime where candidate
+  scoring dominates compile time), comparing the flat core against the
+  incremental core on the exact same workload.
 
-* ``points`` — the current measurements (best-of-N total seconds plus
-  the routing-pass seconds, which is what the incremental scheduler
-  core optimises);
-* ``baseline.points`` — the same measurements taken by this harness on
-  the *pre-incremental-core* tree (recorded once with
-  ``--save-baseline`` before the optimisation landed);
-* ``speedups`` — current versus baseline per point, so regressions and
-  wins are visible in the diff of a single committed file.
+Repeats are *interleaved* across compilers within each point — every
+compiler sees the same slice of machine noise, so the flat-versus-
+incremental ratios are stable enough to gate on (process-to-process
+variance alone is ~20%).  Per point the harness also records the delta
+of the ``repro_engine_compile_seconds_total`` counter (the same
+instrument the batch engine exposes on ``/v1/metrics``), tying the
+benchmark numbers to the service's observability vocabulary.
+
+The committed JSON carries:
+
+* ``points`` / ``backend_points`` — the current measurements
+  (best-of-N total seconds plus the routing-pass seconds);
+* ``baseline.points`` — the same measurements taken on the
+  *pre-incremental-core* tree (recorded once with ``--save-baseline``);
+* ``speedups`` — current versus baseline per scaled point;
+* ``backend_speedups`` — flat versus incremental per shoot-out point.
 
 Usage::
 
@@ -24,11 +39,16 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_compile_time.py --save-baseline
     PYTHONPATH=src python benchmarks/bench_compile_time.py \
         --check benchmarks/results/BENCH_compile_time.json            # CI regression gate
+    PYTHONPATH=src python benchmarks/bench_compile_time.py \
+        --check benchmarks/results/BENCH_compile_time.json --gate-only  # CI smoke
 
 ``--check`` re-measures the suite and exits non-zero when any point's
 routing seconds regressed more than ``--threshold`` (default 2x) over
-the committed numbers — loose enough for noisy CI runners, tight enough
-to catch an accidental return to quadratic behaviour.
+the committed numbers, when the incremental core falls behind the naive
+reference, or when the flat core loses its 2x routing margin over the
+incremental core at the designated 64-qubit gate point.  ``--gate-only``
+restricts the run to that single gate point — the CI smoke
+configuration.
 """
 
 from __future__ import annotations
@@ -43,87 +63,200 @@ from typing import Any
 from repro.circuit.library import build_family
 from repro.core.compiler import SSyncCompiler, SSyncConfig
 from repro.hardware.presets import paper_device
+from repro.obs import MetricsRegistry
 from repro.registry import make_pipeline
 
 RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_compile_time.json"
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 DEVICE_NAME = "G-2x2"
 CAPACITY = 20
 FAMILIES = ("qft", "alt", "qaoa", "bv")
 SCALED_SIZES = (16, 24, 32)
 FULL_SIZES = (48, 56, 64)
 
+#: Backend shoot-out points: size -> (device, capacity).  Routing-bound
+#: on purpose — many traps and tight slack maximise candidates per
+#: iteration, which is the regime the flat batched scorer optimises.
+#: (G-2x2 at capacity 20 tops out at 80 ions, so 96/128 qubits need the
+#: wider grids regardless.)
+BACKEND_DEVICES: dict[int, tuple[str, int]] = {
+    64: ("G-3x3", 8),
+    96: ("G-2x4", 14),
+    128: ("G-2x4", 18),
+}
+BACKEND_FAMILIES = ("qft", "alt")
 
-def _naive_config() -> SSyncConfig | None:
-    """An SSyncConfig forcing the reference (non-incremental) scorer.
+#: The CI-gated point: flat routing must stay at least this many times
+#: faster than incremental on this circuit/size (measured 2.1-2.5x).
+GATE_CIRCUIT = "alt"
+GATE_SIZE = 64
+GATE_RATIO = 2.0
 
-    Returns ``None`` on trees that predate the incremental core (the
-    harness then simply measures the stock s-sync compiler), so the
-    pre-change baseline can be recorded by the very same code.
+# The benchmark accounts its compile wall-time into the same counter
+# the batch engine binds on /v1/metrics, and reports the per-point
+# delta — one vocabulary across service dashboards and benchmark JSON.
+_METRICS = MetricsRegistry()
+_COMPILE_SECONDS = _METRICS.counter(
+    "repro_engine_compile_seconds_total",
+    "Wall-clock seconds spent inside fresh compilations; divide by "
+    "uptime times workers for pool utilisation.",
+)
+
+
+def _ssync_config(backend: str | None) -> SSyncConfig | None:
+    """An ``SSyncConfig`` pinning one scheduler core, or ``None``.
+
+    Returns ``None`` on trees that predate the requested knob, so the
+    pre-change baseline can be recorded by the very same harness code:
+    without a ``backend`` field the harness simply measures the stock
+    compiler, and without the legacy ``incremental`` flag it skips the
+    naive point.
     """
     from dataclasses import fields, replace
 
     from repro.core.scheduler import SchedulerConfig
 
-    if not any(f.name == "incremental" for f in fields(SchedulerConfig)):
-        return None
     config = SSyncConfig()
-    return replace(config, scheduler=replace(config.scheduler, incremental=False))
+    field_names = {f.name for f in fields(SchedulerConfig)}
+    if backend is None:
+        return config
+    if "backend" in field_names:
+        return replace(config, scheduler=replace(config.scheduler, backend=backend))
+    if backend == "naive" and "incremental" in field_names:
+        return replace(config, scheduler=replace(config.scheduler, incremental=False))
+    if backend == "incremental" and "incremental" in field_names:
+        return replace(config, scheduler=replace(config.scheduler, incremental=True))
+    return None
 
 
-def _compilers() -> dict[str, Any]:
-    """Name -> ``compile(circuit) -> CompilationResult`` callables."""
-    device = paper_device(DEVICE_NAME, CAPACITY)
-    ssync = SSyncCompiler(device)
-    compilers: dict[str, Any] = {"s-sync": ssync.compile}
-    naive = _naive_config()
-    if naive is not None:
-        compilers["s-sync-naive"] = SSyncCompiler(device, naive).compile
+def _scaled_compilers(device) -> dict[str, Any]:
+    """Name -> ``compile(circuit) -> CompilationResult`` for the scaled suite."""
+    compilers: dict[str, Any] = {"s-sync": SSyncCompiler(device).compile}
+    for name, backend in (("s-sync-incremental", "incremental"), ("s-sync-naive", "naive")):
+        config = _ssync_config(backend)
+        if config is not None:
+            compilers[name] = SSyncCompiler(device, config).compile
     compilers["murali"] = lambda circuit: make_pipeline("murali", device).compile(circuit)
     return compilers
 
 
+def _backend_compilers(device) -> dict[str, Any]:
+    """The flat-versus-incremental pair for the backend shoot-out."""
+    compilers: dict[str, Any] = {"s-sync": SSyncCompiler(device).compile}
+    config = _ssync_config("incremental")
+    if config is not None:
+        compilers["s-sync-incremental"] = SSyncCompiler(device, config).compile
+    return compilers
+
+
+def _measure_point(
+    compilers: dict[str, Any],
+    circuit,
+    repeats: int,
+    extra: dict[str, Any],
+) -> list[dict[str, Any]]:
+    """Best-of-``repeats`` per compiler, repeats interleaved across them."""
+    best_total = {name: float("inf") for name in compilers}
+    best_routing = dict(best_total)
+    last_result: dict[str, Any] = {}
+    metric_delta = {name: 0.0 for name in compilers}
+    for _ in range(repeats):
+        for name, compile_fn in compilers.items():
+            before = _COMPILE_SECONDS.value
+            result = compile_fn(circuit)
+            metric_delta[name] += _COMPILE_SECONDS.value - before
+            last_result[name] = result
+            best_total[name] = min(best_total[name], result.compile_time_s)
+            best_routing[name] = min(
+                best_routing[name],
+                sum(t.wall_time_s for t in result.pass_timings if t.name == "routing"),
+            )
+    points = []
+    for name, result in last_result.items():
+        points.append(
+            {
+                "compiler": name,
+                "seconds": round(best_total[name], 6),
+                "routing_seconds": round(best_routing[name], 6),
+                "metric_compile_seconds_delta": round(metric_delta[name], 6),
+                "generic_swap_iterations": result.statistics.generic_swap_iterations,
+                "candidate_evaluations": result.statistics.candidate_evaluations,
+                **extra,
+            }
+        )
+        print(
+            f"{name:>20}  {extra['circuit']}_{extra['size']:<3} on "
+            f"{extra.get('device', DEVICE_NAME)}  total {best_total[name]:.4f}s  "
+            f"routing {best_routing[name]:.4f}s",
+            flush=True,
+        )
+    return points
+
+
+class _MeteredCompile:
+    """Wrap a compile callable so its wall time feeds the shared counter."""
+
+    def __init__(self, compile_fn) -> None:
+        self._compile = compile_fn
+
+    def __call__(self, circuit):
+        result = self._compile(circuit)
+        _COMPILE_SECONDS.inc(result.compile_time_s)
+        return result
+
+
+def _metered(compilers: dict[str, Any]) -> dict[str, Any]:
+    return {name: _MeteredCompile(fn) for name, fn in compilers.items()}
+
+
 def measure_points(repeats: int = 5, full: bool = False) -> list[dict[str, Any]]:
-    """Best-of-``repeats`` seconds for every (compiler, circuit, size) point."""
+    """The scaled suite: every (compiler, circuit, size) point on G-2x2."""
     sizes = FULL_SIZES if full else SCALED_SIZES
-    compilers = _compilers()
+    compilers = _metered(_scaled_compilers(paper_device(DEVICE_NAME, CAPACITY)))
     points: list[dict[str, Any]] = []
     for family in FAMILIES:
         for size in sizes:
             circuit = build_family(family, size)
-            for name, compile_fn in compilers.items():
-                total = routing = float("inf")
-                result = None
-                for _ in range(repeats):
-                    result = compile_fn(circuit)
-                    total = min(total, result.compile_time_s)
-                    routing = min(
-                        routing,
-                        sum(t.wall_time_s for t in result.pass_timings if t.name == "routing"),
-                    )
-                assert result is not None
-                points.append(
-                    {
-                        "compiler": name,
-                        "circuit": family,
-                        "size": size,
-                        "seconds": round(total, 6),
-                        "routing_seconds": round(routing, 6),
-                        "generic_swap_iterations": result.statistics.generic_swap_iterations,
-                        "candidate_evaluations": result.statistics.candidate_evaluations,
-                    }
+            points.extend(
+                _measure_point(
+                    compilers,
+                    circuit,
+                    repeats,
+                    {"circuit": family, "size": size, "device": DEVICE_NAME, "capacity": CAPACITY},
                 )
-                print(
-                    f"{name:>14}  {family}_{size:<3}  total {total:.4f}s  "
-                    f"routing {routing:.4f}s",
-                    flush=True,
-                )
+            )
     return points
 
 
-def _point_key(point: dict[str, Any]) -> tuple[str, str, int]:
-    return (str(point["compiler"]), str(point["circuit"]), int(point["size"]))
+def measure_backend_points(repeats: int = 3, gate_only: bool = False) -> list[dict[str, Any]]:
+    """The 64/96/128-qubit flat-versus-incremental shoot-out points."""
+    points: list[dict[str, Any]] = []
+    for size, (device_name, capacity) in BACKEND_DEVICES.items():
+        for family in BACKEND_FAMILIES:
+            if gate_only and (family, size) != (GATE_CIRCUIT, GATE_SIZE):
+                continue
+            device = paper_device(device_name, capacity)
+            compilers = _metered(_backend_compilers(device))
+            circuit = build_family(family, size)
+            points.extend(
+                _measure_point(
+                    compilers,
+                    circuit,
+                    repeats,
+                    {"circuit": family, "size": size, "device": device_name, "capacity": capacity},
+                )
+            )
+    return points
+
+
+def _point_key(point: dict[str, Any]) -> tuple[str, str, int, str]:
+    return (
+        str(point["compiler"]),
+        str(point["circuit"]),
+        int(point["size"]),
+        str(point.get("device", DEVICE_NAME)),
+    )
 
 
 def compute_speedups(
@@ -154,6 +287,33 @@ def compute_speedups(
     return speedups
 
 
+def compute_backend_speedups(backend_points: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Flat-core routing speedup over the incremental core per point."""
+    fresh = {_point_key(p): p for p in backend_points}
+    speedups: list[dict[str, Any]] = []
+    for point in backend_points:
+        if point["compiler"] != "s-sync":
+            continue
+        key = _point_key(point)
+        incremental = fresh.get(("s-sync-incremental",) + key[1:])
+        if incremental is None:
+            continue
+        flat_s = float(point["routing_seconds"])
+        incremental_s = float(incremental["routing_seconds"])
+        speedups.append(
+            {
+                "circuit": point["circuit"],
+                "size": point["size"],
+                "device": point["device"],
+                "capacity": point["capacity"],
+                "flat_routing_seconds": flat_s,
+                "incremental_routing_seconds": incremental_s,
+                "speedup_routing": round(incremental_s / max(flat_s, 1e-9), 2),
+            }
+        )
+    return speedups
+
+
 #: Points faster than this are timer/noise dominated and are excluded
 #: from the cross-run regression gate.
 MIN_CHECKED_SECONDS = 0.001
@@ -164,7 +324,7 @@ def check_regressions(
 ) -> list[str]:
     """Regression messages for this run versus the committed numbers.
 
-    Two gates, so the check stays meaningful on machines slower or
+    Three gates, so the check stays meaningful on machines slower or
     faster than the one that produced the committed file:
 
     * absolute — a point's routing seconds must not exceed
@@ -173,11 +333,17 @@ def check_regressions(
     * relative (machine-independent) — on every circuit/size where both
       were measured in *this* run, the incremental ``s-sync`` core must
       not be meaningfully slower (>20%, beyond run-to-run noise) than
-      the ``s-sync-naive`` reference it replaces.
+      the ``s-sync-naive`` reference it replaces;
+    * backend (machine-independent) — at the designated 64-qubit gate
+      point, the flat core's routing must stay at least ``GATE_RATIO``
+      times faster than the incremental core measured in the same run
+      with interleaved repeats.
     """
     fresh = {_point_key(p): p for p in points}
     failures: list[str] = []
-    for committed_point in committed.get("points", []):
+    committed_points = list(committed.get("points", []))
+    committed_points.extend(committed.get("backend_points", []))
+    for committed_point in committed_points:
         key = _point_key(committed_point)
         now = fresh.get(key)
         if now is None:
@@ -186,21 +352,35 @@ def check_regressions(
         new = float(now["routing_seconds"])
         if old >= MIN_CHECKED_SECONDS and new > threshold * old:
             failures.append(
-                f"{key[0]} {key[1]}_{key[2]}: routing {new:.4f}s > "
+                f"{key[0]} {key[1]}_{key[2]} on {key[3]}: routing {new:.4f}s > "
                 f"{threshold:.1f}x committed {old:.4f}s"
             )
     for point in points:
         if point["compiler"] != "s-sync":
             continue
-        naive = fresh.get(("s-sync-naive", str(point["circuit"]), int(point["size"])))
+        key = _point_key(point)
+        naive = fresh.get(("s-sync-naive",) + key[1:])
         if naive is None:
             continue
         incremental_s = float(point["routing_seconds"])
         naive_s = float(naive["routing_seconds"])
         if naive_s >= MIN_CHECKED_SECONDS and incremental_s > 1.2 * naive_s:
             failures.append(
-                f"s-sync {point['circuit']}_{point['size']}: incremental routing "
+                f"s-sync {point['circuit']}_{point['size']}: routing "
                 f"{incremental_s:.4f}s slower than the naive reference {naive_s:.4f}s"
+            )
+    gate_device = BACKEND_DEVICES[GATE_SIZE][0]
+    flat = fresh.get(("s-sync", GATE_CIRCUIT, GATE_SIZE, gate_device))
+    incremental = fresh.get(("s-sync-incremental", GATE_CIRCUIT, GATE_SIZE, gate_device))
+    if flat is not None and incremental is not None:
+        flat_s = float(flat["routing_seconds"])
+        incremental_s = float(incremental["routing_seconds"])
+        if incremental_s < GATE_RATIO * flat_s:
+            failures.append(
+                f"flat core lost its {GATE_RATIO:.0f}x margin at "
+                f"{GATE_CIRCUIT}_{GATE_SIZE} on {gate_device}: flat {flat_s:.4f}s vs "
+                f"incremental {incremental_s:.4f}s "
+                f"({incremental_s / max(flat_s, 1e-9):.2f}x)"
             )
     return failures
 
@@ -210,6 +390,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--output", type=Path, default=RESULTS_PATH)
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--full", action="store_true", help="paper-scale circuit sizes")
+    parser.add_argument(
+        "--gate-only",
+        action="store_true",
+        help="measure only the CI-gated 64-qubit backend point (smoke mode)",
+    )
+    parser.add_argument(
+        "--skip-backend",
+        action="store_true",
+        help="skip the 64/96/128-qubit backend shoot-out points",
+    )
     parser.add_argument(
         "--save-baseline",
         action="store_true",
@@ -225,16 +415,32 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--threshold", type=float, default=2.0)
     args = parser.parse_args(argv)
 
-    points = measure_points(repeats=args.repeats, full=args.full)
+    if args.gate_only:
+        points = []
+        backend_points = measure_backend_points(repeats=args.repeats, gate_only=True)
+    else:
+        points = measure_points(repeats=args.repeats, full=args.full)
+        backend_points = (
+            []
+            if args.skip_backend
+            else measure_backend_points(repeats=max(3, args.repeats // 2 + 1))
+        )
 
     if args.check is not None:
         committed = json.loads(args.check.read_text())
-        failures = check_regressions(points, committed, args.threshold)
+        failures = check_regressions(points + backend_points, committed, args.threshold)
         # Write the measurements before deciding the exit code, so a red
         # CI run still uploads the numbers that triggered it.
         if args.output != RESULTS_PATH:
             args.output.parent.mkdir(parents=True, exist_ok=True)
-            args.output.write_text(json.dumps({"points": points}, indent=2, sort_keys=True) + "\n")
+            args.output.write_text(
+                json.dumps(
+                    {"points": points, "backend_points": backend_points},
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n"
+            )
         if failures:
             print("\ncompile-time regression detected:", file=sys.stderr)
             for failure in failures:
@@ -255,8 +461,10 @@ def main(argv: list[str] | None = None) -> int:
         "full_scale": args.full,
         "python": platform.python_version(),
         "points": points,
+        "backend_points": backend_points,
         "baseline": existing.get("baseline", {}),
         "speedups": [],
+        "backend_speedups": compute_backend_speedups(backend_points),
     }
     if args.save_baseline:
         document["baseline"] = {
@@ -273,6 +481,13 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"  {speedup['circuit']}_{speedup['size']}: routing "
             f"{speedup['baseline_routing_seconds']:.4f}s -> {speedup['routing_seconds']:.4f}s "
+            f"({speedup['speedup_routing']}x)"
+        )
+    for speedup in document["backend_speedups"]:
+        print(
+            f"  {speedup['circuit']}_{speedup['size']} on {speedup['device']}: flat "
+            f"{speedup['flat_routing_seconds']:.4f}s vs incremental "
+            f"{speedup['incremental_routing_seconds']:.4f}s "
             f"({speedup['speedup_routing']}x)"
         )
     return 0

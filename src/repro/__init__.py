@@ -7,10 +7,13 @@ The package mirrors the paper's structure:
 * :mod:`repro.hardware` — the QCCD device model (traps, junctions,
   L/G/S topologies, the static weighted slot graph);
 * :mod:`repro.core` — the S-SYNC compiler itself (generic swaps,
-  heuristic scheduler, initial mappings); :mod:`repro.core.incremental`
-  is its delta-evaluated hot path (score caches, candidate memoisation,
-  O(1) state bookkeeping), schedule-identical to the naive reference
-  scorer and ≥3x faster on the Fig. 15 points;
+  heuristic scheduler, initial mappings) with three bit-identical
+  scheduler cores: :mod:`repro.core.flatstate` (the default ``"flat"``
+  backend — batched candidate scoring on flat integer arrays, 2-3x the
+  incremental core on routing-bound 64-128 qubit devices),
+  :mod:`repro.core.incremental` (delta-evaluated scoring: score caches,
+  candidate memoisation, O(1) state bookkeeping, ≥3x the naive
+  reference on the Fig. 15 points) and the naive reference scorer;
 * :mod:`repro.baselines` — reimplementations of the Murali et al. and
   Dai et al. compilers the paper compares against;
 * :mod:`repro.noise` — gate-time, heating and fidelity models plus the
@@ -162,7 +165,7 @@ from repro.obs import MetricsRegistry, parse_exposition
 from repro.schedule import Schedule, verify_schedule
 from repro.service import CompilationService, ServiceClient
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "BatchCompiler",

@@ -77,7 +77,7 @@ from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.library import build_benchmark
 from repro.circuit.qasm import qasm_to_circuit
 from repro.core.compiler import SSyncConfig
-from repro.core.scheduler import SchedulerConfig
+from repro.core.scheduler import SCHEDULER_BACKENDS, SchedulerConfig
 from repro.exceptions import ReproError
 from repro.hardware.presets import paper_device, preset_names
 from repro.noise.evaluator import evaluate_schedule
@@ -157,6 +157,19 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="heuristic lookahead depth (S-SYNC only; 0 = paper-faithful, default: 4)",
+    )
+    compile_parser.add_argument(
+        "--backend",
+        default=None,
+        choices=SCHEDULER_BACKENDS,
+        help="scheduler core (S-SYNC only; default: flat — all three are bit-identical)",
+    )
+    compile_parser.add_argument(
+        "--profile",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="dump a cProfile pstats file of the routing pass only",
     )
     compile_parser.add_argument(
         "--output", type=Path, default=None, help="write the compiled schedule to this JSON file"
@@ -382,6 +395,19 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _profiled_pass_run(profiler, run):
+    """Wrap one pass's ``run`` so it executes under ``profiler``."""
+
+    def profiled(context):
+        profiler.enable()
+        try:
+            run(context)
+        finally:
+            profiler.disable()
+
+    return profiled
+
+
 def _command_compile(args: argparse.Namespace) -> int:
     circuit = _load_circuit(args.circuit)
     device = _load_device(args.device, args.capacity)
@@ -396,12 +422,33 @@ def _command_compile(args: argparse.Namespace) -> int:
             f"compiler {spec.name!r} takes no scheduler configuration; --lookahead "
             "only applies to compilers that accept one (e.g. s-sync)"
         )
+    if args.backend is not None and not spec.accepts_config:
+        raise ReproError(
+            f"compiler {spec.name!r} takes no scheduler configuration; --backend "
+            "only applies to compilers that accept one (e.g. s-sync)"
+        )
     lookahead = args.lookahead if args.lookahead is not None else 4
-    config = SSyncConfig(scheduler=SchedulerConfig(lookahead_depth=lookahead))
+    config = SSyncConfig(
+        scheduler=SchedulerConfig(lookahead_depth=lookahead, backend=args.backend)
+    )
     pipeline = make_pipeline(spec.name, device, config=config, verify=not args.skip_verify)
+    profiler = None
+    if args.profile is not None:
+        # Profile the routing pass only: shadow its bound ``run`` with a
+        # wrapper that switches the profiler on just for that stage, so
+        # the dump isolates the scheduler hot path from mapping/verify.
+        import cProfile
+
+        profiler = cProfile.Profile()
+        for stage in pipeline.passes:
+            if stage.name == "routing":
+                stage.run = _profiled_pass_run(profiler, stage.run)  # type: ignore[method-assign]
     result = pipeline.compile(
         circuit, initial_mapping=args.mapping if spec.accepts_mapping else None
     )
+    if profiler is not None:
+        profiler.dump_stats(args.profile)
+        print(f"routing-pass profile written to {args.profile}")
     evaluation = evaluate_schedule(result.schedule, gate_implementation=args.gate_implementation)
     rows = [
         {

@@ -1,6 +1,13 @@
 """S-SYNC core: device state, generic swaps, heuristics, scheduler, compiler."""
 
 from repro.core.compiler import SSyncCompiler, SSyncConfig, compile_circuit
+from repro.core.flatstate import (
+    FlatBatchScorer,
+    FlatCandidateBatch,
+    FlatCandidates,
+    FlatRun,
+    FlatState,
+)
 from repro.core.generic_swap import GenericSwap, GenericSwapKind, GenericSwapRules
 from repro.core.heuristic import DecayTracker, HeuristicCost, apply_generic_swap
 from repro.core.incremental import (
@@ -17,7 +24,12 @@ from repro.core.mapping import (
     get_mapper,
 )
 from repro.core.result import CompilationResult
-from repro.core.scheduler import GenericSwapScheduler, SchedulerConfig, SchedulerStatistics
+from repro.core.scheduler import (
+    SCHEDULER_BACKENDS,
+    GenericSwapScheduler,
+    SchedulerConfig,
+    SchedulerStatistics,
+)
 from repro.core.state import LEFT, RIGHT, DeviceState
 
 __all__ = [
@@ -26,6 +38,11 @@ __all__ = [
     "DecayTracker",
     "DeviceState",
     "EvenDividedMapper",
+    "FlatBatchScorer",
+    "FlatCandidateBatch",
+    "FlatCandidates",
+    "FlatRun",
+    "FlatState",
     "GatheringMapper",
     "GenericSwap",
     "GenericSwapKind",
@@ -37,6 +54,7 @@ __all__ = [
     "InitialMapper",
     "LEFT",
     "RIGHT",
+    "SCHEDULER_BACKENDS",
     "SSyncCompiler",
     "SSyncConfig",
     "STAMapper",

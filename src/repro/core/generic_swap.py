@@ -76,6 +76,32 @@ class GenericSwap:
         self.target_trap = target_trap
         self.weight = weight
 
+    @classmethod
+    def unchecked(
+        cls,
+        kind: GenericSwapKind,
+        qubit_a: int,
+        qubit_b: "int | None",
+        trap: int,
+        target_trap: "int | None",
+        weight: float,
+    ) -> "GenericSwap":
+        """Construct without field validation (hot-path fast constructor).
+
+        The flat candidate generator emits only shapes that the checked
+        ``__init__`` would accept (it replays the rule set of
+        :meth:`GenericSwapRules.candidates_for_qubit`), so the argument
+        validation is skipped entirely.
+        """
+        self = object.__new__(cls)
+        self.kind = kind
+        self.qubit_a = qubit_a
+        self.qubit_b = qubit_b
+        self.trap = trap
+        self.target_trap = target_trap
+        self.weight = weight
+        return self
+
     def _fields(self) -> tuple:
         return (self.kind, self.qubit_a, self.qubit_b, self.trap, self.target_trap, self.weight)
 

@@ -158,6 +158,16 @@ class HeuristicCost:
         term averages the scores of near-future gates, weighted by
         ``lookahead_weight`` (0 disables it and matches the paper's
         formulation exactly).
+
+        The lookahead average is defined in *base-plus-deltas* form: the
+        in-order sum of the gate distances under the **current**
+        placement, plus the (rounded) per-gate difference the candidate
+        introduces, accumulated in gate-list order.  A gate whose
+        distance is unchanged contributes an exact ``0.0``, so the value
+        is independent of *which* superset of the truly-changed gates an
+        implementation inspects — this is the property that lets the
+        fast backends combine a cached base sum with a handful of
+        deltas and still be bit-identical to this reference.
         """
         if not frontier_pairs:
             raise SchedulingError("H(swap) needs at least one waiting gate")
@@ -172,10 +182,15 @@ class HeuristicCost:
                 best = score
         total = best + candidate.weight
         if lookahead_pairs and lookahead_weight > 0.0:
-            future = sum(
-                self.pair_distance(scratch, a, b) for a, b in lookahead_pairs
-            ) / len(lookahead_pairs)
-            total += lookahead_weight * future
+            future = 0.0
+            for qubit_a, qubit_b in lookahead_pairs:
+                future += self.pair_distance(state, qubit_a, qubit_b)
+            for qubit_a, qubit_b in lookahead_pairs:
+                after = self.pair_distance(scratch, qubit_a, qubit_b)
+                before = self.pair_distance(state, qubit_a, qubit_b)
+                if after != before:
+                    future += after - before
+            total += lookahead_weight * (future / len(lookahead_pairs))
         return total
 
 

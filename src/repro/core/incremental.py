@@ -496,8 +496,8 @@ class IncrementalSwapScorer:
                     and swap_qubit_a not in self._lookahead_qubits
                     and swap_qubit_b not in self._lookahead_qubits
                 ):
-                    # The SWAP touches no lookahead gate: the in-order
-                    # sum equals the iteration's base sum.
+                    # The SWAP touches no lookahead gate: the base sum
+                    # is the whole term.
                     future = self._base_future
                     if future is None:
                         future = 0.0
@@ -506,11 +506,19 @@ class IncrementalSwapScorer:
                         self._base_future = future
                     total += self._lookahead_weight * (future / len(lookahead_pairs))
                     return total
-                # Sum in list order with only the affected entries
-                # replaced: float addition is order-sensitive, and this
-                # replays the reference scorer's additions exactly.
+                # Base-plus-deltas (the reference scorer's definition):
+                # start from the cached in-order base sum and add the
+                # per-gate differences in index order.  A recomputed but
+                # unchanged gate contributes an exact 0.0, so how
+                # conservative the affected test is cannot change the
+                # float.
+                future = self._base_future
+                if future is None:
+                    future = 0.0
+                    for dis in lookahead_dis:
+                        future += dis
+                    self._base_future = future
                 lookahead_traps = self._lookahead_traps
-                future = 0.0
                 for index, (qubit_a, qubit_b) in enumerate(lookahead_pairs):
                     if is_shuttle:
                         if qubit_a == swap_qubit_a or qubit_b == swap_qubit_a:
@@ -527,7 +535,11 @@ class IncrementalSwapScorer:
                             or qubit_b == swap_qubit_a
                             or qubit_b == swap_qubit_b
                         )
-                    future += distance(qubit_a, qubit_b) if affected else lookahead_dis[index]
+                    if affected:
+                        after = distance(qubit_a, qubit_b)
+                        before = lookahead_dis[index]
+                        if after != before:
+                            future += after - before
                 total += self._lookahead_weight * (future / len(lookahead_pairs))
         finally:
             if is_shuttle:

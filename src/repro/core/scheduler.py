@@ -16,12 +16,18 @@ Two engineering safeguards complement the paper's description:
   shortest trap path, which guarantees termination on adversarial
   inputs.
 
-The hot path is **incremental** by default (``SchedulerConfig
-.incremental``): candidates are scored by delta evaluation on the live
-state and regenerated only for traps the last applied swap touched
-(:mod:`repro.core.incremental`).  The naive reference path — a fresh
-``state.copy()`` and a full rescore per candidate — is kept selectable
-for parity testing and produces bit-identical schedules and statistics.
+The hot path is selectable via ``SchedulerConfig.backend`` and ships in
+three implementations that produce bit-identical schedules and
+statistics (asserted by the randomized parity suite):
+
+* ``"flat"`` (default) — candidate generation and batched scoring on
+  flat integer arrays (:mod:`repro.core.flatstate`); every candidate of
+  an iteration is evaluated in one pass with hypothetical placements
+  costing a few array writes.
+* ``"incremental"`` — delta evaluation on the live ``DeviceState`` with
+  per-candidate apply/undo (:mod:`repro.core.incremental`).
+* ``"naive"`` — the reference implementation: a fresh ``state.copy()``
+  and a full rescore per candidate.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from dataclasses import dataclass, field
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.dag import DependencyDAG
 from repro.circuit.gate import Gate
+from repro.core.flatstate import FlatCandidateBatch, FlatRun, FlatState
 from repro.core.generic_swap import GenericSwap, GenericSwapKind, GenericSwapRules
 from repro.core.heuristic import DecayTracker, HeuristicCost, apply_generic_swap
 from repro.core.incremental import IncrementalRun
@@ -38,8 +45,21 @@ from repro.core.state import DeviceState
 from repro.exceptions import SchedulingError
 from repro.hardware.device import QCCDDevice
 from repro.hardware.graph import GraphWeights
-from repro.schedule.operations import GateOperation, ShuttleOperation, SwapOperation
+from repro.schedule.operations import (
+    GateOperation,
+    OperationKind,
+    ShuttleOperation,
+    SwapOperation,
+)
 from repro.schedule.schedule import Schedule
+
+#: The selectable scheduler cores, fastest first.  All three produce
+#: bit-identical schedules and statistics; see the module docstring.
+SCHEDULER_BACKENDS = ("flat", "incremental", "naive")
+
+#: Union of the per-run cache bundles the scheduling loop threads around
+#: (``None`` is the naive backend: no caches, reference scoring).
+RunCaches = "FlatRun | IncrementalRun | None"
 
 
 @dataclass(frozen=True)
@@ -64,12 +84,18 @@ class SchedulerConfig:
     lookahead_weight: float = 0.5
     stall_limit: int = 64
     max_generic_swaps: int = 2_000_000
-    #: Score candidates by delta evaluation on the live state instead of
-    #: copying it per candidate.  Schedules and statistics are identical
-    #: either way (asserted by the randomized parity suite); the naive
-    #: path exists as the reference implementation and for benchmarking
-    #: the incremental core's speedup.
-    incremental: bool = True
+    #: Legacy backend toggle kept for compatibility: ``True`` selects the
+    #: ``"incremental"`` backend, ``False`` the ``"naive"`` one.  When
+    #: set it wins over ``backend`` and is normalized back to ``None``
+    #: during ``__post_init__`` so only ``backend`` carries the resolved
+    #: choice (and ``dataclasses.replace`` chains keep working).
+    incremental: "bool | None" = None
+    #: Which scheduler core scores candidates — one of
+    #: :data:`SCHEDULER_BACKENDS`.  ``None`` resolves to ``"flat"``.
+    #: All backends produce bit-identical schedules and statistics
+    #: (asserted by the randomized parity suite); the slower ones exist
+    #: as references and for benchmarking the speedups.
+    backend: "str | None" = None
 
     def __post_init__(self) -> None:
         if self.stall_limit < 1:
@@ -78,6 +104,20 @@ class SchedulerConfig:
             raise SchedulingError("max_generic_swaps must be at least 1")
         if self.lookahead_depth < 0 or self.lookahead_weight < 0:
             raise SchedulingError("lookahead parameters cannot be negative")
+        # Resolve the backend exactly once, here, so every consumer
+        # (run(), pipeline statistics, benchmarks) reads one field and
+        # the naive candidate loop can never be reached by accident.
+        backend = self.backend
+        if self.incremental is not None:
+            backend = "incremental" if self.incremental else "naive"
+            object.__setattr__(self, "incremental", None)
+        elif backend is None:
+            backend = "flat"
+        if backend not in SCHEDULER_BACKENDS:
+            raise SchedulingError(
+                f"unknown scheduler backend {backend!r}; expected one of {SCHEDULER_BACKENDS}"
+            )
+        object.__setattr__(self, "backend", backend)
 
 
 @dataclass
@@ -118,15 +158,32 @@ class GenericSwapScheduler:
         pending_1q = dag.pending_single_qubit
         trailing_1q = dag.trailing_single_qubit
         decay = DecayTracker(self.config.decay_delta, self.config.decay_reset_interval)
-        caches = (
-            IncrementalRun(state, self.device, self.rules, self.cost)
-            if self.config.incremental
-            else None
-        )
-        generate_candidates = (
-            caches.candidates.candidates_for_gates if caches is not None
-            else self.rules.candidates_for_gates
-        )
+        backend = self.config.backend
+        caches: "FlatRun | IncrementalRun | None"
+        if backend == "flat":
+            caches = FlatRun(state, self.device, self.rules, self.cost)
+            generate_candidates = caches.generator.candidates_for_gates
+        elif backend == "incremental":
+            caches = IncrementalRun(state, self.device, self.rules, self.cost)
+            generate_candidates = caches.candidates.candidates_for_gates
+        elif backend == "naive":
+            caches = None
+            generate_candidates = self.rules.candidates_for_gates
+        else:  # pragma: no cover - __post_init__ validates the field
+            raise SchedulingError(f"unknown scheduler backend {backend!r}")
+        if isinstance(caches, FlatRun):
+            flat_mirror = caches.flat
+
+            def execute_ready(ready: "list[tuple[int, Gate]] | None" = None) -> bool:
+                return self._execute_ready_gates_flat(
+                    dag, flat_mirror, schedule, pending_1q, stats, ready
+                )
+
+        else:
+
+            def execute_ready(ready: "list[tuple[int, Gate]] | None" = None) -> bool:
+                return self._execute_ready_gates(dag, state, schedule, pending_1q, stats, ready)
+
 
         last_swap: GenericSwap | None = None
         swaps_since_progress = 0
@@ -140,7 +197,7 @@ class GenericSwapScheduler:
         lookahead_stale = False
         frontier_revision = -1
 
-        self._execute_ready_gates(dag, state, schedule, pending_1q, stats)
+        execute_ready()
         while not dag.is_done:
             if frontier_revision != dag.revision:
                 frontier = dag.frontier_items()
@@ -150,16 +207,19 @@ class GenericSwapScheduler:
                 frontier_revision = dag.revision
             candidates = generate_candidates(state, frontier_pairs)
             if last_swap is not None:
-                non_reversing = [c for c in candidates if not c.reverses(last_swap)]
-                if non_reversing:
-                    candidates = non_reversing
+                if isinstance(candidates, FlatCandidateBatch):
+                    candidates.drop_reversing(last_swap)
+                else:
+                    non_reversing = [c for c in candidates if not c.reverses(last_swap)]
+                    if non_reversing:
+                        candidates = non_reversing
 
             if not candidates or swaps_since_progress >= self.config.stall_limit:
                 self._force_route(schedule, state, frontier[0][1], stats, caches)
                 stats.forced_routes += 1
                 swaps_since_progress = 0
                 last_swap = None
-                self._execute_ready_gates(dag, state, schedule, pending_1q, stats, frontier)
+                execute_ready(frontier)
             else:
                 # The lookahead slice is only consumed when candidates are
                 # actually scored; singleton iterations skip the BFS.
@@ -196,9 +256,7 @@ class GenericSwapScheduler:
                 if best.kind is not GenericSwapKind.SWAP_GATE:
                     moved = best.qubit_a
                     affected = [item for item in frontier if moved in item[1].qubits]
-                    if affected and self._execute_ready_gates(
-                        dag, state, schedule, pending_1q, stats, affected
-                    ):
+                    if affected and execute_ready(affected):
                         swaps_since_progress = 0
 
         for gate in trailing_1q:
@@ -324,6 +382,102 @@ class GenericSwapScheduler:
         stats.executed_two_qubit_gates += executed
         return executed_any
 
+    def _execute_ready_gates_flat(
+        self,
+        dag: DependencyDAG,
+        flat: FlatState,
+        schedule: Schedule,
+        pending_1q: dict[int, list[Gate]],
+        stats: SchedulerStatistics,
+        ready: "list[tuple[int, Gate]] | None" = None,
+    ) -> bool:
+        """:meth:`_execute_ready_gates` off the flat-array mirror.
+
+        Gate execution never moves an ion, so this path only *reads* —
+        trap membership, chain length and ion separation come straight
+        off the ``qubit_trap`` / ``qubit_pos`` / ``length`` vectors
+        instead of the canonical state's dict-of-list bookkeeping.
+        Emission order and every operation field are identical to the
+        reference method (the mirror tracks the state move-for-move).
+        """
+        executed_any = False
+        qtrap = flat.qubit_trap
+        qpos = flat.qubit_pos
+        length = flat.length
+        append = schedule.appender()
+        pop_pending = pending_1q.pop
+        # The emitter knows statically which kind it emits, so it can use
+        # the validation-free constructor (gates found ready here satisfy
+        # every invariant __init__ would re-check).
+        make_gate_op = GateOperation.unchecked
+        kind_1q = OperationKind.GATE_1Q
+        kind_2q = OperationKind.GATE_2Q
+        executed = 0
+        if ready is None:
+            ready = dag.frontier_items()
+        retire = dag.retire
+        while ready:
+            if len(ready) == 1:
+                index, gate = ready[0]
+                qubit_a, qubit_b = gate.qubits
+                trap = qtrap[qubit_a]
+                if trap != qtrap[qubit_b]:
+                    break
+                previous_qubit = -1
+                for gate_1q in pop_pending(index, ()):
+                    qubit_1q = gate_1q.qubits[0]
+                    if qubit_1q != previous_qubit:
+                        trap_1q = qtrap[qubit_1q]
+                        chain_length_1q = length[trap_1q]
+                        previous_qubit = qubit_1q
+                    append(make_gate_op(kind_1q, gate_1q, trap_1q, chain_length_1q, 0))
+                separation = qpos[qubit_a] - qpos[qubit_b]
+                if separation < 0:
+                    separation = -separation
+                append(
+                    make_gate_op(
+                        kind_2q, gate, trap, length[trap], separation - 1 if separation > 1 else 0
+                    )
+                )
+                executed += 1
+                executed_any = True
+                ready = retire(index)
+                if len(ready) > 1:
+                    ready.sort()
+                continue
+            retired: list[int] = []
+            for index, gate in ready:
+                qubit_a, qubit_b = gate.qubits
+                trap = qtrap[qubit_a]
+                if trap != qtrap[qubit_b]:
+                    continue
+                previous_qubit = -1
+                for gate_1q in pop_pending(index, ()):
+                    qubit_1q = gate_1q.qubits[0]
+                    if qubit_1q != previous_qubit:
+                        trap_1q = qtrap[qubit_1q]
+                        chain_length_1q = length[trap_1q]
+                        previous_qubit = qubit_1q
+                    append(make_gate_op(kind_1q, gate_1q, trap_1q, chain_length_1q, 0))
+                separation = qpos[qubit_a] - qpos[qubit_b]
+                if separation < 0:
+                    separation = -separation
+                append(
+                    make_gate_op(
+                        kind_2q, gate, trap, length[trap], separation - 1 if separation > 1 else 0
+                    )
+                )
+                retired.append(index)
+                executed_any = True
+            if not retired:
+                break
+            executed += len(retired)
+            newly_ready = dag.retire_many(retired)
+            newly_ready.sort()
+            ready = newly_ready
+        stats.executed_two_qubit_gates += executed
+        return executed_any
+
     def _emit_single_qubit_gate(self, schedule: Schedule, state: DeviceState, gate: Gate) -> None:
         trap = state.locations[gate.qubits[0]]
         schedule.append(GateOperation(gate, trap, max(state.chain_length(trap), 1)))
@@ -334,14 +488,29 @@ class GenericSwapScheduler:
     def _select_candidate(
         self,
         state: DeviceState,
-        candidates: list[GenericSwap],
+        candidates: "list[GenericSwap] | FlatCandidateBatch",
         frontier_pairs: list[tuple[int, int]],
         lookahead_pairs: list[tuple[int, int]] | None,
         decay: DecayTracker,
         stats: SchedulerStatistics,
-        caches: IncrementalRun | None,
+        caches: "FlatRun | IncrementalRun | None",
         revision: int = -1,
     ) -> GenericSwap:
+        if isinstance(caches, FlatRun):
+            if len(candidates) == 1:
+                # Argmin of a singleton: same shortcut as below, but the
+                # flat batch materialises the one candidate on demand.
+                stats.candidate_evaluations += 1
+                return candidates.build(0)
+            scorer = caches.scorer
+            scorer.begin_iteration(
+                frontier_pairs,
+                decay,
+                lookahead_pairs,
+                self.config.lookahead_weight,
+                revision,
+            )
+            return scorer.select(candidates, stats)
         best_candidate = candidates[0]
         if len(candidates) == 1:
             # The argmin of a singleton needs no H evaluation; the
@@ -386,7 +555,7 @@ class GenericSwapScheduler:
         schedule: Schedule,
         state: DeviceState,
         candidate: GenericSwap,
-        caches: IncrementalRun | None = None,
+        caches: "FlatRun | IncrementalRun | None" = None,
     ) -> None:
         locations = state.locations
         chains = state.chains
@@ -438,7 +607,7 @@ class GenericSwapScheduler:
         state: DeviceState,
         gate: Gate,
         stats: SchedulerStatistics,
-        caches: IncrementalRun | None = None,
+        caches: "FlatRun | IncrementalRun | None" = None,
     ) -> None:
         """Deterministically co-locate the operands of ``gate``."""
         qubit_a, qubit_b = gate.qubits
@@ -498,7 +667,7 @@ class GenericSwapScheduler:
         state: DeviceState,
         trap_id: int,
         protected: tuple[int, ...],
-        caches: IncrementalRun | None = None,
+        caches: "FlatRun | IncrementalRun | None" = None,
     ) -> None:
         """Free one slot in ``trap_id`` by pushing ions towards the nearest trap with room."""
         path = self._path_to_free_slot(state, trap_id)

@@ -318,6 +318,21 @@ class DeviceState:
         """A snapshot of every trap's chain."""
         return {trap_id: tuple(chain) for trap_id, chain in self._chains.items()}
 
+    def flat_snapshot(self) -> tuple[list[list[int]], list[int], int]:
+        """Chains and capacities in trap-id order plus the qubit-id bound.
+
+        Export used to seed the flat-array mirror
+        (:class:`repro.core.flatstate.FlatState`): trap ids are dense
+        (``0..num_traps-1``), so positional lists are enough, and the
+        bound is one past the largest placed qubit id (qubit ids index
+        the mirror's position/location vectors).
+        """
+        num_traps = self.device.num_traps
+        chains = [list(self._chains[trap_id]) for trap_id in range(num_traps)]
+        capacities = [self._capacities[trap_id] for trap_id in range(num_traps)]
+        qubit_bound = max(self._locations, default=-1) + 1
+        return chains, capacities, qubit_bound
+
     def all_qubits(self) -> set[int]:
         """All placed program qubits."""
         return set(self._locations)

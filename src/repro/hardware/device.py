@@ -18,6 +18,7 @@ walking the full paths.
 
 from __future__ import annotations
 
+from array import array
 from collections.abc import Iterable, Sequence
 
 import networkx as nx
@@ -120,6 +121,8 @@ class QCCDDevice:
         for connection in self._connections:
             self._connection_matrix[connection.trap_a][connection.trap_b] = connection
             self._connection_matrix[connection.trap_b][connection.trap_a] = connection
+        # Flattened routing tables (built lazily by flat_routing_tables).
+        self._flat_tables: "tuple[array, array, array] | None" = None
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -239,6 +242,32 @@ class QCCDDevice:
         them (use :attr:`distance_matrix` for a safe copy).
         """
         return self._distance_matrix, self._next_hop, self._penultimate_hop
+
+    @property
+    def flat_routing_tables(self) -> "tuple[array, array, array]":
+        """Row-major flattened ``(distance, next-hop, penultimate-hop)`` arrays.
+
+        The flat scheduler backend indexes ``table[trap_a * num_traps +
+        trap_b]`` on contiguous :class:`array.array` buffers instead of
+        nested lists.  The arrays are built once on first access and the
+        same objects are returned on every subsequent call (zero-copy);
+        the float values are the exact entries of
+        :attr:`routing_tables`, so trap distances agree bit-for-bit
+        across backends.  Callers must not mutate them.
+        """
+        tables = self._flat_tables
+        if tables is None:
+            n = len(self._traps)
+            indices = range(n)
+            distances = array(
+                "d", (self._distance_matrix[a][b] for a in indices for b in indices)
+            )
+            next_hops = array("i", (self._next_hop[a][b] for a in indices for b in indices))
+            penultimate_hops = array(
+                "i", (self._penultimate_hop[a][b] for a in indices for b in indices)
+            )
+            self._flat_tables = tables = (distances, next_hops, penultimate_hops)
+        return tables
 
     def path_connections(self, trap_a: int, trap_b: int) -> list[Connection]:
         """Connections traversed along the cheapest route between two traps."""

@@ -34,7 +34,7 @@ from typing import Any, Protocol, Sequence, runtime_checkable
 from repro.circuit.circuit import QuantumCircuit
 from repro.core.mapping import InitialMapper
 from repro.core.result import CompilationResult, PassTiming
-from repro.core.scheduler import SchedulerStatistics
+from repro.core.scheduler import SCHEDULER_BACKENDS, SchedulerStatistics
 from repro.core.state import DeviceState
 from repro.exceptions import SchedulingError
 from repro.hardware.device import QCCDDevice
@@ -176,12 +176,21 @@ class SchedulingPass(Pass):
             "executed_two_qubit_gates": stats.executed_two_qubit_gates,
         }
         config = getattr(self.scheduler, "config", None)
-        incremental = getattr(config, "incremental", None)
-        if incremental is not None:
+        backend = getattr(config, "backend", None)
+        if backend is not None:
             # Surface which scheduler core routed this circuit, so the
             # compile-time benchmarks and batch records can attribute
-            # timings end-to-end.
-            data["scheduler_core"] = "incremental" if incremental else "naive"
+            # timings end-to-end.  SchedulerConfig.__post_init__ resolved
+            # the backend exactly once; anything else here means a config
+            # bypassed that resolution.
+            assert backend in SCHEDULER_BACKENDS, f"unresolved scheduler backend {backend!r}"
+            data["scheduler_core"] = backend
+        else:
+            # Foreign scheduler configs predating the backend field may
+            # still carry the legacy boolean toggle.
+            incremental = getattr(config, "incremental", None)
+            if incremental is not None:
+                data["scheduler_core"] = "incremental" if incremental else "naive"
         return data
 
 

@@ -85,6 +85,24 @@ class GateOperation(ScheduledOperation):
         self.chain_length = chain_length
         self.ion_separation = ion_separation
 
+    @classmethod
+    def unchecked(
+        cls, kind: OperationKind, gate: Gate, trap: int, chain_length: int, ion_separation: int
+    ) -> "GateOperation":
+        """Construct without field validation (scheduler hot-path emitter).
+
+        The caller asserts the invariants ``__init__`` would check and
+        passes the operation kind directly — the scheduler knows
+        statically whether it is emitting a 1q or a 2q gate.
+        """
+        self = object.__new__(cls)
+        self.kind = kind
+        self.gate = gate
+        self.trap = trap
+        self.chain_length = chain_length
+        self.ion_separation = ion_separation
+        return self
+
     def _fields(self) -> tuple:
         return (self.gate, self.trap, self.chain_length, self.ion_separation)
 
