@@ -30,7 +30,11 @@ The committed JSON carries:
 * ``baseline.points`` — the same measurements taken on the
   *pre-incremental-core* tree (recorded once with ``--save-baseline``);
 * ``speedups`` — current versus baseline per scaled point;
-* ``backend_speedups`` — flat versus incremental per shoot-out point.
+* ``backend_speedups`` — flat versus incremental per shoot-out point;
+* ``serialization`` — the artifact-path section: encode/decode times
+  and sizes of the binary schedule codec versus the JSON document form
+  at the gate point, plus measured disk-hit latency through a real
+  ``ScheduleCache`` (binary v3 entry versus a legacy v2 JSON entry).
 
 Usage::
 
@@ -41,6 +45,8 @@ Usage::
         --check benchmarks/results/BENCH_compile_time.json            # CI regression gate
     PYTHONPATH=src python benchmarks/bench_compile_time.py \
         --check benchmarks/results/BENCH_compile_time.json --gate-only  # CI smoke
+    PYTHONPATH=src python benchmarks/bench_compile_time.py \
+        --serialization-only --check benchmarks/results/BENCH_compile_time.json
 
 ``--check`` re-measures the suite and exits non-zero when any point's
 routing seconds regressed more than ``--threshold`` (default 2x) over
@@ -48,7 +54,10 @@ the committed numbers, when the incremental core falls behind the naive
 reference, or when the flat core loses its 2x routing margin over the
 incremental core at the designated 64-qubit gate point.  ``--gate-only``
 restricts the run to that single gate point — the CI smoke
-configuration.
+configuration.  ``--serialization-only`` restricts the run to the
+serialization section, whose own (machine-independent) gates require
+binary decode to stay at least 3x faster than JSON parsing and binary
+cache entries at least 2x smaller than their JSON form.
 """
 
 from __future__ import annotations
@@ -57,6 +66,8 @@ import argparse
 import json
 import platform
 import sys
+import tempfile
+import time
 from pathlib import Path
 from typing import Any
 
@@ -65,6 +76,13 @@ from repro.core.compiler import SSyncCompiler, SSyncConfig
 from repro.hardware.presets import paper_device
 from repro.obs import MetricsRegistry
 from repro.registry import make_pipeline
+from repro.runtime.cache import CachedCompilation, ScheduleCache
+from repro.schedule.serialize import (
+    schedule_from_bytes,
+    schedule_from_dict,
+    schedule_to_bytes,
+    schedule_to_dict,
+)
 
 RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_compile_time.json"
 
@@ -92,6 +110,13 @@ BACKEND_FAMILIES = ("qft", "alt")
 GATE_CIRCUIT = "alt"
 GATE_SIZE = 64
 GATE_RATIO = 2.0
+
+#: Serialization gates (machine-independent ratios, measured in one run
+#: at the ``alt_64`` gate point): binary decode must stay at least 3x
+#: faster than parsing the JSON document form (measured ~4.7x), and a
+#: binary cache entry at least 2x smaller than its JSON form (~4.8x).
+DECODE_SPEEDUP_GATE = 3.0
+ENTRY_SIZE_RATIO_GATE = 2.0
 
 # The benchmark accounts its compile wall-time into the same counter
 # the batch engine binds on /v1/metrics, and reports the per-point
@@ -314,6 +339,136 @@ def compute_backend_speedups(backend_points: list[dict[str, Any]]) -> list[dict[
     return speedups
 
 
+def _best_of(fn, repeats: int) -> float:
+    """Minimum wall time of ``repeats`` calls to ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _time_disk_hits(
+    entry: CachedCompilation, repeats: int
+) -> tuple[float, float]:
+    """Best-of-N cold disk-hit latency: (binary v3, legacy v2 JSON).
+
+    Each sample builds a fresh :class:`ScheduleCache` (empty memory
+    tier), hits the on-disk entry, and fully materialises the cached
+    schedule — the complete price a worker pays to reuse a compilation
+    after a restart.  The legacy samples rewrite the ``.json`` file each
+    round because a hit migrates it to binary, so their number includes
+    the one-time migration cost a real upgrade pays.
+    """
+    binary_best = float("inf")
+    legacy_best = float("inf")
+    legacy_doc = entry.to_dict()
+    legacy_doc["format_version"] = 2
+    legacy_text = json.dumps(legacy_doc, sort_keys=True)
+    with tempfile.TemporaryDirectory() as tmp:
+        binary_dir = Path(tmp) / "binary"
+        legacy_dir = Path(tmp) / "legacy"
+        binary_dir.mkdir()
+        legacy_dir.mkdir()
+        ScheduleCache(directory=binary_dir).put("fp", entry)
+        for _ in range(repeats):
+            cache = ScheduleCache(directory=binary_dir)
+            started = time.perf_counter()
+            loaded = cache.get("fp")
+            list(loaded.schedule())
+            binary_best = min(binary_best, time.perf_counter() - started)
+
+            # A hit migrates the JSON entry to binary; start each legacy
+            # sample from the pre-migration state.
+            (legacy_dir / "fp.sched").unlink(missing_ok=True)
+            (legacy_dir / "fp.json").write_text(legacy_text)
+            cache = ScheduleCache(directory=legacy_dir)
+            started = time.perf_counter()
+            loaded = cache.get("fp")
+            list(loaded.schedule())
+            legacy_best = min(legacy_best, time.perf_counter() - started)
+    return binary_best, legacy_best
+
+
+def measure_serialization(repeats: int = 5) -> dict[str, Any]:
+    """The artifact-path section: codec times, sizes, disk-hit latency.
+
+    One compilation of the gate-point workload, then best-of-N timings
+    of the four (codec, direction) pairs on its schedule.  Decode
+    timings include full operation materialisation so the binary path
+    cannot win by laziness alone.
+    """
+    device_name, capacity = BACKEND_DEVICES[GATE_SIZE]
+    device = paper_device(device_name, capacity)
+    result = SSyncCompiler(device).compile(build_family(GATE_CIRCUIT, GATE_SIZE))
+    schedule = result.schedule
+    json_text = json.dumps(schedule_to_dict(schedule), sort_keys=True)
+    blob = schedule_to_bytes(schedule)
+    entry = CachedCompilation.from_result(result)
+    entry_blob = entry.to_bytes()
+    entry_json_bytes = len(json.dumps(entry.to_dict(), sort_keys=True))
+
+    json_encode_s = _best_of(
+        lambda: json.dumps(schedule_to_dict(schedule), sort_keys=True), repeats
+    )
+    binary_encode_s = _best_of(lambda: schedule_to_bytes(schedule), repeats)
+    json_parse_s = _best_of(
+        lambda: list(schedule_from_dict(json.loads(json_text))), repeats
+    )
+    binary_decode_s = _best_of(lambda: list(schedule_from_bytes(blob)), repeats)
+    disk_hit_binary_s, disk_hit_legacy_s = _time_disk_hits(entry, repeats)
+
+    section = {
+        "circuit": GATE_CIRCUIT,
+        "size": GATE_SIZE,
+        "device": device_name,
+        "capacity": capacity,
+        "operations": len(schedule),
+        "json_encode_seconds": round(json_encode_s, 6),
+        "binary_encode_seconds": round(binary_encode_s, 6),
+        "json_parse_seconds": round(json_parse_s, 6),
+        "binary_decode_seconds": round(binary_decode_s, 6),
+        "decode_speedup": round(json_parse_s / max(binary_decode_s, 1e-9), 2),
+        "encode_speedup": round(json_encode_s / max(binary_encode_s, 1e-9), 2),
+        "schedule_json_bytes": len(json_text),
+        "schedule_binary_bytes": len(blob),
+        "entry_json_bytes": entry_json_bytes,
+        "entry_binary_bytes": len(entry_blob),
+        "entry_size_ratio": round(entry_json_bytes / max(len(entry_blob), 1), 2),
+        "disk_hit_binary_seconds": round(disk_hit_binary_s, 6),
+        "disk_hit_legacy_json_seconds": round(disk_hit_legacy_s, 6),
+    }
+    print(
+        f"{'serialization':>20}  {GATE_CIRCUIT}_{GATE_SIZE} on {device_name}  "
+        f"decode {section['decode_speedup']}x  "
+        f"entry size {section['entry_size_ratio']}x  "
+        f"disk hit {disk_hit_binary_s:.4f}s vs {disk_hit_legacy_s:.4f}s legacy",
+        flush=True,
+    )
+    return section
+
+
+def check_serialization(section: dict[str, Any]) -> list[str]:
+    """Gate messages for the serialization section (same-run ratios)."""
+    failures: list[str] = []
+    if section["decode_speedup"] < DECODE_SPEEDUP_GATE:
+        failures.append(
+            f"binary decode lost its {DECODE_SPEEDUP_GATE:.0f}x margin over JSON "
+            f"parse: {section['binary_decode_seconds']:.4f}s vs "
+            f"{section['json_parse_seconds']:.4f}s "
+            f"({section['decode_speedup']:.2f}x)"
+        )
+    if section["entry_size_ratio"] < ENTRY_SIZE_RATIO_GATE:
+        failures.append(
+            f"binary cache entry lost its {ENTRY_SIZE_RATIO_GATE:.0f}x size margin: "
+            f"{section['entry_binary_bytes']} bytes vs "
+            f"{section['entry_json_bytes']} JSON bytes "
+            f"({section['entry_size_ratio']:.2f}x)"
+        )
+    return failures
+
+
 #: Points faster than this are timer/noise dominated and are excluded
 #: from the cross-run regression gate.
 MIN_CHECKED_SECONDS = 0.001
@@ -401,6 +556,11 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the 64/96/128-qubit backend shoot-out points",
     )
     parser.add_argument(
+        "--serialization-only",
+        action="store_true",
+        help="measure only the serialization/cache artifact section",
+    )
+    parser.add_argument(
         "--save-baseline",
         action="store_true",
         help="record this run as the pre-change baseline section",
@@ -415,7 +575,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--threshold", type=float, default=2.0)
     args = parser.parse_args(argv)
 
-    if args.gate_only:
+    serialization: dict[str, Any] | None = None
+    if args.serialization_only:
+        points = []
+        backend_points = []
+        serialization = measure_serialization(repeats=args.repeats)
+    elif args.gate_only:
         points = []
         backend_points = measure_backend_points(repeats=args.repeats, gate_only=True)
     else:
@@ -425,17 +590,24 @@ def main(argv: list[str] | None = None) -> int:
             if args.skip_backend
             else measure_backend_points(repeats=max(3, args.repeats // 2 + 1))
         )
+        serialization = measure_serialization(repeats=max(3, args.repeats // 2 + 1))
 
     if args.check is not None:
         committed = json.loads(args.check.read_text())
         failures = check_regressions(points + backend_points, committed, args.threshold)
+        if serialization is not None:
+            failures.extend(check_serialization(serialization))
         # Write the measurements before deciding the exit code, so a red
         # CI run still uploads the numbers that triggered it.
         if args.output != RESULTS_PATH:
             args.output.parent.mkdir(parents=True, exist_ok=True)
             args.output.write_text(
                 json.dumps(
-                    {"points": points, "backend_points": backend_points},
+                    {
+                        "points": points,
+                        "backend_points": backend_points,
+                        "serialization": serialization,
+                    },
                     indent=2,
                     sort_keys=True,
                 )
@@ -453,6 +625,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.output.exists():
         existing = json.loads(args.output.read_text())
 
+    if args.serialization_only:
+        # Merge the fresh section into the committed document in place.
+        existing["serialization"] = serialization
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {args.output} (serialization section only)")
+        return 0
+
     document: dict[str, Any] = {
         "format_version": FORMAT_VERSION,
         "device": DEVICE_NAME,
@@ -465,6 +645,7 @@ def main(argv: list[str] | None = None) -> int:
         "baseline": existing.get("baseline", {}),
         "speedups": [],
         "backend_speedups": compute_backend_speedups(backend_points),
+        "serialization": serialization,
     }
     if args.save_baseline:
         document["baseline"] = {

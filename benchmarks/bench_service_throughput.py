@@ -1,8 +1,8 @@
 """Tracked service-throughput benchmark (``BENCH_service_throughput.json``).
 
 Runs the :mod:`repro.loadgen` profiles (``burst``, ``duplicates``,
-``priorities``) against a compilation service and records throughput and
-latency percentiles per profile into
+``priorities``, ``results``) against a compilation service and records
+throughput and latency percentiles per profile into
 ``benchmarks/results/BENCH_service_throughput.json`` — the service-layer
 counterpart of ``bench_compile_time.py``: the committed file makes the
 service's performance trajectory visible in the diff of one JSON file.

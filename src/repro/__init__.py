@@ -165,7 +165,7 @@ from repro.obs import MetricsRegistry, parse_exposition
 from repro.schedule import Schedule, verify_schedule
 from repro.service import CompilationService, ServiceClient
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "BatchCompiler",

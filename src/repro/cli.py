@@ -41,7 +41,8 @@ Ten subcommands cover the common workflows without writing Python:
 
 ``loadgen``
     Drive a running service with a seeded synthetic workload
-    (:mod:`repro.loadgen`: ``burst``, ``duplicates`` or ``priorities``)
+    (:mod:`repro.loadgen`: ``burst``, ``duplicates``, ``priorities``
+    or ``results``)
     and print latency percentiles and throughput.
 
 Examples::
@@ -170,6 +171,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="dump a cProfile pstats file of the routing pass only",
+    )
+    compile_parser.add_argument(
+        "--profile-full",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="dump a cProfile pstats file of the whole pipeline: mapping, "
+        "routing, verification, evaluation and schedule serialization",
     )
     compile_parser.add_argument(
         "--output", type=Path, default=None, help="write the compiled schedule to this JSON file"
@@ -360,7 +369,7 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen_parser.add_argument(
         "--profile",
         default="burst",
-        choices=("burst", "duplicates", "priorities"),
+        choices=("burst", "duplicates", "priorities", "results"),
         help="workload shape (see repro.loadgen; default: %(default)s)",
     )
     loadgen_parser.add_argument(
@@ -443,6 +452,16 @@ def _command_compile(args: argparse.Namespace) -> int:
         for stage in pipeline.passes:
             if stage.name == "routing":
                 stage.run = _profiled_pass_run(profiler, stage.run)  # type: ignore[method-assign]
+    full_profiler = None
+    if args.profile_full is not None:
+        # Profile everything the artifact path pays for: every pipeline
+        # pass (mapping, routing, verification), the noise evaluation and
+        # the binary schedule serialization — complementing --profile,
+        # which isolates routing.
+        import cProfile
+
+        full_profiler = cProfile.Profile()
+        full_profiler.enable()
     result = pipeline.compile(
         circuit, initial_mapping=args.mapping if spec.accepts_mapping else None
     )
@@ -450,6 +469,13 @@ def _command_compile(args: argparse.Namespace) -> int:
         profiler.dump_stats(args.profile)
         print(f"routing-pass profile written to {args.profile}")
     evaluation = evaluate_schedule(result.schedule, gate_implementation=args.gate_implementation)
+    if full_profiler is not None:
+        from repro.schedule.serialize import schedule_to_bytes
+
+        schedule_to_bytes(result.schedule)
+        full_profiler.disable()
+        full_profiler.dump_stats(args.profile_full)
+        print(f"full-pipeline profile written to {args.profile_full}")
     rows = [
         {
             "circuit": circuit.name,

@@ -41,6 +41,14 @@ whose distance is unchanged contributes an exact ``0.0``.  The
 randomized three-way parity suite
 (``tests/core/test_incremental_parity.py``) asserts schedule and
 statistics equality across all backends.
+
+Downstream of scoring, the flat backend also *materialises* its output
+in one pass: the scheduler emits operations straight into a columnar
+:class:`~repro.schedule.operations.OperationSlab` (the same layout the
+binary codec in :mod:`repro.schedule.serialize` reads and writes), so a
+compiled schedule never exists as a list of per-operation objects
+unless someone iterates it.  Encoding a freshly compiled schedule to
+cache-entry bytes is therefore a column copy, not an object walk.
 """
 
 from __future__ import annotations

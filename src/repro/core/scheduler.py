@@ -46,8 +46,9 @@ from repro.exceptions import SchedulingError
 from repro.hardware.device import QCCDDevice
 from repro.hardware.graph import GraphWeights
 from repro.schedule.operations import (
+    KIND_CODE_GATE_1Q,
+    KIND_CODE_GATE_2Q,
     GateOperation,
-    OperationKind,
     ShuttleOperation,
     SwapOperation,
 )
@@ -173,6 +174,10 @@ class GenericSwapScheduler:
             raise SchedulingError(f"unknown scheduler backend {backend!r}")
         if isinstance(caches, FlatRun):
             flat_mirror = caches.flat
+            # Single-pass materialisation: the flat backend appends plain
+            # scalars into the schedule's columnar slab — no per-op
+            # record objects exist between the scorer and the encoder.
+            schedule.use_slab()
 
             def execute_ready(ready: "list[tuple[int, Gate]] | None" = None) -> bool:
                 return self._execute_ready_gates_flat(
@@ -397,21 +402,19 @@ class GenericSwapScheduler:
         trap membership, chain length and ion separation come straight
         off the ``qubit_trap`` / ``qubit_pos`` / ``length`` vectors
         instead of the canonical state's dict-of-list bookkeeping.
-        Emission order and every operation field are identical to the
-        reference method (the mirror tracks the state move-for-move).
+        Emission goes straight into the schedule's columnar slab — plain
+        integer appends, no :class:`GateOperation` objects.  Emission
+        order and every operation field are identical to the reference
+        method (the mirror tracks the state move-for-move).
         """
         executed_any = False
         qtrap = flat.qubit_trap
         qpos = flat.qubit_pos
         length = flat.length
-        append = schedule.appender()
+        append_gate = schedule.use_slab().append_gate
         pop_pending = pending_1q.pop
-        # The emitter knows statically which kind it emits, so it can use
-        # the validation-free constructor (gates found ready here satisfy
-        # every invariant __init__ would re-check).
-        make_gate_op = GateOperation.unchecked
-        kind_1q = OperationKind.GATE_1Q
-        kind_2q = OperationKind.GATE_2Q
+        code_1q = KIND_CODE_GATE_1Q
+        code_2q = KIND_CODE_GATE_2Q
         executed = 0
         if ready is None:
             ready = dag.frontier_items()
@@ -430,14 +433,12 @@ class GenericSwapScheduler:
                         trap_1q = qtrap[qubit_1q]
                         chain_length_1q = length[trap_1q]
                         previous_qubit = qubit_1q
-                    append(make_gate_op(kind_1q, gate_1q, trap_1q, chain_length_1q, 0))
+                    append_gate(code_1q, gate_1q, trap_1q, chain_length_1q, 0)
                 separation = qpos[qubit_a] - qpos[qubit_b]
                 if separation < 0:
                     separation = -separation
-                append(
-                    make_gate_op(
-                        kind_2q, gate, trap, length[trap], separation - 1 if separation > 1 else 0
-                    )
+                append_gate(
+                    code_2q, gate, trap, length[trap], separation - 1 if separation > 1 else 0
                 )
                 executed += 1
                 executed_any = True
@@ -458,14 +459,12 @@ class GenericSwapScheduler:
                         trap_1q = qtrap[qubit_1q]
                         chain_length_1q = length[trap_1q]
                         previous_qubit = qubit_1q
-                    append(make_gate_op(kind_1q, gate_1q, trap_1q, chain_length_1q, 0))
+                    append_gate(code_1q, gate_1q, trap_1q, chain_length_1q, 0)
                 separation = qpos[qubit_a] - qpos[qubit_b]
                 if separation < 0:
                     separation = -separation
-                append(
-                    make_gate_op(
-                        kind_2q, gate, trap, length[trap], separation - 1 if separation > 1 else 0
-                    )
+                append_gate(
+                    code_2q, gate, trap, length[trap], separation - 1 if separation > 1 else 0
                 )
                 retired.append(index)
                 executed_any = True
@@ -480,7 +479,12 @@ class GenericSwapScheduler:
 
     def _emit_single_qubit_gate(self, schedule: Schedule, state: DeviceState, gate: Gate) -> None:
         trap = state.locations[gate.qubits[0]]
-        schedule.append(GateOperation(gate, trap, max(state.chain_length(trap), 1)))
+        chain_length = max(state.chain_length(trap), 1)
+        slab = schedule.slab
+        if slab is not None:
+            slab.append_gate(KIND_CODE_GATE_1Q, gate, trap, chain_length, 0)
+        else:
+            schedule.append(GateOperation(gate, trap, chain_length))
 
     # ------------------------------------------------------------------
     # candidate selection and application
@@ -559,6 +563,11 @@ class GenericSwapScheduler:
     ) -> None:
         locations = state.locations
         chains = state.chains
+        # In slab mode (the flat backend) the applied move is emitted as
+        # plain scalars into the columnar slab; the classic backends
+        # construct the record objects as before.  Field values are
+        # computed identically either way.
+        slab = schedule.slab
         if candidate.kind is GenericSwapKind.SWAP_GATE:
             assert candidate.qubit_b is not None
             trap = locations[candidate.qubit_a]
@@ -566,15 +575,24 @@ class GenericSwapScheduler:
             separation = positions[candidate.qubit_a] - positions[candidate.qubit_b]
             if separation < 0:
                 separation = -separation
-            schedule.append(
-                SwapOperation(
-                    trap=trap,
-                    qubit_a=candidate.qubit_a,
-                    qubit_b=candidate.qubit_b,
-                    chain_length=len(chains[trap]),
-                    ion_separation=separation - 1 if separation > 1 else 0,
+            if slab is not None:
+                slab.append_swap(
+                    trap,
+                    candidate.qubit_a,
+                    candidate.qubit_b,
+                    len(chains[trap]),
+                    separation - 1 if separation > 1 else 0,
                 )
-            )
+            else:
+                schedule.append(
+                    SwapOperation(
+                        trap=trap,
+                        qubit_a=candidate.qubit_a,
+                        qubit_b=candidate.qubit_b,
+                        chain_length=len(chains[trap]),
+                        ion_separation=separation - 1 if separation > 1 else 0,
+                    )
+                )
             state.unchecked_swap(candidate.qubit_a, candidate.qubit_b)
         else:
             assert candidate.target_trap is not None
@@ -584,17 +602,28 @@ class GenericSwapScheduler:
             # The checked shuttle validates end position and capacity; a
             # selected candidate was generated legal against this state.
             state.unchecked_shuttle(candidate.qubit_a, source_trap, candidate.target_trap)
-            schedule.append(
-                ShuttleOperation(
-                    qubit=candidate.qubit_a,
-                    source_trap=source_trap,
-                    target_trap=candidate.target_trap,
-                    segments=connection.segments,
-                    junctions=connection.junctions,
-                    source_chain_length=source_before,
-                    target_chain_length=len(chains[candidate.target_trap]),
+            if slab is not None:
+                slab.append_shuttle(
+                    candidate.qubit_a,
+                    source_trap,
+                    candidate.target_trap,
+                    connection.segments,
+                    connection.junctions,
+                    source_before,
+                    len(chains[candidate.target_trap]),
                 )
-            )
+            else:
+                schedule.append(
+                    ShuttleOperation(
+                        qubit=candidate.qubit_a,
+                        source_trap=source_trap,
+                        target_trap=candidate.target_trap,
+                        segments=connection.segments,
+                        junctions=connection.junctions,
+                        source_chain_length=source_before,
+                        target_chain_length=len(chains[candidate.target_trap]),
+                    )
+                )
         if caches is not None:
             caches.notify_applied(candidate)
 

@@ -23,6 +23,14 @@ latency percentiles and throughput — the numbers behind
     ordering under contention; compare the per-priority queue-latency
     histograms on ``/v1/metrics`` after a run.
 
+``results``
+    A small pool of distinct manifests is submitted and drained once,
+    untimed; the timed phase then re-fetches the finished jobs' result
+    streams round-robin.  Exercises the zero-re-serialization streaming
+    path: every line the server writes comes from its pre-encoded
+    buffers, so this profile measures pure result delivery with no
+    compilation or JSON encoding in the loop.
+
 Reproducibility: the request plan is a pure function of ``(profile,
 requests, seed)`` — :func:`generate_requests` uses its own seeded
 :class:`random.Random` and nothing else, so two runs against equivalent
@@ -44,7 +52,7 @@ from repro.exceptions import ReproError
 from repro.service.client import ServiceClient
 
 #: The workload profiles ``repro loadgen --profile`` accepts.
-PROFILES = ("burst", "duplicates", "priorities")
+PROFILES = ("burst", "duplicates", "priorities", "results")
 
 #: Circuit families and the (small) size range synthetic jobs draw from.
 #: Sizes are kept low so a loadgen run measures the *service* — queueing,
@@ -62,6 +70,11 @@ _HIGH_PRIORITY = 5
 #: Pool size for the ``duplicates`` profile: ``requests`` submissions
 #: cycle over this many distinct manifests.
 _DUPLICATE_POOL = 4
+
+#: Pool size for the ``results`` profile: this many jobs are submitted
+#: and drained untimed, then ``requests`` timed re-fetches cycle over
+#: their finished result streams.
+_RESULTS_POOL = 4
 
 
 @dataclass(frozen=True)
@@ -178,6 +191,13 @@ def generate_requests(
         raise ReproError("a load run needs at least one request")
     rng = random.Random(seed)
     plan: list[LoadRequest] = []
+    if profile == "results":
+        # The plan is the warm-up pool: the timed phase re-fetches these
+        # jobs' result streams and submits nothing of its own.
+        return [
+            LoadRequest(i, _manifest(rng, f"res-{i}"), 0)
+            for i in range(min(_RESULTS_POOL, requests))
+        ]
     if profile == "duplicates":
         pool = [
             _manifest(rng, f"dup-{i}") for i in range(min(_DUPLICATE_POOL, requests))
@@ -232,6 +252,83 @@ def _drive_one(client: ServiceClient, request: LoadRequest) -> RequestRecord:
         )
 
 
+def _fetch_one(client: ServiceClient, index: int, job_id: str) -> RequestRecord:
+    """Re-fetch one finished job's result stream, timing the drain.
+
+    Used by the ``results`` profile: the job already ran, so the whole
+    latency is result delivery — the server replays its pre-encoded
+    line buffers without re-serializing a single record.
+    """
+    started = time.perf_counter()
+    try:
+        status = "unknown"
+        outcomes = 0
+        for line in client.stream_results(job_id):
+            if line.get("type") == "outcome":
+                outcomes += 1
+            elif line.get("type") == "end":
+                status = str(line.get("status", "unknown"))
+        elapsed = time.perf_counter() - started
+        return RequestRecord(
+            index=index,
+            job_id=job_id,
+            priority=0,
+            resubmitted=True,  # every timed fetch replays an existing job
+            status=status,
+            outcomes=outcomes,
+            submit_s=0.0,
+            total_s=elapsed,
+        )
+    except Exception as exc:  # noqa: BLE001 - a failed request is a data point
+        elapsed = time.perf_counter() - started
+        return RequestRecord(
+            index=index,
+            job_id=job_id,
+            priority=0,
+            resubmitted=True,
+            status="error",
+            outcomes=0,
+            submit_s=0.0,
+            total_s=elapsed,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def _run_results_profile(
+    client: ServiceClient,
+    requests: int,
+    seed: int,
+    concurrency: int,
+) -> LoadgenResult:
+    """Warm up a job pool untimed, then time concurrent stream re-fetches."""
+    pool_plan = generate_requests("results", requests, seed=seed)
+    job_ids: list[str] = []
+    for request in pool_plan:  # warm-up: submit and drain, untimed
+        receipt = client.submit(request.body, priority=0)
+        job_id = str(receipt["job_id"])
+        for _ in client.stream_results(job_id):
+            pass
+        job_ids.append(job_id)
+    fetches = [(index, job_ids[index % len(job_ids)]) for index in range(requests)]
+    started = time.perf_counter()
+    with ThreadPoolExecutor(
+        max_workers=min(concurrency, len(fetches)),
+        thread_name_prefix="repro-loadgen",
+    ) as pool:
+        records = list(
+            pool.map(lambda item: _fetch_one(client, item[0], item[1]), fetches)
+        )
+    wall_s = time.perf_counter() - started
+    return LoadgenResult(
+        profile="results",
+        requests=requests,
+        seed=seed,
+        concurrency=concurrency,
+        wall_s=wall_s,
+        records=records,
+    )
+
+
 def run_profile(
     url: str,
     profile: str,
@@ -245,11 +342,18 @@ def run_profile(
     ``concurrency`` client threads share the plan; each submits its
     request and drains the result stream before taking the next, so at
     most ``concurrency`` jobs are in flight client-side at any moment.
+    The ``results`` profile times re-fetches instead of submissions (its
+    warm-up submissions are excluded from ``wall_s`` and the latency
+    percentiles).
     """
     if concurrency < 1:
         raise ReproError("loadgen needs at least one client thread")
-    plan = generate_requests(profile, requests, seed=seed)
     client = ServiceClient(url, timeout=timeout)
+    if profile == "results":
+        if requests < 1:
+            raise ReproError("a load run needs at least one request")
+        return _run_results_profile(client, requests, seed, concurrency)
+    plan = generate_requests(profile, requests, seed=seed)
     started = time.perf_counter()
     with ThreadPoolExecutor(
         max_workers=min(concurrency, len(plan)), thread_name_prefix="repro-loadgen"

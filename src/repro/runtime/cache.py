@@ -5,13 +5,20 @@ and the same (circuit, device, config) point recurs constantly — across
 the gate-implementation sweep, across repeated benchmark runs, across
 CLI invocations.  :class:`ScheduleCache` memoises compilations keyed by
 the job's compile fingerprint (:meth:`CompileJob.compile_fingerprint`):
-an in-memory LRU serves the hot set, and an optional on-disk JSON store
-(one file per fingerprint, via :mod:`repro.schedule.serialize`) makes
-hits survive process restarts.
+an in-memory LRU serves the hot set, and an optional on-disk store (one
+``<fingerprint>.sched`` file per fingerprint) makes hits survive process
+restarts.
 
-Entries store plain data (the serialised schedule), never live objects,
-so a cached result replays identically to a fresh compilation no matter
-which process produced it.
+Entries store plain data (the binary-encoded schedule, via
+:mod:`repro.schedule.serialize`), never live objects, so a cached result
+replays identically to a fresh compilation no matter which process
+produced it.  The on-disk **format v3** entry is a small binary
+envelope: a magic + version header, a varint-framed JSON metadata
+header (compiler/mapping names, compile time, statistics, pass timings
+— no sidecar file), then the columnar schedule blob.  Entries written
+by format v2 (one pretty JSON document per fingerprint) remain
+readable: a disk hit on a legacy ``*.json`` entry decodes it, rewrites
+it as ``*.sched`` in place, and counts a ``migrations`` statistic.
 
 The cache is **thread-safe**: an internal lock guards the LRU table and
 the counters, so any number of concurrently running batches (the service
@@ -27,6 +34,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 import uuid
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -35,11 +43,27 @@ from typing import Any
 
 from repro.exceptions import ReproError
 from repro.schedule.schedule import Schedule
-from repro.schedule.serialize import schedule_from_dict, schedule_to_dict
+from repro.schedule.serialize import (
+    read_varint,
+    schedule_from_bytes,
+    schedule_from_dict,
+    schedule_to_bytes,
+    schedule_to_dict,
+    write_varint,
+)
 
-#: Format marker stored in every on-disk cache entry.  Version 2 added the
-#: scheduler statistics and per-pass timings alongside the schedule.
-CACHE_FORMAT_VERSION = 2
+#: Format marker of on-disk cache entries.  Version 2 added the scheduler
+#: statistics and per-pass timings alongside the schedule; version 3
+#: switched the on-disk representation from one JSON document per entry
+#: to the binary ``.sched`` envelope (JSON v2 entries stay readable and
+#: are migrated on hit).
+CACHE_FORMAT_VERSION = 3
+
+#: Oldest on-disk format this library still reads (the JSON era).
+CACHE_COMPAT_VERSIONS = (2, 3)
+
+#: Magic prefix of a binary ``.sched`` cache entry.
+ENTRY_MAGIC = b"RCEN"
 
 
 @dataclass
@@ -52,6 +76,7 @@ class CacheStats:
     evictions: int = 0
     disk_hits: int = 0
     disk_evictions: int = 0
+    migrations: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Flat dictionary for reporting."""
@@ -62,6 +87,7 @@ class CacheStats:
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
             "disk_evictions": self.disk_evictions,
+            "migrations": self.migrations,
         }
 
     def snapshot(self) -> "CacheStats":
@@ -71,9 +97,14 @@ class CacheStats:
 
 @dataclass(frozen=True)
 class CachedCompilation:
-    """One cached compilation: compile metadata plus the schedule as data.
+    """One cached compilation: compile metadata plus the encoded schedule.
 
-    ``statistics`` (the deterministic scheduler counters) and
+    The schedule travels as its **binary blob** (the columnar encoding
+    from :func:`repro.schedule.serialize.schedule_to_bytes`), not as a
+    live object or a JSON tree: the blob moves between worker processes
+    and onto disk without any re-serialisation, and :meth:`schedule`
+    decodes it lazily only when somebody actually needs the operation
+    log.  ``statistics`` (the deterministic scheduler counters) and
     ``pass_timings`` (the pipeline's per-pass profile) travel with the
     schedule, so a cache hit replays the original compilation's full
     provenance — not just its operation log.
@@ -82,41 +113,104 @@ class CachedCompilation:
     compiler_name: str
     mapping_name: str
     compile_time_s: float
-    schedule_data: dict[str, Any]
+    schedule_blob: bytes
     statistics: dict[str, int] = field(default_factory=dict)
     pass_timings: tuple[dict[str, Any], ...] = ()
 
     def schedule(self) -> Schedule:
-        """Rebuild the live schedule object from the stored data."""
-        return schedule_from_dict(self.schedule_data)
+        """Decode the live schedule object from the stored blob."""
+        return schedule_from_bytes(self.schedule_blob)
+
+    def to_bytes(self) -> bytes:
+        """The binary ``.sched`` entry: header envelope + schedule blob.
+
+        Layout: ``ENTRY_MAGIC``, one version byte, a varint-framed JSON
+        metadata header (sorted keys, so identical entries encode to
+        identical bytes), then the schedule blob verbatim to the end of
+        the buffer.
+        """
+        meta = json.dumps(
+            {
+                "compiler_name": self.compiler_name,
+                "mapping_name": self.mapping_name,
+                "compile_time_s": self.compile_time_s,
+                "statistics": dict(self.statistics),
+                "pass_timings": [dict(t) for t in self.pass_timings],
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        out = bytearray(ENTRY_MAGIC)
+        out.append(CACHE_FORMAT_VERSION)
+        write_varint(out, len(meta))
+        out += meta
+        out += self.schedule_blob
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CachedCompilation":
+        """Parse a binary entry written by :meth:`to_bytes`."""
+        if data[: len(ENTRY_MAGIC)] != ENTRY_MAGIC:
+            raise ReproError("not a binary cache entry (bad magic)")
+        if len(data) < len(ENTRY_MAGIC) + 1:
+            raise ReproError("truncated binary cache entry")
+        version = data[len(ENTRY_MAGIC)]
+        if version != CACHE_FORMAT_VERSION:
+            raise ReproError(
+                f"unsupported cache entry format version {version} "
+                f"(this library writes version {CACHE_FORMAT_VERSION})"
+            )
+        meta_len, pos = read_varint(data, len(ENTRY_MAGIC) + 1)
+        if pos + meta_len > len(data):
+            raise ReproError("truncated binary cache entry")
+        try:
+            meta = json.loads(data[pos : pos + meta_len])
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"corrupt binary cache entry header: {exc}") from exc
+        blob = data[pos + meta_len :]
+        try:
+            return cls(
+                compiler_name=meta["compiler_name"],
+                mapping_name=meta["mapping_name"],
+                compile_time_s=meta["compile_time_s"],
+                schedule_blob=blob,
+                statistics=dict(meta.get("statistics", {})),
+                pass_timings=tuple(dict(t) for t in meta.get("pass_timings", ())),
+            )
+        except KeyError as exc:
+            raise ReproError(f"cache entry is missing the {exc.args[0]!r} field") from exc
 
     def to_dict(self) -> dict[str, Any]:
-        """Plain-data form written to disk."""
+        """Plain-data form (for JSON observers such as ``/v1/schedules``).
+
+        Decodes the blob — use :meth:`to_bytes` on hot paths.
+        """
         return {
             "format_version": CACHE_FORMAT_VERSION,
             "compiler_name": self.compiler_name,
             "mapping_name": self.mapping_name,
             "compile_time_s": self.compile_time_s,
-            "schedule": self.schedule_data,
+            "schedule": schedule_to_dict(self.schedule()),
             "statistics": dict(self.statistics),
             "pass_timings": [dict(t) for t in self.pass_timings],
         }
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "CachedCompilation":
-        """Parse an entry written by :meth:`to_dict`."""
+        """Parse a dict-form entry (current, or the legacy v2 JSON format)."""
         version = data.get("format_version")
-        if version != CACHE_FORMAT_VERSION:
+        if version not in CACHE_COMPAT_VERSIONS:
             raise ReproError(
                 f"unsupported cache entry format version {version!r} "
                 f"(this library writes version {CACHE_FORMAT_VERSION})"
             )
         try:
+            # Both versions carry the schedule as a JSON tree here; the
+            # blob is rebuilt through one decode/encode round-trip.
             return cls(
                 compiler_name=data["compiler_name"],
                 mapping_name=data["mapping_name"],
                 compile_time_s=data["compile_time_s"],
-                schedule_data=data["schedule"],
+                schedule_blob=schedule_to_bytes(schedule_from_dict(data["schedule"])),
                 statistics=dict(data.get("statistics", {})),
                 pass_timings=tuple(dict(t) for t in data.get("pass_timings", ())),
             )
@@ -130,7 +224,7 @@ class CachedCompilation:
             compiler_name=result.compiler_name,
             mapping_name=result.mapping_name,
             compile_time_s=result.compile_time_s,
-            schedule_data=schedule_to_dict(result.schedule),
+            schedule_blob=schedule_to_bytes(result.schedule),
             statistics=result.statistics_dict(),
             pass_timings=tuple(t.as_dict() for t in result.pass_timings),
         )
@@ -145,8 +239,11 @@ class ScheduleCache:
         Capacity of the in-memory LRU tier.
     directory:
         When given, every stored entry is also written to
-        ``<directory>/<fingerprint>.json`` and memory misses fall back to
-        disk (promoting hits back into memory).
+        ``<directory>/<fingerprint>.sched`` and memory misses fall back
+        to disk (promoting hits back into memory).  Legacy
+        ``<fingerprint>.json`` entries written by format v2 are still
+        served and are rewritten in the binary format on their first
+        hit.
     max_disk_bytes:
         Optional byte budget for the on-disk tier.  After every disk
         write, the least-recently-used entry files (by mtime — disk
@@ -176,16 +273,34 @@ class ScheduleCache:
         # disk-budget sweep.  Re-entrant because ``get`` promotes disk
         # entries through ``_insert`` while already holding it.
         self._lock = threading.RLock()
+        # Bytes serialised to disk, keyed by codec ("binary" for .sched
+        # writes; legacy JSON writes no longer happen but the label space
+        # stays open).  Guarded by the lock; exposed by the scrape-time
+        # collector when metrics are bound.
+        self._serialize_bytes: dict[str, int] = {}
+        # Live decode-latency histogram, attached by bind_metrics().
+        self._decode_histogram: "Any | None" = None
+
+    #: Glob patterns of the on-disk entry files, newest format first.
+    _ENTRY_GLOBS = ("*.sched", "*.json")
 
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
+    def _entry_paths(self) -> "list[Path]":
+        """Every entry file on disk — current ``.sched`` and legacy ``.json``."""
+        assert self.directory is not None
+        paths: list[Path] = []
+        for pattern in self._ENTRY_GLOBS:
+            paths.extend(self.directory.glob(pattern))
+        return paths
+
     def disk_bytes(self) -> int:
         """Total size of the on-disk entry files (0 without a disk tier)."""
         if self.directory is None:
             return 0
         total = 0
-        for path in self.directory.glob("*.json"):
+        for path in self._entry_paths():
             try:
                 total += path.stat().st_size
             except OSError:  # pragma: no cover - concurrent eviction
@@ -196,7 +311,7 @@ class ScheduleCache:
         """How many entry files the on-disk tier currently holds."""
         if self.directory is None:
             return 0
-        return sum(1 for _ in self.directory.glob("*.json"))
+        return len(self._entry_paths())
 
     def bind_metrics(self, registry: "Any") -> None:
         """Expose this cache through a :class:`~repro.obs.MetricsRegistry`.
@@ -204,9 +319,16 @@ class ScheduleCache:
         Registers a scrape-time collector mirroring :attr:`stats` (the
         counters stay the single source of truth — the hot paths gain no
         extra bookkeeping) plus gauges for the in-memory entry count and
-        the disk tier's entry files and bytes.
+        the disk tier's entry files and bytes.  Also attaches a live
+        ``repro_cache_decode_seconds`` histogram that disk-entry decodes
+        observe from then on.
         """
         registry.register_collector(self._collect_metrics)
+        self._decode_histogram = registry.histogram(
+            "repro_cache_decode_seconds",
+            "Wall time spent decoding one on-disk cache entry.",
+            buckets=(0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25),
+        )
 
     def _collect_metrics(self) -> "list[Any]":
         from repro.obs.metrics import Counter, Gauge
@@ -214,6 +336,7 @@ class ScheduleCache:
         with self._lock:
             stats = self.stats.snapshot()
             entries = len(self._entries)
+            serialize_bytes = dict(self._serialize_bytes)
         hits = Counter(
             "repro_cache_hits_total",
             "Schedule-cache hits, by serving tier.",
@@ -236,6 +359,18 @@ class ScheduleCache:
         )
         evictions.labels(tier="memory").inc(stats.evictions)
         evictions.labels(tier="disk").inc(stats.disk_evictions)
+        migrations = Counter(
+            "repro_cache_migrations_total",
+            "Legacy JSON cache entries rewritten in the binary format on hit.",
+        )
+        migrations.inc(stats.migrations)
+        serialized = Counter(
+            "repro_serialize_bytes_total",
+            "Bytes of cache entries serialised to disk, by codec.",
+            ("codec",),
+        )
+        for codec, count in sorted(serialize_bytes.items()):
+            serialized.labels(codec=codec).inc(count)
         memory_entries = Gauge(
             "repro_cache_entries", "Entries currently in the in-memory LRU tier."
         )
@@ -248,7 +383,17 @@ class ScheduleCache:
             "repro_cache_disk_bytes", "Bytes used by the on-disk cache tier."
         )
         disk_size.set(self.disk_bytes())
-        return [hits, misses, stores, evictions, memory_entries, disk_files, disk_size]
+        return [
+            hits,
+            misses,
+            stores,
+            evictions,
+            migrations,
+            serialized,
+            memory_entries,
+            disk_files,
+            disk_size,
+        ]
 
     # ------------------------------------------------------------------
     # core operations
@@ -285,6 +430,11 @@ class ScheduleCache:
         if path is not None:
             entry = self._read_disk_entry(path)
             if entry is not None:
+                if path.suffix == ".json":
+                    # Legacy v2 entry: rewrite it in the binary format so
+                    # the next hit decodes the fast path, and so the file
+                    # the budget sweep sees carries today's mtime.
+                    path = self._migrate_legacy_entry(fingerprint, entry, path)
                 with self._lock:
                     self._insert(fingerprint, entry)
                     self.stats.hits += 1
@@ -337,12 +487,14 @@ class ScheduleCache:
         disk_evictions = 0
         if self.directory is not None:
             path = self._disk_path(fingerprint)
-            # Unique temp name per writer: concurrent processes sharing a
-            # cache directory must not interleave writes before the atomic
-            # replace.
-            tmp = path.with_suffix(f".{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
-            tmp.write_text(json.dumps(entry.to_dict(), sort_keys=True))
-            tmp.replace(path)
+            self._write_entry_file(path, entry)
+            # A v2-era file for the same fingerprint is now stale — the
+            # .sched entry supersedes it.
+            legacy = path.with_suffix(".json")
+            try:
+                legacy.unlink()
+            except OSError:
+                pass
             if self.max_disk_bytes is not None:
                 disk_evictions = self._enforce_disk_budget(keep=path)
                 if disk_evictions:
@@ -355,7 +507,7 @@ class ScheduleCache:
         with self._lock:
             self._entries.clear()
             if disk and self.directory is not None:
-                for path in self.directory.glob("*.json"):
+                for path in self._entry_paths():
                     path.unlink()
                 for path in self.directory.glob("*.tmp"):
                     path.unlink()
@@ -384,7 +536,7 @@ class ScheduleCache:
         entries: list[tuple[float, int, Path]] = []
         total = 0
         deleted = 0
-        for path in self.directory.glob("*.json"):
+        for path in self._entry_paths():
             try:
                 stat = path.stat()
             except OSError:  # pragma: no cover - concurrent eviction
@@ -408,23 +560,74 @@ class ScheduleCache:
 
     def _disk_path(self, fingerprint: str) -> Path:
         assert self.directory is not None
-        return self.directory / f"{fingerprint}.json"
+        return self.directory / f"{fingerprint}.sched"
 
     def _disk_path_if_present(self, fingerprint: str) -> Path | None:
+        """The on-disk file serving ``fingerprint`` — ``.sched`` wins."""
         if self.directory is None:
             return None
         path = self._disk_path(fingerprint)
-        return path if path.exists() else None
+        if path.exists():
+            return path
+        legacy = path.with_suffix(".json")
+        return legacy if legacy.exists() else None
 
-    @staticmethod
-    def _read_disk_entry(path: Path) -> CachedCompilation | None:
+    def _write_entry_file(self, path: Path, entry: CachedCompilation) -> None:
+        """Atomically write ``entry`` in the binary format at ``path``.
+
+        Unique temp name per writer: concurrent processes sharing a cache
+        directory must not interleave writes before the atomic replace.
+        """
+        payload = entry.to_bytes()
+        tmp = path.with_suffix(f".{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
+        tmp.write_bytes(payload)
+        tmp.replace(path)
+        with self._lock:
+            self._serialize_bytes["binary"] = (
+                self._serialize_bytes.get("binary", 0) + len(payload)
+            )
+
+    def _migrate_legacy_entry(
+        self, fingerprint: str, entry: CachedCompilation, legacy_path: Path
+    ) -> Path:
+        """Rewrite a v2 JSON entry as a ``.sched`` file; returns the new path."""
+        path = self._disk_path(fingerprint)
+        self._write_entry_file(path, entry)
         try:
-            data = json.loads(path.read_text())
-        except json.JSONDecodeError as exc:
-            raise ReproError(f"corrupt cache entry {path}: {exc}") from exc
-        # An entry written by an older (or newer) library version is a
-        # cache miss, not an error: the caller recompiles and overwrites
-        # it with the current format.
-        if data.get("format_version") != CACHE_FORMAT_VERSION:
-            return None
-        return CachedCompilation.from_dict(data)
+            legacy_path.unlink()
+        except OSError:  # pragma: no cover - file raced away
+            pass
+        with self._lock:
+            self.stats.migrations += 1
+        return path
+
+    def _read_disk_entry(self, path: Path) -> CachedCompilation | None:
+        """Decode one on-disk entry file (either format); ``None`` skips it.
+
+        An entry written by an older (or newer) library version is a
+        cache miss, not an error: the caller recompiles and overwrites it
+        with the current format.  Truncated or undecodable files raise —
+        they signal corruption, not version skew.
+        """
+        started = time.perf_counter()
+        if path.suffix == ".sched":
+            raw = path.read_bytes()
+            if len(raw) > len(ENTRY_MAGIC) and raw[: len(ENTRY_MAGIC)] == ENTRY_MAGIC:
+                if raw[len(ENTRY_MAGIC)] != CACHE_FORMAT_VERSION:
+                    return None
+            try:
+                entry = CachedCompilation.from_bytes(raw)
+            except ReproError as exc:
+                raise ReproError(f"corrupt cache entry {path}: {exc}") from exc
+        else:
+            try:
+                data = json.loads(path.read_text())
+            except json.JSONDecodeError as exc:
+                raise ReproError(f"corrupt cache entry {path}: {exc}") from exc
+            if data.get("format_version") not in CACHE_COMPAT_VERSIONS:
+                return None
+            entry = CachedCompilation.from_dict(data)
+        histogram = self._decode_histogram
+        if histogram is not None:
+            histogram.observe(time.perf_counter() - started)
+        return entry

@@ -48,6 +48,7 @@ and records stay byte-identical whether runs overlap or not.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import threading
@@ -63,16 +64,19 @@ from repro.runtime.jobs import CompileJob, compile_job
 
 def _compile_entry(
     item: "tuple[str, CompileJob]",
-) -> "tuple[str, dict[str, Any], int]":
+) -> "tuple[str, bytes, int]":
     """Worker function: compile one job and return plain data.
 
     Must stay a module-level function so it pickles under every
-    multiprocessing start method.  The compiling process id travels with
-    the result so warm-pool reuse is observable from the parent.
+    multiprocessing start method.  The entry crosses the process
+    boundary in its binary form — the same bytes later written to the
+    disk cache — so a pooled compile pays for serialisation exactly
+    once.  The compiling process id travels with the result so warm-pool
+    reuse is observable from the parent.
     """
     fingerprint, job = item
     result = compile_job(job)
-    return fingerprint, CachedCompilation.from_result(result).to_dict(), os.getpid()
+    return fingerprint, CachedCompilation.from_result(result).to_bytes(), os.getpid()
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -119,6 +123,19 @@ class JobOutcome:
         row["from_cache"] = self.from_cache
         row["pass_timings"] = [dict(t) for t in self.pass_timings]
         return row
+
+    def encoded_record(self) -> bytes:
+        """The record as canonical JSON bytes (sorted keys), cached.
+
+        Encoded lazily once and memoised on the (frozen) instance, so
+        the service can splice the same bytes into every stream that
+        replays this outcome without re-serialising the record.
+        """
+        cached = self.__dict__.get("_encoded_record")
+        if cached is None:
+            cached = json.dumps(self.record, sort_keys=True).encode("utf-8")
+            object.__setattr__(self, "_encoded_record", cached)
+        return cached
 
 
 @dataclass
@@ -354,7 +371,7 @@ class BatchCompiler:
 
             _drain()  # jobs fully served by the cache stream before any compile
             for fingerprint, entry_data, pid in self._iter_compiled(pending):
-                entry = CachedCompilation.from_dict(entry_data)
+                entry = CachedCompilation.from_bytes(entry_data)
                 _store_compiled(fingerprint, entry)
                 compilations += 1
                 worker_pids.add(pid)
@@ -375,7 +392,7 @@ class BatchCompiler:
                     # ourselves rather than lose the batch.
                     run_stats.misses += 1
                     _, entry_data, pid = _compile_entry((fingerprint, job))
-                    _store_compiled(fingerprint, CachedCompilation.from_dict(entry_data))
+                    _store_compiled(fingerprint, CachedCompilation.from_bytes(entry_data))
                     compilations += 1
                     worker_pids.add(pid)
                 _drain()
@@ -475,7 +492,7 @@ class BatchCompiler:
 
     def _iter_compiled(
         self, pending: "dict[str, CompileJob]"
-    ) -> "Iterator[tuple[str, dict[str, Any], int]]":
+    ) -> "Iterator[tuple[str, bytes, int]]":
         """Compile pending items, yielding each as soon as it completes."""
         items = list(pending.items())
         if not items:

@@ -3,6 +3,7 @@
 from repro.schedule.operations import (
     GateOperation,
     OperationKind,
+    OperationSlab,
     ScheduledOperation,
     ShuttleOperation,
     SpaceShiftOperation,
@@ -12,8 +13,10 @@ from repro.schedule.schedule import Schedule
 from repro.schedule.serialize import (
     device_from_dict,
     device_to_dict,
+    schedule_from_bytes,
     schedule_from_dict,
     schedule_from_json,
+    schedule_to_bytes,
     schedule_to_dict,
     schedule_to_json,
 )
@@ -26,6 +29,7 @@ from repro.schedule.verify import (
 __all__ = [
     "GateOperation",
     "OperationKind",
+    "OperationSlab",
     "Schedule",
     "ScheduleVerificationError",
     "ScheduledOperation",
@@ -35,8 +39,10 @@ __all__ = [
     "VerificationReport",
     "device_from_dict",
     "device_to_dict",
+    "schedule_from_bytes",
     "schedule_from_dict",
     "schedule_from_json",
+    "schedule_to_bytes",
     "schedule_to_dict",
     "schedule_to_json",
     "verify_schedule",

@@ -16,6 +16,8 @@ are immutable by convention (never mutate a record after creation).
 
 from __future__ import annotations
 
+from array import array
+from collections import Counter
 from enum import Enum
 
 from repro.circuit.gate import Gate
@@ -30,6 +32,29 @@ class OperationKind(str, Enum):
     SWAP = "swap"
     SHUTTLE = "shuttle"
     SPACE_SHIFT = "space_shift"
+
+
+#: Stable one-byte codes for the operation kinds.  They order the
+#: columnar slab sections and appear verbatim in the binary schedule
+#: encoding (:mod:`repro.schedule.serialize`), so they must never be
+#: renumbered — append new kinds at the end instead.
+KIND_CODE_GATE_1Q = 0
+KIND_CODE_GATE_2Q = 1
+KIND_CODE_SWAP = 2
+KIND_CODE_SHUTTLE = 3
+KIND_CODE_SPACE_SHIFT = 4
+
+KIND_BY_CODE: "tuple[OperationKind, ...]" = (
+    OperationKind.GATE_1Q,
+    OperationKind.GATE_2Q,
+    OperationKind.SWAP,
+    OperationKind.SHUTTLE,
+    OperationKind.SPACE_SHIFT,
+)
+
+CODE_BY_KIND: "dict[OperationKind, int]" = {
+    kind: code for code, kind in enumerate(KIND_BY_CODE)
+}
 
 
 class ScheduledOperation:
@@ -128,6 +153,20 @@ class SwapOperation(ScheduledOperation):
         self.chain_length = chain_length
         self.ion_separation = ion_separation
 
+    @classmethod
+    def unchecked(
+        cls, trap: int, qubit_a: int, qubit_b: int, chain_length: int, ion_separation: int
+    ) -> "SwapOperation":
+        """Construct without field validation (trusted bulk producers)."""
+        self = object.__new__(cls)
+        self.kind = OperationKind.SWAP
+        self.trap = trap
+        self.qubit_a = qubit_a
+        self.qubit_b = qubit_b
+        self.chain_length = chain_length
+        self.ion_separation = ion_separation
+        return self
+
     def _fields(self) -> tuple:
         return (self.trap, self.qubit_a, self.qubit_b, self.chain_length, self.ion_separation)
 
@@ -188,6 +227,29 @@ class ShuttleOperation(ScheduledOperation):
         self.source_chain_length = source_chain_length
         self.target_chain_length = target_chain_length
 
+    @classmethod
+    def unchecked(
+        cls,
+        qubit: int,
+        source_trap: int,
+        target_trap: int,
+        segments: int,
+        junctions: int,
+        source_chain_length: int,
+        target_chain_length: int,
+    ) -> "ShuttleOperation":
+        """Construct without field validation (trusted bulk producers)."""
+        self = object.__new__(cls)
+        self.kind = OperationKind.SHUTTLE
+        self.qubit = qubit
+        self.source_trap = source_trap
+        self.target_trap = target_trap
+        self.segments = segments
+        self.junctions = junctions
+        self.source_chain_length = source_chain_length
+        self.target_chain_length = target_chain_length
+        return self
+
     def _fields(self) -> tuple:
         return (
             self.qubit,
@@ -221,6 +283,19 @@ class SpaceShiftOperation(ScheduledOperation):
         self.from_position = from_position
         self.to_position = to_position
 
+    @classmethod
+    def unchecked(
+        cls, trap: int, qubit: int, from_position: int, to_position: int
+    ) -> "SpaceShiftOperation":
+        """Construct without field validation (trusted bulk producers)."""
+        self = object.__new__(cls)
+        self.kind = OperationKind.SPACE_SHIFT
+        self.trap = trap
+        self.qubit = qubit
+        self.from_position = from_position
+        self.to_position = to_position
+        return self
+
     def _fields(self) -> tuple:
         return (self.trap, self.qubit, self.from_position, self.to_position)
 
@@ -228,3 +303,260 @@ class SpaceShiftOperation(ScheduledOperation):
     def distance(self) -> int:
         """Number of slots the ion moves by."""
         return abs(self.to_position - self.from_position)
+
+
+class OperationSlab:
+    """Columnar storage for an operation log: one array per field.
+
+    The slab is the single-pass materialisation target of the flat
+    scheduler backend and the direct input/output of the binary schedule
+    codec: the winning-candidate path appends plain integers into these
+    arrays, and the encoder serialises the arrays wholesale — no
+    per-operation record objects exist on that path at all.  ``kinds``
+    holds one :data:`KIND_CODE_* <KIND_CODE_GATE_1Q>` byte per operation
+    in schedule order; each kind's fields live in dedicated typed arrays
+    appended in the same order, so walking ``kinds`` with per-kind
+    cursors reconstructs the interleaved log exactly.
+
+    :meth:`materialize` builds the classic :class:`ScheduledOperation`
+    objects on demand (through the validation-free constructors — slab
+    producers assert the invariants), which is what keeps slab-backed
+    and object-backed schedules field-for-field identical.
+    """
+
+    __slots__ = (
+        "kinds",
+        "gates",
+        "gate_traps",
+        "gate_chain_lengths",
+        "gate_ion_separations",
+        "swap_traps",
+        "swap_qubits_a",
+        "swap_qubits_b",
+        "swap_chain_lengths",
+        "swap_ion_separations",
+        "shuttle_qubits",
+        "shuttle_source_traps",
+        "shuttle_target_traps",
+        "shuttle_segments",
+        "shuttle_junctions",
+        "shuttle_source_chain_lengths",
+        "shuttle_target_chain_lengths",
+        "shift_traps",
+        "shift_qubits",
+        "shift_from_positions",
+        "shift_to_positions",
+    )
+
+    def __init__(self) -> None:
+        self.kinds = bytearray()
+        self.gates: list[Gate] = []
+        self.gate_traps = array("i")
+        self.gate_chain_lengths = array("i")
+        self.gate_ion_separations = array("i")
+        self.swap_traps = array("i")
+        self.swap_qubits_a = array("i")
+        self.swap_qubits_b = array("i")
+        self.swap_chain_lengths = array("i")
+        self.swap_ion_separations = array("i")
+        self.shuttle_qubits = array("i")
+        self.shuttle_source_traps = array("i")
+        self.shuttle_target_traps = array("i")
+        self.shuttle_segments = array("i")
+        self.shuttle_junctions = array("i")
+        self.shuttle_source_chain_lengths = array("i")
+        self.shuttle_target_chain_lengths = array("i")
+        self.shift_traps = array("i")
+        self.shift_qubits = array("i")
+        self.shift_from_positions = array("i")
+        self.shift_to_positions = array("i")
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    # ------------------------------------------------------------------
+    # typed appends (the scheduler hot path)
+    # ------------------------------------------------------------------
+    def append_gate(
+        self, code: int, gate: Gate, trap: int, chain_length: int, ion_separation: int
+    ) -> None:
+        """Append a program gate (``code`` is GATE_1Q or GATE_2Q)."""
+        self.kinds.append(code)
+        self.gates.append(gate)
+        self.gate_traps.append(trap)
+        self.gate_chain_lengths.append(chain_length)
+        self.gate_ion_separations.append(ion_separation)
+
+    def append_swap(
+        self, trap: int, qubit_a: int, qubit_b: int, chain_length: int, ion_separation: int
+    ) -> None:
+        self.kinds.append(KIND_CODE_SWAP)
+        self.swap_traps.append(trap)
+        self.swap_qubits_a.append(qubit_a)
+        self.swap_qubits_b.append(qubit_b)
+        self.swap_chain_lengths.append(chain_length)
+        self.swap_ion_separations.append(ion_separation)
+
+    def append_shuttle(
+        self,
+        qubit: int,
+        source_trap: int,
+        target_trap: int,
+        segments: int,
+        junctions: int,
+        source_chain_length: int,
+        target_chain_length: int,
+    ) -> None:
+        self.kinds.append(KIND_CODE_SHUTTLE)
+        self.shuttle_qubits.append(qubit)
+        self.shuttle_source_traps.append(source_trap)
+        self.shuttle_target_traps.append(target_trap)
+        self.shuttle_segments.append(segments)
+        self.shuttle_junctions.append(junctions)
+        self.shuttle_source_chain_lengths.append(source_chain_length)
+        self.shuttle_target_chain_lengths.append(target_chain_length)
+
+    def append_space_shift(
+        self, trap: int, qubit: int, from_position: int, to_position: int
+    ) -> None:
+        self.kinds.append(KIND_CODE_SPACE_SHIFT)
+        self.shift_traps.append(trap)
+        self.shift_qubits.append(qubit)
+        self.shift_from_positions.append(from_position)
+        self.shift_to_positions.append(to_position)
+
+    # ------------------------------------------------------------------
+    # record-object interoperability
+    # ------------------------------------------------------------------
+    def append_operation(self, operation: ScheduledOperation) -> None:
+        """Decompose one record object into the columns (cold path)."""
+        if isinstance(operation, GateOperation):
+            code = (
+                KIND_CODE_GATE_2Q
+                if operation.kind is OperationKind.GATE_2Q
+                else KIND_CODE_GATE_1Q
+            )
+            self.append_gate(
+                code,
+                operation.gate,
+                operation.trap,
+                operation.chain_length,
+                operation.ion_separation,
+            )
+        elif isinstance(operation, SwapOperation):
+            self.append_swap(
+                operation.trap,
+                operation.qubit_a,
+                operation.qubit_b,
+                operation.chain_length,
+                operation.ion_separation,
+            )
+        elif isinstance(operation, ShuttleOperation):
+            self.append_shuttle(
+                operation.qubit,
+                operation.source_trap,
+                operation.target_trap,
+                operation.segments,
+                operation.junctions,
+                operation.source_chain_length,
+                operation.target_chain_length,
+            )
+        elif isinstance(operation, SpaceShiftOperation):
+            self.append_space_shift(
+                operation.trap,
+                operation.qubit,
+                operation.from_position,
+                operation.to_position,
+            )
+        else:
+            raise SchedulingError(
+                f"cannot store operation type {type(operation).__name__} in a slab"
+            )
+
+    @classmethod
+    def from_operations(cls, operations: "list[ScheduledOperation] | tuple") -> "OperationSlab":
+        """Columnarise an existing operation log."""
+        slab = cls()
+        for operation in operations:
+            slab.append_operation(operation)
+        return slab
+
+    def materialize(self) -> "list[ScheduledOperation]":
+        """Rebuild the interleaved record-object log from the columns."""
+        ops: "list[ScheduledOperation]" = []
+        append = ops.append
+        gi = si = hi = pi = 0
+        kind_1q = OperationKind.GATE_1Q
+        kind_2q = OperationKind.GATE_2Q
+        gate_op = GateOperation.unchecked
+        swap_op = SwapOperation.unchecked
+        shuttle_op = ShuttleOperation.unchecked
+        shift_op = SpaceShiftOperation.unchecked
+        for code in self.kinds:
+            if code <= KIND_CODE_GATE_2Q:
+                append(
+                    gate_op(
+                        kind_2q if code == KIND_CODE_GATE_2Q else kind_1q,
+                        self.gates[gi],
+                        self.gate_traps[gi],
+                        self.gate_chain_lengths[gi],
+                        self.gate_ion_separations[gi],
+                    )
+                )
+                gi += 1
+            elif code == KIND_CODE_SWAP:
+                append(
+                    swap_op(
+                        self.swap_traps[si],
+                        self.swap_qubits_a[si],
+                        self.swap_qubits_b[si],
+                        self.swap_chain_lengths[si],
+                        self.swap_ion_separations[si],
+                    )
+                )
+                si += 1
+            elif code == KIND_CODE_SHUTTLE:
+                append(
+                    shuttle_op(
+                        self.shuttle_qubits[hi],
+                        self.shuttle_source_traps[hi],
+                        self.shuttle_target_traps[hi],
+                        self.shuttle_segments[hi],
+                        self.shuttle_junctions[hi],
+                        self.shuttle_source_chain_lengths[hi],
+                        self.shuttle_target_chain_lengths[hi],
+                    )
+                )
+                hi += 1
+            else:
+                append(
+                    shift_op(
+                        self.shift_traps[pi],
+                        self.shift_qubits[pi],
+                        self.shift_from_positions[pi],
+                        self.shift_to_positions[pi],
+                    )
+                )
+                pi += 1
+        return ops
+
+    # ------------------------------------------------------------------
+    # summary counters without materialisation
+    # ------------------------------------------------------------------
+    def counts(self) -> "Counter[OperationKind]":
+        """Per-kind operation counts straight off the kinds column."""
+        counts: "Counter[OperationKind]" = Counter()
+        kinds = self.kinds
+        for code, kind in enumerate(KIND_BY_CODE):
+            n = kinds.count(code)
+            if n:
+                counts[kind] = n
+        return counts
+
+    def junction_total(self) -> int:
+        """Total junctions crossed by all shuttles."""
+        return sum(self.shuttle_junctions)
+
+    def segment_total(self) -> int:
+        """Total straight segments traversed by all shuttles."""
+        return sum(self.shuttle_segments)

@@ -16,6 +16,7 @@ from repro.hardware.device import QCCDDevice
 from repro.schedule.operations import (
     GateOperation,
     OperationKind,
+    OperationSlab,
     ScheduledOperation,
     ShuttleOperation,
     SpaceShiftOperation,
@@ -24,15 +25,73 @@ from repro.schedule.operations import (
 
 
 class Schedule:
-    """Ordered log of scheduled operations for one compiled circuit."""
+    """Ordered log of scheduled operations for one compiled circuit.
 
-    __slots__ = ("device", "circuit_name", "_operations", "_cached_counts")
+    The log has two storage modes.  The classic mode keeps a list of
+    :class:`ScheduledOperation` records.  **Slab mode** (entered through
+    :meth:`use_slab` or :meth:`from_slab`) keeps an
+    :class:`~repro.schedule.operations.OperationSlab` of columnar arrays
+    instead — the flat scheduler backend appends plain integers into the
+    slab and the binary codec serialises it wholesale, so no per-op
+    record objects exist until somebody iterates the schedule.  Record
+    objects are then materialised lazily and cached; the two modes are
+    observationally identical.
+    """
+
+    __slots__ = ("device", "circuit_name", "_operations", "_cached_counts", "_slab")
 
     def __init__(self, device: QCCDDevice, circuit_name: str = "circuit") -> None:
         self.device = device
         self.circuit_name = circuit_name
         self._operations: list[ScheduledOperation] = []
         self._cached_counts: "Counter[OperationKind] | None" = None
+        self._slab: OperationSlab | None = None
+
+    # ------------------------------------------------------------------
+    # slab mode
+    # ------------------------------------------------------------------
+    def use_slab(self) -> OperationSlab:
+        """Switch an empty schedule to columnar storage; returns the slab.
+
+        The flat scheduler backend calls this once per compile and then
+        appends scalars straight into the returned slab.
+        """
+        if self._slab is None:
+            if self._operations:
+                raise SchedulingError("cannot attach a slab to a non-empty schedule")
+            self._slab = OperationSlab()
+        return self._slab
+
+    @classmethod
+    def from_slab(
+        cls, device: QCCDDevice, circuit_name: str, slab: OperationSlab
+    ) -> "Schedule":
+        """Wrap an existing slab (the binary decoder's constructor)."""
+        schedule = cls(device, circuit_name)
+        schedule._slab = slab
+        return schedule
+
+    @property
+    def slab(self) -> OperationSlab | None:
+        """The columnar backing store, or ``None`` in classic mode."""
+        return self._slab
+
+    def to_slab(self) -> OperationSlab:
+        """This schedule's columns — built on the fly in classic mode."""
+        if self._slab is not None:
+            return self._slab
+        return OperationSlab.from_operations(self._operations)
+
+    def _materialized(self) -> list[ScheduledOperation]:
+        """The record-object log (lazily rebuilt from the slab)."""
+        slab = self._slab
+        if slab is None:
+            return self._operations
+        ops = self._operations
+        if len(ops) != len(slab):
+            ops = slab.materialize()
+            self._operations = ops
+        return ops
 
     # ------------------------------------------------------------------
     # construction
@@ -41,7 +100,10 @@ class Schedule:
         """Append one operation to the log."""
         if not isinstance(operation, ScheduledOperation):
             raise SchedulingError(f"expected a ScheduledOperation, got {type(operation).__name__}")
-        self._operations.append(operation)
+        if self._slab is not None:
+            self._slab.append_operation(operation)
+        else:
+            self._operations.append(operation)
         self._cached_counts = None
 
     @property
@@ -50,8 +112,12 @@ class Schedule:
 
         The compiler reads the counters once per compile but appends
         thousands of operations, so the count is not maintained per
-        append.
+        append.  Slab mode recounts from the kinds column on every read
+        (a C-speed byte count, and immune to appends that bypass this
+        object by writing into the slab directly).
         """
+        if self._slab is not None:
+            return self._slab.counts()
         counts = self._cached_counts
         if counts is None:
             counts = Counter(op.kind for op in self._operations)
@@ -70,9 +136,12 @@ class Schedule:
         caller promises to append only :class:`ScheduledOperation`
         instances.  Counts are invalidated once here, which stays
         correct for every later append through the returned bound
-        method.
+        method.  In slab mode the returned callable decomposes each
+        record into the columns instead.
         """
         self._cached_counts = None
+        if self._slab is not None:
+            return self._slab.append_operation
         return self._operations.append
 
     # ------------------------------------------------------------------
@@ -81,20 +150,22 @@ class Schedule:
     @property
     def operations(self) -> tuple[ScheduledOperation, ...]:
         """The full operation log in execution order."""
-        return tuple(self._operations)
+        return tuple(self._materialized())
 
     def __len__(self) -> int:
+        if self._slab is not None:
+            return len(self._slab)
         return len(self._operations)
 
     def __iter__(self) -> Iterator[ScheduledOperation]:
-        return iter(self._operations)
+        return iter(self._materialized())
 
     def __getitem__(self, index: int) -> ScheduledOperation:
-        return self._operations[index]
+        return self._materialized()[index]
 
     def operations_of_kind(self, kind: OperationKind) -> list[ScheduledOperation]:
         """All operations of one kind, in order."""
-        return [op for op in self._operations if op.kind == kind]
+        return [op for op in self._materialized() if op.kind == kind]
 
     # ------------------------------------------------------------------
     # summary counters (the paper's primary metrics)
@@ -127,6 +198,8 @@ class Schedule:
     @property
     def junction_crossings(self) -> int:
         """Total junctions crossed by all shuttles."""
+        if self._slab is not None:
+            return self._slab.junction_total()
         return sum(
             op.junctions for op in self._operations if isinstance(op, ShuttleOperation)
         )
@@ -134,6 +207,8 @@ class Schedule:
     @property
     def shuttle_segments(self) -> int:
         """Total straight segments traversed by all shuttles."""
+        if self._slab is not None:
+            return self._slab.segment_total()
         return sum(
             op.segments for op in self._operations if isinstance(op, ShuttleOperation)
         )
@@ -157,7 +232,7 @@ class Schedule:
         """The program two-qubit gates in execution order."""
         return [
             op
-            for op in self._operations
+            for op in self._materialized()
             if isinstance(op, GateOperation) and op.kind == OperationKind.GATE_2Q
         ]
 
@@ -181,6 +256,7 @@ class Schedule:
 __all__ = [
     "GateOperation",
     "OperationKind",
+    "OperationSlab",
     "Schedule",
     "ScheduledOperation",
     "ShuttleOperation",

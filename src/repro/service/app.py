@@ -28,6 +28,7 @@ between compilations.
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 from pathlib import Path
@@ -430,6 +431,40 @@ class CompilationService:
         if job.error is not None:
             end["error"] = dict(job.error)
         yield end
+
+    def stream_encoded(
+        self, job_id: str, timeout: float | None = None
+    ) -> Iterator[bytes]:
+        """The result stream as ready-to-write JSON line bytes.
+
+        The fast-path twin of :meth:`stream_lines`: outcome lines are the
+        bytes :meth:`ServiceJob.add_outcome` encoded when each outcome
+        landed, passed through verbatim, so replaying a finished job's
+        stream serialises nothing.  Only the terminal ``end`` line is
+        encoded per call (it depends on the job's status at stream time).
+        Every line is byte-identical to ``json.dumps(line, sort_keys=True)``
+        of the corresponding :meth:`stream_lines` object.  Unknown ids
+        raise :class:`KeyError` eagerly, as :meth:`stream_lines` does.
+        """
+        job = self.store.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        return self._stream_encoded(job, timeout)
+
+    def _stream_encoded(
+        self, job: ServiceJob, timeout: float | None
+    ) -> Iterator[bytes]:
+        yield from job.iter_encoded_lines(timeout=timeout)
+        end: dict[str, object] = {
+            "type": "end",
+            "job_id": job.job_id,
+            "status": job.status,
+        }
+        if job.summary is not None:
+            end["summary"] = dict(job.summary)
+        if job.error is not None:
+            end["error"] = dict(job.error)
+        yield json.dumps(end, sort_keys=True).encode("utf-8")
 
     def schedule_payload(self, compile_fingerprint: str) -> dict[str, object] | None:
         """The cached compilation stored under a compile fingerprint.

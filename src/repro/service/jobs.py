@@ -24,6 +24,7 @@ their in-memory outcome buffers are gone.
 from __future__ import annotations
 
 import hashlib
+import json
 import threading
 import time
 from typing import Iterator, Sequence
@@ -71,6 +72,10 @@ class ServiceJob:
         self.status = "queued"
         self.outcomes: list[JobOutcome] = []
         self.outcome_times: list[float] = []
+        # Pre-encoded ndjson "outcome" lines, one per outcome, built once
+        # when the outcome lands.  Every client replaying this job's
+        # stream gets these bytes verbatim — no per-reader JSON encode.
+        self.encoded_lines: list[bytes] = []
         self.error: "dict[str, str] | None" = None
         self.summary: "dict[str, object] | None" = None
         self.created_at = time.time()
@@ -122,10 +127,40 @@ class ServiceJob:
     # executor-side transitions
     # ------------------------------------------------------------------
     def add_outcome(self, outcome: JobOutcome) -> None:
-        """Record one completed outcome (the engine's ``on_outcome`` hook)."""
+        """Record one completed outcome (the engine's ``on_outcome`` hook).
+
+        The outcome's streamed ndjson line is encoded here, exactly once:
+        the record bytes come from :meth:`JobOutcome.encoded_record` (the
+        engine side encodes each record a single time no matter how many
+        jobs share it) and are spliced into the sorted-key envelope, so
+        the stored line is byte-identical to JSON-encoding the equivalent
+        ``{"type": "outcome", ...}`` dict with sorted keys.
+        """
         with self._cond:
+            index = len(self.outcomes)
             self.outcomes.append(outcome)
             self.outcome_times.append(time.monotonic())
+            # Sorted key order of the full line dict is: compile_fingerprint,
+            # compile_time_s, fingerprint, from_cache, index, job_id,
+            # record, type — so the record bytes and the constant type tail
+            # splice onto the head's closing brace.
+            head = json.dumps(
+                {
+                    "compile_fingerprint": outcome.compile_fingerprint,
+                    "compile_time_s": outcome.compile_time_s,
+                    "fingerprint": outcome.fingerprint,
+                    "from_cache": outcome.from_cache,
+                    "index": index,
+                    "job_id": self.job_id,
+                },
+                sort_keys=True,
+            ).encode("utf-8")
+            self.encoded_lines.append(
+                head[:-1]
+                + b', "record": '
+                + outcome.encoded_record()
+                + b', "type": "outcome"}'
+            )
             self._cond.notify_all()
 
     def try_start(self) -> bool:
@@ -221,6 +256,34 @@ class ServiceJob:
                 outcome = self.outcomes[index]
                 index += 1
             yield outcome
+
+    def iter_encoded_lines(self, timeout: float | None = None) -> Iterator[bytes]:
+        """Yield the pre-encoded outcome lines, blocking like
+        :meth:`iter_outcomes`.
+
+        These are the bytes :meth:`add_outcome` built when each outcome
+        landed — the streaming transport writes them to the wire without
+        any re-serialisation.  ``timeout`` bounds the total wait.
+        """
+        index = 0
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._cond:
+                while len(self.encoded_lines) <= index and not self.finished:
+                    if deadline is None:
+                        self._cond.wait()
+                    else:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or not self._cond.wait(remaining):
+                            if len(self.encoded_lines) <= index and not self.finished:
+                                raise TimeoutError(
+                                    f"timed out streaming job {self.job_id!r}"
+                                )
+                if len(self.encoded_lines) <= index:
+                    return
+                line = self.encoded_lines[index]
+                index += 1
+            yield line
 
     def spec_rows(self) -> list[dict[str, object]]:
         """Human-readable job specs (journaled rows for replayed jobs)."""

@@ -326,7 +326,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                     400, "bad_query", "timeout must be a number of seconds"
                 )
         try:
-            lines = self.service.stream_lines(job_id, timeout=timeout)
+            # The fast path: each line arrives pre-encoded (the service
+            # serialised every outcome record exactly once, when it
+            # landed), so streaming — and re-streaming — writes cached
+            # bytes straight to the wire.
+            lines = self.service.stream_encoded(job_id, timeout=timeout)
         except KeyError:
             return self._send_error_json(404, "unknown_job", f"no job {job_id!r}")
         self.send_response(200)
@@ -336,7 +340,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         try:
             for line in lines:
-                data = _encode(line) + b"\n"
+                data = line + b"\n"
                 self.wfile.write(b"%X\r\n%s\r\n" % (len(data), data))
                 self.wfile.flush()
             self.wfile.write(b"0\r\n\r\n")

@@ -55,6 +55,12 @@ class TestRequestPlans:
         high = sum(1 for r in plan if r.priority == 5)
         assert 0 < high < 25  # ~20% of 50, not degenerate either way
 
+    def test_results_plan_is_a_small_distinct_pool(self):
+        plan = generate_requests("results", 30, seed=0)
+        assert len(plan) == 4  # the warm-up pool, not the timed fetches
+        assert len({r.body for r in plan}) == 4
+        assert len(generate_requests("results", 2, seed=0)) == 2
+
     def test_manifests_are_valid_single_job_documents(self):
         for request in generate_requests("burst", 5, seed=1):
             document = json.loads(request.body)
@@ -151,6 +157,24 @@ class TestEndToEnd:
             method="POST", route="/v1/jobs", le="+Inf"
         )
         assert post_count >= self.REQUESTS
+
+    def test_results_run_refetches_finished_streams(self, live_service):
+        result = run_profile(
+            live_service.url,
+            "results",
+            requests=self.REQUESTS,
+            seed=5,
+            concurrency=3,
+        )
+        assert result.ok, [r.error for r in result.records if r.error]
+        assert len(result.records) == self.REQUESTS
+        # Every timed request replays a finished job from the warm-up
+        # pool: no new submissions, complete streams every time.
+        assert all(r.resubmitted for r in result.records)
+        assert all(r.submit_s == 0.0 for r in result.records)
+        assert all(r.outcomes == 1 for r in result.records)
+        assert len({r.job_id for r in result.records}) <= 4
+        assert result.as_dict()["statuses"] == {"done": self.REQUESTS}
 
     def test_duplicates_run_exercises_idempotent_resubmission(self, live_service):
         result = run_profile(

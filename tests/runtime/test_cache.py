@@ -31,6 +31,7 @@ class TestMemoryTier:
             "evictions": 0,
             "disk_hits": 0,
             "disk_evictions": 0,
+            "migrations": 0,
         }
 
     def test_lru_evicts_least_recently_used(self, entry):
@@ -68,10 +69,32 @@ class TestDiskTier:
         assert fresh.stats.hits == 2
         assert fresh.stats.disk_hits == 1  # second hit came from memory
 
-    def test_corrupt_entry_rejected(self, tmp_path):
+    def test_corrupt_legacy_entry_rejected(self, tmp_path):
         (tmp_path / "bad.json").write_text("{not json")
         with pytest.raises(ReproError):
             ScheduleCache(directory=tmp_path).get("bad")
+
+    def test_corrupt_binary_entry_rejected(self, tmp_path):
+        (tmp_path / "bad.sched").write_bytes(b"not a cache entry")
+        with pytest.raises(ReproError):
+            ScheduleCache(directory=tmp_path).get("bad")
+
+    def test_truncated_binary_entry_rejected(self, tmp_path, entry):
+        cache = ScheduleCache(directory=tmp_path)
+        cache.put("fp", entry)
+        path = tmp_path / "fp.sched"
+        path.write_bytes(path.read_bytes()[:40])
+        with pytest.raises(ReproError):
+            ScheduleCache(directory=tmp_path).get("fp")
+
+    def test_future_binary_version_is_a_miss(self, tmp_path, entry):
+        cache = ScheduleCache(directory=tmp_path)
+        cache.put("fp", entry)
+        path = tmp_path / "fp.sched"
+        raw = bytearray(path.read_bytes())
+        raw[4] = CACHE_FORMAT_VERSION + 1  # version byte follows the magic
+        path.write_bytes(bytes(raw))
+        assert ScheduleCache(directory=tmp_path).get("fp") is None
 
     def test_clear_disk(self, tmp_path, entry):
         cache = ScheduleCache(directory=tmp_path)
@@ -86,7 +109,7 @@ class TestDiskBudget:
     def _entry_bytes(self, tmp_path, entry) -> int:
         probe = ScheduleCache(directory=tmp_path / "probe")
         probe.put("probe", entry)
-        return (tmp_path / "probe" / "probe.json").stat().st_size
+        return (tmp_path / "probe" / "probe.sched").stat().st_size
 
     def test_budget_must_be_positive(self, tmp_path):
         with pytest.raises(ReproError):
@@ -96,7 +119,7 @@ class TestDiskBudget:
         cache = ScheduleCache(directory=tmp_path)
         for i in range(6):
             cache.put(f"fp{i}", entry)
-        assert len(list(tmp_path.glob("*.json"))) == 6
+        assert len(list(tmp_path.glob("*.sched"))) == 6
         assert cache.stats.disk_evictions == 0
 
     def test_oldest_entries_evicted_beyond_budget(self, tmp_path, entry):
@@ -104,8 +127,8 @@ class TestDiskBudget:
         cache = ScheduleCache(directory=tmp_path, max_disk_bytes=3 * size)
         for i in range(5):
             cache.put(f"fp{i}", entry)
-            os.utime(tmp_path / f"fp{i}.json", (1_000_000 + i, 1_000_000 + i))
-        kept = sorted(p.stem for p in tmp_path.glob("*.json"))
+            os.utime(tmp_path / f"fp{i}.sched", (1_000_000 + i, 1_000_000 + i))
+        kept = sorted(p.stem for p in tmp_path.glob("*.sched"))
         assert kept == ["fp2", "fp3", "fp4"]
         assert cache.stats.disk_evictions == 2
 
@@ -113,7 +136,7 @@ class TestDiskBudget:
         cache = ScheduleCache(directory=tmp_path, max_disk_bytes=1)
         cache.put("first", entry)
         cache.put("second", entry)
-        kept = [p.stem for p in tmp_path.glob("*.json")]
+        kept = [p.stem for p in tmp_path.glob("*.sched")]
         assert kept == ["second"]
 
     def test_disk_read_refreshes_recency(self, tmp_path, entry):
@@ -121,14 +144,14 @@ class TestDiskBudget:
         cache = ScheduleCache(directory=tmp_path, max_disk_bytes=2 * size)
         cache.put("old", entry)
         cache.put("mid", entry)
-        os.utime(tmp_path / "old.json", (1_000_000, 1_000_000))
-        os.utime(tmp_path / "mid.json", (1_000_001, 1_000_001))
+        os.utime(tmp_path / "old.sched", (1_000_000, 1_000_000))
+        os.utime(tmp_path / "mid.sched", (1_000_001, 1_000_001))
         # A disk hit on the oldest entry makes it the most recent...
         reader = ScheduleCache(directory=tmp_path, max_disk_bytes=2 * size)
         assert reader.get("old") is not None
         # ...so the next store evicts "mid" instead.
         reader.put("new", entry)
-        kept = sorted(p.stem for p in tmp_path.glob("*.json"))
+        kept = sorted(p.stem for p in tmp_path.glob("*.sched"))
         assert "old" in kept and "new" in kept and "mid" not in kept
 
     def test_eviction_survives_cache_restarts(self, tmp_path, entry):
@@ -136,13 +159,19 @@ class TestDiskBudget:
         for i in range(6):
             cache = ScheduleCache(directory=tmp_path, max_disk_bytes=2 * size)
             cache.put(f"fp{i}", entry)
-        assert len(list(tmp_path.glob("*.json"))) <= 2
+        assert len(list(tmp_path.glob("*.sched"))) <= 2
 
 
 class TestEntryFormat:
     def test_dict_round_trip(self, entry):
         rebuilt = CachedCompilation.from_dict(entry.to_dict())
         assert rebuilt == entry
+
+    def test_bytes_round_trip(self, entry):
+        blob = entry.to_bytes()
+        rebuilt = CachedCompilation.from_bytes(blob)
+        assert rebuilt == entry
+        assert rebuilt.to_bytes() == blob  # deterministic re-encode
 
     def test_version_mismatch_rejected(self, entry):
         data = entry.to_dict()
@@ -156,9 +185,93 @@ class TestEntryFormat:
         with pytest.raises(ReproError):
             CachedCompilation.from_dict(data)
 
-    def test_disk_entry_is_plain_json(self, tmp_path, entry):
+    def test_bad_magic_rejected(self, entry):
+        with pytest.raises(ReproError):
+            CachedCompilation.from_bytes(b"XXXX" + entry.to_bytes()[4:])
+
+    def test_disk_entry_is_binary(self, tmp_path, entry):
         cache = ScheduleCache(directory=tmp_path)
         cache.put("fp", entry)
-        data = json.loads((tmp_path / "fp.json").read_text())
-        assert data["format_version"] == CACHE_FORMAT_VERSION
-        assert data["schedule"]["circuit_name"] == "qft_8"
+        raw = (tmp_path / "fp.sched").read_bytes()
+        assert raw.startswith(b"RCEN")
+        assert raw[4] == CACHE_FORMAT_VERSION
+        loaded = CachedCompilation.from_bytes(raw)
+        assert loaded.schedule().circuit_name == "qft_8"
+
+    def test_binary_entry_smaller_than_json(self, entry):
+        json_bytes = len(json.dumps(entry.to_dict(), sort_keys=True))
+        assert len(entry.to_bytes()) * 2 < json_bytes
+
+
+def _write_legacy_entry(directory, fingerprint, entry):
+    """Write a v2-era JSON entry file, as the old library would."""
+    data = entry.to_dict()
+    data["format_version"] = 2
+    (directory / f"{fingerprint}.json").write_text(json.dumps(data, sort_keys=True))
+
+
+class TestLegacyMigration:
+    """Satellite: v2 JSON entries stay readable and migrate on hit."""
+
+    def test_legacy_entry_served_from_disk(self, tmp_path, entry):
+        _write_legacy_entry(tmp_path, "fp", entry)
+        cache = ScheduleCache(directory=tmp_path)
+        loaded, tier = cache.lookup("fp")
+        assert tier == "disk"
+        assert loaded.schedule().count_summary() == entry.schedule().count_summary()
+
+    def test_legacy_hit_rewrites_as_binary(self, tmp_path, entry):
+        _write_legacy_entry(tmp_path, "fp", entry)
+        cache = ScheduleCache(directory=tmp_path)
+        assert cache.get("fp") is not None
+        assert not (tmp_path / "fp.json").exists()
+        assert (tmp_path / "fp.sched").exists()
+        assert cache.stats.migrations == 1
+        # The migrated file round-trips through a fresh cache.
+        fresh = ScheduleCache(directory=tmp_path)
+        loaded = fresh.get("fp")
+        assert loaded is not None
+        assert fresh.stats.migrations == 0  # already binary, nothing to migrate
+
+    def test_put_supersedes_stale_legacy_file(self, tmp_path, entry):
+        _write_legacy_entry(tmp_path, "fp", entry)
+        cache = ScheduleCache(directory=tmp_path)
+        cache.put("fp", entry)
+        assert not (tmp_path / "fp.json").exists()
+        assert (tmp_path / "fp.sched").exists()
+
+    def test_legacy_entries_counted_by_disk_observability(self, tmp_path, entry):
+        _write_legacy_entry(tmp_path, "a", entry)
+        cache = ScheduleCache(directory=tmp_path)
+        cache.put("b", entry)
+        assert cache.disk_entries() == 2
+        assert cache.disk_bytes() > 0
+        assert "a" in cache and "b" in cache
+
+    def test_clear_disk_removes_legacy_entries(self, tmp_path, entry):
+        _write_legacy_entry(tmp_path, "a", entry)
+        cache = ScheduleCache(directory=tmp_path)
+        cache.put("b", entry)
+        cache.clear(disk=True)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_migrated_entry_recency_is_fresh(self, tmp_path, entry):
+        """A migrated entry carries today's mtime, so the LRU sweep keeps it."""
+        probe = ScheduleCache(directory=tmp_path / "probe")
+        probe.put("probe", entry)
+        size = (tmp_path / "probe" / "probe.sched").stat().st_size
+        work = tmp_path / "work"
+        work.mkdir()
+        _write_legacy_entry(work, "old", entry)
+        os.utime(work / "old.json", (1_000_000, 1_000_000))
+        cache = ScheduleCache(directory=work, max_disk_bytes=2 * size)
+        assert cache.get("old") is not None  # hit migrates + refreshes recency
+        cache.put("new", entry)
+        kept = sorted(p.stem for p in work.glob("*.sched"))
+        assert kept == ["new", "old"]
+
+    def test_ancient_format_version_is_a_miss(self, tmp_path, entry):
+        data = entry.to_dict()
+        data["format_version"] = 1
+        (tmp_path / "fp.json").write_text(json.dumps(data))
+        assert ScheduleCache(directory=tmp_path).get("fp") is None

@@ -1,0 +1,233 @@
+"""Unit tests for the columnar binary schedule codec.
+
+Covers exact round-trips for every operation kind (hand-built and
+compiler-produced), a randomized fuzz over mixed-capacity devices, the
+checked-in golden blob that pins the wire format, and the corrupt-input
+error paths.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.circuit.gate import Gate
+from repro.circuit.library import qft_circuit
+from repro.core.compiler import SSyncCompiler
+from repro.exceptions import ReproError
+from repro.hardware.device import QCCDDevice
+from repro.hardware.topologies import grid_device, star_device
+from repro.hardware.trap import Connection, Trap
+from repro.schedule.operations import (
+    GateOperation,
+    ShuttleOperation,
+    SpaceShiftOperation,
+    SwapOperation,
+)
+from repro.schedule.schedule import Schedule
+from repro.schedule.serialize import (
+    SCHEDULE_BINARY_VERSION,
+    SCHEDULE_MAGIC,
+    schedule_from_bytes,
+    schedule_to_bytes,
+    schedule_to_dict,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_schedule.sched"
+
+
+def mixed_capacity_device() -> QCCDDevice:
+    """A small device whose traps have different capacities."""
+    traps = [Trap(0, 4), Trap(1, 2), Trap(2, 6, name="big"), Trap(3, 3)]
+    connections = [
+        Connection(0, 1, junctions=0, segments=1),
+        Connection(1, 2, junctions=1, segments=2),
+        Connection(2, 3, junctions=2, segments=3),
+        Connection(0, 3, junctions=1, segments=4),
+    ]
+    return QCCDDevice(traps, connections, name="mixed-4", junction_weight=1.5)
+
+
+def every_kind_schedule() -> Schedule:
+    """A hand-built schedule containing each operation kind at least once."""
+    schedule = Schedule(mixed_capacity_device(), circuit_name="all-kinds")
+    schedule.append(GateOperation(Gate("rz", (0,), (0.25,)), trap=0, chain_length=3))
+    schedule.append(
+        GateOperation(Gate("cx", (0, 1)), trap=0, chain_length=4, ion_separation=2)
+    )
+    schedule.append(
+        SwapOperation(trap=1, qubit_a=2, qubit_b=3, chain_length=2, ion_separation=1)
+    )
+    schedule.append(
+        ShuttleOperation(
+            qubit=2,
+            source_trap=1,
+            target_trap=2,
+            segments=2,
+            junctions=1,
+            source_chain_length=2,
+            target_chain_length=4,
+        )
+    )
+    schedule.append(SpaceShiftOperation(trap=2, qubit=2, from_position=3, to_position=0))
+    schedule.append(GateOperation(Gate("h", (5,)), trap=3, chain_length=1))
+    return schedule
+
+
+def assert_same_schedule(rebuilt: Schedule, original: Schedule) -> None:
+    """Exact operation-level equality plus device metadata."""
+    assert schedule_to_dict(rebuilt) == schedule_to_dict(original)
+    assert list(rebuilt) == list(original)
+    assert rebuilt.circuit_name == original.circuit_name
+    assert rebuilt.device.name == original.device.name
+    assert rebuilt.device.junction_weight == original.device.junction_weight
+    assert rebuilt.count_summary() == original.count_summary()
+
+
+class TestRoundTrip:
+    def test_every_kind_exact(self):
+        original = every_kind_schedule()
+        rebuilt = schedule_from_bytes(schedule_to_bytes(original))
+        assert_same_schedule(rebuilt, original)
+
+    def test_empty_schedule(self):
+        original = Schedule(star_device(3, 4), circuit_name="empty")
+        rebuilt = schedule_from_bytes(schedule_to_bytes(original))
+        assert len(rebuilt) == 0
+        assert rebuilt.circuit_name == "empty"
+        assert rebuilt.device.num_traps == original.device.num_traps
+
+    def test_compiled_schedule_exact(self):
+        device = grid_device(2, 2, 6)
+        result = SSyncCompiler(device).compile(qft_circuit(12))
+        rebuilt = schedule_from_bytes(schedule_to_bytes(result.schedule))
+        assert_same_schedule(rebuilt, result.schedule)
+
+    def test_gate_params_preserved_exactly(self):
+        schedule = Schedule(star_device(3, 4), circuit_name="params")
+        values = (0.1, -2.5, 3.141592653589793, 1e-300, -0.0)
+        schedule.append(GateOperation(Gate("u3", (0,), values), trap=0, chain_length=1))
+        rebuilt = schedule_from_bytes(schedule_to_bytes(schedule))
+        assert rebuilt[0].gate.params == values
+
+    def test_encode_is_deterministic(self):
+        original = every_kind_schedule()
+        blob = schedule_to_bytes(original)
+        assert schedule_to_bytes(original) == blob
+        assert schedule_to_bytes(schedule_from_bytes(blob)) == blob
+
+
+class TestFuzz:
+    def random_device(self, rng: random.Random) -> QCCDDevice:
+        num_traps = rng.randint(2, 6)
+        traps = [Trap(i, rng.randint(2, 8)) for i in range(num_traps)]
+        connections = [
+            Connection(
+                i,
+                i + 1,
+                junctions=rng.randint(0, 3),
+                segments=rng.randint(1, 4),
+            )
+            for i in range(num_traps - 1)
+        ]
+        return QCCDDevice(
+            traps,
+            connections,
+            name=f"fuzz-{num_traps}",
+            junction_weight=rng.choice([0.5, 1.0, 2.0]),
+        )
+
+    def random_operation(self, rng: random.Random, device: QCCDDevice):
+        kind = rng.randrange(5)
+        trap = rng.randrange(device.num_traps)
+        capacity = device.trap(trap).capacity
+        if kind == 0:
+            gate = Gate(
+                rng.choice(["h", "x", "rz", "t"]),
+                (rng.randrange(32),),
+                tuple(rng.uniform(-3.2, 3.2) for _ in range(rng.randint(0, 2))),
+            )
+            return GateOperation(gate, trap=trap, chain_length=rng.randint(1, capacity))
+        if kind == 1:
+            a = rng.randrange(32)
+            gate = Gate(rng.choice(["cx", "cz"]), (a, a + 1 + rng.randrange(8)))
+            return GateOperation(
+                gate,
+                trap=trap,
+                chain_length=rng.randint(2, max(capacity, 2)),
+                ion_separation=rng.randint(0, 3),
+            )
+        if kind == 2:
+            a = rng.randrange(32)
+            return SwapOperation(
+                trap=trap,
+                qubit_a=a,
+                qubit_b=a + 1 + rng.randrange(8),
+                chain_length=rng.randint(2, max(capacity, 2)),
+                ion_separation=rng.randint(0, 3),
+            )
+        if kind == 3:
+            source = rng.randrange(device.num_traps)
+            target = (source + 1 + rng.randrange(device.num_traps - 1)) % device.num_traps
+            return ShuttleOperation(
+                qubit=rng.randrange(32),
+                source_trap=source,
+                target_trap=target,
+                segments=rng.randint(1, 4),
+                junctions=rng.randint(0, 3),
+                source_chain_length=rng.randint(1, 5),
+                target_chain_length=rng.randint(1, 6),
+            )
+        position = rng.randrange(capacity)
+        other = (position + 1 + rng.randrange(max(capacity - 1, 1))) % capacity
+        if other == position:
+            other = (position + 1) % capacity
+        return SpaceShiftOperation(
+            trap=trap, qubit=rng.randrange(32), from_position=position, to_position=other
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_schedules_round_trip(self, seed):
+        rng = random.Random(seed)
+        device = self.random_device(rng)
+        schedule = Schedule(device, circuit_name=f"fuzz-{seed}")
+        for _ in range(rng.randint(0, 120)):
+            schedule.append(self.random_operation(rng, device))
+        rebuilt = schedule_from_bytes(schedule_to_bytes(schedule))
+        assert_same_schedule(rebuilt, schedule)
+
+
+class TestGoldenBlob:
+    """The checked-in blob pins the wire format across refactors."""
+
+    def test_golden_blob_decodes(self):
+        rebuilt = schedule_from_bytes(GOLDEN_PATH.read_bytes())
+        assert_same_schedule(rebuilt, every_kind_schedule())
+
+    def test_golden_blob_is_current_encoding(self):
+        assert schedule_to_bytes(every_kind_schedule()) == GOLDEN_PATH.read_bytes()
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        blob = schedule_to_bytes(every_kind_schedule())
+        with pytest.raises(ReproError, match="magic"):
+            schedule_from_bytes(b"XXXX" + blob[4:])
+
+    def test_unsupported_version(self):
+        blob = bytearray(schedule_to_bytes(every_kind_schedule()))
+        blob[len(SCHEDULE_MAGIC)] = SCHEDULE_BINARY_VERSION + 1
+        with pytest.raises(ReproError, match="version"):
+            schedule_from_bytes(bytes(blob))
+
+    def test_truncated_document(self):
+        blob = schedule_to_bytes(every_kind_schedule())
+        for cut in (5, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(ReproError):
+                schedule_from_bytes(blob[:cut])
+
+    def test_empty_input(self):
+        with pytest.raises(ReproError):
+            schedule_from_bytes(b"")

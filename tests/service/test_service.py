@@ -46,6 +46,27 @@ class TestEndToEndParity:
             direct.records(), sort_keys=True
         )
 
+    def test_encoded_stream_byte_identical_to_dict_stream(self, service_stack):
+        """The zero-re-serialisation fast path changes no wire bytes."""
+        service, client = service_stack
+        job_id = client.submit_file(SMOKE_MANIFEST)["job_id"]
+        client.results(job_id)  # wait until the job finishes
+        dict_lines = list(service.stream_lines(job_id, timeout=60))
+        encoded = list(service.stream_encoded(job_id, timeout=60))
+        assert encoded == [
+            json.dumps(line, sort_keys=True).encode("utf-8") for line in dict_lines
+        ]
+
+    def test_restream_serves_cached_line_bytes(self, service_stack):
+        service, client = service_stack
+        job_id = client.submit_file(SMOKE_MANIFEST)["job_id"]
+        client.results(job_id)
+        job = service.job(job_id)
+        replay = list(service.stream_encoded(job_id, timeout=60))
+        # Every outcome line is the exact cached object, not a re-encode.
+        for line, cached in zip(replay, job.encoded_lines):
+            assert line is cached
+
     def test_repeated_submission_is_idempotent(self, service_stack):
         _, client = service_stack
         first = client.submit_file(SMOKE_MANIFEST)

@@ -188,15 +188,15 @@ class TestResultSerialization:
 
         jobs = [CompileJob(circuit="qft_10", device="G-2x2")]
         run_batch(jobs, cache=ScheduleCache(directory=tmp_path))
-        # Downgrade the on-disk entry to a previous format version.
-        entry_path = next(tmp_path.glob("*.json"))
-        data = json.loads(entry_path.read_text())
-        data["format_version"] = CACHE_FORMAT_VERSION - 1
-        entry_path.write_text(json.dumps(data))
+        # Bump the on-disk entry to an unknown future format version.
+        entry_path = next(tmp_path.glob("*.sched"))
+        raw = bytearray(entry_path.read_bytes())
+        raw[4] = CACHE_FORMAT_VERSION + 1  # version byte follows the magic
+        entry_path.write_bytes(bytes(raw))
 
         rerun = run_batch(jobs, cache=ScheduleCache(directory=tmp_path))
         assert rerun.compilations == 1  # recompiled, no crash
-        assert json.loads(entry_path.read_text())["format_version"] == CACHE_FORMAT_VERSION
+        assert entry_path.read_bytes()[4] == CACHE_FORMAT_VERSION
 
     def test_batch_records_carry_statistics_on_every_tier(self, tmp_path):
         from repro.runtime.api import run_batch
