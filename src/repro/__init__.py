@@ -52,7 +52,13 @@ The package mirrors the paper's structure:
 * :mod:`repro.loadgen` — the seeded service load generator behind
   ``python -m repro loadgen`` and the tracked throughput benchmark
   (``burst``/``duplicates``/``priorities`` profiles, latency
-  percentiles, reproducible request plans).
+  percentiles, reproducible request plans);
+* :mod:`repro.fuzz` — differential scenario fuzzing behind
+  ``python -m repro fuzz``: a seeded generator cross-producting random
+  circuits with random devices, an oracle asserting three-way scheduler
+  parity plus legality, codec and noise invariants, a delta-debugging
+  minimizer producing 1-minimal reproducers, and the replayable
+  regression corpus under ``tests/fuzz/corpus/``.
 
 Quickstart::
 
@@ -96,6 +102,8 @@ from repro.circuit.library import (
     qaoa_circuit,
     qft_circuit,
     random_circuit,
+    random_clifford,
+    random_qaoa,
 )
 from repro.core import (
     CompilationResult,
@@ -122,8 +130,10 @@ from repro.hardware import (
     SlotGraph,
     Trap,
     grid_device,
+    hex_device,
     linear_device,
     paper_device,
+    ring_device,
     star_device,
 )
 from repro.noise import (
@@ -165,7 +175,7 @@ from repro.obs import MetricsRegistry, parse_exposition
 from repro.schedule import Schedule, verify_schedule
 from repro.service import CompilationService, ServiceClient
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "BatchCompiler",
@@ -229,6 +239,7 @@ __all__ = [
     "ghz_circuit",
     "grid_device",
     "heisenberg_circuit",
+    "hex_device",
     "linear_device",
     "paper_benchmark_suite",
     "paper_device",
@@ -236,6 +247,9 @@ __all__ = [
     "qaoa_circuit",
     "qft_circuit",
     "random_circuit",
+    "random_clifford",
+    "random_qaoa",
+    "ring_device",
     "run_batch",
     "run_sweep",
     "star_device",

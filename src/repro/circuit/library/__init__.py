@@ -3,13 +3,20 @@
 from repro.circuit.library.adder import adder_two_qubit_gate_count, cuccaro_adder_circuit
 from repro.circuit.library.alt import alt_two_qubit_gate_count, alternating_layered_ansatz
 from repro.circuit.library.bv import bernstein_vazirani_circuit
+from repro.circuit.library.clifford import (
+    CLIFFORD_1Q_GATES,
+    CLIFFORD_2Q_GATES,
+    random_clifford,
+)
 from repro.circuit.library.heisenberg import heisenberg_circuit, heisenberg_two_qubit_gate_count
 from repro.circuit.library.misc import ghz_circuit, random_circuit
 from repro.circuit.library.qaoa import (
+    erdos_renyi_edges,
     line_edges,
     maxcut_angles,
     qaoa_circuit,
     qaoa_two_qubit_gate_count,
+    random_qaoa,
     ring_edges,
 )
 from repro.circuit.library.qft import qft_circuit, qft_two_qubit_gate_count
@@ -24,6 +31,8 @@ from repro.circuit.library.suite import (
 )
 
 __all__ = [
+    "CLIFFORD_1Q_GATES",
+    "CLIFFORD_2Q_GATES",
     "PAPER_BENCHMARKS",
     "BenchmarkSpec",
     "adder_two_qubit_gate_count",
@@ -35,6 +44,7 @@ __all__ = [
     "build_benchmark",
     "build_family",
     "cuccaro_adder_circuit",
+    "erdos_renyi_edges",
     "ghz_circuit",
     "heisenberg_circuit",
     "heisenberg_two_qubit_gate_count",
@@ -46,5 +56,7 @@ __all__ = [
     "qft_circuit",
     "qft_two_qubit_gate_count",
     "random_circuit",
+    "random_clifford",
+    "random_qaoa",
     "ring_edges",
 ]

@@ -1,0 +1,74 @@
+"""Seeded random Clifford circuit generator.
+
+Random Clifford circuits are the standard "structureless" stress
+workload: layered, with a dense mix of one- and two-qubit gates drawn
+from the Clifford group, so neither the initial mapper nor the scheduler
+can exploit any program structure.  The generator is deterministic for a
+given seed — a private :class:`random.Random` drives every draw — so
+:class:`~repro.runtime.CompileJob` fingerprints, schedule-cache hits and
+batch dedup keep working across processes.
+
+The compiler never simulates states, so "Clifford" here only fixes the
+gate alphabet; no tableau bookkeeping is performed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.exceptions import CircuitError
+
+#: One-qubit Clifford generators used between entangling layers.
+CLIFFORD_1Q_GATES = ("h", "s", "sdg", "x", "z")
+
+#: Two-qubit Clifford gates drawn for entangling pairs.
+CLIFFORD_2Q_GATES = ("cx", "cz", "swap")
+
+
+def random_clifford(
+    num_qubits: int,
+    depth: int = 8,
+    seed: int = 7,
+    two_qubit_probability: float = 0.7,
+) -> QuantumCircuit:
+    """Build a seeded layered random Clifford circuit.
+
+    Parameters
+    ----------
+    num_qubits:
+        Circuit width (at least 2).
+    depth:
+        Number of layers.  Each layer shuffles the qubits into disjoint
+        adjacent pairs; every pair entangles with probability
+        ``two_qubit_probability`` and otherwise receives independent
+        one-qubit Clifford gates.
+    seed:
+        Seed of the private RNG, making the circuit reproducible (and
+        its :func:`~repro.runtime.jobs.circuit_fingerprint` stable).
+    two_qubit_probability:
+        Chance that a paired qubit couple entangles in a given layer.
+    """
+    if num_qubits < 2:
+        raise CircuitError("a random Clifford circuit needs at least two qubits")
+    if depth < 1:
+        raise CircuitError("depth must be at least 1")
+    if not 0.0 <= two_qubit_probability <= 1.0:
+        raise CircuitError("two_qubit_probability must lie in [0, 1]")
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"random_clifford_{num_qubits}_{seed}")
+    for _ in range(depth):
+        order = list(range(num_qubits))
+        rng.shuffle(order)
+        index = 0
+        while index + 1 < len(order):
+            a, b = order[index], order[index + 1]
+            if rng.random() < two_qubit_probability:
+                circuit.add_gate(rng.choice(CLIFFORD_2Q_GATES), a, b)
+            else:
+                circuit.add_gate(rng.choice(CLIFFORD_1Q_GATES), a)
+                circuit.add_gate(rng.choice(CLIFFORD_1Q_GATES), b)
+            index += 2
+        if index < len(order):
+            circuit.add_gate(rng.choice(CLIFFORD_1Q_GATES), order[index])
+    return circuit

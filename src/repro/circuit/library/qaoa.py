@@ -12,6 +12,7 @@ problem graph and layer count so all those variants can be produced.
 from __future__ import annotations
 
 import math
+import random
 from collections.abc import Iterable, Sequence
 
 from repro.circuit.circuit import QuantumCircuit
@@ -32,6 +33,54 @@ def line_edges(num_qubits: int) -> list[Edge]:
     if num_qubits < 2:
         raise CircuitError("a line needs at least 2 qubits")
     return [(i, i + 1) for i in range(num_qubits - 1)]
+
+
+def erdos_renyi_edges(num_qubits: int, edge_probability: float, seed: int) -> list[Edge]:
+    """Seeded Erdős–Rényi ``G(n, p)`` edge list over ``num_qubits`` vertices.
+
+    The draw uses a private :class:`random.Random`, so the same
+    ``(num_qubits, edge_probability, seed)`` triple always yields the
+    same edge list — a requirement for fingerprint-stable circuits.  A
+    draw that comes up empty falls back to one deterministic random
+    edge, so the resulting QAOA circuit always contains at least one
+    two-qubit interaction.
+    """
+    if num_qubits < 2:
+        raise CircuitError("a random graph needs at least two vertices")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise CircuitError("edge_probability must lie in [0, 1]")
+    rng = random.Random(seed)
+    edges = [
+        (a, b)
+        for a in range(num_qubits)
+        for b in range(a + 1, num_qubits)
+        if rng.random() < edge_probability
+    ]
+    if not edges:
+        a, b = rng.sample(range(num_qubits), 2)
+        edges.append((min(a, b), max(a, b)))
+    return edges
+
+
+def random_qaoa(
+    num_qubits: int,
+    layers: int = 2,
+    edge_probability: float = 0.4,
+    seed: int = 7,
+    decompose_zz: bool = True,
+) -> QuantumCircuit:
+    """Build a seeded QAOA circuit for MaxCut on a random Erdős–Rényi graph.
+
+    Deterministic for a given ``(num_qubits, layers, edge_probability,
+    seed)``, so :class:`~repro.runtime.CompileJob` fingerprints — and
+    with them schedule-cache hits and batch dedup — keep working across
+    processes.  The problem graph comes from :func:`erdos_renyi_edges`;
+    everything else matches :func:`qaoa_circuit`.
+    """
+    edges = erdos_renyi_edges(num_qubits, edge_probability, seed)
+    circuit = qaoa_circuit(num_qubits, layers=layers, edges=edges, decompose_zz=decompose_zz)
+    circuit.name = f"random_qaoa_{num_qubits}_{seed}"
+    return circuit
 
 
 def qaoa_circuit(

@@ -1,6 +1,6 @@
 """Command-line interface for the S-SYNC reproduction.
 
-Ten subcommands cover the common workflows without writing Python:
+Eleven subcommands cover the common workflows without writing Python:
 
 ``compile``
     Compile a circuit (a named Table-2 benchmark or an OpenQASM 2.0 file)
@@ -45,6 +45,14 @@ Ten subcommands cover the common workflows without writing Python:
     or ``results``)
     and print latency percentiles and throughput.
 
+``fuzz``
+    Differential scenario fuzzing (:mod:`repro.fuzz`): seeded random
+    circuits x random devices through all three scheduler backends and
+    the baselines, with backend parity, legality replay, codec
+    round-trips and noise invariants checked on every case; failing
+    scenarios are delta-debugged to minimal JSON reproducers and the
+    regression corpus under ``tests/fuzz/corpus`` can be replayed first.
+
 Examples::
 
     python -m repro compile qft_24 --device G-2x3 --mapping gathering
@@ -62,6 +70,7 @@ Examples::
     python -m repro jobs --cancel 4c58ad19e38009ca --url http://127.0.0.1:8000
     python -m repro jobs --metrics --url http://127.0.0.1:8000
     python -m repro loadgen --profile burst --requests 20 --url http://127.0.0.1:8000
+    python -m repro fuzz --cases 200 --seed 0 --corpus tests/fuzz/corpus
 """
 
 from __future__ import annotations
@@ -389,6 +398,49 @@ def _build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="also write the aggregated result as JSON to this file",
+    )
+
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random scenarios through every scheduler backend",
+    )
+    fuzz_parser.add_argument(
+        "--cases", type=int, default=100, help="scenarios to generate (default: %(default)s)"
+    )
+    fuzz_parser.add_argument(
+        "--seed", type=int, default=0, help="master seed of the scenario stream"
+    )
+    fuzz_parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop generating new scenarios after this much wall time",
+    )
+    fuzz_parser.add_argument(
+        "--corpus",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="regression corpus directory to replay before generating "
+        "(the checked-in corpus lives in tests/fuzz/corpus)",
+    )
+    fuzz_parser.add_argument(
+        "--minimize",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="shrink failing scenarios to 1-minimal reproducers (default: on)",
+    )
+    fuzz_parser.add_argument(
+        "--failures",
+        type=Path,
+        default=Path("fuzz-failures"),
+        metavar="DIR",
+        help="directory minimized reproducer JSON files are written to "
+        "(only created when a scenario fails; default: %(default)s)",
+    )
+    fuzz_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-case progress output"
     )
 
     sub.add_parser("compilers", help="list the registered compilers and their pipelines")
@@ -809,6 +861,27 @@ def _command_loadgen(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _command_fuzz(args: argparse.Namespace) -> int:
+    # Deferred import: the fuzz subsystem pulls in every compiler.
+    from repro.fuzz import run_fuzz
+
+    result = run_fuzz(
+        cases=args.cases,
+        seed=args.seed,
+        time_budget_s=args.time_budget,
+        corpus_dir=args.corpus,
+        minimize=args.minimize,
+        failures_dir=args.failures,
+        on_progress=None if args.quiet else print,
+    )
+    print(result.summary())
+    for failure in result.failures:
+        print(f"  {failure.source}: [{failure.check}] {failure.detail}")
+        if failure.reproducer_path is not None:
+            print(f"    reproducer: {failure.reproducer_path}")
+    return 0 if result.ok else 1
+
+
 def _command_evaluate(args: argparse.Namespace) -> int:
     schedule = schedule_from_json(args.schedule.read_text())
     evaluation = evaluate_schedule(schedule, gate_implementation=args.gate_implementation)
@@ -843,6 +916,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "results": _command_results,
         "jobs": _command_jobs,
         "loadgen": _command_loadgen,
+        "fuzz": _command_fuzz,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,222 @@
+"""Delta-debugging minimizer: shrink a failing scenario to a 1-minimal one.
+
+Given a scenario and a *failing* predicate (normally
+:func:`repro.fuzz.oracle.oracle_failing`, but any
+``Callable[[Scenario], bool]`` works — the tests inject synthetic
+oracles), the minimizer searches for a smaller scenario that still
+fails, along four axes:
+
+* **gates** — classic ddmin over the explicit gate list (chunked
+  removal with granularity doubling, down to single gates);
+* **traps** — drop one trap at a time, reindexing the remainder and
+  keeping only connections between survivors (candidates whose
+  connectivity graph falls apart are skipped, not tried);
+* **capacities** — lower each trap's capacity one slot at a time;
+* **qubits** — compact the qubit numbering once gates have gone, so the
+  reproducer does not mention phantom qubits.
+
+Every candidate must stay *well-formed*
+(:meth:`~repro.fuzz.scenario.Scenario.is_well_formed`): the point of a
+reproducer is a legal input that triggers a bug, never an input that
+fails for the boring reason of being uncompilable.
+
+The rounds repeat until a fixpoint, which makes the result **1-minimal**:
+removing any single remaining gate, or any single remaining trap, either
+breaks well-formedness or makes the failure disappear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Callable
+
+from repro.fuzz.scenario import Scenario, ScenarioError
+
+FailingPredicate = Callable[[Scenario], bool]
+
+#: Hard ceiling on predicate evaluations per minimization, so a slow or
+#: flaky predicate cannot stall a campaign forever.
+DEFAULT_MAX_PROBES = 3000
+
+
+class _Budget:
+    """Counts predicate probes and stops the search when exhausted."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.used = 0
+
+    def spent(self) -> bool:
+        return self.used >= self.limit
+
+    def probe(self, failing: FailingPredicate, candidate: Scenario) -> bool:
+        if self.spent():
+            return False
+        self.used += 1
+        return candidate.is_well_formed() and failing(candidate)
+
+
+def minimize_scenario(
+    scenario: Scenario,
+    failing: FailingPredicate,
+    max_probes: int = DEFAULT_MAX_PROBES,
+) -> Scenario:
+    """Shrink ``scenario`` to a 1-minimal scenario that still fails.
+
+    Raises :class:`ScenarioError` when the input scenario does not fail
+    the predicate in the first place (a minimizer that "fixes" the input
+    by silently returning it would hide exactly the flaky failures it
+    exists to pin down).
+    """
+    scenario = scenario.explicit()
+    if not scenario.is_well_formed():
+        raise ScenarioError("cannot minimize an ill-formed scenario")
+    if not failing(scenario):
+        raise ScenarioError("the scenario does not reproduce the failure")
+    budget = _Budget(max_probes)
+    while not budget.spent():
+        changed = False
+        scenario, step = _shrink_gates(scenario, failing, budget)
+        changed |= step
+        scenario, step = _shrink_traps(scenario, failing, budget)
+        changed |= step
+        scenario, step = _shrink_capacities(scenario, failing, budget)
+        changed |= step
+        scenario, step = _compact_qubits(scenario, failing, budget)
+        changed |= step
+        if not changed:
+            break
+    return scenario
+
+
+# ----------------------------------------------------------------------
+# gate ddmin
+# ----------------------------------------------------------------------
+def _with_gates(scenario: Scenario, gates: list[list[Any]]) -> Scenario:
+    circuit = dict(scenario.circuit)
+    circuit["gates"] = gates
+    return replace(scenario, circuit=circuit)
+
+
+def _shrink_gates(
+    scenario: Scenario, failing: FailingPredicate, budget: _Budget
+) -> tuple[Scenario, bool]:
+    """ddmin over the explicit gate list (Zeller & Hildebrandt style)."""
+    gates = list(scenario.circuit["gates"])
+    changed = False
+    chunks = 2
+    while len(gates) >= 1 and not budget.spent():
+        chunk = max(1, len(gates) // chunks)
+        removed_any = False
+        start = 0
+        while start < len(gates):
+            candidate_gates = gates[:start] + gates[start + chunk :]
+            candidate = _with_gates(scenario, candidate_gates)
+            if budget.probe(failing, candidate):
+                gates = candidate_gates
+                changed = True
+                removed_any = True
+                # The list shrank in place of advancing; retry the same
+                # offset against the new tail.
+            else:
+                start += chunk
+        if removed_any:
+            chunks = max(2, chunks - 1)
+        elif chunk == 1:
+            break
+        else:
+            chunks = min(len(gates), chunks * 2)
+    return (_with_gates(scenario, gates) if changed else scenario), changed
+
+
+# ----------------------------------------------------------------------
+# device shrinking
+# ----------------------------------------------------------------------
+def _without_trap(device: dict[str, Any], trap_id: int) -> dict[str, Any]:
+    """The device minus one trap, ids compacted, dangling connections gone."""
+    survivors = [dict(t) for t in device["traps"] if t["trap_id"] != trap_id]
+    remap = {old["trap_id"]: new_id for new_id, old in enumerate(survivors)}
+    for new_id, trap in enumerate(survivors):
+        trap["trap_id"] = new_id
+    connections = [
+        {
+            "trap_a": remap[c["trap_a"]],
+            "trap_b": remap[c["trap_b"]],
+            "junctions": c.get("junctions", 0),
+            "segments": c.get("segments", 1),
+        }
+        for c in device["connections"]
+        if c["trap_a"] in remap and c["trap_b"] in remap
+    ]
+    shrunk = dict(device)
+    shrunk["traps"] = survivors
+    shrunk["connections"] = connections
+    return shrunk
+
+
+def _shrink_traps(
+    scenario: Scenario, failing: FailingPredicate, budget: _Budget
+) -> tuple[Scenario, bool]:
+    changed = False
+    progress = True
+    while progress and not budget.spent():
+        progress = False
+        for trap in list(scenario.device["traps"]):
+            if len(scenario.device["traps"]) <= 1:
+                break
+            candidate = replace(
+                scenario, device=_without_trap(scenario.device, trap["trap_id"])
+            )
+            # probe() filters ill-formed candidates, which covers the
+            # disconnected-graph case: build_device raises, so the
+            # candidate is simply skipped.
+            if budget.probe(failing, candidate):
+                scenario = candidate
+                changed = True
+                progress = True
+                break
+    return scenario, changed
+
+
+def _shrink_capacities(
+    scenario: Scenario, failing: FailingPredicate, budget: _Budget
+) -> tuple[Scenario, bool]:
+    changed = False
+    progress = True
+    while progress and not budget.spent():
+        progress = False
+        for index, trap in enumerate(scenario.device["traps"]):
+            if trap["capacity"] <= 1:
+                continue
+            device = dict(scenario.device)
+            device["traps"] = [dict(t) for t in scenario.device["traps"]]
+            device["traps"][index]["capacity"] = trap["capacity"] - 1
+            candidate = replace(scenario, device=device)
+            if budget.probe(failing, candidate):
+                scenario = candidate
+                changed = True
+                progress = True
+    return scenario, changed
+
+
+# ----------------------------------------------------------------------
+# qubit compaction
+# ----------------------------------------------------------------------
+def _compact_qubits(
+    scenario: Scenario, failing: FailingPredicate, budget: _Budget
+) -> tuple[Scenario, bool]:
+    gates = scenario.circuit["gates"]
+    used = sorted({q for _, qubits, _ in gates for q in qubits})
+    num_qubits = max(len(used), 1)
+    if num_qubits == scenario.circuit["num_qubits"] and used == list(range(num_qubits)):
+        return scenario, False
+    remap = {old: new for new, old in enumerate(used)}
+    circuit = dict(scenario.circuit)
+    circuit["num_qubits"] = num_qubits
+    circuit["gates"] = [
+        [name, [remap[q] for q in qubits], list(params)] for name, qubits, params in gates
+    ]
+    candidate = replace(scenario, circuit=circuit)
+    if budget.probe(failing, candidate):
+        return candidate, True
+    return scenario, False

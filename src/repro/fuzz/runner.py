@@ -1,0 +1,200 @@
+"""The fuzz campaign driver behind ``python -m repro fuzz``.
+
+A campaign has two phases:
+
+1. **corpus replay** — every checked-in scenario under the corpus
+   directory runs through the full oracle first.  The corpus is the
+   regression net: once a failure has been minimized and committed, it
+   can never silently come back.
+2. **seeded generation** — ``cases`` fresh scenarios from
+   :class:`~repro.fuzz.scenario.ScenarioGenerator` run through the
+   oracle, subject to an optional wall-clock budget.
+
+Every failure is recorded; with minimization enabled the failing
+scenario is shrunk to a 1-minimal reproducer and written as a JSON seed
+file into the failures directory — ready to be triaged and, once
+understood, promoted into the corpus.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.fuzz.minimize import minimize_scenario
+from repro.fuzz.oracle import OracleFailure, oracle_failing, run_oracle
+from repro.fuzz.scenario import (
+    Scenario,
+    ScenarioError,
+    ScenarioGenerator,
+    load_corpus,
+    write_scenario,
+)
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One failing scenario: where it came from and what it shrank to."""
+
+    scenario: Scenario
+    check: str
+    detail: str
+    source: str  # "corpus:<path>" or "generated:<index>"
+    minimized: Scenario | None = None
+    reproducer_path: Path | None = None
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one campaign."""
+
+    seed: int
+    cases_requested: int
+    cases_run: int = 0
+    corpus_replayed: int = 0
+    checks_run: int = 0
+    elapsed_s: float = 0.0
+    budget_exhausted: bool = False
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURE(S)"
+        budget = ", time budget exhausted" if self.budget_exhausted else ""
+        return (
+            f"fuzz seed={self.seed}: {self.corpus_replayed} corpus + "
+            f"{self.cases_run}/{self.cases_requested} generated scenarios, "
+            f"{self.checks_run} oracle checks in {self.elapsed_s:.1f}s{budget} -> {status}"
+        )
+
+
+def run_fuzz(
+    cases: int,
+    seed: int = 0,
+    time_budget_s: float | None = None,
+    corpus_dir: "str | Path | None" = None,
+    minimize: bool = True,
+    failures_dir: "str | Path | None" = None,
+    on_progress: Callable[[str], None] | None = None,
+) -> FuzzResult:
+    """Run one fuzz campaign; see the module docstring for the phases.
+
+    Parameters
+    ----------
+    cases:
+        Number of scenarios to generate (the corpus replays on top).
+    seed:
+        Master seed of the scenario stream.
+    time_budget_s:
+        Optional wall-clock cap; generation stops (cleanly, between
+        scenarios) once exceeded.  The corpus always replays in full.
+    corpus_dir:
+        Directory of committed scenario JSON files to replay first.
+    minimize:
+        Shrink every failing generated scenario to a 1-minimal
+        reproducer (corpus entries are committed already-minimal and are
+        reported as-is).
+    failures_dir:
+        Where minimized reproducers are written (created on demand; only
+        touched when there is something to write).
+    on_progress:
+        Optional sink for one-line progress messages.
+    """
+    started = time.monotonic()
+    result = FuzzResult(seed=seed, cases_requested=cases)
+    say = on_progress or (lambda message: None)
+
+    for path, scenario in load_corpus(corpus_dir) if corpus_dir else []:
+        failure, checks = _run_case(scenario, f"corpus:{path.name}")
+        result.corpus_replayed += 1
+        result.checks_run += checks
+        if failure is not None:
+            say(f"corpus regression: {path.name} [{failure.check}] {failure.detail}")
+            result.failures.append(failure)
+
+    generator = ScenarioGenerator(seed)
+    for index in range(cases):
+        if time_budget_s is not None and time.monotonic() - started > time_budget_s:
+            result.budget_exhausted = True
+            say(f"time budget exhausted after {result.cases_run} generated cases")
+            break
+        scenario = generator.next_scenario()
+        failure, checks = _run_case(scenario, f"generated:{index}")
+        result.cases_run += 1
+        result.checks_run += checks
+        if failure is None:
+            if (index + 1) % 25 == 0:
+                say(f"{index + 1}/{cases} scenarios OK")
+            continue
+        say(f"FAIL {scenario.describe()} [{failure.check}] {failure.detail}")
+        if minimize:
+            failure = _minimize_failure(failure, failures_dir, say)
+        result.failures.append(failure)
+
+    result.elapsed_s = time.monotonic() - started
+    return result
+
+
+def _run_case(scenario: Scenario, source: str) -> tuple[FuzzFailure | None, int]:
+    """Run the oracle on one scenario; (failure-or-None, checks passed)."""
+    try:
+        report = run_oracle(scenario)
+    except OracleFailure as exc:
+        return (
+            FuzzFailure(scenario=scenario, check=exc.check, detail=exc.detail, source=source),
+            0,
+        )
+    except Exception as exc:  # a crash outside _guarded's coverage
+        return (
+            FuzzFailure(
+                scenario=scenario,
+                check="oracle:crash",
+                detail=f"{type(exc).__name__}: {exc}",
+                source=source,
+            ),
+            0,
+        )
+    return None, len(report.checks)
+
+
+def _minimize_failure(
+    failure: FuzzFailure,
+    failures_dir: "str | Path | None",
+    say: Callable[[str], None],
+) -> FuzzFailure:
+    try:
+        minimized = minimize_scenario(failure.scenario, oracle_failing)
+    except ScenarioError as exc:
+        # A flaky failure that no longer reproduces: report the original
+        # scenario, flagged so the triager knows minimization bailed.
+        say(f"minimization failed: {exc}")
+        return failure
+    path: Path | None = None
+    if failures_dir is not None:
+        name = f"repro-{minimized.fingerprint()[:16]}.json"
+        path = write_scenario(
+            Scenario(
+                circuit=minimized.circuit,
+                device=minimized.device,
+                name=minimized.name or failure.scenario.name,
+                note=f"minimized reproducer [{failure.check}]: {failure.detail}",
+            ),
+            Path(failures_dir) / name,
+        )
+        say(f"minimized reproducer written to {path}")
+    gates = len(minimized.circuit.get("gates", ()))
+    traps = len(minimized.device.get("traps", ()))
+    say(f"minimized to {gates} gates / {traps} traps")
+    return FuzzFailure(
+        scenario=failure.scenario,
+        check=failure.check,
+        detail=failure.detail,
+        source=failure.source,
+        minimized=minimized,
+        reproducer_path=path,
+    )

@@ -14,9 +14,11 @@ from repro.hardware.presets import (
 from repro.hardware.topologies import (
     build_topology,
     grid_device,
+    hex_device,
     linear_device,
     ring_device,
     star_device,
+    trap_capacities,
 )
 from repro.hardware.trap import Connection, JunctionCrossing, Trap
 
@@ -32,6 +34,7 @@ __all__ = [
     "build_topology",
     "device_for_circuit",
     "grid_device",
+    "hex_device",
     "linear_device",
     "paper_device",
     "paper_device_catalog",
@@ -39,4 +42,5 @@ __all__ = [
     "preset_names",
     "ring_device",
     "star_device",
+    "trap_capacities",
 ]

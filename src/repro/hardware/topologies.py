@@ -1,4 +1,4 @@
-"""Topology factories: linear (L-series), grid (G-series), star/fully-connected (S-series).
+"""Topology factories: linear (L-series), ring, grid (G-series), star, hex.
 
 Figure 7 of the paper evaluates three architectural families inspired by
 Quantinuum's roadmap:
@@ -11,62 +11,104 @@ Quantinuum's roadmap:
   fully-connected variant); every pair of traps is reachable through the
   hub, modelled as a direct connection crossing one junction.
 
+Two parametric families extend the paper's set for the scenario fuzzer
+(:mod:`repro.fuzz`) and the device-farm roadmap item:
+
+* **R-n** — a ring ("racetrack"): the linear device with wrap-around.
+* **H-RxC** — a honeycomb / brick-wall lattice where every trap meets at
+  most three Y-junction shuttle paths.
+
 Capacities default to the paper's per-preset values (see
 :mod:`repro.hardware.presets`) but every factory takes an explicit
-``capacity`` so the Fig. 11 capacity sweeps can be reproduced.
+``capacity`` so the Fig. 11 capacity sweeps can be reproduced.  Every
+factory also accepts a *sequence* of per-trap capacities (one entry per
+trap, in trap-id order), which models heterogeneous devices — e.g. large
+memory zones on the boundary feeding small interaction zones.
 """
 
 from __future__ import annotations
+
+from collections.abc import Sequence
 
 from repro.exceptions import DeviceError
 from repro.hardware.device import QCCDDevice
 from repro.hardware.trap import Connection, Trap
 
+#: A capacity argument: one capacity for every trap, or one per trap.
+CapacitySpec = "int | Sequence[int]"
 
-def linear_device(num_traps: int, capacity: int, name: str | None = None) -> QCCDDevice:
+
+def trap_capacities(num_traps: int, capacity: "int | Sequence[int]") -> list[int]:
+    """Normalise a :data:`CapacitySpec` into one positive capacity per trap.
+
+    An ``int`` is broadcast to every trap; a sequence must have exactly
+    ``num_traps`` entries.  Raises :class:`DeviceError` on a length
+    mismatch or a non-positive capacity.
+    """
+    if isinstance(capacity, int):
+        capacities = [capacity] * num_traps
+    else:
+        capacities = [int(value) for value in capacity]
+        if len(capacities) != num_traps:
+            raise DeviceError(
+                f"got {len(capacities)} capacities for {num_traps} traps; "
+                "a heterogeneous capacity sequence needs one entry per trap"
+            )
+    if any(value < 1 for value in capacities):
+        raise DeviceError("trap capacity must be positive")
+    return capacities
+
+
+def linear_device(
+    num_traps: int, capacity: "int | Sequence[int]", name: str | None = None
+) -> QCCDDevice:
     """Build an L-series device: ``num_traps`` traps in a line.
 
     Adjacent traps share a junction-free straight shuttle path.
     """
     if num_traps < 1:
         raise DeviceError("a linear device needs at least one trap")
-    if capacity < 1:
-        raise DeviceError("trap capacity must be positive")
-    traps = [Trap(i, capacity, name=f"L{i}") for i in range(num_traps)]
+    capacities = trap_capacities(num_traps, capacity)
+    traps = [Trap(i, capacities[i], name=f"L{i}") for i in range(num_traps)]
     connections = [Connection(i, i + 1, junctions=0, segments=1) for i in range(num_traps - 1)]
     return QCCDDevice(traps, connections, name=name or f"L-{num_traps}")
 
 
-def ring_device(num_traps: int, capacity: int, name: str | None = None) -> QCCDDevice:
+def ring_device(
+    num_traps: int, capacity: "int | Sequence[int]", name: str | None = None
+) -> QCCDDevice:
     """Build a ring ("racetrack") device: a linear device with wrap-around."""
     if num_traps < 3:
         raise DeviceError("a ring device needs at least three traps")
-    if capacity < 1:
-        raise DeviceError("trap capacity must be positive")
-    traps = [Trap(i, capacity, name=f"R{i}") for i in range(num_traps)]
+    capacities = trap_capacities(num_traps, capacity)
+    traps = [Trap(i, capacities[i], name=f"R{i}") for i in range(num_traps)]
     connections = [Connection(i, (i + 1) % num_traps, junctions=0, segments=1) for i in range(num_traps)]
     return QCCDDevice(traps, connections, name=name or f"R-{num_traps}")
 
 
-def grid_device(rows: int, cols: int, capacity: int, name: str | None = None) -> QCCDDevice:
+def grid_device(
+    rows: int, cols: int, capacity: "int | Sequence[int]", name: str | None = None
+) -> QCCDDevice:
     """Build a G-series device: an ``rows x cols`` grid of traps.
 
     Each nearest-neighbour pair of traps is connected through a single
     X-junction (``junctions=1``), following the paper's weight example
-    where a one-junction path has weight 2.
+    where a one-junction path has weight 2.  Heterogeneous capacities are
+    given in row-major trap-id order.
     """
     if rows < 1 or cols < 1:
         raise DeviceError("grid dimensions must be positive")
     if rows * cols < 2:
         raise DeviceError("a grid device needs at least two traps")
-    if capacity < 1:
-        raise DeviceError("trap capacity must be positive")
+    capacities = trap_capacities(rows * cols, capacity)
 
     def trap_id(r: int, c: int) -> int:
         return r * cols + c
 
     traps = [
-        Trap(trap_id(r, c), capacity, name=f"G({r},{c})") for r in range(rows) for c in range(cols)
+        Trap(trap_id(r, c), capacities[trap_id(r, c)], name=f"G({r},{c})")
+        for r in range(rows)
+        for c in range(cols)
     ]
     connections: list[Connection] = []
     for r in range(rows):
@@ -82,7 +124,54 @@ def grid_device(rows: int, cols: int, capacity: int, name: str | None = None) ->
     return QCCDDevice(traps, connections, name=name or f"G-{rows}x{cols}")
 
 
-def star_device(num_traps: int, capacity: int, name: str | None = None) -> QCCDDevice:
+def hex_device(
+    rows: int, cols: int, capacity: "int | Sequence[int]", name: str | None = None
+) -> QCCDDevice:
+    """Build an H-series device: a honeycomb ("brick-wall") trap lattice.
+
+    Traps sit on an ``rows x cols`` brick-wall grid: every horizontal
+    neighbour pair is connected, but a vertical rung between rows ``r``
+    and ``r + 1`` exists only at columns where ``r + c`` is even.  Every
+    trap therefore meets at most three shuttle paths — the degree-3
+    discipline of hexagonal QCCD proposals, where junctions are cheaper
+    Y-junctions.  Each connection crosses one junction (``junctions=1``).
+
+    ``cols`` must be at least 2 when ``rows > 1`` so the brick-wall stays
+    connected (a single column would only link every other row pair).
+    """
+    if rows < 1 or cols < 1:
+        raise DeviceError("hex dimensions must be positive")
+    if rows * cols < 2:
+        raise DeviceError("a hex device needs at least two traps")
+    if rows > 1 and cols < 2:
+        raise DeviceError("a multi-row hex device needs at least two columns")
+    capacities = trap_capacities(rows * cols, capacity)
+
+    def trap_id(r: int, c: int) -> int:
+        return r * cols + c
+
+    traps = [
+        Trap(trap_id(r, c), capacities[trap_id(r, c)], name=f"H({r},{c})")
+        for r in range(rows)
+        for c in range(cols)
+    ]
+    connections: list[Connection] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                connections.append(
+                    Connection(trap_id(r, c), trap_id(r, c + 1), junctions=1, segments=2)
+                )
+            if r + 1 < rows and (r + c) % 2 == 0:
+                connections.append(
+                    Connection(trap_id(r, c), trap_id(r + 1, c), junctions=1, segments=2)
+                )
+    return QCCDDevice(traps, connections, name=name or f"H-{rows}x{cols}")
+
+
+def star_device(
+    num_traps: int, capacity: "int | Sequence[int]", name: str | None = None
+) -> QCCDDevice:
     """Build an S-series device: ``num_traps`` traps around a switching hub.
 
     The hub itself stores no ions; it is modelled as one junction on the
@@ -91,9 +180,8 @@ def star_device(num_traps: int, capacity: int, name: str | None = None) -> QCCDD
     """
     if num_traps < 2:
         raise DeviceError("a star device needs at least two traps")
-    if capacity < 1:
-        raise DeviceError("trap capacity must be positive")
-    traps = [Trap(i, capacity, name=f"S{i}") for i in range(num_traps)]
+    capacities = trap_capacities(num_traps, capacity)
+    traps = [Trap(i, capacities[i], name=f"S{i}") for i in range(num_traps)]
     connections = [
         Connection(a, b, junctions=1, segments=2)
         for a in range(num_traps)
@@ -102,13 +190,19 @@ def star_device(num_traps: int, capacity: int, name: str | None = None) -> QCCDD
     return QCCDDevice(traps, connections, name=name or f"S-{num_traps}")
 
 
-def build_topology(kind: str, capacity: int, **kwargs: int) -> QCCDDevice:
-    """Dispatch on a topology family name (``"linear"``, ``"grid"``, ``"star"``, ``"ring"``)."""
+def build_topology(kind: str, capacity: "int | Sequence[int]", **kwargs: int) -> QCCDDevice:
+    """Dispatch on a topology family name.
+
+    ``kind`` is one of ``"linear"``, ``"ring"``, ``"grid"``, ``"hex"``
+    or ``"star"`` (plus single-letter aliases).
+    """
     kind = kind.lower()
     if kind in {"linear", "l"}:
         return linear_device(kwargs.get("num_traps", 4), capacity)
     if kind in {"grid", "g"}:
         return grid_device(kwargs.get("rows", 2), kwargs.get("cols", 2), capacity)
+    if kind in {"hex", "h", "honeycomb"}:
+        return hex_device(kwargs.get("rows", 2), kwargs.get("cols", 2), capacity)
     if kind in {"star", "s", "full"}:
         return star_device(kwargs.get("num_traps", 4), capacity)
     if kind in {"ring", "r", "racetrack"}:

@@ -1,0 +1,91 @@
+"""Seeded random generators: QAOA-on-random-graph and random Clifford.
+
+Both feed the scenario fuzzer, so the critical property is fingerprint
+stability — rebuilding with the same arguments must produce the same
+circuit, byte for byte, across processes and runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.library import (
+    CLIFFORD_1Q_GATES,
+    CLIFFORD_2Q_GATES,
+    erdos_renyi_edges,
+    random_clifford,
+    random_qaoa,
+)
+from repro.exceptions import CircuitError
+from repro.runtime.jobs import circuit_fingerprint
+
+
+class TestErdosRenyiEdges:
+    def test_deterministic(self):
+        assert erdos_renyi_edges(8, 0.4, seed=3) == erdos_renyi_edges(8, 0.4, seed=3)
+
+    def test_never_empty(self):
+        # Even with probability 0 the generator falls back to one edge.
+        edges = erdos_renyi_edges(6, 0.0, seed=1)
+        assert len(edges) == 1
+
+    def test_edges_are_canonical(self):
+        for a, b in erdos_renyi_edges(10, 0.7, seed=5):
+            assert 0 <= a < b < 10
+
+
+class TestRandomQaoa:
+    def test_fingerprint_stable_across_rebuilds(self):
+        first = random_qaoa(8, layers=2, edge_probability=0.4, seed=11)
+        second = random_qaoa(8, layers=2, edge_probability=0.4, seed=11)
+        assert circuit_fingerprint(first) == circuit_fingerprint(second)
+        assert first.name == "random_qaoa_8_11"
+
+    def test_seeds_diverge(self):
+        a = random_qaoa(8, seed=0)
+        b = random_qaoa(8, seed=1)
+        assert circuit_fingerprint(a) != circuit_fingerprint(b)
+
+    def test_structure(self):
+        circuit = random_qaoa(6, layers=3, seed=2)
+        assert circuit.num_qubits == 6
+        assert circuit.num_two_qubit_gates > 0
+        # Decomposed ZZ: only cx/rz/rx/h primitives appear.
+        assert {g.name for g in circuit} <= {"h", "cx", "rz", "rx"}
+
+    def test_undecomposed_uses_rzz(self):
+        circuit = random_qaoa(6, layers=1, seed=2, decompose_zz=False)
+        assert "rzz" in {g.name for g in circuit}
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            random_qaoa(1)
+
+
+class TestRandomClifford:
+    def test_fingerprint_stable_across_rebuilds(self):
+        first = random_clifford(9, depth=6, seed=11)
+        second = random_clifford(9, depth=6, seed=11)
+        assert circuit_fingerprint(first) == circuit_fingerprint(second)
+        assert first.name == "random_clifford_9_11"
+
+    def test_seeds_diverge(self):
+        assert circuit_fingerprint(random_clifford(8, seed=0)) != circuit_fingerprint(
+            random_clifford(8, seed=1)
+        )
+
+    def test_only_clifford_gates(self):
+        circuit = random_clifford(10, depth=12, seed=4)
+        allowed = set(CLIFFORD_1Q_GATES) | set(CLIFFORD_2Q_GATES)
+        assert {g.name for g in circuit} <= allowed
+        assert circuit.num_two_qubit_gates > 0
+
+    def test_two_qubit_gates_touch_distinct_qubits(self):
+        for gate in random_clifford(8, depth=10, seed=9):
+            assert len(set(gate.qubits)) == len(gate.qubits)
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            random_clifford(1)
+        with pytest.raises(CircuitError):
+            random_clifford(4, depth=0)

@@ -1,0 +1,51 @@
+"""The regression corpus replays green on every test run.
+
+Each file under ``tests/fuzz/corpus/`` is a committed scenario the
+differential oracle must keep passing — deterministically, so a flaky
+replay is itself a failure.  Promote any minimized reproducer here once
+its bug is fixed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import load_corpus, load_scenario, run_oracle
+from repro.schedule.serialize import schedule_to_bytes
+from repro.core.compiler import SSyncCompiler
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_present():
+    assert len(CORPUS) >= 5, "the regression corpus went missing"
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=[p.stem for p in CORPUS])
+def test_corpus_scenario_passes_the_oracle(path: Path):
+    scenario = load_scenario(path)
+    assert scenario.is_well_formed(), scenario.describe()
+    report = run_oracle(scenario)
+    assert report.checks, "the oracle ran no checks"
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=[p.stem for p in CORPUS])
+def test_corpus_replay_is_deterministic(path: Path):
+    """Two independent compilations of a corpus scenario are bit-identical."""
+    scenario = load_scenario(path)
+    device = scenario.build_device()
+    first = SSyncCompiler(device).compile(scenario.build_circuit())
+    second = SSyncCompiler(scenario.build_device()).compile(scenario.build_circuit())
+    assert schedule_to_bytes(first.schedule) == schedule_to_bytes(second.schedule)
+
+
+def test_load_corpus_sees_every_file():
+    loaded = load_corpus(CORPUS_DIR)
+    assert [path for path, _ in loaded] == CORPUS
+
+
+def test_load_corpus_of_missing_directory_is_empty():
+    assert load_corpus(CORPUS_DIR / "does-not-exist") == []

@@ -1,0 +1,88 @@
+"""Tests for the scenario model and the seeded scenario generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz import GeneratorLimits, Scenario, ScenarioError, ScenarioGenerator
+from repro.fuzz.scenario import DEVICE_FAMILIES, MIN_FREE_SLOTS
+
+
+class TestScenarioGenerator:
+    def test_same_seed_same_stream(self):
+        first = [s.to_dict() for s in ScenarioGenerator(42).generate(25)]
+        second = [s.to_dict() for s in ScenarioGenerator(42).generate(25)]
+        assert first == second
+
+    def test_different_seeds_diverge(self):
+        a = [s.fingerprint() for s in ScenarioGenerator(0).generate(10)]
+        b = [s.fingerprint() for s in ScenarioGenerator(1).generate(10)]
+        assert a != b
+
+    def test_every_scenario_is_well_formed(self):
+        for scenario in ScenarioGenerator(7).generate(40):
+            assert scenario.is_well_formed(), scenario.describe()
+            device = scenario.build_device()
+            circuit = scenario.build_circuit()
+            assert device.total_capacity >= circuit.num_qubits + MIN_FREE_SLOTS
+
+    def test_covers_every_device_family(self):
+        # 80 draws over 5 families: each family should appear.
+        names = {s.device["name"][0] for s in ScenarioGenerator(0).generate(80)}
+        assert {"L", "R", "G", "S", "H"} <= names
+        assert len(DEVICE_FAMILIES) == 5
+
+    def test_covers_every_circuit_family(self):
+        kinds = {s.circuit["kind"] for s in ScenarioGenerator(0).generate(120)}
+        assert {"random", "qaoa", "clifford", "ghz", "qft"} <= kinds
+
+    def test_limits_are_respected(self):
+        limits = GeneratorLimits(max_traps=4, max_qubits=5, max_capacity=3)
+        for scenario in ScenarioGenerator(1, limits=limits).generate(30):
+            assert len(scenario.device["traps"]) <= 4
+            assert scenario.build_circuit().num_qubits <= 5
+            assert all(t["capacity"] <= 3 for t in scenario.device["traps"])
+
+
+class TestScenarioSerialisation:
+    def test_json_round_trip(self):
+        for scenario in ScenarioGenerator(5).generate(10):
+            again = Scenario.from_json(scenario.to_json())
+            assert again == scenario
+            assert again.fingerprint() == scenario.fingerprint()
+
+    def test_fingerprint_ignores_presentation_fields(self):
+        scenario = ScenarioGenerator(5).next_scenario()
+        renamed = Scenario(
+            circuit=scenario.circuit, device=scenario.device, name="x", note="y"
+        )
+        assert renamed.fingerprint() == scenario.fingerprint()
+
+    def test_bad_documents_rejected(self):
+        with pytest.raises(ScenarioError):
+            Scenario.from_json("not json at all {")
+        with pytest.raises(ScenarioError):
+            Scenario.from_json('{"format": "something-else"}')
+        with pytest.raises(ScenarioError):
+            Scenario.from_json('{"format": "repro-fuzz-scenario-v1"}')
+
+    def test_unknown_circuit_kind_rejected(self):
+        scenario = ScenarioGenerator(5).next_scenario()
+        broken = Scenario(circuit={"kind": "nope"}, device=scenario.device)
+        with pytest.raises(ScenarioError):
+            broken.build_circuit()
+
+
+class TestExplicitForm:
+    def test_explicit_preserves_the_circuit(self):
+        for scenario in ScenarioGenerator(9).generate(10):
+            explicit = scenario.explicit()
+            assert explicit.circuit["kind"] == "gates"
+            original = scenario.build_circuit()
+            rebuilt = explicit.build_circuit()
+            assert rebuilt.num_qubits == original.num_qubits
+            assert rebuilt.gates == original.gates
+
+    def test_explicit_is_idempotent(self):
+        scenario = ScenarioGenerator(9).next_scenario().explicit()
+        assert scenario.explicit() is scenario

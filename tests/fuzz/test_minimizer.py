@@ -1,0 +1,122 @@
+"""Minimizer tests: synthetic failing oracles, 1-minimality, guardrails.
+
+The central assertion (an ISSUE acceptance item): after minimization
+against an injected synthetic oracle, the shrunk scenario is *minimal* —
+removing any remaining gate or any remaining trap either breaks
+well-formedness or makes the synthetic failure disappear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.fuzz import Scenario, ScenarioError, ScenarioGenerator, minimize_scenario
+from repro.fuzz.minimize import _without_trap
+from repro.hardware.topologies import grid_device
+from repro.schedule.serialize import device_to_dict
+
+
+def _synthetic_failing(scenario: Scenario) -> bool:
+    """Fails iff >= 2 cx gates touch qubit 0 AND the device has >= 3 traps."""
+    gates = scenario.circuit.get("gates", [])
+    hot = sum(1 for name, qubits, _ in gates if name == "cx" and 0 in qubits)
+    return hot >= 2 and len(scenario.device["traps"]) >= 3
+
+
+def _failing_seed_scenario() -> Scenario:
+    """A generated scenario that trips the synthetic oracle."""
+    for scenario in ScenarioGenerator(3):
+        explicit = scenario.explicit()
+        if _synthetic_failing(explicit):
+            return explicit
+    raise AssertionError("unreachable")
+
+
+class TestMinimization:
+    def test_shrinks_to_the_known_minimum(self):
+        scenario = _failing_seed_scenario()
+        assert len(scenario.circuit["gates"]) > 10  # something to chew on
+        minimized = minimize_scenario(scenario, _synthetic_failing)
+        assert _synthetic_failing(minimized)
+        assert minimized.is_well_formed()
+        # The synthetic predicate's exact minimum: 2 gates, 3 traps.
+        assert len(minimized.circuit["gates"]) == 2
+        assert len(minimized.device["traps"]) == 3
+        assert all(name == "cx" and 0 in qubits for name, qubits, _ in minimized.circuit["gates"])
+
+    def test_result_is_one_minimal(self):
+        minimized = minimize_scenario(_failing_seed_scenario(), _synthetic_failing)
+
+        # Removing any remaining gate makes the scenario pass.
+        gates = minimized.circuit["gates"]
+        for index in range(len(gates)):
+            circuit = dict(minimized.circuit)
+            circuit["gates"] = gates[:index] + gates[index + 1 :]
+            candidate = replace(minimized, circuit=circuit)
+            assert not (candidate.is_well_formed() and _synthetic_failing(candidate))
+
+        # Removing any remaining trap makes it pass (or ill-formed).
+        for trap in minimized.device["traps"]:
+            candidate = replace(
+                minimized, device=_without_trap(minimized.device, trap["trap_id"])
+            )
+            assert not (candidate.is_well_formed() and _synthetic_failing(candidate))
+
+    def test_capacities_are_driven_down(self):
+        scenario = Scenario(
+            circuit={
+                "kind": "gates",
+                "num_qubits": 2,
+                "gates": [["cx", [0, 1], []], ["cx", [1, 0], []]],
+            },
+            device=device_to_dict(grid_device(2, 2, 6)),
+        )
+        assert _synthetic_failing(scenario)
+        minimized = minimize_scenario(scenario, _synthetic_failing)
+        # 2 qubits + MIN_FREE_SLOTS margin over 3 surviving traps: total
+        # capacity cannot shrink below 4, and the minimizer reaches it.
+        assert len(minimized.device["traps"]) == 3
+        assert sum(t["capacity"] for t in minimized.device["traps"]) == 4
+
+    def test_qubits_are_compacted(self):
+        scenario = Scenario(
+            circuit={
+                "kind": "gates",
+                "num_qubits": 9,
+                "gates": [["cx", [0, 7], []], ["cx", [7, 0], []], ["h", [3], []]],
+            },
+            device=device_to_dict(grid_device(2, 2, 4)),
+        )
+        minimized = minimize_scenario(scenario, _synthetic_failing)
+        assert minimized.circuit["num_qubits"] == 2
+        assert {q for _, qubits, _ in minimized.circuit["gates"] for q in qubits} == {0, 1}
+
+    def test_never_proposes_ill_formed_candidates(self):
+        seen: list[Scenario] = []
+
+        def recording(scenario: Scenario) -> bool:
+            seen.append(scenario)
+            return _synthetic_failing(scenario)
+
+        minimize_scenario(_failing_seed_scenario(), recording)
+        assert seen, "the predicate was never probed"
+        assert all(s.is_well_formed() for s in seen)
+
+    def test_rejects_a_scenario_that_does_not_fail(self):
+        scenario = ScenarioGenerator(1).next_scenario()
+        with pytest.raises(ScenarioError):
+            minimize_scenario(scenario, lambda s: False)
+
+    def test_probe_budget_bounds_the_search(self):
+        calls = {"n": 0}
+
+        def counting(scenario: Scenario) -> bool:
+            calls["n"] += 1
+            return _synthetic_failing(scenario)
+
+        minimize_scenario(_failing_seed_scenario(), counting, max_probes=10)
+        # The initial reproduction check is not budgeted; everything
+        # after it is.
+        assert calls["n"] <= 11

@@ -1,0 +1,101 @@
+"""Campaign-runner and ``repro fuzz`` CLI tests."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import repro.fuzz.runner as runner_module
+from repro.cli import main
+from repro.fuzz import FuzzResult, load_scenario, run_fuzz
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+class TestRunFuzz:
+    def test_green_campaign(self):
+        result = run_fuzz(cases=6, seed=0, minimize=False)
+        assert result.ok
+        assert result.cases_run == 6
+        assert result.checks_run > 0
+        assert "OK" in result.summary()
+
+    def test_corpus_replay_is_counted(self):
+        result = run_fuzz(cases=0, seed=0, corpus_dir=CORPUS_DIR)
+        assert result.ok
+        assert result.corpus_replayed == len(list(CORPUS_DIR.glob("*.json")))
+
+    def test_time_budget_stops_generation(self):
+        result = run_fuzz(cases=10_000, seed=0, time_budget_s=0.0, minimize=False)
+        assert result.budget_exhausted
+        assert result.cases_run < 10_000
+
+    def test_failures_are_minimized_and_written(self, tmp_path, monkeypatch):
+        """Inject a bug; the campaign must minimize and write a reproducer."""
+        import repro.fuzz.oracle as oracle_module
+
+        def broken(scenario, *args, **kwargs):
+            # "Bug": any scenario whose circuit has >= 5 two-qubit gates.
+            explicit = scenario.explicit()
+            if sum(1 for _, qubits, _ in explicit.circuit["gates"] if len(qubits) == 2) >= 5:
+                raise RuntimeError("injected scheduler bug")
+            return real_oracle(scenario, *args, **kwargs)
+
+        real_oracle = oracle_module.run_oracle
+        monkeypatch.setattr(runner_module, "run_oracle", broken)
+        monkeypatch.setattr(
+            runner_module,
+            "oracle_failing",
+            lambda s: s.is_well_formed() and _fails(s),
+        )
+
+        def _fails(scenario):
+            try:
+                broken(scenario)
+            except Exception:
+                return True
+            return False
+
+        failures_dir = tmp_path / "failures"
+        result = run_fuzz(cases=12, seed=0, minimize=True, failures_dir=failures_dir)
+        assert not result.ok
+        failure = result.failures[0]
+        assert failure.minimized is not None
+        # 1-minimal for the injected predicate: exactly 5 two-qubit gates.
+        two_qubit = [
+            g for g in failure.minimized.circuit["gates"] if len(g[1]) == 2
+        ]
+        assert len(two_qubit) == 5
+        assert len(failure.minimized.circuit["gates"]) == 5
+        assert failure.reproducer_path is not None and failure.reproducer_path.exists()
+        replayed = load_scenario(failure.reproducer_path)
+        assert "injected scheduler bug" in replayed.note
+        assert replayed.circuit == failure.minimized.circuit
+
+    def test_progress_messages_flow(self):
+        messages: list[str] = []
+        run_fuzz(cases=25, seed=0, minimize=False, on_progress=messages.append)
+        assert any("25/25" in message for message in messages)
+
+
+class TestFuzzCli:
+    def test_cli_green_run(self, capsys):
+        exit_code = main(["fuzz", "--cases", "4", "--seed", "0", "--quiet"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "OK" in captured.out
+
+    def test_cli_replays_the_corpus(self, capsys):
+        exit_code = main(
+            ["fuzz", "--cases", "1", "--seed", "0", "--corpus", str(CORPUS_DIR), "--quiet"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert f"{len(list(CORPUS_DIR.glob('*.json')))} corpus" in captured.out
+
+    def test_cli_time_budget_flag(self, capsys):
+        exit_code = main(
+            ["fuzz", "--cases", "5000", "--seed", "0", "--time-budget", "0", "--quiet"]
+        )
+        assert exit_code == 0
+        assert "time budget exhausted" in capsys.readouterr().out

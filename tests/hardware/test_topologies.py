@@ -1,4 +1,4 @@
-"""Unit tests for the L / G / S topology factories."""
+"""Unit tests for the L / R / G / S / H topology factories."""
 
 from __future__ import annotations
 
@@ -8,9 +8,11 @@ from repro.exceptions import DeviceError
 from repro.hardware.topologies import (
     build_topology,
     grid_device,
+    hex_device,
     linear_device,
     ring_device,
     star_device,
+    trap_capacities,
 )
 
 
@@ -86,12 +88,66 @@ class TestStar:
             star_device(1, 5)
 
 
+class TestHex:
+    def test_structure_2x3(self):
+        device = hex_device(2, 3, 4)
+        assert device.num_traps == 6
+        assert device.name == "H-2x3"
+        # 4 horizontal edges + vertical rungs at (r+c) even: (0,0), (0,2).
+        assert len(device.connections) == 6
+        assert device.are_connected(0, 3) and device.are_connected(2, 5)
+        assert not device.are_connected(1, 4)
+        assert all(c.junctions == 1 for c in device.connections)
+
+    def test_degree_at_most_three(self):
+        device = hex_device(3, 3, 4)
+        assert all(len(device.neighbors(t)) <= 3 for t in range(device.num_traps))
+
+    def test_every_trap_reachable(self):
+        device = hex_device(3, 2, 4)
+        for other in range(1, device.num_traps):
+            assert device.trap_distance(0, other) < float("inf")
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            hex_device(1, 1, 4)
+        with pytest.raises(DeviceError):
+            hex_device(3, 1, 4)  # single column disconnects the brick wall
+        with pytest.raises(DeviceError):
+            hex_device(2, 2, 0)
+
+
+class TestHeterogeneousCapacities:
+    def test_trap_capacities_broadcasts_an_int(self):
+        assert trap_capacities(3, 5) == [5, 5, 5]
+
+    def test_trap_capacities_validation(self):
+        with pytest.raises(DeviceError):
+            trap_capacities(3, [4, 4])  # length mismatch
+        with pytest.raises(DeviceError):
+            trap_capacities(2, [4, 0])  # non-positive entry
+
+    def test_linear_per_trap_capacities(self):
+        device = linear_device(3, [2, 6, 3])
+        assert [device.trap(i).capacity for i in range(3)] == [2, 6, 3]
+        assert device.total_capacity == 11
+
+    def test_grid_per_trap_capacities(self):
+        device = grid_device(2, 2, [1, 2, 3, 4])
+        assert [device.trap(i).capacity for i in range(4)] == [1, 2, 3, 4]
+
+    def test_hex_rejects_wrong_length(self):
+        with pytest.raises(DeviceError):
+            hex_device(2, 2, [3, 3, 3])
+
+
 class TestBuildTopology:
     def test_dispatch(self):
         assert build_topology("linear", 4, num_traps=3).num_traps == 3
         assert build_topology("grid", 4, rows=2, cols=2).num_traps == 4
         assert build_topology("star", 4, num_traps=5).num_traps == 5
         assert build_topology("ring", 4, num_traps=4).num_traps == 4
+        assert build_topology("hex", 4, rows=2, cols=3).num_traps == 6
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(DeviceError):

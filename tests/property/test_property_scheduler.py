@@ -15,9 +15,11 @@ from hypothesis import strategies as st
 
 from repro.baselines import DaiCompiler, MuraliCompiler
 from repro.circuit.library import random_circuit
-from repro.core.compiler import SSyncCompiler
+from repro.core.compiler import SSyncCompiler, SSyncConfig
+from repro.core.scheduler import SCHEDULER_BACKENDS, SchedulerConfig
 from repro.hardware.topologies import grid_device, linear_device, star_device
 from repro.noise.evaluator import evaluate_schedule
+from repro.schedule.serialize import schedule_to_bytes
 from repro.schedule.verify import verify_schedule
 
 
@@ -68,6 +70,30 @@ class TestSchedulerSoundness:
         result = DaiCompiler(device).compile(circuit)
         report = verify_schedule(result.schedule, result.initial_state, circuit=circuit)
         assert report.two_qubit_gates == circuit.num_two_qubit_gates
+
+    @given(compile_cases())
+    @settings(max_examples=25, deadline=None)
+    def test_all_backends_agree_bit_for_bit(self, case):
+        """Three-way parity: naive, incremental and flat are one scheduler.
+
+        The same invariant the fuzzing oracle (:mod:`repro.fuzz.oracle`)
+        enforces on generated scenarios, here driven by hypothesis:
+        every backend must emit byte-identical schedules, identical
+        scheduler statistics and identical placements.
+        """
+        device, circuit = case
+        results = {}
+        for backend in SCHEDULER_BACKENDS:
+            config = SSyncConfig(scheduler=SchedulerConfig(backend=backend))
+            results[backend] = SSyncCompiler(device, config).compile(circuit)
+        reference = results["naive"]
+        reference_bytes = schedule_to_bytes(reference.schedule)
+        for backend in SCHEDULER_BACKENDS:
+            result = results[backend]
+            assert schedule_to_bytes(result.schedule) == reference_bytes, backend
+            assert result.statistics == reference.statistics, backend
+            assert result.initial_state.occupancy() == reference.initial_state.occupancy()
+            assert result.final_state.occupancy() == reference.final_state.occupancy()
 
     @given(compile_cases())
     @settings(max_examples=25, deadline=None)
