@@ -23,12 +23,28 @@ latency regressed more than ``--threshold`` (default 2x) over the
 committed numbers.  Points whose committed p95 sits under
 ``MIN_CHECKED_SECONDS`` are skipped — they are timer/noise dominated,
 and a 2x gate on microseconds would flap on every loaded CI runner.
+
+The fleet section (``--skip-fleet`` to disable) boots real multi-process
+fleets through :func:`repro.service.fleet.make_fleet` and records two
+kinds of point:
+
+* scaling — the ``burst`` profile against 1-worker and
+  ``FLEET_SCALE_SIZE``-worker fleets.  The "N workers is at least
+  ``FLEET_SCALE_FACTOR``x one worker" gate only applies when the machine
+  has at least that many cores (recorded as ``cpu_count``); on smaller
+  runners the numbers are recorded but the gate is skipped — process
+  parallelism cannot beat the physics of one core.
+* cross-worker cache — several distinct-label jobs of one circuit
+  sharded across a 2-worker fleet must compile **once** fleet-wide
+  (``recompilations == 0``), proving the router's shared cache tier
+  works.  This gate is machine-independent and always enforced.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import tempfile
@@ -40,12 +56,23 @@ from repro.loadgen import PROFILES, run_profile
 
 RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_service_throughput.json"
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 #: Committed p95 values below this are excluded from the regression
 #: gate: at that scale the measurement is scheduling noise, not service
 #: performance.
 MIN_CHECKED_SECONDS = 0.05
+
+#: Worker count of the large fleet scaling point.
+FLEET_SCALE_SIZE = 4
+
+#: Minimum burst-throughput multiple the large fleet must achieve over a
+#: single worker — gated only on machines with >= FLEET_SCALE_SIZE cores.
+FLEET_SCALE_FACTOR = 2.0
+
+#: Jobs submitted for the cross-worker cache point (distinct labels, one
+#: circuit — every job past the first must be a tier hit somewhere).
+FLEET_CACHE_JOBS = 6
 
 
 def _boot_service(workers: int, slots: int):
@@ -64,6 +91,144 @@ def _boot_service(workers: int, slots: int):
         tmp.cleanup()
 
     return server, stop
+
+
+def _boot_fleet(size: int, workers: int = 1, slots: int = 2):
+    """A multi-process fleet on an ephemeral port; returns (server, stop)."""
+    from repro.service.fleet import make_fleet
+
+    tmp = tempfile.TemporaryDirectory(prefix="repro-bench-fleet-")
+    server = make_fleet(
+        port=0,
+        size=size,
+        cache_dir=tmp.name,
+        workers=workers,
+        slots=slots,
+        warm=False,
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+
+    def stop() -> None:
+        server.shutdown()
+        server.server_close()
+        server.close()
+        thread.join(timeout=10)
+        tmp.cleanup()
+
+    return server, stop
+
+
+def measure_fleet(requests: int, concurrency: int, seed: int) -> dict[str, Any]:
+    """The fleet section: scaling points plus the cross-worker cache point."""
+    from repro.obs import parse_exposition
+    from repro.service import ServiceClient
+
+    section: dict[str, Any] = {
+        "cpu_count": os.cpu_count() or 1,
+        "profile": "burst",
+        "requests": requests,
+        "points": [],
+    }
+    for size in (1, FLEET_SCALE_SIZE):
+        server, stop = _boot_fleet(size)
+        try:
+            result = run_profile(
+                server.url,
+                "burst",
+                requests=requests,
+                seed=seed,
+                concurrency=max(concurrency, size),
+            )
+            summary = result.as_dict()
+            if not result.ok:
+                raise SystemExit(
+                    f"fleet burst profile had failing requests at size {size}"
+                )
+            point = {
+                "size": size,
+                "throughput_rps": summary["throughput_rps"],
+                "latency_s": summary["latency_s"],
+            }
+            section["points"].append(point)
+            print(
+                f"fleet x{size:<3}  {summary['throughput_rps']:8.2f} req/s  "
+                f"p50 {summary['latency_s']['p50']:.4f}s  "
+                f"p95 {summary['latency_s']['p95']:.4f}s",
+                flush=True,
+            )
+        finally:
+            stop()
+
+    # Cross-worker cache sharing: FLEET_CACHE_JOBS distinct-label jobs of
+    # one circuit shard across two workers; the fleet-wide compilation
+    # counter proves the first worker's schedule reached the second
+    # through the router tier without recompiling.
+    server, stop = _boot_fleet(2)
+    try:
+        client = ServiceClient(server.url, timeout=300.0)
+        try:
+            for index in range(FLEET_CACHE_JOBS):
+                receipt = client.submit(
+                    {
+                        "jobs": [
+                            {
+                                "circuit": "qft_6",
+                                "device": "G-2x2",
+                                "label": f"bench-cache-{index}",
+                            }
+                        ]
+                    }
+                )
+                client.results(receipt["job_id"])
+            parsed = parse_exposition(client.metrics())
+            compilations = parsed["repro_engine_compilations_total"].value()
+        finally:
+            client.close()
+        section["cross_worker_cache"] = {
+            "jobs": FLEET_CACHE_JOBS,
+            "distinct_circuits": 1,
+            "compilations": compilations,
+            "recompilations": compilations - 1,
+        }
+        print(
+            f"fleet cache  {FLEET_CACHE_JOBS} jobs across 2 workers -> "
+            f"{compilations:.0f} compilation(s) fleet-wide",
+            flush=True,
+        )
+    finally:
+        stop()
+    return section
+
+
+def check_fleet(section: dict[str, Any]) -> list[str]:
+    """Gate messages for a freshly measured fleet section."""
+    failures: list[str] = []
+    cache = section.get("cross_worker_cache")
+    if cache is not None and cache["recompilations"] != 0:
+        failures.append(
+            f"cross-worker cache: {cache['recompilations']:.0f} recompilation(s) "
+            f"across {cache['jobs']} same-circuit jobs (expected 0 — the "
+            "router tier should serve every worker after the first compile)"
+        )
+    points = {point["size"]: point for point in section.get("points", [])}
+    cpu_count = section.get("cpu_count", os.cpu_count() or 1)
+    if 1 in points and FLEET_SCALE_SIZE in points:
+        if cpu_count >= FLEET_SCALE_SIZE:
+            base = float(points[1]["throughput_rps"])
+            big = float(points[FLEET_SCALE_SIZE]["throughput_rps"])
+            if big < FLEET_SCALE_FACTOR * base:
+                failures.append(
+                    f"fleet scaling: {FLEET_SCALE_SIZE} workers at {big:.1f} "
+                    f"req/s < {FLEET_SCALE_FACTOR:.1f}x one worker "
+                    f"({base:.1f} req/s)"
+                )
+        else:
+            print(
+                f"fleet scaling gate skipped: {cpu_count} core(s) < "
+                f"{FLEET_SCALE_SIZE} workers (numbers recorded, not gated)"
+            )
+    return failures
 
 
 def measure_profiles(
@@ -137,6 +302,11 @@ def main(argv: "list[str] | None" = None) -> int:
         help="re-measure and fail on regression versus a committed run",
     )
     parser.add_argument("--threshold", type=float, default=2.0)
+    parser.add_argument(
+        "--skip-fleet",
+        action="store_true",
+        help="skip the multi-process fleet scaling/cache section",
+    )
     args = parser.parse_args(argv)
 
     stop = None
@@ -152,15 +322,28 @@ def main(argv: "list[str] | None" = None) -> int:
         if stop is not None:
             stop()
 
+    # The fleet boots its own processes, so it only runs when this
+    # harness controls the service (not against a --url deployment).
+    fleet = None
+    if not args.skip_fleet and args.url is None:
+        fleet = measure_fleet(args.requests, args.concurrency, args.seed)
+
     if args.check is not None:
         committed = json.loads(args.check.read_text())
         failures = check_regressions(points, committed, args.threshold)
+        if fleet is not None:
+            failures.extend(check_fleet(fleet))
         # Write the measurements before deciding the exit code, so a red
         # CI run still uploads the numbers that triggered it.
         if args.output != RESULTS_PATH:
             args.output.parent.mkdir(parents=True, exist_ok=True)
             args.output.write_text(
-                json.dumps({"profiles": points}, indent=2, sort_keys=True) + "\n"
+                json.dumps(
+                    {"profiles": points, "fleet": fleet},
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n"
             )
         if failures:
             print("\nservice-throughput regression detected:", file=sys.stderr)
@@ -180,6 +363,8 @@ def main(argv: "list[str] | None" = None) -> int:
         "python": platform.python_version(),
         "profiles": points,
     }
+    if fleet is not None:
+        document["fleet"] = fleet
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {args.output}")

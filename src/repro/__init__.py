@@ -175,7 +175,7 @@ from repro.obs import MetricsRegistry, parse_exposition
 from repro.schedule import Schedule, verify_schedule
 from repro.service import CompilationService, ServiceClient
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "BatchCompiler",

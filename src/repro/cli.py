@@ -281,6 +281,27 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="keep the full journal event log instead of compacting it after replay",
     )
+    serve_parser.add_argument(
+        "--journal-max-bytes",
+        type=int,
+        default=None,
+        help="rotate (compact in place) the job journal when it exceeds this size",
+    )
+    serve_parser.add_argument(
+        "--cache-tier",
+        default=None,
+        metavar="URL",
+        help="base URL of a shared network cache tier (GET/PUT /v1/cache); "
+        "misses fall back to the local cache when the tier is down",
+    )
+    serve_parser.add_argument(
+        "--fleet",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run N sharded worker processes behind a router on --port "
+        "(0 = single-process service; workers tier their caches onto the router)",
+    )
 
     def add_client_url(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -643,23 +664,67 @@ def _command_batch(args: argparse.Namespace) -> int:
 def _command_serve(args: argparse.Namespace) -> int:
     # Imported here so the offline subcommands never pay for (or depend
     # on) the service stack.
-    from repro.service.server import make_server
-
     workers = None if args.workers == 0 else args.workers
-    server = make_server(
-        host=args.host,
-        port=args.port,
+    service_kwargs = dict(
         workers=workers,
-        cache_dir=args.cache_dir,
         max_cache_entries=args.max_cache_entries,
         slots=args.slots,
         journal=not args.no_journal,
+        journal_max_bytes=args.journal_max_bytes,
         compact=not args.no_compact,
         drain_timeout=args.drain_timeout,
+    )
+    if args.fleet:
+        from repro.service.fleet import make_fleet
+
+        server = make_fleet(
+            host=args.host,
+            port=args.port,
+            size=args.fleet,
+            cache_dir=args.cache_dir,
+            **service_kwargs,
+        )
+        print(
+            f"repro fleet listening on {server.url} "
+            f"({args.fleet} workers, shared cache tier on the router)"
+        )
+        print("endpoints: POST/GET /v1/jobs  GET|DELETE /v1/jobs/<id>  "
+              "GET /v1/jobs/<id>/results  GET|PUT /v1/cache/<fp>  "
+              "GET /v1/fleet  GET /v1/healthz  GET /v1/metrics")
+
+        # Fleet workers are non-daemon processes; translate SIGTERM into
+        # the KeyboardInterrupt path so they are torn down with the
+        # router instead of outliving it.
+        import signal
+
+        def _terminate(signum, frame):
+            raise KeyboardInterrupt
+
+        previous = signal.signal(signal.SIGTERM, _terminate)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down")
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+            server.shutdown()
+            server.server_close()
+            server.close()
+        return 0
+
+    from repro.service.server import make_server
+
+    server = make_server(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        cache_tier=args.cache_tier,
+        **service_kwargs,
     )
     print(f"repro service listening on {server.url}")
     print("endpoints: POST/GET /v1/jobs  GET|DELETE /v1/jobs/<id>  "
           "GET /v1/jobs/<id>/results  GET /v1/schedules/<fp>  "
+          "GET|PUT /v1/cache/<fp>  "
           "GET /v1/compilers  GET /v1/healthz  GET /v1/metrics")
     try:
         server.serve_forever()

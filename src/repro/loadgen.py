@@ -111,6 +111,10 @@ class LoadgenResult:
     concurrency: int
     wall_s: float
     records: list[RequestRecord] = field(default_factory=list)
+    #: Fresh TCP connections the pooled client opened over the whole run.
+    #: With keep-alive this stays near ``concurrency`` regardless of
+    #: ``requests`` — the delta vs. one-connection-per-request transport.
+    connections_opened: int = 0
 
     @property
     def ok(self) -> bool:
@@ -137,6 +141,7 @@ class LoadgenResult:
             ),
             "statuses": statuses,
             "resubmitted": sum(1 for r in self.records if r.resubmitted),
+            "connections_opened": self.connections_opened,
             "latency_s": {
                 "p50": percentile(latencies, 50.0),
                 "p95": percentile(latencies, 95.0),
@@ -326,6 +331,7 @@ def _run_results_profile(
         concurrency=concurrency,
         wall_s=wall_s,
         records=records,
+        connections_opened=client.connections_opened,
     )
 
 
@@ -367,4 +373,5 @@ def run_profile(
         concurrency=concurrency,
         wall_s=wall_s,
         records=records,
+        connections_opened=client.connections_opened,
     )

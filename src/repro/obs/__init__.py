@@ -19,6 +19,8 @@ Every metric name the service emits is listed in
 from repro.obs.metrics import (
     CONTENT_TYPE,
     DEFAULT_BUCKETS,
+    QUEUE_LATENCY_BUCKETS,
+    SERVICE_LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -38,6 +40,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "ParsedMetric",
+    "QUEUE_LATENCY_BUCKETS",
+    "SERVICE_LATENCY_BUCKETS",
     "Sample",
     "ServiceMetrics",
     "format_value",

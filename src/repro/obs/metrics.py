@@ -52,6 +52,30 @@ DEFAULT_BUCKETS = (
     0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
 )
 
+#: Service HTTP-latency buckets, in seconds.  Retuned against the
+#: measured loadgen distributions in
+#: ``benchmarks/results/BENCH_service_throughput.json``: every profile
+#: lands between ~3 ms (results-stream p50) and ~66 ms (burst max), a
+#: band the default buckets cross with only three edges (10/25/50 ms).
+#: The sub-100 ms region gets edges bracketing the observed p50s
+#: (3–19 ms) and p95s (4–62 ms); the tail keeps sparse coverage out to
+#: the longest plausible synchronous request.
+SERVICE_LATENCY_BUCKETS = (
+    0.001, 0.002, 0.003, 0.005, 0.0075, 0.01, 0.015, 0.02, 0.03,
+    0.045, 0.065, 0.1, 0.25, 1.0, 5.0, 30.0, 120.0,
+)
+
+#: Scheduler queue-wait buckets, in seconds.  Queue latency is bimodal:
+#: near-zero when a slot is free (the common case in the benchmark
+#: profiles, where waits track the sub-100 ms request band) and
+#: compilation-scale when every slot is busy — so the low end mirrors
+#: :data:`SERVICE_LATENCY_BUCKETS` while the tail stretches to the
+#: multi-minute drain ceiling.
+QUEUE_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.02, 0.045, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 15.0, 60.0, 300.0,
+)
+
 _METRIC_TYPES = ("counter", "gauge", "histogram")
 
 

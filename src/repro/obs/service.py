@@ -20,7 +20,13 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING, Iterable
 
-from repro.obs.metrics import Counter, Gauge, MetricsRegistry, _Metric
+from repro.obs.metrics import (
+    SERVICE_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    _Metric,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (app imports obs)
     from repro.service.app import CompilationService
@@ -57,6 +63,7 @@ class ServiceMetrics:
             "repro_http_request_seconds",
             "HTTP request latency in seconds, by method and route template.",
             ("method", "route"),
+            buckets=SERVICE_LATENCY_BUCKETS,
         )
         reg.gauge(
             "repro_service_uptime_seconds",
@@ -72,6 +79,9 @@ class ServiceMetrics:
             cache.bind_metrics(reg)
         if hasattr(engine, "bind_metrics"):
             engine.bind_metrics(reg)
+        results = getattr(service, "results", None)
+        if results is not None:
+            results.bind_metrics(reg)
 
     # ------------------------------------------------------------------
     # scrape-time state
@@ -115,7 +125,12 @@ class ServiceMetrics:
                 "Current size of the job journal file on disk.",
             )
             size.set(journal.size_bytes())
-            families.extend((events, written, size))
+            rotations = Counter(
+                "repro_journal_rotations_total",
+                "In-place journal rotations (size-triggered compactions).",
+            )
+            rotations.inc(journal.rotations)
+            families.extend((events, written, size, rotations))
         return families
 
     def render(self) -> str:

@@ -39,7 +39,7 @@ import uuid
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Sequence
 
 from repro.exceptions import ReproError
 from repro.schedule.schedule import Schedule
@@ -77,6 +77,10 @@ class CacheStats:
     disk_hits: int = 0
     disk_evictions: int = 0
     migrations: int = 0
+    network_hits: int = 0
+    network_misses: int = 0
+    network_stores: int = 0
+    network_errors: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Flat dictionary for reporting."""
@@ -88,6 +92,10 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "disk_evictions": self.disk_evictions,
             "migrations": self.migrations,
+            "network_hits": self.network_hits,
+            "network_misses": self.network_misses,
+            "network_stores": self.network_stores,
+            "network_errors": self.network_errors,
         }
 
     def snapshot(self) -> "CacheStats":
@@ -250,6 +258,15 @@ class ScheduleCache:
         reads refresh it) are deleted until the tier fits the budget
         again; the entry just written is never evicted by its own
         store.  ``None`` (the default) leaves the disk tier unbounded.
+    tiers:
+        Optional remote tiers (:class:`~repro.runtime.cache_tier.CacheTier`
+        instances, e.g. a fleet's shared network cache) consulted after a
+        disk miss, in order.  A tier hit is promoted into memory *and*
+        disk, so the next lookup is local; every local store is
+        propagated to each tier best-effort.  Tiers are expected never to
+        raise — an unreachable tier is a miss, not an error, so a dead
+        network cache degrades the fleet to per-node caching instead of
+        failing requests.
     """
 
     def __init__(
@@ -257,6 +274,7 @@ class ScheduleCache:
         max_entries: int = 256,
         directory: "Path | str | None" = None,
         max_disk_bytes: int | None = None,
+        tiers: "Sequence[Any]" = (),
     ) -> None:
         if max_entries < 1:
             raise ReproError("a schedule cache needs room for at least one entry")
@@ -264,6 +282,7 @@ class ScheduleCache:
             raise ReproError("the disk byte budget must be positive")
         self.max_entries = max_entries
         self.max_disk_bytes = max_disk_bytes
+        self.tiers = tuple(tiers)
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -342,16 +361,30 @@ class ScheduleCache:
             "Schedule-cache hits, by serving tier.",
             ("tier",),
         )
-        hits.labels(tier="memory").inc(stats.hits - stats.disk_hits)
+        hits.labels(tier="memory").inc(stats.hits - stats.disk_hits - stats.network_hits)
         hits.labels(tier="disk").inc(stats.disk_hits)
+        hits.labels(tier="network").inc(stats.network_hits)
         misses = Counter(
-            "repro_cache_misses_total", "Schedule-cache lookups that missed both tiers."
+            "repro_cache_misses_total",
+            "Schedule-cache misses: tier=local is a lookup that missed every "
+            "tier; tier=network is one remote-tier consultation that missed.",
+            ("tier",),
         )
-        misses.inc(stats.misses)
+        misses.labels(tier="local").inc(stats.misses)
+        misses.labels(tier="network").inc(stats.network_misses)
         stores = Counter(
-            "repro_cache_stores_total", "Compilations stored into the schedule cache."
+            "repro_cache_stores_total",
+            "Compilations stored into the schedule cache, by tier.",
+            ("tier",),
         )
-        stores.inc(stats.stores)
+        stores.labels(tier="local").inc(stats.stores)
+        stores.labels(tier="network").inc(stats.network_stores)
+        network_errors = Counter(
+            "repro_cache_network_errors_total",
+            "Remote cache-tier operations that failed or returned corrupt "
+            "entries (always served locally instead — never an error).",
+        )
+        network_errors.inc(stats.network_errors)
         evictions = Counter(
             "repro_cache_evictions_total",
             "Schedule-cache entries evicted, by tier.",
@@ -387,6 +420,7 @@ class ScheduleCache:
             hits,
             misses,
             stores,
+            network_errors,
             evictions,
             migrations,
             serialized,
@@ -412,13 +446,14 @@ class ScheduleCache:
         """Like :meth:`get`, but also reports where the entry came from.
 
         Returns ``(entry, tier)`` with ``tier`` one of ``"memory"``,
-        ``"disk"`` or ``None`` (a miss).  Concurrent batches use the tier
-        to account run-local hit statistics without reading the shared
-        counters, whose deltas interleave across overlapping runs.
+        ``"disk"``, ``"network"`` (a remote tier served it) or ``None``
+        (a miss everywhere).  Concurrent batches use the tier to account
+        run-local hit statistics without reading the shared counters,
+        whose deltas interleave across overlapping runs.
 
-        Disk reads happen **outside** the lock — a slot faulting an
-        entry in from disk must not stall every other slot's in-memory
-        hits behind its file I/O.
+        Disk reads (and remote-tier fetches) happen **outside** the lock
+        — a slot faulting an entry in must not stall another slot's
+        in-memory hits behind its I/O.
         """
         with self._lock:
             entry = self._entries.get(fingerprint)
@@ -446,9 +481,43 @@ class ScheduleCache:
                 except OSError:  # pragma: no cover - file raced away
                     pass
                 return entry, "disk"
+        entry = self._tier_fetch(fingerprint)
+        if entry is not None:
+            with self._lock:
+                self._insert(fingerprint, entry)
+                self.stats.hits += 1
+                self.stats.network_hits += 1
+            if self.directory is not None:
+                # Promote into the disk tier so restarts (and the budget
+                # sweep's recency) see the entry as a local citizen.
+                self._write_entry_file(self._disk_path(fingerprint), entry)
+            return entry, "network"
         with self._lock:
             self.stats.misses += 1
         return None, None
+
+    def _tier_fetch(self, fingerprint: str) -> CachedCompilation | None:
+        """First remote tier that serves ``fingerprint``; ``None`` on miss.
+
+        A payload that fails to parse as a current-format binary entry —
+        a corrupt blob, a foreign format, version skew — counts as a
+        ``network_errors`` miss rather than raising: a bad shared-cache
+        byte must never poison a local compilation.
+        """
+        for tier in self.tiers:
+            payload = tier.load(fingerprint)
+            if payload is None:
+                with self._lock:
+                    self.stats.network_misses += 1
+                continue
+            try:
+                entry = CachedCompilation.from_bytes(payload)
+            except (ReproError, IndexError, ValueError, TypeError):
+                with self._lock:
+                    self.stats.network_errors += 1
+                continue
+            return entry
+        return None
 
     def get(self, fingerprint: str) -> CachedCompilation | None:
         """Look up a compilation; ``None`` on a miss (counted in stats)."""
@@ -471,13 +540,21 @@ class ScheduleCache:
             return self._read_disk_entry(path)
         return None
 
-    def put(self, fingerprint: str, entry: CachedCompilation) -> "tuple[int, int]":
+    def put(
+        self, fingerprint: str, entry: CachedCompilation, propagate: bool = True
+    ) -> "tuple[int, int]":
         """Store a compilation under ``fingerprint`` (memory and disk).
 
         Returns ``(evictions, disk_evictions)`` caused by this store, so
         a concurrently running batch can attribute the displacement it
         triggered to its own run-local statistics.  As with lookups, the
         disk write and budget sweep run outside the lock.
+
+        With ``propagate=True`` (the default) the encoded entry is also
+        offered to every remote tier, best-effort.  The server side of a
+        network tier stores inbound ``PUT`` bodies with
+        ``propagate=False`` so a fleet of mutually-tiered caches cannot
+        echo entries back and forth.
         """
         with self._lock:
             evictions_before = self.stats.evictions
@@ -485,9 +562,10 @@ class ScheduleCache:
             self.stats.stores += 1
             evictions = self.stats.evictions - evictions_before
         disk_evictions = 0
+        payload: bytes | None = None
         if self.directory is not None:
             path = self._disk_path(fingerprint)
-            self._write_entry_file(path, entry)
+            payload = self._write_entry_file(path, entry)
             # A v2-era file for the same fingerprint is now stale — the
             # .sched entry supersedes it.
             legacy = path.with_suffix(".json")
@@ -500,6 +578,16 @@ class ScheduleCache:
                 if disk_evictions:
                     with self._lock:
                         self.stats.disk_evictions += disk_evictions
+        if propagate and self.tiers:
+            if payload is None:  # memory-only cache: encode once for the tiers
+                payload = entry.to_bytes()
+            for tier in self.tiers:
+                if tier.store(fingerprint, payload):
+                    with self._lock:
+                        self.stats.network_stores += 1
+                else:
+                    with self._lock:
+                        self.stats.network_errors += 1
         return evictions, disk_evictions
 
     def clear(self, disk: bool = False) -> None:
@@ -572,11 +660,13 @@ class ScheduleCache:
         legacy = path.with_suffix(".json")
         return legacy if legacy.exists() else None
 
-    def _write_entry_file(self, path: Path, entry: CachedCompilation) -> None:
+    def _write_entry_file(self, path: Path, entry: CachedCompilation) -> bytes:
         """Atomically write ``entry`` in the binary format at ``path``.
 
         Unique temp name per writer: concurrent processes sharing a cache
         directory must not interleave writes before the atomic replace.
+        Returns the encoded payload so callers (tier propagation) reuse
+        the bytes instead of re-serialising.
         """
         payload = entry.to_bytes()
         tmp = path.with_suffix(f".{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
@@ -586,6 +676,7 @@ class ScheduleCache:
             self._serialize_bytes["binary"] = (
                 self._serialize_bytes.get("binary", 0) + len(payload)
             )
+        return payload
 
     def _migrate_legacy_entry(
         self, fingerprint: str, entry: CachedCompilation, legacy_path: Path

@@ -1,0 +1,178 @@
+"""Remote cache tiers for :class:`~repro.runtime.cache.ScheduleCache`.
+
+A *cache tier* is anything that can ``load`` and ``store`` the binary
+``RCEN`` entry payloads the local cache already writes to disk — the
+same bytes, the same format version, just reachable over a wire.  The
+local cache consults its tiers after a disk miss and offers every fresh
+store to them, so a fleet of shared-nothing workers pointed at one
+shared tier turns any worker's compilation into a disk-speed hit for
+every other worker.
+
+The contract is deliberately forgiving: **tiers never raise**.  A dead,
+slow or misbehaving tier answers ``None`` (load) or ``False`` (store)
+and the caller degrades to local-only caching — a shared cache is an
+accelerator, never a dependency.  :class:`HttpCacheTier` additionally
+backs off for ``failure_cooldown_s`` after a transport failure so a
+down tier costs one timeout per cooldown window, not one per lookup.
+
+The wire protocol is two verbs on the existing service surface::
+
+    GET /v1/cache/<fingerprint>   -> 200 + RCEN bytes | 404
+    PUT /v1/cache/<fingerprint>   -> 204 (stored)
+
+served by :mod:`repro.service.server` from the worker's (or router's)
+own ``ScheduleCache``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import threading
+import time
+import urllib.parse
+from typing import Protocol
+
+__all__ = ["CacheTier", "HttpCacheTier"]
+
+#: Upper bound on an entry fetched from a remote tier.  RCEN entries for
+#: even the largest benchmarked circuits are well under a megabyte; a
+#: tier answering more than this is broken and treated as a miss.
+MAX_TIER_ENTRY_BYTES = 64 * 1024 * 1024
+
+
+class CacheTier(Protocol):
+    """What :class:`ScheduleCache` needs from a remote tier.
+
+    Implementations must be thread-safe (concurrent scheduler slots
+    share one cache, hence one tier) and must **never raise** from
+    either method.
+    """
+
+    def load(self, fingerprint: str) -> "bytes | None":
+        """The binary entry payload for ``fingerprint``, or ``None``."""
+        ...
+
+    def store(self, fingerprint: str, payload: bytes) -> bool:
+        """Offer an encoded entry; ``True`` when the tier accepted it."""
+        ...
+
+
+class HttpCacheTier:
+    """A shared schedule cache behind ``GET/PUT /v1/cache/<fingerprint>``.
+
+    Stdlib-only: one pooled persistent :class:`http.client.HTTPConnection`
+    guarded by a lock (cache traffic is short request/response pairs, so
+    one connection per tier keeps the worker's socket count flat), with
+    reconnect-on-stale and a failure cooldown.
+
+    Parameters
+    ----------
+    base_url:
+        Root of the service hosting the cache endpoints, e.g.
+        ``http://127.0.0.1:8100``.
+    timeout:
+        Socket timeout per request.  Kept deliberately short — a tier
+        slower than this is worth recompiling past.
+    failure_cooldown_s:
+        After a transport error, every call is an immediate miss for
+        this long before the tier is retried.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 2.0,
+        failure_cooldown_s: float = 10.0,
+    ) -> None:
+        parsed = urllib.parse.urlsplit(base_url if "//" in base_url else f"//{base_url}")
+        if parsed.scheme not in ("", "http"):
+            raise ValueError(f"cache tiers speak plain http, got {base_url!r}")
+        if not parsed.hostname:
+            raise ValueError(f"cache tier URL has no host: {base_url!r}")
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.base_path = parsed.path.rstrip("/")
+        self.timeout = timeout
+        self.failure_cooldown_s = failure_cooldown_s
+        self._lock = threading.Lock()
+        self._connection: "http.client.HTTPConnection | None" = None
+        self._down_until = 0.0
+        # Transport failures observed (reported via CacheStats by the
+        # owning cache; kept here too for direct inspection in tests).
+        self.failures = 0
+
+    @property
+    def url(self) -> str:
+        """The tier's base URL (for health payloads and logs)."""
+        return f"http://{self.host}:{self.port}{self.base_path}"
+
+    # ------------------------------------------------------------------
+    # CacheTier protocol
+    # ------------------------------------------------------------------
+    def load(self, fingerprint: str) -> "bytes | None":
+        response = self._request("GET", fingerprint)
+        if response is None:
+            return None
+        status, body = response
+        if status != 200 or not body:
+            return None
+        return body
+
+    def store(self, fingerprint: str, payload: bytes) -> bool:
+        response = self._request("PUT", fingerprint, payload)
+        return response is not None and response[0] in (200, 201, 204)
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, fingerprint: str, body: "bytes | None" = None
+    ) -> "tuple[int, bytes] | None":
+        """One round-trip; ``None`` on any transport problem.
+
+        Holds the connection lock for the whole exchange: the pooled
+        connection is strictly serial.  A request that fails on a
+        *reused* connection is retried once on a fresh one — the server
+        may simply have closed an idle keep-alive socket.
+        """
+        with self._lock:
+            if time.monotonic() < self._down_until:
+                return None
+            reused = self._connection is not None
+            for attempt in range(2):
+                connection = self._connection
+                if connection is None:
+                    connection = http.client.HTTPConnection(
+                        self.host, self.port, timeout=self.timeout
+                    )
+                    reused = False
+                self._connection = None
+                try:
+                    connection.request(
+                        method,
+                        f"{self.base_path}/v1/cache/{fingerprint}",
+                        body=body,
+                        headers={"Content-Type": "application/octet-stream"}
+                        if body is not None
+                        else {},
+                    )
+                    response = connection.getresponse()
+                    payload = response.read(MAX_TIER_ENTRY_BYTES + 1)
+                    if len(payload) > MAX_TIER_ENTRY_BYTES:
+                        connection.close()
+                        return None
+                    if response.will_close:
+                        connection.close()
+                    else:
+                        self._connection = connection
+                    return response.status, payload
+                except (OSError, http.client.HTTPException):
+                    connection.close()
+                    if reused and attempt == 0:
+                        # Stale keep-alive socket; retry once, fresh.
+                        reused = False
+                        continue
+                    self.failures += 1
+                    self._down_until = time.monotonic() + self.failure_cooldown_s
+                    return None
+        return None  # pragma: no cover - loop always returns

@@ -307,6 +307,8 @@ class BatchCompiler:
             run_stats.hits += 1
             if tier == "disk":
                 run_stats.disk_hits += 1
+            elif tier == "network":
+                run_stats.network_hits += 1
             entries[fingerprint] = entry
             from_cache[fingerprint] = True
 

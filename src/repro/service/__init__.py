@@ -28,9 +28,17 @@ split the responsibilities:
   ``/v1/compilers``, ``/v1/healthz`` and the Prometheus-format
   ``/v1/metrics`` (see :mod:`repro.obs`), with structured 4xx errors
   for everything :class:`~repro.exceptions.ManifestError` covers;
-* :mod:`repro.service.client` — :class:`ServiceClient`, the thin stdlib
-  client used by tests, examples, CI and the ``repro submit`` /
-  ``repro results`` / ``repro jobs`` CLI commands.
+* :mod:`repro.service.client` — :class:`ServiceClient`, the pooled
+  keep-alive stdlib client used by tests, examples, CI and the
+  ``repro submit`` / ``repro results`` / ``repro jobs`` CLI commands;
+* :mod:`repro.service.results` — :class:`ResultStore`, the
+  content-addressed durable result store: finished jobs' streamed bytes
+  survive restarts and replay byte-identically with zero recompilation;
+* :mod:`repro.service.fleet` — :class:`FleetRouter` /
+  :func:`make_fleet`, the multi-process front door: submissions shard
+  onto N worker processes by job-fingerprint hash, schedule caches tier
+  onto the router's shared cache, and dead workers are respawned with
+  failover in between (``repro serve --fleet N``).
 
 Start one from the CLI (``python -m repro serve --port 8000``) or
 in-process::
@@ -50,22 +58,29 @@ Everything is standard library — no web framework, no new dependencies.
 
 from repro.service.app import CompilationService
 from repro.service.client import ServiceClient
+from repro.service.fleet import FleetRouter, FleetServer, make_fleet, serve_fleet
 from repro.service.jobs import JobStore, ServiceJob, job_batch_id
 from repro.service.journal import JobJournal, compact_journal, replay_journal
+from repro.service.results import ResultStore
 from repro.service.scheduler import ServiceScheduler
 from repro.service.server import ServiceServer, make_server, serve
 
 __all__ = [
     "CompilationService",
+    "FleetRouter",
+    "FleetServer",
     "JobJournal",
     "JobStore",
+    "ResultStore",
     "ServiceClient",
     "ServiceJob",
     "ServiceScheduler",
     "ServiceServer",
     "compact_journal",
     "job_batch_id",
+    "make_fleet",
     "make_server",
     "replay_journal",
     "serve",
+    "serve_fleet",
 ]

@@ -44,12 +44,21 @@ from repro.runtime.manifest import (
     manifest_document_from_text,
 )
 from repro.runtime.pool import BatchCompiler
-from repro.service.jobs import JobStore, ServiceJob, job_batch_id
+from repro.service.jobs import (
+    TERMINAL_STATUSES,
+    JobStore,
+    ServiceJob,
+    job_batch_id,
+)
 from repro.service.journal import JobJournal, compact_journal, replay_journal
+from repro.service.results import ResultStore
 from repro.service.scheduler import ServiceScheduler
 
 #: File name of the job journal inside the service's cache directory.
 JOURNAL_FILENAME = "jobs.journal.jsonl"
+
+#: Subdirectory of the cache directory holding the durable result store.
+RESULTS_DIRNAME = "results"
 
 
 class CompilationService:
@@ -75,6 +84,13 @@ class CompilationService:
         An existing engine to run on instead of building one —
         ``workers``/``cache``/``warm`` are then ignored.  Tests inject
         controllable engines here.
+    cache_tier:
+        A shared network cache to consult behind the local tiers: either
+        a base URL (``http://host:port`` — wrapped in an
+        :class:`~repro.runtime.cache_tier.HttpCacheTier`) or any object
+        satisfying the :class:`~repro.runtime.cache_tier.CacheTier`
+        protocol.  Attached to the engine's schedule cache, so fleet
+        workers pointed at one tier share every compilation.
     journal_path:
         Where to keep the JSON-lines job journal.  Defaults to
         ``<cache_dir>/jobs.journal.jsonl`` when ``cache_dir`` is given;
@@ -82,6 +98,11 @@ class CompilationService:
         journal is disabled.
     journal:
         Set ``False`` to disable journaling even with a cache directory.
+    journal_max_bytes:
+        Size threshold above which the journal rotates (compacts) itself
+        in place while the service runs, bounding its disk footprint
+        between restarts.  ``None`` (the default) keeps the old
+        behaviour: the file only shrinks at the next startup compaction.
     recover:
         What to do with journaled jobs that were queued/running when the
         previous process died: ``"resubmit"`` (default) re-parses their
@@ -95,6 +116,17 @@ class CompilationService:
         append-only event log is rewritten to only the live/terminal
         state replay needs, so it stops growing without bound across
         restarts.  ``repro serve --no-compact`` disables this.
+    results_dir:
+        Where the durable result store keeps each finished job's
+        streamed bytes (``<job_id>.results``).  Defaults to
+        ``<cache_dir>/results`` when ``cache_dir`` is given; with
+        neither, results live only in memory as before.
+    results:
+        Set ``False`` to disable the durable result store even with a
+        cache directory.
+    max_result_bytes:
+        LRU byte budget for finalised result files (``None`` =
+        unbounded).  In-flight streams are never evicted.
     drain_timeout:
         Default bound, in seconds, on how long :meth:`close` waits for
         running batches to finish before cooperatively cancelling them.
@@ -116,10 +148,15 @@ class CompilationService:
         warm: bool = True,
         slots: int = 2,
         engine: BatchCompiler | None = None,
+        cache_tier: "str | Any | None" = None,
         journal_path: "Path | str | None" = None,
         journal: bool = True,
+        journal_max_bytes: int | None = None,
         recover: str = "resubmit",
         compact: bool = True,
+        results_dir: "Path | str | None" = None,
+        results: bool = True,
+        max_result_bytes: int | None = None,
         drain_timeout: float | None = 10.0,
         metrics_registry: MetricsRegistry | None = None,
     ) -> None:
@@ -132,6 +169,12 @@ class CompilationService:
                 )
             engine = BatchCompiler(workers=workers, cache=cache, warm=warm)
         self.engine = engine
+        if cache_tier is not None:
+            if isinstance(cache_tier, str):
+                from repro.runtime.cache_tier import HttpCacheTier
+
+                cache_tier = HttpCacheTier(cache_tier)
+            self.engine.cache.tiers = self.engine.cache.tiers + (cache_tier,)
         self.store = JobStore()
         self.started_at = time.time()
         self.started_monotonic = time.monotonic()
@@ -140,12 +183,17 @@ class CompilationService:
         self.scheduler = ServiceScheduler(
             self.engine,
             slots=slots,
-            observer=self._journal_transition,
+            observer=self._on_transition,
             registry=metrics_registry,
         )
         self.drain_timeout = drain_timeout
         if journal_path is None and journal and cache_dir is not None:
             journal_path = Path(cache_dir) / JOURNAL_FILENAME
+        if results_dir is None and results and cache_dir is not None:
+            results_dir = Path(cache_dir) / RESULTS_DIRNAME
+        self.results: ResultStore | None = None
+        if results and results_dir is not None:
+            self.results = ResultStore(results_dir, max_disk_bytes=max_result_bytes)
         self.journal: JobJournal | None = None
         self._lock = threading.Lock()
         self._closed = False
@@ -155,7 +203,7 @@ class CompilationService:
             recovered = replay_journal(journal_path)
             if compact:
                 compact_journal(journal_path, states=recovered)
-            self.journal = JobJournal(journal_path)
+            self.journal = JobJournal(journal_path, max_bytes=journal_max_bytes)
             self._recover(recovered, policy=recover)
 
     # ------------------------------------------------------------------
@@ -187,6 +235,8 @@ class CompilationService:
         self.scheduler.close(drain_timeout=drain_timeout)
         if self.journal is not None:
             self.journal.close()
+        if self.results is not None:
+            self.results.close()
         if self.scheduler.active_count() == 0:
             self.engine.close()
         # else: slots outlived the drain deadline.  Terminating the warm
@@ -205,8 +255,20 @@ class CompilationService:
     # ------------------------------------------------------------------
     # journal plumbing
     # ------------------------------------------------------------------
-    def _journal_transition(self, job: ServiceJob, transition: str) -> None:
-        """Scheduler observer: persist every state change."""
+    def _on_transition(self, job: ServiceJob, transition: str) -> None:
+        """Scheduler observer: journal every state change, seal results.
+
+        On ``done``, the durable result store's partial stream gains the
+        terminal ``end`` line (the same bytes :meth:`stream_encoded`
+        ends with) and is finalised; failed and cancelled jobs abandon
+        theirs — those ids are retryable, and a stale partial stream
+        must not shadow the retry.
+        """
+        if self.results is not None and transition in TERMINAL_STATUSES:
+            if transition == "done":
+                self.results.finalize(job.job_id, self._encoded_end_line(job))
+            else:
+                self.results.abandon(job.job_id)
         if self.journal is None:
             return
         fields: dict[str, Any] = {}
@@ -240,20 +302,24 @@ class CompilationService:
         for state in recovered:
             status = state["status"]
             if status in ("done", "failed", "cancelled"):
-                self.store.put(
-                    ServiceJob.from_journal(
-                        state["job_id"],
-                        status,
-                        created_at=state["created_at"] or 0.0,
-                        priority=state["priority"],
-                        total_jobs=state["total_jobs"],
-                        spec_rows=state["spec_rows"],
-                        summary=state["summary"],
-                        error=state["error"],
-                        started_at=state["started_at"],
-                        finished_at=state["finished_at"],
-                    )
+                job = ServiceJob.from_journal(
+                    state["job_id"],
+                    status,
+                    created_at=state["created_at"] or 0.0,
+                    priority=state["priority"],
+                    total_jobs=state["total_jobs"],
+                    spec_rows=state["spec_rows"],
+                    summary=state["summary"],
+                    error=state["error"],
+                    started_at=state["started_at"],
+                    finished_at=state["finished_at"],
                 )
+                if status == "done" and self.results is not None:
+                    # The durable store may hold the job's full original
+                    # stream; attaching it makes the results replayable
+                    # byte-for-byte with zero recompilation.
+                    job.stored_lines = self.results.load(job.job_id)
+                self.store.put(job)
                 continue
             # Interrupted mid-flight.  Resubmit when we can, otherwise
             # record the restart as the failure it was.
@@ -326,6 +392,10 @@ class CompilationService:
                 return existing, True
             job = ServiceJob(job_id, jobs, priority=priority)
             self.store.put(job)
+        if self.results is not None:
+            # Attach the durable writer before the scheduler can run the
+            # job, so no outcome line can land unpersisted.
+            job.on_encoded_line = self.results.open_writer(job_id).append
         self._journal_submission(job, document)
         self.scheduler.submit(job)
         return job, False
@@ -335,14 +405,22 @@ class CompilationService:
         """Whether a resubmission should re-run instead of deduplicate.
 
         Failed and cancelled jobs retry.  So does a **replayed terminal
-        job**: its status and summary survived the restart but its
-        streamed outcome buffers did not, so deduplicating against it
-        would make the results permanently unretrievable — while the
-        schedule cache makes the re-run nearly free.
+        job without stored results**: its status and summary survived
+        the restart but its streamed outcome buffers did not, so
+        deduplicating against it would make the results permanently
+        unretrievable — while the schedule cache makes the re-run nearly
+        free.  A replayed job whose full stream survived in the result
+        store deduplicates like any live finished job: its results are
+        servable as stored bytes, with zero recompilation.
         """
         if existing.status in ("failed", "cancelled"):
             return True
-        return existing.replayed and existing.finished and not existing.outcomes
+        return (
+            existing.replayed
+            and existing.finished
+            and not existing.outcomes
+            and existing.stored_lines is None
+        )
 
     # ------------------------------------------------------------------
     # cancellation
@@ -363,7 +441,7 @@ class CompilationService:
         if accepted and was_queued and job.status == "cancelled":
             # Running jobs are journaled by the scheduler when the
             # cooperative cancel lands; queued ones finish right here.
-            self._journal_transition(job, "cancelled")
+            self._on_transition(job, "cancelled")
         return job, accepted
 
     # ------------------------------------------------------------------
@@ -410,6 +488,10 @@ class CompilationService:
     def _stream_lines(
         self, job: ServiceJob, timeout: float | None
     ) -> Iterator[dict[str, object]]:
+        if job.stored_lines is not None:
+            for line in job.stored_lines:
+                yield json.loads(line)
+            return
         for index, outcome in enumerate(job.iter_outcomes(timeout=timeout)):
             yield {
                 "type": "outcome",
@@ -451,10 +533,14 @@ class CompilationService:
             raise KeyError(job_id)
         return self._stream_encoded(job, timeout)
 
-    def _stream_encoded(
-        self, job: ServiceJob, timeout: float | None
-    ) -> Iterator[bytes]:
-        yield from job.iter_encoded_lines(timeout=timeout)
+    @staticmethod
+    def _encoded_end_line(job: ServiceJob) -> bytes:
+        """The terminal ``end`` line's bytes for a job's current state.
+
+        One encoder shared by live streaming and result-store
+        finalisation, so the stored stream is byte-identical to the one
+        the original client read.
+        """
         end: dict[str, object] = {
             "type": "end",
             "job_id": job.job_id,
@@ -464,7 +550,49 @@ class CompilationService:
             end["summary"] = dict(job.summary)
         if job.error is not None:
             end["error"] = dict(job.error)
-        yield json.dumps(end, sort_keys=True).encode("utf-8")
+        return json.dumps(end, sort_keys=True).encode("utf-8")
+
+    def _stream_encoded(
+        self, job: ServiceJob, timeout: float | None
+    ) -> Iterator[bytes]:
+        if job.stored_lines is not None:
+            # Restored from the durable result store after a restart:
+            # the full original stream (end line included), verbatim.
+            yield from job.stored_lines
+            return
+        yield from job.iter_encoded_lines(timeout=timeout)
+        yield self._encoded_end_line(job)
+
+    def cache_entry_bytes(self, compile_fingerprint: str) -> "bytes | None":
+        """One cache entry as raw binary bytes (``GET /v1/cache/<fp>``).
+
+        The server half of the network cache tier: answers the exact
+        ``RCEN`` payload a peer's :class:`HttpCacheTier` will feed to
+        :meth:`CachedCompilation.from_bytes`.  Uses :meth:`peek` —
+        remote probes must not skew this node's hit/miss statistics.
+        """
+        entry = self.engine.cache.peek(compile_fingerprint)
+        if entry is None:
+            return None
+        return entry.to_bytes()
+
+    def cache_store_bytes(self, compile_fingerprint: str, payload: bytes) -> bool:
+        """Accept a binary cache entry pushed by a peer (``PUT /v1/cache``).
+
+        The body must parse as a current-format entry — a corrupt or
+        foreign payload is refused (``False``) rather than stored, so one
+        bad peer cannot poison the shared tier.  Stored with
+        ``propagate=False``: an inbound PUT must not echo back out to
+        this node's own tiers.
+        """
+        from repro.runtime.cache import CachedCompilation
+
+        try:
+            entry = CachedCompilation.from_bytes(payload)
+        except Exception:  # noqa: BLE001 - any parse failure is a refusal
+            return False
+        self.engine.cache.put(compile_fingerprint, entry, propagate=False)
+        return True
 
     def schedule_payload(self, compile_fingerprint: str) -> dict[str, object] | None:
         """The cached compilation stored under a compile fingerprint.
@@ -534,6 +662,17 @@ class CompilationService:
                 "path": str(self.journal.path),
                 "size_bytes": self.journal.size_bytes(),
                 "events_appended": self.journal.events_appended,
+                "rotations": self.journal.rotations,
+            }
+        results: "dict[str, object] | None" = None
+        if self.results is not None:
+            results = {
+                "path": str(self.results.directory),
+                "entries": self.results.entries(),
+                "disk_bytes": self.results.disk_bytes(),
+                "stores": self.results.stores,
+                "replays": self.results.replays,
+                "evictions": self.results.evictions,
             }
         return {
             "status": "ok",
@@ -544,4 +683,5 @@ class CompilationService:
             "engine": {"workers": self.engine.workers, "warm": self.engine.warm},
             "cache": self.engine.cache.stats.as_dict(),
             "journal": journal,
+            "results": results,
         }

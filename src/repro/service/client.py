@@ -7,6 +7,16 @@ the moment the service flushes it.  Error responses raise the typed
 :class:`~repro.exceptions.ServiceError` with the HTTP status and the
 structured error payload attached.
 
+The transport **keeps connections alive**: requests run over a small
+pool of persistent :class:`http.client.HTTPConnection` objects instead
+of one ``urllib`` socket per call, so a loadgen worker (or a fleet
+router proxying thousands of submissions) pays TCP setup once per
+connection, not once per request.  A response that is read to the end
+returns its connection to the pool; a request that fails on a *reused*
+connection is retried once on a fresh socket — the server may simply
+have closed an idle keep-alive connection between calls.  The pool is
+thread-safe: concurrent threads draw distinct connections.
+
 Used by the test suite, ``examples/service_client.py`` and CI's service
 smoke step; applications embedding the service in-process can skip HTTP
 entirely and talk to :class:`~repro.service.app.CompilationService`.
@@ -14,13 +24,71 @@ entirely and talk to :class:`~repro.service.app.CompilationService`.
 
 from __future__ import annotations
 
+import http.client
 import json
-import urllib.error
-import urllib.request
+import threading
+import urllib.parse
 from pathlib import Path
 from typing import Any, Iterator, Mapping, Sequence
 
 from repro.exceptions import ServiceError
+
+#: Idle connections kept per client beyond which extras are closed.
+MAX_IDLE_CONNECTIONS = 8
+
+#: Transport failures that mark a pooled connection stale (the server
+#: closed its side) rather than the service unreachable.
+_STALE_ERRORS = (
+    http.client.RemoteDisconnected,
+    http.client.BadStatusLine,
+    ConnectionResetError,
+    BrokenPipeError,
+)
+
+
+class _PooledResponse:
+    """One HTTP response tied to its pooled connection.
+
+    Mimics the slice of the ``urllib`` response API the client (and its
+    callers) use: ``read``, line iteration, ``close`` and the context
+    manager.  Closing after the body was fully consumed returns the
+    connection to the owner's idle pool; closing early (an abandoned
+    stream) discards the connection — the unread body would poison the
+    next request on that socket.
+    """
+
+    def __init__(
+        self,
+        owner: "ServiceClient",
+        connection: http.client.HTTPConnection,
+        response: http.client.HTTPResponse,
+    ) -> None:
+        self._owner = owner
+        self._connection = connection
+        self.raw = response
+        self.status = response.status
+        self.headers = response.headers
+
+    def read(self, amt: "int | None" = None) -> bytes:
+        return self.raw.read(amt)
+
+    def __iter__(self) -> Iterator[bytes]:
+        return iter(self.raw)
+
+    def close(self) -> None:
+        connection, self._connection = self._connection, None
+        if connection is None:
+            return
+        if self.raw.isclosed() and not self.raw.will_close:
+            self._owner._release(connection)
+        else:
+            connection.close()
+
+    def __enter__(self) -> "_PooledResponse":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 class ServiceClient:
@@ -29,29 +97,100 @@ class ServiceClient:
     def __init__(self, base_url: str, timeout: float = 60.0) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        parsed = urllib.parse.urlsplit(self.base_url)
+        if parsed.scheme not in ("", "http"):
+            raise ServiceError(f"the service client speaks plain http, got {base_url!r}")
+        self._host = parsed.hostname or "127.0.0.1"
+        self._port = parsed.port or 80
+        self._base_path = parsed.path.rstrip("/")
+        self._pool_lock = threading.Lock()
+        self._idle: list[http.client.HTTPConnection] = []
+        #: Fresh TCP connections opened (reuse delta shows in loadgen).
+        self.connections_opened = 0
+
+    # ------------------------------------------------------------------
+    # connection pool
+    # ------------------------------------------------------------------
+    def _acquire(self) -> "tuple[http.client.HTTPConnection, bool]":
+        """An idle pooled connection, or a fresh one; ``(conn, reused)``."""
+        with self._pool_lock:
+            if self._idle:
+                return self._idle.pop(), True
+        self.connections_opened += 1
+        return (
+            http.client.HTTPConnection(self._host, self._port, timeout=self.timeout),
+            False,
+        )
+
+    def _release(self, connection: http.client.HTTPConnection) -> None:
+        with self._pool_lock:
+            if len(self._idle) < MAX_IDLE_CONNECTIONS:
+                self._idle.append(connection)
+                return
+        connection.close()
+
+    def close(self) -> None:
+        """Close every idle pooled connection (idempotent)."""
+        with self._pool_lock:
+            idle, self._idle = self._idle, []
+        for connection in idle:
+            connection.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
-    def _open(self, method: str, path: str, body: bytes | None = None):
-        request = urllib.request.Request(
-            self.base_url + path, data=body, method=method
-        )
-        if body is not None:
-            request.add_header("Content-Type", "application/json")
-        try:
-            return urllib.request.urlopen(request, timeout=self.timeout)
-        except urllib.error.HTTPError as exc:
-            raw = exc.read()
+    def _open(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> _PooledResponse:
+        headers = {"Content-Type": "application/json"} if body is not None else {}
+        last_error: "Exception | None" = None
+        for attempt in range(2):
+            connection, reused = self._acquire()
             try:
-                payload = json.loads(raw.decode("utf-8"))
-            except (ValueError, UnicodeDecodeError):
-                payload = {}
-            error = payload.get("error", {}) if isinstance(payload, dict) else {}
-            message = error.get("message") or f"{exc.code} {exc.reason}"
-            raise ServiceError(message, status=exc.code, payload=payload) from exc
-        except urllib.error.URLError as exc:
-            raise ServiceError(f"cannot reach {self.base_url}: {exc.reason}") from exc
+                connection.request(
+                    method, self._base_path + path, body=body, headers=headers
+                )
+                response = connection.getresponse()
+            except _STALE_ERRORS as exc:
+                connection.close()
+                last_error = exc
+                if reused:
+                    # The server closed this idle keep-alive socket under
+                    # us; the request never ran — retry it on a fresh
+                    # connection (safe even for POST).
+                    continue
+                raise ServiceError(
+                    f"cannot reach {self.base_url}: {exc}"
+                ) from exc
+            except OSError as exc:
+                connection.close()
+                raise ServiceError(
+                    f"cannot reach {self.base_url}: "
+                    f"{getattr(exc, 'strerror', None) or exc}"
+                ) from exc
+            if response.status >= 400:
+                raw = response.read()  # drains: the connection stays reusable
+                if response.will_close:
+                    connection.close()
+                else:
+                    self._release(connection)
+                try:
+                    payload = json.loads(raw.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    payload = {}
+                error = payload.get("error", {}) if isinstance(payload, dict) else {}
+                message = error.get("message") or f"{response.status} {response.reason}"
+                raise ServiceError(message, status=response.status, payload=payload)
+            return _PooledResponse(self, connection, response)
+        raise ServiceError(
+            f"cannot reach {self.base_url}: {last_error}"
+        ) from last_error  # pragma: no cover - both attempts were stale reuses
 
     def _json(self, method: str, path: str, body: bytes | None = None) -> Any:
         with self._open(method, path, body) as response:

@@ -27,7 +27,7 @@ import hashlib
 import json
 import threading
 import time
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
 from repro.runtime.jobs import CompileJob
 from repro.runtime.pool import BatchResult, JobOutcome
@@ -83,6 +83,13 @@ class ServiceJob:
         self.finished_at: float | None = None
         self.cancel_requested = False
         self.replayed = False
+        # Optional per-line sink (the durable result store's writer):
+        # called with each encoded outcome line right after it lands.
+        self.on_encoded_line: "Any | None" = None
+        # A finished stream restored from the result store after a
+        # restart: every line (outcomes + the terminal end line), served
+        # verbatim instead of the in-memory buffers.
+        self.stored_lines: "list[bytes] | None" = None
         # Monotonic queue-entry time, stamped by ServiceScheduler.submit;
         # the queue-latency histogram is measured from it.
         self.enqueued_at: float | None = None
@@ -155,13 +162,24 @@ class ServiceJob:
                 },
                 sort_keys=True,
             ).encode("utf-8")
-            self.encoded_lines.append(
+            line = (
                 head[:-1]
                 + b', "record": '
                 + outcome.encoded_record()
                 + b', "type": "outcome"}'
             )
+            self.encoded_lines.append(line)
             self._cond.notify_all()
+        sink = self.on_encoded_line
+        if sink is not None:
+            # Outside the condition: the durable store's file append must
+            # not block readers waiting on the next outcome.  Outcomes
+            # for one job arrive from a single slot thread, so the
+            # append order matches the stream order.
+            try:
+                sink(line)
+            except Exception:  # noqa: BLE001 - durability is best-effort
+                pass
 
     def try_start(self) -> bool:
         """Atomically move ``queued`` → ``running``; ``False`` otherwise.
@@ -299,7 +317,11 @@ class ServiceJob:
                 "status": self.status,
                 "priority": self.priority,
                 "jobs": self._total_jobs,
-                "completed": len(self.outcomes),
+                "completed": (
+                    len(self.stored_lines) - 1
+                    if self.stored_lines is not None and not self.outcomes
+                    else len(self.outcomes)
+                ),
                 "created_at": self.created_at,
                 "started_at": self.started_at,
                 "finished_at": self.finished_at,

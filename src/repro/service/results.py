@@ -1,0 +1,295 @@
+"""Durable, content-addressed storage of streamed job results.
+
+The service streams each job's results as pre-encoded JSON lines
+(:meth:`ServiceJob.add_outcome` builds every outcome line exactly once).
+:class:`ResultStore` makes that stream **durable**: the same bytes are
+appended to ``<job_id>.part`` as they land, and when the job completes
+the terminal ``end`` line is appended and the file atomically renamed to
+``<job_id>.results``.  After a restart, ``GET /v1/jobs/<id>/results``
+for a finished job replays the stored file verbatim — byte-identical to
+the original stream, with **zero** recompilation — and any node holding
+the file can serve it.
+
+Files are keyed by the job's fingerprint-derived id, so the store is
+content-addressed the same way the schedule cache is: a byte-identical
+resubmission maps to the same file.
+
+Eviction follows the schedule cache's ``max_disk_bytes`` discipline:
+after each finalisation, least-recently-used ``.results`` files (by
+mtime — replays refresh it) are deleted until the store fits its
+budget.  Only **finalised** files are candidates: an actively-streaming
+job's ``.part`` file is never considered, so GC cannot yank a stream
+out from under a writer.  Stale ``.part`` files from a previous process
+are removed at startup — their jobs are resubmitted from the journal
+anyway.
+
+Failed and cancelled jobs are *abandoned*, not stored: their ids are
+retryable, so keeping a partial stream would shadow the retry's fresh
+results.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import ReproError
+
+__all__ = ["ResultStore", "ResultWriter"]
+
+#: Suffix of a finalised (complete, servable) result file.
+RESULT_SUFFIX = ".results"
+
+#: Suffix of an in-flight stream (never served, never evicted).
+PART_SUFFIX = ".part"
+
+
+class ResultWriter:
+    """Append-as-they-stream writer for one job's result lines.
+
+    Owned by a :class:`ResultStore`; not constructed directly.  Appends
+    are flushed per line, so the ``.part`` file always holds every line
+    already streamed to clients — a crash loses at most the not-yet-
+    terminal tail, and the journal resubmits such jobs anyway.
+    """
+
+    def __init__(self, store: "ResultStore", job_id: str) -> None:
+        self._store = store
+        self.job_id = job_id
+        self.path = store.directory / f"{job_id}{PART_SUFFIX}"
+        self._file: "Any | None" = open(self.path, "wb")
+        self._lock = threading.Lock()
+        self.lines_written = 0
+
+    def append(self, line: bytes) -> None:
+        """Persist one encoded result line (with its newline)."""
+        with self._lock:
+            if self._file is None:  # finished/abandoned already
+                return
+            self._file.write(line + b"\n")
+            self._file.flush()
+            self.lines_written += 1
+            self._store._bytes_written += len(line) + 1
+
+    def finish(self, end_line: bytes) -> "Path | None":
+        """Append the terminal line and promote ``.part`` → ``.results``."""
+        with self._lock:
+            if self._file is None:
+                return None
+            self._file.write(end_line + b"\n")
+            self._file.flush()
+            self._file.close()
+            self._file = None
+            self._store._bytes_written += len(end_line) + 1
+        final = self.path.with_suffix(RESULT_SUFFIX)
+        self.path.replace(final)
+        return final
+
+    def abandon(self) -> None:
+        """Close and delete the partial file (failed/cancelled jobs)."""
+        with self._lock:
+            if self._file is None:
+                return
+            self._file.close()
+            self._file = None
+        try:
+            self.path.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+
+class ResultStore:
+    """Content-addressed result files under one directory, with LRU GC.
+
+    Parameters
+    ----------
+    directory:
+        Where the ``<job_id>.results`` files live (created if missing).
+    max_disk_bytes:
+        Byte budget over the **finalised** files; ``None`` leaves the
+        store unbounded.  In-flight ``.part`` files never count and are
+        never evicted.
+    """
+
+    def __init__(
+        self, directory: "Path | str", max_disk_bytes: "int | None" = None
+    ) -> None:
+        if max_disk_bytes is not None and max_disk_bytes < 1:
+            raise ReproError("the result-store byte budget must be positive")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_disk_bytes = max_disk_bytes
+        self._lock = threading.Lock()
+        self._writers: dict[str, ResultWriter] = {}
+        # Counters mirrored into metrics by the scrape-time collector.
+        self._bytes_written = 0
+        self.stores = 0
+        self.evictions = 0
+        self.replays = 0
+        self.abandoned = 0
+        # A previous process's in-flight streams are unfinishable.
+        for stale in self.directory.glob(f"*{PART_SUFFIX}"):
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+
+    # ------------------------------------------------------------------
+    # writer lifecycle (scheduler side)
+    # ------------------------------------------------------------------
+    def open_writer(self, job_id: str) -> ResultWriter:
+        """Start (or restart, truncating) the stream file for a job."""
+        writer = ResultWriter(self, job_id)
+        with self._lock:
+            previous = self._writers.get(job_id)
+            self._writers[job_id] = writer
+        if previous is not None:  # a retry superseded the old attempt
+            previous.abandon()
+        return writer
+
+    def finalize(self, job_id: str, end_line: bytes) -> None:
+        """Seal a finished job's stream and enforce the byte budget."""
+        with self._lock:
+            writer = self._writers.pop(job_id, None)
+        if writer is None:
+            return
+        final = writer.finish(end_line)
+        if final is None:
+            return
+        self.stores += 1
+        if self.max_disk_bytes is not None:
+            evicted = self._enforce_budget(keep=final)
+            if evicted:
+                with self._lock:
+                    self.evictions += evicted
+
+    def abandon(self, job_id: str) -> None:
+        """Drop the partial stream of a failed/cancelled job."""
+        with self._lock:
+            writer = self._writers.pop(job_id, None)
+        if writer is not None:
+            writer.abandon()
+            self.abandoned += 1
+
+    def close(self) -> None:
+        """Abandon every still-open writer (service shutdown)."""
+        with self._lock:
+            writers = list(self._writers.values())
+            self._writers.clear()
+        for writer in writers:
+            writer.abandon()
+
+    # ------------------------------------------------------------------
+    # reader side
+    # ------------------------------------------------------------------
+    def result_path(self, job_id: str) -> Path:
+        return self.directory / f"{job_id}{RESULT_SUFFIX}"
+
+    def load(self, job_id: str) -> "list[bytes] | None":
+        """The stored stream as its original lines, or ``None``.
+
+        Refreshes the file's mtime, so replays count as uses under the
+        LRU budget (a frequently re-fetched job outlives a colder one).
+        The returned lines include the terminal ``end`` line and carry
+        no trailing newlines — exactly what the streaming transport
+        appends per line.
+        """
+        path = self.result_path(job_id)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        if not raw.endswith(b"\n"):  # torn finalisation; unservable
+            return None
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - raced with eviction
+            pass
+        with self._lock:
+            self.replays += 1
+        return raw[:-1].split(b"\n")
+
+    def entries(self) -> int:
+        """How many finalised result files the store holds."""
+        return len(list(self.directory.glob(f"*{RESULT_SUFFIX}")))
+
+    def disk_bytes(self) -> int:
+        """Total size of the finalised result files."""
+        total = 0
+        for path in self.directory.glob(f"*{RESULT_SUFFIX}"):
+            try:
+                total += path.stat().st_size
+            except OSError:  # pragma: no cover - concurrent eviction
+                continue
+        return total
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def bind_metrics(self, registry: "Any") -> None:
+        """Register a scrape-time collector for the store's counters."""
+        registry.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> "list[Any]":
+        from repro.obs.metrics import Counter, Gauge
+
+        events = Counter(
+            "repro_result_store_events_total",
+            "Result-store lifecycle events, by kind.",
+            ("kind",),
+        )
+        events.labels(kind="store").inc(self.stores)
+        events.labels(kind="replay").inc(self.replays)
+        events.labels(kind="eviction").inc(self.evictions)
+        events.labels(kind="abandon").inc(self.abandoned)
+        written = Counter(
+            "repro_result_store_bytes_written_total",
+            "Result-line bytes appended to the store (including .part).",
+        )
+        written.inc(self._bytes_written)
+        files = Gauge(
+            "repro_result_store_entries", "Finalised result files on disk."
+        )
+        files.set(self.entries())
+        size = Gauge(
+            "repro_result_store_disk_bytes", "Bytes used by finalised result files."
+        )
+        size.set(self.disk_bytes())
+        return [events, written, files, size]
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _enforce_budget(self, keep: Path) -> int:
+        """Delete LRU ``.results`` files until the budget fits.
+
+        Mirrors :meth:`ScheduleCache._enforce_disk_budget`: mtime-ordered,
+        the just-finalised file exempt, ``.part`` files invisible.
+        """
+        assert self.max_disk_bytes is not None
+        candidates: list[tuple[float, int, Path]] = []
+        total = 0
+        deleted = 0
+        for path in self.directory.glob(f"*{RESULT_SUFFIX}"):
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - concurrent eviction
+                continue
+            total += stat.st_size
+            if path != keep:
+                candidates.append((stat.st_mtime, stat.st_size, path))
+        if total <= self.max_disk_bytes:
+            return 0
+        candidates.sort()
+        for _, size, path in candidates:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent eviction
+                continue
+            total -= size
+            deleted += 1
+            if total <= self.max_disk_bytes:
+                break
+        return deleted

@@ -105,11 +105,14 @@ class ServiceScheduler:
 
     def bind_metrics(self, registry: "Any") -> None:
         """Create the scheduler's instruments on ``registry``."""
+        from repro.obs.metrics import QUEUE_LATENCY_BUCKETS
+
         self._m_queue_latency = registry.histogram(
             "repro_scheduler_queue_latency_seconds",
             "Seconds a job waited in the queue before a slot started it, "
             "by priority.",
             ("priority",),
+            buckets=QUEUE_LATENCY_BUCKETS,
         )
         self._m_slot_busy = registry.counter(
             "repro_scheduler_slot_busy_seconds_total",

@@ -11,6 +11,8 @@ method      path                               meaning
 ``DELETE``  ``/v1/jobs/<id>``                  cancel a queued/running job
 ``GET``     ``/v1/jobs/<id>/results``          **stream** results as JSON lines
 ``GET``     ``/v1/schedules/<fingerprint>``    cached-schedule lookup
+``GET``     ``/v1/cache/<fingerprint>``        raw binary cache entry (network tier)
+``PUT``     ``/v1/cache/<fingerprint>``        store a binary cache entry
 ``GET``     ``/v1/compilers``                  the compiler registry listing
 ``GET``     ``/v1/healthz``                    liveness + scheduler/cache counters
 ``GET``     ``/v1/metrics``                    Prometheus text-format metrics
@@ -63,6 +65,7 @@ MAX_BODY_BYTES = 16 * 1024 * 1024
 _JOB_RESULTS = re.compile(r"^/v1/jobs/(?P<job_id>[0-9a-f]{16})/results$")
 _JOB_STATUS = re.compile(r"^/v1/jobs/(?P<job_id>[0-9a-f]{16})$")
 _SCHEDULE = re.compile(r"^/v1/schedules/(?P<fingerprint>[0-9a-f]{16,64})$")
+_CACHE_ENTRY = re.compile(r"^/v1/cache/(?P<fingerprint>[0-9a-f]{16,64})$")
 
 
 def _route_template(path: str) -> str:
@@ -85,6 +88,8 @@ def _route_template(path: str) -> str:
         return "/v1/jobs/{id}"
     if _SCHEDULE.match(path):
         return "/v1/schedules/{fingerprint}"
+    if _CACHE_ENTRY.match(path):
+        return "/v1/cache/{fingerprint}"
     return "other"
 
 
@@ -97,6 +102,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     protocol_version = "HTTP/1.1"
     server_version = "repro-service"
+    # Nagle off: on keep-alive connections the small header/chunk writes
+    # otherwise collide with delayed ACKs into ~40 ms stalls per response.
+    disable_nagle_algorithm = True
 
     # ------------------------------------------------------------------
     # plumbing
@@ -121,6 +129,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Advertise the closure, so a pooling client discards this
+            # connection instead of reusing a socket we are about to
+            # shut (or one with an unread request body still on it).
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
@@ -142,10 +155,19 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def do_DELETE(self) -> None:  # noqa: N802 - http.server API
         self._dispatch("DELETE")
 
+    def do_PUT(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("PUT")
+
     def _dispatch(self, method: str) -> None:
         url = urlparse(self.path)
         self._metrics_status = 0  # no status line sent (client vanished)
         started = time.perf_counter()
+        # A request body we never read would be parsed as the next
+        # request line on a keep-alive connection.  Assume the worst
+        # until a handler actually consumes it (those clear the flag),
+        # so every other path answers with Connection: close.
+        if (self.headers.get("Content-Length") or "0").strip() not in ("0", ""):
+            self.close_connection = True
         try:
             self._route(method, url.path, parse_qs(url.query))
         except (BrokenPipeError, ConnectionResetError):  # client went away
@@ -187,6 +209,13 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 return self._handle_status(match.group("job_id"))
             if method == "DELETE":
                 return self._handle_cancel(match.group("job_id"))
+            return self._send_error_json(405, "method_not_allowed", f"{method} {path}")
+        match = _CACHE_ENTRY.match(path)
+        if match:
+            if method == "GET":
+                return self._handle_cache_get(match.group("fingerprint"))
+            if method == "PUT":
+                return self._handle_cache_put(match.group("fingerprint"))
             return self._send_error_json(405, "method_not_allowed", f"{method} {path}")
         if method != "GET":
             return self._send_error_json(405, "method_not_allowed", f"{method} {path}")
@@ -280,6 +309,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 f"manifest bodies are capped at {MAX_BODY_BYTES} bytes",
             )
         body = self.rfile.read(length)
+        self.close_connection = False  # body consumed; keep-alive is safe again
         job, resubmitted = self.service.submit_text(body, priority=priority)
         self._send_json(
             200 if resubmitted else 202,
@@ -315,6 +345,49 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 f"no cached schedule under compile fingerprint {fingerprint!r}",
             )
         self._send_json(200, payload)
+
+    def _handle_cache_get(self, fingerprint: str) -> None:
+        """Serve one cache entry as raw RCEN bytes (the network-tier GET)."""
+        payload = self.service.cache_entry_bytes(fingerprint)
+        if payload is None:
+            return self._send_error_json(
+                404, "unknown_fingerprint", f"no cache entry for {fingerprint!r}"
+            )
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _handle_cache_put(self, fingerprint: str) -> None:
+        """Accept one RCEN entry body into the local cache (network-tier PUT)."""
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            self.close_connection = True
+            return self._send_error_json(
+                411, "length_required", "PUT /v1/cache needs a Content-Length header"
+            )
+        try:
+            length = int(length_header)
+        except ValueError:
+            self.close_connection = True
+            return self._send_error_json(
+                400, "bad_request", f"invalid Content-Length {length_header!r}"
+            )
+        if length < 0 or length > MAX_BODY_BYTES:
+            self.close_connection = True
+            return self._send_error_json(
+                413, "payload_too_large", f"cache entries are capped at {MAX_BODY_BYTES} bytes"
+            )
+        body = self.rfile.read(length)
+        self.close_connection = False  # body consumed; keep-alive is safe again
+        if not self.service.cache_store_bytes(fingerprint, body):
+            return self._send_error_json(
+                400, "bad_entry", "body is not a current-format binary cache entry"
+            )
+        self.send_response(204)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
 
     def _handle_results(self, job_id: str, query: dict[str, list[str]]) -> None:
         timeout: float | None = None

@@ -115,6 +115,9 @@ class TestEndToEnd:
         summary = result.as_dict()
         assert summary["statuses"] == {"done": self.REQUESTS}
         assert summary["throughput_rps"] > 0
+        # Keep-alive transport: 16 HTTP requests (8 submits + 8 streams)
+        # ride far fewer sockets than one-connection-per-request would.
+        assert 1 <= summary["connections_opened"] < 2 * self.REQUESTS
         assert (
             summary["latency_s"]["p50"]
             <= summary["latency_s"]["p95"]

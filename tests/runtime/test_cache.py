@@ -32,6 +32,10 @@ class TestMemoryTier:
             "disk_hits": 0,
             "disk_evictions": 0,
             "migrations": 0,
+            "network_hits": 0,
+            "network_misses": 0,
+            "network_stores": 0,
+            "network_errors": 0,
         }
 
     def test_lru_evicts_least_recently_used(self, entry):

@@ -42,6 +42,13 @@ EXPECTED_FAMILIES = (
     "repro_engine_workers",
     "repro_journal_events_total",
     "repro_journal_file_bytes",
+    "repro_journal_rotations_total",
+    "repro_cache_stores_total",
+    "repro_cache_network_errors_total",
+    "repro_result_store_events_total",
+    "repro_result_store_bytes_written_total",
+    "repro_result_store_entries",
+    "repro_result_store_disk_bytes",
 )
 
 
@@ -109,6 +116,36 @@ class TestMetricsEndpoint:
         assert after["repro_http_request_seconds"].value(
             method="GET", route="/v1/healthz", le="+Inf"
         ) >= healthz
+
+    def test_latency_histograms_use_tuned_buckets(self, service_stack):
+        # The bucket edges are tuned from the measured distributions in
+        # benchmarks/results/BENCH_service_throughput.json: every loadgen
+        # profile lands in the 3-66 ms band, so the HTTP histogram must
+        # resolve it finer than the default 10/25/50 ms edges.
+        from repro.obs import QUEUE_LATENCY_BUCKETS, SERVICE_LATENCY_BUCKETS
+
+        _, client = service_stack
+        parsed = parse_exposition(client.metrics())
+
+        def edges(family):
+            return sorted(
+                {
+                    float(sample.labels_dict()["le"])
+                    for sample in parsed[family].samples
+                    if sample.name.endswith("_bucket")
+                    and sample.labels_dict()["le"] != "+Inf"
+                }
+            )
+
+        assert edges("repro_http_request_seconds") == list(
+            SERVICE_LATENCY_BUCKETS
+        )
+        assert edges("repro_scheduler_queue_latency_seconds") == list(
+            QUEUE_LATENCY_BUCKETS
+        )
+        # The tuned band really is finer where the traffic lives: at
+        # least eight edges below 100 ms (the defaults have six).
+        assert sum(1 for edge in SERVICE_LATENCY_BUCKETS if edge < 0.1) >= 8
 
     def test_job_census_counts_the_completed_job(self, service_stack):
         _, client = service_stack

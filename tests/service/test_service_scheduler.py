@@ -255,11 +255,36 @@ class TestJournalReplay:
             assert payload["replayed"] is True
             assert payload["jobs"] == 1
             assert payload["job_specs"][0]["circuit"] == "qft_8"
-            # Resubmitting the same manifest re-runs under the same id:
-            # the replayed record kept status+summary but not the
-            # streamed outcomes, and deduplicating against it would make
-            # the results permanently unretrievable.  The re-run is
-            # served from the disk schedule cache.
+            # The durable result store kept the full original stream, so
+            # resubmitting the same manifest deduplicates against the
+            # replayed record — its results are servable as stored
+            # bytes, no re-run needed.
+            assert replayed.stored_lines is not None
+            again, resubmitted = restarted.submit_document(manifest("qft_8", "persist"))
+            assert resubmitted and again is replayed
+            lines = list(restarted.stream_lines(job_id))
+            assert lines[-1]["type"] == "end" and lines[-1]["status"] == "done"
+            assert len(lines) == 2  # one outcome + the end line
+        finally:
+            restarted.close(drain_timeout=WAIT)
+
+    def test_restart_without_result_store_reruns_from_schedule_cache(self, tmp_path):
+        """The pre-store behaviour, still the contract when results=False:
+        a replayed terminal job lost its stream, so resubmission re-runs
+        (served from the disk schedule cache, compilations=0)."""
+        with CompilationService(
+            workers=1, cache_dir=tmp_path, warm=False, results=False
+        ) as service:
+            job, _ = service.submit_document(manifest("qft_8", "persist"))
+            wait_until(lambda: job.finished)
+            job_id = job.job_id
+
+        restarted = CompilationService(
+            workers=1, cache_dir=tmp_path, warm=False, results=False
+        )
+        try:
+            replayed = restarted.store.get(job_id)
+            assert replayed is not None and replayed.stored_lines is None
             again, resubmitted = restarted.submit_document(manifest("qft_8", "persist"))
             assert not resubmitted and again is not replayed
             assert again.job_id == job_id
